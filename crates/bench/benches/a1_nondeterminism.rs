@@ -1,0 +1,26 @@
+//! A1: cost of multi-seed parallel emulation (the §6 mitigation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfv_bench::a1_topology;
+use mfv_emulator::{run_seeds, Cluster, EmulationConfig};
+
+fn bench(c: &mut Criterion) {
+    let snapshot = a1_topology();
+    let mut group = c.benchmark_group("a1/parallel_seed_runs");
+    group.sample_size(10);
+    group.bench_function("4_seeds", |b| {
+        b.iter(|| {
+            let runs = run_seeds(
+                &snapshot.topology,
+                Cluster::single_node,
+                &EmulationConfig::default(),
+                &[1, 2, 3, 4],
+            );
+            assert_eq!(runs.len(), 4);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! A2: what-if link-cut sweeps (one emulation per context).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfv_core::{link_cut_contexts, scenarios, verify_link_cuts, EmulationBackend};
+
+fn bench(c: &mut Criterion) {
+    let snapshot = scenarios::six_node();
+
+    c.bench_function("a2/context_enumeration/k2", |b| {
+        b.iter(|| {
+            let contexts = link_cut_contexts(std::hint::black_box(&snapshot), 2);
+            assert_eq!(contexts.len(), 10);
+        })
+    });
+
+    let mut group = c.benchmark_group("a2/single_cut_sweep");
+    group.sample_size(10);
+    group.bench_function("six_node_k1", |b| {
+        b.iter(|| {
+            let backend = EmulationBackend::default();
+            let contexts = link_cut_contexts(&snapshot, 1);
+            let verdicts = verify_link_cuts(&snapshot, &backend, contexts, None).unwrap();
+            assert_eq!(verdicts.len(), 5);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

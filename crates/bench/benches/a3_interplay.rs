@@ -1,0 +1,19 @@
+//! A3: detecting the cross-vendor crash incident end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfv_bench::run_a3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3/interplay_crash");
+    group.sample_size(10);
+    group.bench_function("detect", |b| {
+        b.iter(|| {
+            let r = run_a3(7);
+            assert!(r.crashes >= 1);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks for the data structures every query leans on: the LPM
+//! trie, the header-space algebra, and the wire codecs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfv_types::{IpSet, Prefix, PrefixTrie};
+use std::net::Ipv4Addr;
+
+fn bench(c: &mut Criterion) {
+    // A realistic 100k-prefix FIB shape.
+    let prefixes: Vec<Prefix> = (0..100_000u32)
+        .map(|i| Prefix::new(Ipv4Addr::from(0x0a00_0000 + (i << 8)), 24))
+        .collect();
+
+    c.bench_function("trie/insert_100k", |b| {
+        b.iter(|| {
+            let mut t = PrefixTrie::new();
+            for (i, p) in prefixes.iter().enumerate() {
+                t.insert(*p, i);
+            }
+            assert_eq!(t.len(), 100_000);
+        })
+    });
+
+    let trie: PrefixTrie<usize> =
+        prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    c.bench_function("trie/lookup_100k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            let ip = Ipv4Addr::from(0x0a00_0000 + ((i % 100_000) << 8) + 1);
+            std::hint::black_box(trie.lookup(ip));
+        })
+    });
+
+    let a = IpSet::from_ranges((0..1000u32).map(|i| (i * 1000, i * 1000 + 500)));
+    let b_set = IpSet::from_ranges((0..1000u32).map(|i| (i * 1000 + 250, i * 1000 + 750)));
+    c.bench_function("ipset/intersect_1k_ranges", |b| {
+        b.iter(|| std::hint::black_box(a.intersect(&b_set)))
+    });
+    c.bench_function("ipset/subtract_1k_ranges", |b| {
+        b.iter(|| std::hint::black_box(a.subtract(&b_set)))
+    });
+
+    // BGP UPDATE encode/decode at packing scale.
+    use mfv_types::{AsNum, AsPath, Origin};
+    use ::mfv_wire::bgp::{BgpMsg, PathAttr, UpdateMsg};
+    let update = BgpMsg::Update(UpdateMsg {
+        withdrawn: vec![],
+        attrs: vec![
+            PathAttr::Origin(Origin::Igp),
+            PathAttr::AsPath(AsPath::sequence([AsNum(65001), AsNum(65002)])),
+            PathAttr::NextHop(Ipv4Addr::new(10, 0, 0, 1)),
+        ],
+        nlri: prefixes[..2000].to_vec(),
+    });
+    c.bench_function("bgp/encode_2000_nlri", |b| {
+        b.iter(|| std::hint::black_box(update.encode()))
+    });
+    let encoded = update.encode();
+    c.bench_function("bgp/decode_2000_nlri", |b| {
+        b.iter(|| {
+            let mut buf = encoded.clone();
+            std::hint::black_box(BgpMsg::decode(&mut buf).unwrap());
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

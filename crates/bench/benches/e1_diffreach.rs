@@ -1,0 +1,33 @@
+//! E1: cost of the Differential Reachability query and of the full
+//! model-free pipeline on the six-node Fig. 2 network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfv_core::{differential_reachability, scenarios, Backend, EmulationBackend};
+
+fn bench(c: &mut Criterion) {
+    // Precompute the two dataplanes once; the query is the hot path.
+    let backend = EmulationBackend::default();
+    let base = backend.compute(&scenarios::six_node()).unwrap().dataplane;
+    let broken = backend.compute(&scenarios::six_node_broken()).unwrap().dataplane;
+
+    c.bench_function("e1/differential_reachability/six_node", |b| {
+        b.iter(|| {
+            let findings =
+                differential_reachability(std::hint::black_box(&base), &broken, None);
+            assert!(!findings.is_empty());
+        })
+    });
+
+    let mut group = c.benchmark_group("e1/pipeline");
+    group.sample_size(10);
+    group.bench_function("emulate_extract_six_node", |b| {
+        b.iter(|| {
+            let result = backend.compute(&scenarios::six_node()).unwrap();
+            assert!(result.meta.converged);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E2: model-parser coverage accounting over production configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfv_core::scenarios;
+
+fn bench(c: &mut Criterion) {
+    let snapshot = scenarios::six_node();
+    let configs: Vec<String> = snapshot
+        .topology
+        .nodes
+        .iter()
+        .map(|n| n.config_text.clone())
+        .collect();
+
+    c.bench_function("e2/model_parse_coverage/six_configs", |b| {
+        b.iter(|| {
+            let mut total_unrecognized = 0;
+            for text in &configs {
+                let (_, report) = mfv_model::parse(std::hint::black_box(text)).unwrap();
+                total_unrecognized += report.unrecognized_count();
+            }
+            assert!(total_unrecognized > 0);
+        })
+    });
+
+    c.bench_function("e2/vendor_parse/six_configs", |b| {
+        b.iter(|| {
+            for text in &configs {
+                let parsed = mfv_config::ceos::parse(std::hint::black_box(text)).unwrap();
+                assert!(parsed.warnings.is_empty());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E3: model-based vs model-free backend cost on the Fig. 3 line topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfv_core::{scenarios, Backend, EmulationBackend, ModelBackend};
+
+fn bench(c: &mut Criterion) {
+    let snapshot = scenarios::three_node_line_fig3();
+
+    c.bench_function("e3/model_backend/fig3_line", |b| {
+        b.iter(|| {
+            let r = ModelBackend.compute(std::hint::black_box(&snapshot)).unwrap();
+            assert!(r.meta.converged);
+        })
+    });
+
+    let mut group = c.benchmark_group("e3/emulation_backend");
+    group.sample_size(10);
+    group.bench_function("fig3_line", |b| {
+        b.iter(|| {
+            let r = EmulationBackend::default().compute(&snapshot).unwrap();
+            assert!(r.meta.converged);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E4: emulation bring-up + convergence across topology sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfv_bench::run_e4_size;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/emulate_isis_line");
+    group.sample_size(10);
+    for n in [5usize, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let row = run_e4_size(n, 1, 1);
+                assert!(row.scheduled);
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("e4/cluster_capacity/17_machines", |b| {
+        b.iter(|| assert!(mfv_bench::e4_capacity(std::hint::black_box(17)) >= 1000))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

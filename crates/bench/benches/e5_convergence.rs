@@ -1,0 +1,25 @@
+//! E5: multi-vendor WAN convergence with external route feeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfv_bench::run_e5;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/wan_convergence");
+    group.sample_size(10);
+    for routes in [1_000usize, 5_000] {
+        group.bench_with_input(
+            BenchmarkId::new("10_nodes", routes),
+            &routes,
+            |b, &routes| {
+                b.iter(|| {
+                    let r = run_e5(10, routes, 1);
+                    assert!(r.convergence.is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

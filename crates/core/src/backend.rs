@@ -1,0 +1,201 @@
+//! Dataplane backends: the two ways to get from configuration to a
+//! verifiable dataplane.
+//!
+//! [`EmulationBackend`] is the paper's contribution — boot real vendor
+//! control planes, converge, extract AFTs over the management plane, and
+//! hand the result to verification. [`ModelBackend`] is the traditional
+//! path — parse with a reference model and compute the dataplane from it.
+//! Both produce the same [`Dataplane`] type, so every verification query
+//! runs unchanged against either (the "drop-in backend" property of §4).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mfv_dataplane::Dataplane;
+use mfv_emulator::{Cluster, Emulation, EmulationConfig};
+use mfv_mgmt::{collect_afts, dataplane_from_afts, Telemetry};
+use mfv_model::CoverageReport;
+use mfv_types::{NodeId, SimDuration};
+use mfv_vrouter::VendorProfile;
+
+use crate::snapshot::Snapshot;
+
+/// Why a backend could not produce a dataplane.
+#[derive(Clone, Debug)]
+pub struct BackendError(pub String);
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "backend error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Metadata about how the dataplane was produced.
+#[derive(Clone, Debug, Default)]
+pub struct BackendMeta {
+    /// Did the backend reach a stable state?
+    pub converged: bool,
+    /// Emulation: infrastructure startup (pod scheduling + container boot).
+    pub boot_time: Option<SimDuration>,
+    /// Emulation: time from startup-complete to dataplane quiescence.
+    pub convergence_time: Option<SimDuration>,
+    /// Emulation: control-plane messages exchanged.
+    pub messages: u64,
+    /// Emulation: routing-process crashes observed.
+    pub crashes: u64,
+    /// Model: per-config coverage reports (unrecognised lines — E2).
+    pub coverage: Vec<CoverageReport>,
+}
+
+/// A produced dataplane plus its provenance.
+#[derive(Clone, Debug)]
+pub struct BackendResult {
+    pub dataplane: Dataplane,
+    pub meta: BackendMeta,
+}
+
+/// Anything that can turn a snapshot into a dataplane.
+pub trait Backend {
+    fn name(&self) -> &'static str;
+    fn compute(&self, snapshot: &Snapshot) -> Result<BackendResult, BackendError>;
+}
+
+/// The model-free backend: control-plane emulation + AFT extraction.
+#[derive(Clone, Debug)]
+pub struct EmulationBackend {
+    /// Cluster machines (e2-standard-32 each).
+    pub cluster_machines: usize,
+    /// Emulation seed (ordering jitter).
+    pub seed: u64,
+    /// Per-node vendor profile overrides (bug injection).
+    pub profiles: BTreeMap<NodeId, VendorProfile>,
+    /// Dataplane quiescence window.
+    pub quiet_period: SimDuration,
+    /// Simulated-time budget.
+    pub max_sim_time: SimDuration,
+    /// Restart crashed routing processes (watchdog). Disable to freeze the
+    /// post-crash state for inspection.
+    pub auto_restart: bool,
+}
+
+impl Default for EmulationBackend {
+    fn default() -> Self {
+        EmulationBackend {
+            cluster_machines: 1,
+            seed: 1,
+            profiles: BTreeMap::new(),
+            quiet_period: SimDuration::from_secs(12),
+            max_sim_time: SimDuration::from_mins(120),
+            auto_restart: true,
+        }
+    }
+}
+
+impl EmulationBackend {
+    pub fn with_seed(seed: u64) -> EmulationBackend {
+        EmulationBackend { seed, ..Default::default() }
+    }
+
+    /// Runs the emulation and returns it alongside the report, for callers
+    /// that want to keep poking at the live network (CLI, what-if).
+    pub fn run(&self, snapshot: &Snapshot) -> Result<(Emulation, BackendMeta), BackendError> {
+        let cfg = EmulationConfig {
+            seed: self.seed,
+            quiet_period: self.quiet_period,
+            max_sim_time: self.max_sim_time,
+            auto_restart_crashed: self.auto_restart,
+            profile_overrides: self.profiles.clone(),
+            inject_after_boot: true,
+        };
+        let mut emu = Emulation::new(
+            snapshot.topology.clone(),
+            Cluster::of_size(self.cluster_machines),
+            cfg,
+        )
+        .map_err(BackendError)?;
+        let report = emu.run_until_converged();
+        if !report.unschedulable.is_empty() {
+            return Err(BackendError(format!(
+                "{} pods unschedulable on a {}-machine cluster (first: {})",
+                report.unschedulable.len(),
+                self.cluster_machines,
+                report.unschedulable[0],
+            )));
+        }
+        let meta = BackendMeta {
+            converged: report.converged,
+            boot_time: report.boot_complete_at.map(|t| t - mfv_types::SimTime::ZERO),
+            convergence_time: report
+                .boot_complete_at
+                .map(|boot| report.converged_at.since(boot)),
+            messages: report.messages_delivered,
+            crashes: report.crashes,
+            coverage: Vec::new(),
+        };
+        Ok((emu, meta))
+    }
+}
+
+impl Backend for EmulationBackend {
+    fn name(&self) -> &'static str {
+        "model-free (emulation)"
+    }
+
+    fn compute(&self, snapshot: &Snapshot) -> Result<BackendResult, BackendError> {
+        let (emu, meta) = self.run(snapshot)?;
+        // The extraction step of §4.1: dump per-device AFTs through the
+        // management plane and rebuild the network dataplane from them —
+        // we deliberately do NOT shortcut via the emulator's internal state.
+        let mut telemetry = BTreeMap::new();
+        for node in emu.topology.nodes.iter() {
+            if let Some(router) = emu.router(&node.name) {
+                telemetry.insert(node.name.clone(), Telemetry::from_router(router));
+            }
+        }
+        let afts = collect_afts(&telemetry);
+        let reference = emu.dataplane();
+        let dataplane = dataplane_from_afts(&afts, &reference);
+        debug_assert_eq!(
+            dataplane.digest(),
+            reference.digest(),
+            "AFT round-trip must be lossless"
+        );
+        Ok(BackendResult { dataplane, meta })
+    }
+}
+
+/// The traditional backend: parse with the reference model, compute the
+/// dataplane from the model.
+#[derive(Clone, Debug, Default)]
+pub struct ModelBackend;
+
+impl Backend for ModelBackend {
+    fn name(&self) -> &'static str {
+        "model-based (baseline)"
+    }
+
+    fn compute(&self, snapshot: &Snapshot) -> Result<BackendResult, BackendError> {
+        for node in &snapshot.topology.nodes {
+            if node.vendor != mfv_config::Vendor::Ceos {
+                return Err(BackendError(format!(
+                    "the reference model has no parser for vendor '{}' (node {})",
+                    node.vendor, node.name
+                )));
+            }
+        }
+        let configs: Vec<(NodeId, String)> = snapshot
+            .topology
+            .nodes
+            .iter()
+            .map(|n| (n.name.clone(), n.config_text.clone()))
+            .collect();
+        let (dataplane, coverage) =
+            mfv_model::model_dataplane(&configs).map_err(|e| BackendError(e.to_string()))?;
+        Ok(BackendResult {
+            dataplane,
+            meta: BackendMeta { converged: true, coverage, ..Default::default() },
+        })
+    }
+}

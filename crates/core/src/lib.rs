@@ -1,0 +1,42 @@
+//! The model-free verification pipeline — the paper's primary contribution.
+//!
+//! ```text
+//!   configs + topology + context          (Snapshot)
+//!        │
+//!        ▼
+//!   control-plane emulation               (EmulationBackend → mfv-emulator)
+//!        │  converged?
+//!        ▼
+//!   AFT extraction over gNMI              (mfv-mgmt)
+//!        │
+//!        ▼
+//!   dataplane model                        (mfv-dataplane)
+//!        │
+//!        ▼
+//!   verification queries                   (mfv-verify)
+//! ```
+//!
+//! The traditional path ([`ModelBackend`]) slots into the same pipeline at
+//! the dataplane step, which is what makes model-vs-model-free differential
+//! comparisons (experiment E3) a one-query affair.
+//!
+//! - [`snapshot`] — verification inputs and what-if variants
+//! - [`backend`] — [`EmulationBackend`] (model-free) and [`ModelBackend`]
+//! - [`scenarios`] — every topology in the paper's evaluation
+//! - [`whatif`] — link-cut context enumeration and parallel sweeps
+
+pub mod backend;
+pub mod scenarios;
+pub mod snapshot;
+pub mod whatif;
+
+pub use backend::{Backend, BackendError, BackendMeta, BackendResult, EmulationBackend, ModelBackend};
+pub use snapshot::Snapshot;
+pub use whatif::{link_cut_context_count, link_cut_contexts, verify_link_cuts, CutVerdict};
+
+// Re-export the query surface so downstream users need only `mfv-core`.
+pub use mfv_verify::{
+    deliverability_changes, differential_reachability, detect_blackholes, detect_loops,
+    detect_multipath_inconsistency, disposition_summary, reachability, traceroute,
+    unreachable_pairs, DiffFinding, Disposition, ForwardingAnalysis,
+};

@@ -1,0 +1,724 @@
+//! The scenario library: every topology used by the paper's evaluation,
+//! plus parameterised generators for the scale studies.
+//!
+//! - [`six_node`] / [`six_node_broken`] — Fig. 2 (experiment E1)
+//! - [`three_node_line_fig3`] — the Fig. 3 configs, verbatim ordering (E3)
+//! - [`isis_line`], [`isis_grid`], [`production_wan`] — scale topologies
+//!   (E4, E5)
+//! - [`interplay_pair`] — a multi-vendor topology for the cross-vendor
+//!   crash study (A3)
+
+use std::net::Ipv4Addr;
+
+use mfv_config::{IfaceSpec, RouterSpec, Vendor};
+use mfv_emulator::{ExternalPeerSpec, NodeSpec, Topology};
+use mfv_types::{AsNum, NodeId};
+
+use crate::snapshot::Snapshot;
+
+/// Loopback address for router index `i` (1-based).
+fn loopback(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 255, (i / 256) as u8, (i % 256) as u8)
+}
+
+/// The two addresses of point-to-point link number `k`.
+fn p2p(k: usize) -> (Ipv4Addr, Ipv4Addr) {
+    let base = (10u32 << 24) | (64 << 16) | (2 * k as u32);
+    (Ipv4Addr::from(base), Ipv4Addr::from(base + 1))
+}
+
+/// The host part of an "addr/len" literal.
+fn host(s: &str) -> Ipv4Addr {
+    s.split('/').next().unwrap().parse().unwrap()
+}
+
+/// Interface name `idx` for a vendor.
+fn ifname(vendor: Vendor, idx: usize) -> String {
+    match vendor {
+        Vendor::Ceos => format!("Ethernet{}", idx + 1),
+        Vendor::Vjunos => format!("ge-0/0/{idx}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2: the six-node network (E1)
+// ---------------------------------------------------------------------------
+
+/// The paper's Fig. 2 network: three two-router ASes in a chain
+/// (AS3 — AS1 — AS2), IS-IS + iBGP inside each AS, eBGP between them.
+/// Configurations carry production complexity (management daemons, MPLS/TE)
+/// so the same snapshot serves experiment E2's coverage measurement.
+pub fn six_node() -> Snapshot {
+    six_node_inner(false)
+}
+
+/// Fig. 2 with the R2–R3 eBGP session administratively taken down — the
+/// "buggy version of the configurations" of E1.
+pub fn six_node_broken() -> Snapshot {
+    six_node_inner(true)
+}
+
+fn six_node_inner(break_r2_r3: bool) -> Snapshot {
+    let as1 = AsNum(65001);
+    let as2 = AsNum(65002);
+    let as3 = AsNum(65003);
+    let lo = |i: usize| Ipv4Addr::new(2, 2, 2, i as u8);
+
+    // Link subnets.
+    let (r1r2_a, r1r2_b) = ("100.64.0.0/31", "100.64.0.1/31");
+    let (r3r4_a, r3r4_b) = ("100.64.0.2/31", "100.64.0.3/31");
+    let (r5r6_a, r5r6_b) = ("100.64.0.4/31", "100.64.0.5/31");
+    let (r2r3_a, r2r3_b) = ("100.64.1.0/31", "100.64.1.1/31");
+    let (r6r1_a, r6r1_b) = ("100.64.1.2/31", "100.64.1.3/31");
+
+    // AS1: r1 (border to AS3), r2 (border to AS2).
+    let r1 = RouterSpec::new("r1", as1, lo(1))
+        .iface(IfaceSpec::new("Ethernet1", r1r2_a.parse().unwrap()).with_isis().described("to r2"))
+        .iface(IfaceSpec::new("Ethernet2", r6r1_b.parse().unwrap()).described("to r6 (AS3)"))
+        .ibgp(lo(2))
+        .ebgp(host(r6r1_a), as3)
+        .network("2.2.2.1/32".parse().unwrap())
+        .redistribute_connected()
+        .production();
+    let r2 = RouterSpec::new("r2", as1, lo(2))
+        .iface(IfaceSpec::new("Ethernet1", r1r2_b.parse().unwrap()).with_isis().described("to r1"))
+        .iface(IfaceSpec::new("Ethernet2", r2r3_a.parse().unwrap()).described("to r3 (AS2)"))
+        .ibgp(lo(1))
+        .ebgp(host(r2r3_b), as2)
+        .network("2.2.2.2/32".parse().unwrap())
+        .redistribute_connected()
+        .production();
+
+    // AS2: r3 (border), r4.
+    let r3 = RouterSpec::new("r3", as2, lo(3))
+        .iface(IfaceSpec::new("Ethernet1", r3r4_a.parse().unwrap()).with_isis().described("to r4"))
+        .iface(IfaceSpec::new("Ethernet2", r2r3_b.parse().unwrap()).described("to r2 (AS1)"))
+        .ibgp(lo(4))
+        .ebgp(host(r2r3_a), as1)
+        .network("2.2.2.3/32".parse().unwrap())
+        .redistribute_connected()
+        .production();
+    let r4 = RouterSpec::new("r4", as2, lo(4))
+        .iface(IfaceSpec::new("Ethernet1", r3r4_b.parse().unwrap()).with_isis().described("to r3"))
+        .ibgp(lo(3))
+        .network("2.2.2.4/32".parse().unwrap())
+        .production();
+
+    // AS3: r6 (border), r5.
+    let r5 = RouterSpec::new("r5", as3, lo(5))
+        .iface(IfaceSpec::new("Ethernet1", r5r6_a.parse().unwrap()).with_isis().described("to r6"))
+        .ibgp(lo(6))
+        .network("2.2.2.5/32".parse().unwrap())
+        .production();
+    let r6 = RouterSpec::new("r6", as3, lo(6))
+        .iface(IfaceSpec::new("Ethernet1", r5r6_b.parse().unwrap()).with_isis().described("to r5"))
+        .iface(IfaceSpec::new("Ethernet2", r6r1_a.parse().unwrap()).described("to r1 (AS1)"))
+        .ibgp(lo(5))
+        .ebgp(host(r6r1_b), as1)
+        .network("2.2.2.6/32".parse().unwrap())
+        .redistribute_connected()
+        .production();
+
+    let mut t = Topology::new(if break_r2_r3 { "six-node-broken" } else { "six-node" });
+    for spec in [&r1, &r2, &r3, &r4, &r5, &r6] {
+        let mut cfg = spec.build();
+        if break_r2_r3 && spec.name == "r2" {
+            if let Some(bgp) = cfg.bgp.as_mut() {
+                if let Some(nb) = bgp
+                    .neighbors
+                    .iter_mut()
+                    .find(|n| n.peer == "100.64.1.1".parse::<Ipv4Addr>().unwrap())
+                {
+                    nb.shutdown = true;
+                }
+            }
+        }
+        t.add_node(NodeSpec::from_config(spec.name.clone(), &cfg));
+    }
+    t.add_link(("r1", "Ethernet1"), ("r2", "Ethernet1"));
+    t.add_link(("r3", "Ethernet1"), ("r4", "Ethernet1"));
+    t.add_link(("r5", "Ethernet1"), ("r6", "Ethernet1"));
+    t.add_link(("r2", "Ethernet2"), ("r3", "Ethernet2"));
+    t.add_link(("r6", "Ethernet2"), ("r1", "Ethernet2"));
+
+    Snapshot::new(t.name.clone(), t)
+}
+
+/// Node names of each AS in the six-node scenario.
+pub fn six_node_as_members() -> Vec<(AsNum, Vec<NodeId>)> {
+    vec![
+        (AsNum(65001), vec!["r1".into(), "r2".into()]),
+        (AsNum(65002), vec!["r3".into(), "r4".into()]),
+        (AsNum(65003), vec!["r5".into(), "r6".into()]),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3: the three-node line with the model-confusing ordering (E3)
+// ---------------------------------------------------------------------------
+
+/// The Fig. 3 experiment: a 3-node line (r1 — r2 — r3) running IS-IS only,
+/// where r1's interface stanza puts `ip address` *before* `no switchport`
+/// (perfectly valid on the device; silently mis-parsed by the model).
+pub fn three_node_line_fig3() -> Snapshot {
+    // r1's config reproduces the paper's Fig. 3 snippet verbatim (plus a
+    // hostname line so the snapshot is self-describing).
+    let r1 = "\
+hostname r1
+router isis default
+   net 49.0001.1010.1040.1030.00
+   address-family ipv4 unicast
+!
+interface Loopback0
+   ip address 2.2.2.1/32
+   isis enable default
+   isis passive-interface default
+!
+interface Ethernet2
+   ip address 100.64.0.1/31
+   no switchport
+   isis enable default
+!
+";
+    let r2 = "\
+hostname r2
+router isis default
+   net 49.0001.1010.1040.1031.00
+   address-family ipv4 unicast
+!
+interface Loopback0
+   ip address 2.2.2.2/32
+   isis enable default
+   isis passive-interface default
+!
+interface Ethernet1
+   no switchport
+   ip address 100.64.0.0/31
+   isis enable default
+!
+interface Ethernet2
+   no switchport
+   ip address 100.64.0.2/31
+   isis enable default
+!
+";
+    let r3 = "\
+hostname r3
+router isis default
+   net 49.0001.1010.1040.1032.00
+   address-family ipv4 unicast
+!
+interface Loopback0
+   ip address 2.2.2.3/32
+   isis enable default
+   isis passive-interface default
+!
+interface Ethernet1
+   no switchport
+   ip address 100.64.0.3/31
+   isis enable default
+!
+";
+    let mut t = Topology::new("three-node-line-fig3");
+    for (name, text) in [("r1", r1), ("r2", r2), ("r3", r3)] {
+        t.add_node(NodeSpec {
+            name: name.into(),
+            vendor: Vendor::Ceos,
+            config_text: text.to_string(),
+        });
+    }
+    t.add_link(("r1", "Ethernet2"), ("r2", "Ethernet1"));
+    t.add_link(("r2", "Ethernet2"), ("r3", "Ethernet1"));
+    Snapshot::new("three-node-line-fig3", t)
+}
+
+// ---------------------------------------------------------------------------
+// Scale topologies (E4, E5)
+// ---------------------------------------------------------------------------
+
+/// A line of `n` IS-IS routers (scale bring-up workload).
+pub fn isis_line(n: usize) -> Snapshot {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("isis-line-{n}"));
+    let mut link_no = 0usize;
+    let mut specs = Vec::with_capacity(n);
+    for i in 1..=n {
+        specs.push(RouterSpec::new(format!("r{i}"), AsNum(65000), loopback(i)));
+    }
+    for i in 0..n - 1 {
+        let (a, b) = p2p(link_no);
+        link_no += 1;
+        specs[i] = std::mem::replace(
+            &mut specs[i],
+            RouterSpec::new("x", AsNum(0), Ipv4Addr::UNSPECIFIED),
+        )
+        .iface(
+            IfaceSpec::new(
+                ifname(Vendor::Ceos, 1), // "right" port
+                mfv_types::IfaceAddr::new(a, 31),
+            )
+            .with_isis(),
+        );
+        specs[i + 1] = std::mem::replace(
+            &mut specs[i + 1],
+            RouterSpec::new("x", AsNum(0), Ipv4Addr::UNSPECIFIED),
+        )
+        .iface(
+            IfaceSpec::new(
+                ifname(Vendor::Ceos, 0), // "left" port
+                mfv_types::IfaceAddr::new(b, 31),
+            )
+            .with_isis(),
+        );
+    }
+    for spec in &specs {
+        t.add_node(NodeSpec::from_config(spec.name.clone(), &spec.build()));
+    }
+    for i in 1..n {
+        t.add_link(
+            (format!("r{i}"), ifname(Vendor::Ceos, 1)),
+            (format!("r{}", i + 1), ifname(Vendor::Ceos, 0)),
+        );
+    }
+    Snapshot::new(t.name.clone(), t)
+}
+
+/// A `w`×`h` IS-IS grid (denser flooding/SPF workload).
+pub fn isis_grid(w: usize, h: usize) -> Snapshot {
+    assert!(w >= 1 && h >= 1 && w * h >= 2);
+    let idx = |x: usize, y: usize| y * w + x + 1;
+    let name = |x: usize, y: usize| format!("r{}", idx(x, y));
+    let mut specs: Vec<RouterSpec> = (0..w * h)
+        .map(|i| RouterSpec::new(format!("r{}", i + 1), AsNum(65000), loopback(i + 1)))
+        .collect();
+    let mut links: Vec<((String, String), (String, String))> = Vec::new();
+    let mut link_no = 0usize;
+    // Port numbering per node: sequential as links are attached.
+    let mut port_count = vec![0usize; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let me = idx(x, y) - 1;
+            for (nx, ny) in [(x + 1, y), (x, y + 1)] {
+                if nx >= w || ny >= h {
+                    continue;
+                }
+                let peer = idx(nx, ny) - 1;
+                let (a, b) = p2p(link_no);
+                link_no += 1;
+                let my_port = ifname(Vendor::Ceos, port_count[me]);
+                port_count[me] += 1;
+                let peer_port = ifname(Vendor::Ceos, port_count[peer]);
+                port_count[peer] += 1;
+                specs[me] = specs[me].clone().iface(
+                    IfaceSpec::new(my_port.clone(), mfv_types::IfaceAddr::new(a, 31))
+                        .with_isis(),
+                );
+                specs[peer] = specs[peer].clone().iface(
+                    IfaceSpec::new(peer_port.clone(), mfv_types::IfaceAddr::new(b, 31))
+                        .with_isis(),
+                );
+                links.push(((name(x, y), my_port), (name(nx, ny), peer_port)));
+            }
+        }
+    }
+    let mut t = Topology::new(format!("isis-grid-{w}x{h}"));
+    for spec in &specs {
+        t.add_node(NodeSpec::from_config(spec.name.clone(), &spec.build()));
+    }
+    for ((an, ai), (bn, bi)) in links {
+        t.add_link((an, ai), (bn, bi));
+    }
+    Snapshot::new(t.name.clone(), t)
+}
+
+/// A production-like WAN: a ring of `n` routers with chord links, IS-IS
+/// everywhere, an iBGP full mesh with next-hop-self, production-complexity
+/// configs, optionally alternating vendors, and optional external BGP route
+/// feeds (the E5 workload).
+pub fn production_wan(
+    n: usize,
+    chords: usize,
+    multi_vendor: bool,
+    routes_per_feed: usize,
+) -> Snapshot {
+    assert!(n >= 3);
+    let asn = AsNum(65000);
+    let vendor_of = |i: usize| {
+        if multi_vendor && i % 3 == 2 {
+            Vendor::Vjunos
+        } else {
+            Vendor::Ceos
+        }
+    };
+    let mut specs: Vec<RouterSpec> = (1..=n)
+        .map(|i| {
+            let mut s = RouterSpec::new(format!("r{i}"), asn, loopback(i))
+                .vendor(vendor_of(i - 1));
+            // iBGP full mesh.
+            for j in 1..=n {
+                if j != i {
+                    s = s.ibgp(loopback(j));
+                }
+            }
+            s = s.network(mfv_types::Prefix::host(loopback(i)));
+            if vendor_of(i - 1) == Vendor::Ceos {
+                s = s.production();
+            }
+            s
+        })
+        .collect();
+
+    let mut links: Vec<((String, String), (String, String))> = Vec::new();
+    let mut port_count = vec![0usize; n];
+    let mut link_no = 0usize;
+    let mut connect = |specs: &mut Vec<RouterSpec>,
+                       links: &mut Vec<((String, String), (String, String))>,
+                       port_count: &mut Vec<usize>,
+                       i: usize,
+                       j: usize| {
+        let (a, b) = p2p(link_no);
+        link_no += 1;
+        let vi = vendor_of(i);
+        let vj = vendor_of(j);
+        let pi = ifname(vi, port_count[i]);
+        port_count[i] += 1;
+        let pj = ifname(vj, port_count[j]);
+        port_count[j] += 1;
+        specs[i] = specs[i]
+            .clone()
+            .iface(IfaceSpec::new(pi.clone(), mfv_types::IfaceAddr::new(a, 31)).with_isis());
+        specs[j] = specs[j]
+            .clone()
+            .iface(IfaceSpec::new(pj.clone(), mfv_types::IfaceAddr::new(b, 31)).with_isis());
+        links.push(((format!("r{}", i + 1), pi), (format!("r{}", j + 1), pj)));
+    };
+
+    for i in 0..n {
+        connect(&mut specs, &mut links, &mut port_count, i, (i + 1) % n);
+    }
+    // Deterministic chords spread around the ring.
+    for c in 0..chords {
+        let i = (c * 7) % n;
+        let j = (i + n / 2 + c) % n;
+        if i != j && (i + 1) % n != j && (j + 1) % n != i {
+            connect(&mut specs, &mut links, &mut port_count, i, j);
+        }
+    }
+
+    // External feeds on r1 and r(n/2): stub interfaces + eBGP neighbors.
+    let mut feeds = Vec::new();
+    if routes_per_feed > 0 {
+        for (feed_no, node_idx) in [0usize, n / 2].into_iter().enumerate() {
+            let peer_as = AsNum(64900 + feed_no as u32);
+            let subnet_base = (100u32 << 24) | (127 << 16) | ((feed_no as u32) << 8);
+            let router_side = Ipv4Addr::from(subnet_base);
+            let peer_side = Ipv4Addr::from(subnet_base + 1);
+            let vendor = vendor_of(node_idx);
+            let port = ifname(vendor, port_count[node_idx]);
+            port_count[node_idx] += 1;
+            specs[node_idx] = specs[node_idx]
+                .clone()
+                .iface(IfaceSpec::new(port, mfv_types::IfaceAddr::new(router_side, 31)))
+                .ebgp(peer_side, peer_as);
+            feeds.push(ExternalPeerSpec {
+                addr: peer_side,
+                asn: peer_as,
+                attach_to: format!("r{}", node_idx + 1).into(),
+                route_count: routes_per_feed,
+                base_octet: Some(20 + (feed_no as u8) * 8),
+            });
+        }
+    }
+
+    let mut t = Topology::new(format!("production-wan-{n}"));
+    for spec in &specs {
+        t.add_node(NodeSpec::from_config(spec.name.clone(), &spec.build()));
+    }
+    for ((an, ai), (bn, bi)) in links {
+        t.add_link((an, ai), (bn, bi));
+    }
+    t.external_peers = feeds;
+    Snapshot::new(t.name.clone(), t)
+}
+
+// ---------------------------------------------------------------------------
+// Cross-vendor interplay topology (A3)
+// ---------------------------------------------------------------------------
+
+/// A four-node multi-vendor chain for the interplay-crash study:
+/// `victim (ceos) — transit (ceos) — transit2 (ceos) — emitter (vjunos)`.
+/// The bug profiles (who emits the unusual attribute, whose parser dies) are
+/// injected via [`crate::backend::EmulationBackend::profiles`].
+pub fn interplay_chain() -> Snapshot {
+    let asn = AsNum(65000);
+    let lo = |i: usize| Ipv4Addr::new(2, 2, 2, i as u8);
+    let names = ["victim", "transit", "transit2", "emitter"];
+    let vendors = [Vendor::Ceos, Vendor::Ceos, Vendor::Ceos, Vendor::Vjunos];
+
+    let mut specs: Vec<RouterSpec> = (0..4)
+        .map(|i| {
+            let mut s = RouterSpec::new(names[i], asn, lo(i + 1)).vendor(vendors[i]);
+            for j in 0..4 {
+                if j != i {
+                    s = s.ibgp(lo(j + 1));
+                }
+            }
+            s.network(mfv_types::Prefix::host(lo(i + 1)))
+        })
+        .collect();
+
+    let mut links = Vec::new();
+    let mut port_count = [0usize; 4];
+    let mut link_no = 0usize;
+    for i in 0..3 {
+        let (a, b) = p2p(link_no);
+        link_no += 1;
+        let pi = ifname(vendors[i], port_count[i]);
+        port_count[i] += 1;
+        let pj = ifname(vendors[i + 1], port_count[i + 1]);
+        port_count[i + 1] += 1;
+        specs[i] = specs[i]
+            .clone()
+            .iface(IfaceSpec::new(pi.clone(), mfv_types::IfaceAddr::new(a, 31)).with_isis());
+        specs[i + 1] = specs[i + 1]
+            .clone()
+            .iface(IfaceSpec::new(pj.clone(), mfv_types::IfaceAddr::new(b, 31)).with_isis());
+        links.push(((names[i].to_string(), pi), (names[i + 1].to_string(), pj)));
+    }
+
+    let mut t = Topology::new("interplay-chain");
+    for spec in &specs {
+        t.add_node(NodeSpec::from_config(spec.name.clone(), &spec.build()));
+    }
+    for ((an, ai), (bn, bi)) in links {
+        t.add_link((an, ai), (bn, bi));
+    }
+    Snapshot::new("interplay-chain", t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_node_topology_is_wellformed() {
+        let s = six_node();
+        assert_eq!(s.topology.nodes.len(), 6);
+        assert_eq!(s.topology.links.len(), 5);
+        assert_eq!(s.topology.validate(), Ok(()));
+        // All configs parse in their vendor dialect.
+        for n in &s.topology.nodes {
+            let parsed = n.parse_config().unwrap();
+            assert!(parsed.warnings.is_empty(), "{}: {:?}", n.name, parsed.warnings);
+        }
+    }
+
+    #[test]
+    fn six_node_config_lengths_match_paper_band() {
+        // Paper: "the number of lines in each configuration ranges from
+        // 62-82".
+        let s = six_node();
+        for n in &s.topology.nodes {
+            let lines = n
+                .config_text
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count();
+            assert!(
+                (55..=95).contains(&lines),
+                "{} has {lines} lines",
+                n.name
+            );
+        }
+    }
+
+    #[test]
+    fn six_node_broken_differs_only_in_r2_shutdown() {
+        let a = six_node();
+        let b = six_node_broken();
+        for (na, nb) in a.topology.nodes.iter().zip(b.topology.nodes.iter()) {
+            if na.name == NodeId::from("r2") {
+                assert_ne!(na.config_text, nb.config_text);
+                assert!(nb.config_text.contains("shutdown"));
+            } else {
+                assert_eq!(na.config_text, nb.config_text, "{}", na.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_keeps_paper_statement_order() {
+        let s = three_node_line_fig3();
+        let r1 = &s.topology.node(&"r1".into()).unwrap().config_text;
+        let addr_pos = r1.find("ip address 100.64.0.1/31").unwrap();
+        let swp_pos = r1.find("no switchport").unwrap();
+        assert!(addr_pos < swp_pos, "Fig. 3 ordering must be preserved");
+        assert_eq!(s.topology.validate(), Ok(()));
+    }
+
+    #[test]
+    fn isis_line_and_grid_validate() {
+        for n in [2, 5, 10] {
+            let s = isis_line(n);
+            assert_eq!(s.topology.nodes.len(), n);
+            assert_eq!(s.topology.links.len(), n - 1);
+            assert_eq!(s.topology.validate(), Ok(()));
+        }
+        let g = isis_grid(3, 3);
+        assert_eq!(g.topology.nodes.len(), 9);
+        assert_eq!(g.topology.links.len(), 12);
+        assert_eq!(g.topology.validate(), Ok(()));
+    }
+
+    #[test]
+    fn production_wan_validates_and_mixes_vendors() {
+        let s = production_wan(9, 2, true, 100);
+        assert_eq!(s.topology.nodes.len(), 9);
+        assert_eq!(s.topology.validate(), Ok(()));
+        let vendors: std::collections::BTreeSet<_> =
+            s.topology.nodes.iter().map(|n| n.vendor).collect();
+        assert_eq!(vendors.len(), 2, "multi-vendor");
+        assert_eq!(s.topology.external_peers.len(), 2);
+        // Every config parses in its own dialect.
+        for n in &s.topology.nodes {
+            n.parse_config().unwrap_or_else(|e| panic!("{}: {e}", n.name));
+        }
+    }
+
+    #[test]
+    fn interplay_chain_validates() {
+        let s = interplay_chain();
+        assert_eq!(s.topology.nodes.len(), 4);
+        assert_eq!(s.topology.validate(), Ok(()));
+        assert_eq!(
+            s.topology.node(&"emitter".into()).unwrap().vendor,
+            Vendor::Vjunos
+        );
+    }
+
+    #[test]
+    fn p2p_allocator_is_disjoint() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in 0..1000 {
+            let (a, b) = p2p(k);
+            assert!(seen.insert(a));
+            assert!(seen.insert(b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Route-reflector cluster and Clos fabric (extension scenarios)
+// ---------------------------------------------------------------------------
+
+/// A route-reflector cluster: one RR in the middle, `clients` spokes. Each
+/// client originates its loopback; clients never peer with each other —
+/// reflection is the only way their routes can spread, exercising the iBGP
+/// reflection rules end to end.
+pub fn rr_cluster(clients: usize) -> Snapshot {
+    assert!(clients >= 2);
+    let asn = AsNum(65000);
+    let rr_lo = loopback(1);
+    let mut rr = RouterSpec::new("rr", asn, rr_lo);
+    let mut t = Topology::new(format!("rr-cluster-{clients}"));
+    let mut links = Vec::new();
+
+    for c in 0..clients {
+        let name = format!("c{}", c + 1);
+        let c_lo = loopback(c + 2);
+        let (a, b) = p2p(c);
+        let rr_port = ifname(Vendor::Ceos, c);
+        let client_port = ifname(Vendor::Ceos, 0);
+        rr = rr
+            .iface(
+                IfaceSpec::new(rr_port.clone(), mfv_types::IfaceAddr::new(a, 31))
+                    .with_isis(),
+            )
+            .ibgp_rr_client(c_lo);
+        let client = RouterSpec::new(name.clone(), asn, c_lo)
+            .iface(
+                IfaceSpec::new(client_port.clone(), mfv_types::IfaceAddr::new(b, 31))
+                    .with_isis(),
+            )
+            .ibgp(rr_lo)
+            .network(mfv_types::Prefix::host(c_lo));
+        t.add_node(NodeSpec::from_config(name.clone(), &client.build()));
+        links.push((("rr".to_string(), rr_port), (name, client_port)));
+    }
+    rr = rr.network(mfv_types::Prefix::host(rr_lo));
+    t.nodes.insert(0, NodeSpec::from_config("rr", &rr.build()));
+    for ((an, ai), (bn, bi)) in links {
+        t.add_link((an, ai), (bn, bi));
+    }
+    Snapshot::new(t.name.clone(), t)
+}
+
+/// A 2-tier Clos fabric: `spines` spine routers, `leaves` leaf routers,
+/// full bipartite IS-IS links with equal metrics and `maximum-paths` wide
+/// enough for full ECMP — the multipath-consistency workload.
+pub fn clos(spines: usize, leaves: usize) -> Snapshot {
+    assert!(spines >= 1 && leaves >= 2);
+    let asn = AsNum(65000);
+    let mut spine_specs: Vec<RouterSpec> = (0..spines)
+        .map(|s| RouterSpec::new(format!("s{}", s + 1), asn, loopback(s + 1)))
+        .collect();
+    let mut leaf_specs: Vec<RouterSpec> = (0..leaves)
+        .map(|l| {
+            RouterSpec::new(format!("l{}", l + 1), asn, loopback(100 + l))
+        })
+        .collect();
+    let mut links = Vec::new();
+    let mut link_no = 0usize;
+    for s in 0..spines {
+        for l in 0..leaves {
+            let (a, b) = p2p(link_no);
+            link_no += 1;
+            let spine_port = ifname(Vendor::Ceos, l);
+            let leaf_port = ifname(Vendor::Ceos, s);
+            spine_specs[s] = spine_specs[s].clone().iface(
+                IfaceSpec::new(spine_port.clone(), mfv_types::IfaceAddr::new(a, 31))
+                    .with_isis(),
+            );
+            leaf_specs[l] = leaf_specs[l].clone().iface(
+                IfaceSpec::new(leaf_port.clone(), mfv_types::IfaceAddr::new(b, 31))
+                    .with_isis(),
+            );
+            links.push((
+                (format!("s{}", s + 1), spine_port),
+                (format!("l{}", l + 1), leaf_port),
+            ));
+        }
+    }
+    let mut t = Topology::new(format!("clos-{spines}x{leaves}"));
+    for spec in spine_specs.iter().chain(leaf_specs.iter()) {
+        t.add_node(NodeSpec::from_config(spec.name.clone(), &spec.build()));
+    }
+    for ((an, ai), (bn, bi)) in links {
+        t.add_link((an, ai), (bn, bi));
+    }
+    Snapshot::new(t.name.clone(), t)
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn rr_cluster_validates() {
+        let s = rr_cluster(4);
+        assert_eq!(s.topology.nodes.len(), 5);
+        assert_eq!(s.topology.links.len(), 4);
+        assert_eq!(s.topology.validate(), Ok(()));
+        // The hub's config carries route-reflector-client statements.
+        let rr = s.topology.node(&"rr".into()).unwrap();
+        assert!(rr.config_text.contains("route-reflector-client"), "{}", rr.config_text);
+    }
+
+    #[test]
+    fn clos_validates_and_is_bipartite() {
+        let s = clos(2, 4);
+        assert_eq!(s.topology.nodes.len(), 6);
+        assert_eq!(s.topology.links.len(), 8);
+        assert_eq!(s.topology.validate(), Ok(()));
+    }
+}

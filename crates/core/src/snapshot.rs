@@ -1,0 +1,92 @@
+//! Snapshots: the unit of verification input.
+//!
+//! A snapshot bundles exactly what the paper's system (and Batfish) takes:
+//! device configurations, a topology file, and scenario context such as
+//! external BGP advertisements — all already carried by
+//! [`mfv_emulator::Topology`]. Differential queries compare two snapshots.
+
+use mfv_emulator::Topology;
+use mfv_types::{LinkId, NodeId};
+
+/// A verification input: configs + topology + context.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub name: String,
+    pub topology: Topology,
+}
+
+impl Snapshot {
+    pub fn new(name: impl Into<String>, topology: Topology) -> Snapshot {
+        Snapshot { name: name.into(), topology }
+    }
+
+    /// A variant of this snapshot with one node's config replaced — the
+    /// pre-deployment "what if I push this?" question.
+    pub fn with_config(&self, node: &NodeId, config_text: impl Into<String>) -> Snapshot {
+        let mut topo = self.topology.clone();
+        if let Some(spec) = topo.nodes.iter_mut().find(|n| &n.name == node) {
+            spec.config_text = config_text.into();
+        }
+        Snapshot {
+            name: format!("{}+cfg[{}]", self.name, node),
+            topology: topo,
+        }
+    }
+
+    /// A variant with a set of links removed (link-cut context).
+    pub fn without_links(&self, cuts: &[LinkId]) -> Snapshot {
+        let mut topo = self.topology.clone();
+        topo.links.retain(|l| !cuts.contains(&l.id()));
+        Snapshot {
+            name: format!("{}-{}cuts", self.name, cuts.len()),
+            topology: topo,
+        }
+    }
+
+    /// All link ids in the snapshot.
+    pub fn link_ids(&self) -> Vec<LinkId> {
+        self.topology.links.iter().map(|l| l.id()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfv_config::RouterSpec;
+    use mfv_emulator::NodeSpec;
+    use mfv_types::AsNum;
+    use std::net::Ipv4Addr;
+
+    fn snap() -> Snapshot {
+        let mut t = Topology::new("t");
+        let r1 = RouterSpec::new("r1", AsNum(1), Ipv4Addr::new(1, 1, 1, 1)).build();
+        let r2 = RouterSpec::new("r2", AsNum(2), Ipv4Addr::new(2, 2, 2, 2)).build();
+        t.add_node(NodeSpec::from_config("r1", &r1));
+        t.add_node(NodeSpec::from_config("r2", &r2));
+        t.add_link(("r1", "Ethernet1"), ("r2", "Ethernet1"));
+        Snapshot::new("base", t)
+    }
+
+    #[test]
+    fn with_config_replaces_one_node() {
+        let s = snap();
+        let s2 = s.with_config(&"r1".into(), "hostname hacked\n");
+        assert_eq!(s2.topology.node(&"r1".into()).unwrap().config_text, "hostname hacked\n");
+        assert_eq!(
+            s2.topology.node(&"r2".into()).unwrap().config_text,
+            s.topology.node(&"r2".into()).unwrap().config_text
+        );
+        assert_ne!(s2.name, s.name);
+    }
+
+    #[test]
+    fn without_links_cuts() {
+        let s = snap();
+        let links = s.link_ids();
+        assert_eq!(links.len(), 1);
+        let cut = s.without_links(&links);
+        assert!(cut.topology.links.is_empty());
+        // Original untouched.
+        assert_eq!(s.topology.links.len(), 1);
+    }
+}

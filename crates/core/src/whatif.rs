@@ -1,0 +1,166 @@
+//! What-if exploration over scenario contexts.
+//!
+//! §6 of the paper: checking invariants "in the face of any single link cut"
+//! means one emulation per context; `any k link cuts` grows combinatorially.
+//! This module enumerates cut contexts, runs the backend per context (in
+//! parallel across OS threads), and reports the differential impact of each
+//! context against the baseline snapshot.
+
+use mfv_types::{IpSet, LinkId};
+use mfv_verify::{deliverability_changes, differential_reachability, DiffFinding};
+
+use crate::backend::{Backend, BackendError, EmulationBackend};
+use crate::snapshot::Snapshot;
+
+/// All `k`-subsets of the snapshot's links — the context space for a
+/// "tolerates any k cuts" question. Its size is C(#links, k); the
+/// combinatorial growth is exactly the cost §6 warns about.
+pub fn link_cut_contexts(snapshot: &Snapshot, k: usize) -> Vec<Vec<LinkId>> {
+    let links = snapshot.link_ids();
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(
+        links: &[LinkId],
+        start: usize,
+        k: usize,
+        current: &mut Vec<LinkId>,
+        out: &mut Vec<Vec<LinkId>>,
+    ) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..links.len() {
+            current.push(links[i].clone());
+            rec(links, i + 1, k, current, out);
+            current.pop();
+        }
+    }
+    rec(&links, 0, k, &mut current, &mut out);
+    out
+}
+
+/// Number of contexts for a k-cut sweep without materialising them.
+pub fn link_cut_context_count(n_links: usize, k: usize) -> u128 {
+    if k > n_links {
+        return 0;
+    }
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n_links - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+/// The verdict for one cut context.
+#[derive(Clone, Debug)]
+pub struct CutVerdict {
+    pub cuts: Vec<LinkId>,
+    /// Differential findings against the baseline (path changes included).
+    pub findings: Vec<DiffFinding>,
+    /// Findings where deliverability changed — the outage signal.
+    pub lost_reachability: usize,
+}
+
+impl CutVerdict {
+    /// Did the network keep full reachability under this cut set?
+    pub fn survives(&self) -> bool {
+        self.lost_reachability == 0
+    }
+}
+
+/// Runs one emulation per cut context and diffs each against the baseline
+/// dataplane. Contexts fan out across OS threads, as the paper proposes
+/// ("running emulation for each new context in parallel").
+pub fn verify_link_cuts(
+    snapshot: &Snapshot,
+    backend: &EmulationBackend,
+    contexts: Vec<Vec<LinkId>>,
+    scope: Option<&IpSet>,
+) -> Result<Vec<CutVerdict>, BackendError> {
+    let baseline = backend.compute(snapshot)?;
+
+    let mut results: Vec<Option<Result<CutVerdict, BackendError>>> = Vec::new();
+    results.resize_with(contexts.len(), || None);
+
+    crossbeam::thread::scope(|scope_| {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(contexts.len().max(1));
+        let (tx_work, rx_work) = crossbeam::channel::unbounded::<(usize, Vec<LinkId>)>();
+        for (i, ctx) in contexts.iter().enumerate() {
+            tx_work.send((i, ctx.clone())).unwrap();
+        }
+        drop(tx_work);
+        let (tx_res, rx_res) =
+            crossbeam::channel::unbounded::<(usize, Result<CutVerdict, BackendError>)>();
+
+        for _ in 0..threads {
+            let rx = rx_work.clone();
+            let tx = tx_res.clone();
+            let baseline_dp = baseline.dataplane.clone();
+            let backend = backend.clone();
+            let snapshot = snapshot.clone();
+            scope_.spawn(move |_| {
+                while let Ok((i, cuts)) = rx.recv() {
+                    let variant = snapshot.without_links(&cuts);
+                    let verdict = backend.compute(&variant).map(|result| {
+                        let findings = differential_reachability(
+                            &baseline_dp,
+                            &result.dataplane,
+                            scope,
+                        );
+                        let lost = deliverability_changes(&findings)
+                            .into_iter()
+                            .filter(|f| f.before.is_delivered())
+                            .count();
+                        CutVerdict { cuts, findings, lost_reachability: lost }
+                    });
+                    tx.send((i, verdict)).unwrap();
+                }
+            });
+        }
+        drop(tx_res);
+        while let Ok((i, verdict)) = rx_res.recv() {
+            results[i] = Some(verdict);
+        }
+    })
+    .expect("no worker panics");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("all contexts completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    #[test]
+    fn context_enumeration_counts() {
+        let s = scenarios::six_node(); // 5 links
+        assert_eq!(link_cut_contexts(&s, 1).len(), 5);
+        assert_eq!(link_cut_contexts(&s, 2).len(), 10);
+        assert_eq!(link_cut_contexts(&s, 0).len(), 1);
+        assert_eq!(link_cut_context_count(5, 1), 5);
+        assert_eq!(link_cut_context_count(5, 2), 10);
+        assert_eq!(link_cut_context_count(5, 5), 1);
+        assert_eq!(link_cut_context_count(5, 6), 0);
+        // The exponential wall the paper worries about:
+        assert_eq!(link_cut_context_count(200, 3), 1_313_400);
+    }
+
+    #[test]
+    fn contexts_are_distinct_subsets() {
+        let s = scenarios::six_node();
+        let contexts = link_cut_contexts(&s, 2);
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &contexts {
+            assert_eq!(c.len(), 2);
+            assert!(seen.insert(c.clone()), "duplicate context {c:?}");
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! End-to-end pipeline tests: the §5 experiments as assertions.
+
+use mfv_core::{
+    deliverability_changes, differential_reachability, scenarios, unreachable_pairs,
+    Backend, EmulationBackend, ModelBackend, Snapshot,
+};
+use mfv_types::{IpSet, NodeId};
+use mfv_vrouter::{VendorBugs, VendorProfile};
+
+/// E1 prerequisite: the six-node Fig. 2 network converges under emulation
+/// with full loopback reachability.
+#[test]
+fn six_node_emulation_full_reachability() {
+    let snapshot = scenarios::six_node();
+    let result = EmulationBackend::default().compute(&snapshot).unwrap();
+    assert!(result.meta.converged);
+    assert_eq!(result.meta.crashes, 0);
+    let broken = unreachable_pairs(&result.dataplane);
+    assert!(
+        broken.is_empty(),
+        "expected full reachability, found {} broken pairs (first: {} -> {})",
+        broken.len(),
+        broken[0].src,
+        broken[0].dst_node,
+    );
+}
+
+/// E1: Differential Reachability between the working and broken snapshots
+/// discovers the loss of connectivity from AS3 routers to AS2 routers.
+#[test]
+fn six_node_differential_detects_ebgp_shutdown_impact() {
+    let backend = EmulationBackend::default();
+    let base = backend.compute(&scenarios::six_node()).unwrap();
+    let broken = backend.compute(&scenarios::six_node_broken()).unwrap();
+
+    let findings =
+        differential_reachability(&base.dataplane, &broken.dataplane, None);
+    let lost = deliverability_changes(&findings);
+    assert!(!lost.is_empty(), "the session shutdown must surface findings");
+
+    // AS3 (r5, r6) loses reachability to AS2 loopbacks (2.2.2.3, 2.2.2.4).
+    for src in ["r5", "r6"] {
+        let has = lost.iter().any(|f| {
+            f.src == NodeId::from(src)
+                && f.before.is_delivered()
+                && !f.after.is_delivered()
+                && (f.dsts.contains("2.2.2.3".parse().unwrap())
+                    || f.dsts.contains("2.2.2.4".parse().unwrap()))
+        });
+        assert!(has, "expected AS3 router {src} to lose AS2 reachability: {lost:#?}");
+    }
+
+    // AS3's intra-AS connectivity is untouched.
+    let intra_as3_broken = lost.iter().any(|f| {
+        f.src == NodeId::from("r5") && f.dsts.contains("2.2.2.6".parse().unwrap())
+    });
+    assert!(!intra_as3_broken, "intra-AS3 reachability must be unaffected");
+}
+
+/// E2: the model-based parser fails to recognise 38–42 lines in each of the
+/// six-node production configurations.
+#[test]
+fn six_node_model_coverage_matches_paper_band() {
+    let snapshot = scenarios::six_node();
+    let result = ModelBackend.compute(&snapshot).unwrap();
+    assert_eq!(result.meta.coverage.len(), 6);
+    for report in &result.meta.coverage {
+        let n = report.unrecognized_count();
+        assert!(
+            (30..=50).contains(&n),
+            "{}: {} unrecognized lines (paper band is 38–42)",
+            report.hostname,
+            n
+        );
+    }
+}
+
+/// E3: on the Fig. 3 line topology, emulation shows full pairwise
+/// reachability while the model loses R2 → R1 — and differential
+/// reachability between the two backends surfaces exactly that.
+#[test]
+fn fig3_model_vs_emulation_divergence() {
+    let snapshot = scenarios::three_node_line_fig3();
+
+    let emu = EmulationBackend::default().compute(&snapshot).unwrap();
+    assert!(emu.meta.converged);
+    let emu_broken = unreachable_pairs(&emu.dataplane);
+    assert!(
+        emu_broken.is_empty(),
+        "the real device accepts the Fig. 3 config; emulation must have full \
+         reachability, got: {:?}",
+        emu_broken
+            .iter()
+            .map(|r| format!("{}->{}", r.src, r.dst_node))
+            .collect::<Vec<_>>()
+    );
+
+    let model = ModelBackend.compute(&snapshot).unwrap();
+    let model_broken = unreachable_pairs(&model.dataplane);
+    assert!(
+        model_broken
+            .iter()
+            .any(|r| r.src == NodeId::from("r2") && r.dst_node == NodeId::from("r1")),
+        "the model must drop R2 -> R1 (switchport-ordering assumption)"
+    );
+
+    // The cross-backend differential query (the paper's §5 experiment).
+    let findings =
+        differential_reachability(&model.dataplane, &emu.dataplane, None);
+    let gained = findings.iter().any(|f| {
+        f.src == NodeId::from("r2")
+            && !f.before.is_delivered()
+            && f.after.is_delivered()
+            && f.dsts.contains("2.2.2.1".parse().unwrap())
+    });
+    assert!(gained, "differential must show emulation reaching r1 where the model \
+                     did not: {findings:#?}");
+}
+
+/// A3: in a multi-vendor chain, one vendor's unusual-but-valid transitive
+/// attribute crashes another vendor's parser; verification of the extracted
+/// dataplane shows the partial outage. The single-model baseline cannot even
+/// ingest the topology.
+#[test]
+fn interplay_crash_detected_by_verification() {
+    let snapshot = scenarios::interplay_chain();
+
+    // Clean run first.
+    let clean = EmulationBackend::default().compute(&snapshot).unwrap();
+    assert_eq!(clean.meta.crashes, 0);
+    assert!(unreachable_pairs(&clean.dataplane).is_empty());
+
+    // Buggy run: emitter attaches attribute 213; victim's parser dies on it.
+    let mut backend = EmulationBackend::with_seed(7);
+    backend.profiles.insert(
+        "victim".into(),
+        VendorProfile::ceos().with_bugs(VendorBugs {
+            crash_on_unknown_attr: Some(213),
+            ..Default::default()
+        }),
+    );
+    backend.profiles.insert(
+        "emitter".into(),
+        VendorProfile::vjunos().with_bugs(VendorBugs {
+            emit_unusual_attr: Some(213),
+            ..Default::default()
+        }),
+    );
+    // Freeze the post-crash state (no watchdog) so the extracted dataplane
+    // shows the outage rather than a moment between crash-loop iterations.
+    backend.auto_restart = false;
+    let buggy = backend.compute(&snapshot).unwrap();
+    assert!(buggy.meta.crashes >= 1, "{:?}", buggy.meta);
+
+    let findings = differential_reachability(&clean.dataplane, &buggy.dataplane, None);
+    let outage = deliverability_changes(&findings);
+    assert!(
+        !outage.is_empty(),
+        "the crash must manifest as lost reachability in the dataplane"
+    );
+
+    // The model-based baseline cannot analyse the multi-vendor snapshot.
+    let model = ModelBackend.compute(&snapshot);
+    assert!(model.is_err(), "reference model has no vjunos parser");
+}
+
+/// Scoped differential queries restrict the search space.
+#[test]
+fn scoped_differential_on_six_node() {
+    let backend = EmulationBackend::default();
+    let base = backend.compute(&scenarios::six_node()).unwrap();
+    let broken = backend.compute(&scenarios::six_node_broken()).unwrap();
+
+    // Scope to AS3 loopbacks only: findings about AS2 destinations vanish.
+    let scope = IpSet::from_prefix(&"2.2.2.5/32".parse().unwrap())
+        .union(&IpSet::from_prefix(&"2.2.2.6/32".parse().unwrap()));
+    let findings =
+        differential_reachability(&base.dataplane, &broken.dataplane, Some(&scope));
+    for f in &findings {
+        assert!(
+            f.dsts.contains("2.2.2.5".parse().unwrap())
+                || f.dsts.contains("2.2.2.6".parse().unwrap()),
+            "out-of-scope finding: {f}"
+        );
+    }
+}
+
+/// Seed determinism at the pipeline level: same snapshot + same seed ⇒ same
+/// extracted dataplane.
+#[test]
+fn pipeline_is_deterministic_per_seed() {
+    let snapshot = scenarios::three_node_line_fig3();
+    let a = EmulationBackend::with_seed(11).compute(&snapshot).unwrap();
+    let b = EmulationBackend::with_seed(11).compute(&snapshot).unwrap();
+    assert_eq!(a.dataplane.digest(), b.dataplane.digest());
+}
+
+/// Route reflection end to end: clients never peer with each other, yet
+/// every client reaches every other client's loopback through the RR.
+#[test]
+fn route_reflector_cluster_full_reachability() {
+    let snapshot = scenarios::rr_cluster(4);
+    let result = EmulationBackend::default().compute(&snapshot).unwrap();
+    assert!(result.meta.converged);
+    let broken = unreachable_pairs(&result.dataplane);
+    assert!(
+        broken.is_empty(),
+        "reflection must spread client routes: {:?}",
+        broken
+            .iter()
+            .map(|r| format!("{}->{}", r.src, r.dst_node))
+            .collect::<Vec<_>>()
+    );
+    // And the best path at a client actually traverses the RR.
+    let trace = mfv_core::traceroute(
+        &result.dataplane,
+        &NodeId::from("c1"),
+        "10.255.0.3".parse().unwrap(), // c2's loopback
+    );
+    assert!(trace.disposition.is_delivered());
+    assert!(
+        trace.hops.iter().any(|h| h.node == NodeId::from("rr")),
+        "{trace:?}"
+    );
+}
+
+/// Clos fabric: equal-cost spines give consistent ECMP — the multipath
+/// consistency query must find no divergent classes, and leaf-to-leaf
+/// traffic must fan across all spines.
+#[test]
+fn clos_ecmp_is_consistent() {
+    let snapshot = scenarios::clos(3, 4);
+    let result = EmulationBackend::default().compute(&snapshot).unwrap();
+    assert!(result.meta.converged);
+    assert!(unreachable_pairs(&result.dataplane).is_empty());
+
+    let divergent = mfv_core::detect_multipath_inconsistency(&result.dataplane);
+    assert!(divergent.is_empty(), "{divergent:?}");
+
+    // l1 → l2's loopback has one FIB entry with 3 spine next hops.
+    let l1 = &result.dataplane.nodes[&NodeId::from("l1")];
+    let e = l1
+        .fib()
+        .lookup("10.255.0.101".parse().unwrap())
+        .expect("route to l2 loopback")
+        .clone();
+    assert_eq!(e.next_hops.len(), 3, "{e:?}");
+}
+
+/// Loop detection: two static routes pointing at each other create a real
+/// forwarding loop that the exhaustive search must find.
+#[test]
+fn static_route_loop_is_detected() {
+    use mfv_config::{IfaceSpec, RouterSpec, StaticRoute};
+    use mfv_emulator::{NodeSpec, Topology};
+    use mfv_types::AsNum;
+
+    let mut a = RouterSpec::new("a", AsNum(65001), "2.2.2.1".parse().unwrap())
+        .iface(IfaceSpec::new("Ethernet1", "10.0.0.0/31".parse().unwrap()))
+        .build();
+    a.static_routes.push(StaticRoute {
+        prefix: "198.18.0.0/15".parse().unwrap(),
+        next_hop: "10.0.0.1".parse().unwrap(),
+        distance: None,
+    });
+    let mut b = RouterSpec::new("b", AsNum(65002), "2.2.2.2".parse().unwrap())
+        .iface(IfaceSpec::new("Ethernet1", "10.0.0.1/31".parse().unwrap()))
+        .build();
+    b.static_routes.push(StaticRoute {
+        prefix: "198.18.0.0/15".parse().unwrap(),
+        next_hop: "10.0.0.0".parse().unwrap(),
+        distance: None,
+    });
+    let mut t = Topology::new("loop-pair");
+    t.add_node(NodeSpec::from_config("a", &a));
+    t.add_node(NodeSpec::from_config("b", &b));
+    t.add_link(("a", "Ethernet1"), ("b", "Ethernet1"));
+
+    let result = EmulationBackend::default()
+        .compute(&Snapshot::new("loop-pair", t))
+        .unwrap();
+    let loops = mfv_core::detect_loops(&result.dataplane);
+    assert!(
+        loops
+            .iter()
+            .any(|l| l.dsts.contains("198.18.5.5".parse().unwrap())),
+        "{loops:?}"
+    );
+}
+
+/// §2's "new software version introduced an incorrect route metric selection
+/// in iBGP": the same network converges to a *different dataplane* under the
+/// buggy software, and differential reachability localises the change to
+/// path selection (not deliverability).
+#[test]
+fn ibgp_metric_bug_changes_exit_selection() {
+    use mfv_config::{IfaceSpec, RouterSpec};
+    use mfv_emulator::{NodeSpec, Topology};
+    use mfv_types::AsNum;
+
+    // mid has two iBGP exits (near via cheap IS-IS path, far via expensive
+    // one) to the same external prefix.
+    let asn = AsNum(65000);
+    let lo = |n: u8| std::net::Ipv4Addr::new(2, 2, 2, n);
+    let near = RouterSpec::new("near", asn, lo(1))
+        .iface(IfaceSpec::new("Ethernet1", "10.0.1.0/31".parse().unwrap()).with_metric(10))
+        .ibgp(lo(3))
+        .network("203.0.113.0/24".parse().unwrap())
+        .iface(IfaceSpec::new("Ethernet9", "203.0.113.1/24".parse().unwrap()));
+    let far = RouterSpec::new("far", asn, lo(2))
+        .iface(IfaceSpec::new("Ethernet1", "10.0.2.0/31".parse().unwrap()).with_metric(100))
+        .ibgp(lo(3))
+        .network("203.0.113.0/24".parse().unwrap())
+        .iface(IfaceSpec::new("Ethernet9", "203.0.113.1/24".parse().unwrap()));
+    let mid = RouterSpec::new("mid", asn, lo(3))
+        .iface(IfaceSpec::new("Ethernet1", "10.0.1.1/31".parse().unwrap()).with_metric(10))
+        .iface(IfaceSpec::new("Ethernet2", "10.0.2.1/31".parse().unwrap()).with_metric(100))
+        .ibgp(lo(1))
+        .ibgp(lo(2));
+    let mut t = Topology::new("metric-bug");
+    t.add_node(NodeSpec::from_config("mid", &mid.build()));
+    t.add_node(NodeSpec::from_config("near", &near.build()));
+    t.add_node(NodeSpec::from_config("far", &far.build()));
+    t.add_link(("mid", "Ethernet1"), ("near", "Ethernet1"));
+    t.add_link(("mid", "Ethernet2"), ("far", "Ethernet1"));
+    let snapshot = Snapshot::new("metric-bug", t);
+
+    let exit_of = |dp: &mfv_dataplane::Dataplane| {
+        // .1 is the anycast address owned by both exits; whichever router
+        // the trace is delivered at is the selected exit.
+        let trace = mfv_core::traceroute(
+            dp,
+            &NodeId::from("mid"),
+            "203.0.113.1".parse().unwrap(),
+        );
+        assert!(trace.disposition.is_delivered(), "{trace:?}");
+        trace.hops.last().unwrap().node.clone()
+    };
+
+    let healthy = EmulationBackend::default().compute(&snapshot).unwrap();
+    assert_eq!(exit_of(&healthy.dataplane), NodeId::from("near"));
+
+    // "Upgrade" mid to the buggy software version.
+    let mut backend = EmulationBackend::default();
+    backend.profiles.insert(
+        "mid".into(),
+        VendorProfile::ceos().with_bugs(VendorBugs {
+            ibgp_metric_bug: true,
+            ..Default::default()
+        }),
+    );
+    let buggy = backend.compute(&snapshot).unwrap();
+    assert_eq!(
+        exit_of(&buggy.dataplane),
+        NodeId::from("far"),
+        "the buggy decision process must pick the farther exit"
+    );
+
+    // Differential: paths changed but nothing became undeliverable.
+    let findings =
+        differential_reachability(&healthy.dataplane, &buggy.dataplane, None);
+    assert!(!findings.is_empty());
+    assert!(deliverability_changes(&findings).is_empty());
+}
+
+/// A link flap must reconverge to exactly the pre-flap dataplane.
+#[test]
+fn link_flap_recovers_original_dataplane() {
+    use mfv_types::LinkId;
+
+    let snapshot = scenarios::three_node_line_fig3();
+    let backend = EmulationBackend::default();
+    let (mut emu, meta) = backend.run(&snapshot).unwrap();
+    assert!(meta.converged);
+    let before = emu.dataplane();
+
+    let link = LinkId::new(
+        ("r1".into(), "Ethernet2".into()),
+        ("r2".into(), "Ethernet1".into()),
+    );
+    emu.set_link(&link, false);
+    let down_report = emu.run_until_converged();
+    assert!(down_report.converged);
+    let during = emu.dataplane();
+    assert_ne!(before.digest(), during.digest(), "cut must change the dataplane");
+
+    emu.set_link(&link, true);
+    let up_report = emu.run_until_converged();
+    assert!(up_report.converged);
+    let after = emu.dataplane();
+    assert_eq!(
+        before.digest(),
+        after.digest(),
+        "flap recovery must restore the exact dataplane"
+    );
+}
+
+/// Export route-maps filter advertisements: a deny-all export policy on the
+/// eBGP session keeps the peer's table empty while the session stays up.
+#[test]
+fn export_policy_suppresses_advertisements() {
+    use mfv_config::{IfaceSpec, PolicyAction, RouteMap, RouteMapEntry, RouterSpec};
+    use mfv_emulator::{NodeSpec, Topology};
+    use mfv_types::AsNum;
+
+    let r1 = RouterSpec::new("r1", AsNum(65001), "2.2.2.1".parse().unwrap())
+        .iface(IfaceSpec::new("Ethernet1", "10.0.0.0/31".parse().unwrap()))
+        .ebgp("10.0.0.1".parse().unwrap(), AsNum(65002))
+        .network("2.2.2.1/32".parse().unwrap());
+    let mut cfg1 = r1.build();
+    cfg1.route_maps.insert(
+        "DENY-ALL".to_string(),
+        RouteMap {
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Deny,
+                matches: vec![],
+                sets: vec![],
+            }],
+        },
+    );
+    cfg1.bgp.as_mut().unwrap().neighbors[0].route_map_out = Some("DENY-ALL".into());
+
+    let r2 = RouterSpec::new("r2", AsNum(65002), "2.2.2.2".parse().unwrap())
+        .iface(IfaceSpec::new("Ethernet1", "10.0.0.1/31".parse().unwrap()))
+        .ebgp("10.0.0.0".parse().unwrap(), AsNum(65001))
+        .network("2.2.2.2/32".parse().unwrap());
+
+    let mut t = Topology::new("export-deny");
+    t.add_node(NodeSpec::from_config("r1", &cfg1));
+    t.add_node(NodeSpec::from_config("r2", &r2.build()));
+    t.add_link(("r1", "Ethernet1"), ("r2", "Ethernet1"));
+
+    let result = EmulationBackend::default()
+        .compute(&Snapshot::new("export-deny", t))
+        .unwrap();
+    // r1 still learns r2's loopback (r2 has no policy)…
+    let r1_dp = &result.dataplane.nodes[&NodeId::from("r1")];
+    assert!(r1_dp.fib().lookup("2.2.2.2".parse().unwrap()).is_some());
+    // …but r2 never hears about r1's (deny-all export).
+    let r2_dp = &result.dataplane.nodes[&NodeId::from("r2")];
+    assert!(r2_dp.fib().lookup("2.2.2.1".parse().unwrap()).is_none());
+}

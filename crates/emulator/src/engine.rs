@@ -1,0 +1,638 @@
+//! The discrete-event emulation engine — the workspace's stand-in for KNE.
+//!
+//! Owns the virtual routers, the simulated cluster that boots them, the
+//! links between them, and the external route-injection peers. Runs on
+//! virtual time with seeded per-link jitter: a given `(topology, seed)` pair
+//! replays identically, and different seeds reorder message arrivals — which
+//! is exactly the non-determinism surface §6 of the paper discusses.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use mfv_dataplane::Dataplane;
+use mfv_types::{IfaceId, LinkId, NodeId, SimDuration, SimTime};
+use mfv_vrouter::{RouterEvent, VendorProfile, VirtualRouter};
+
+use crate::cluster::{Cluster, PodRequest, Unschedulable};
+use crate::inject::{synthetic_prefixes, ExternalPeer};
+use crate::topology::Topology;
+
+/// Emulation tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EmulationConfig {
+    /// Seed for boot jitter and link jitter.
+    pub seed: u64,
+    /// Dataplane quiescence window for convergence detection ("we detect
+    /// convergence to be complete once we observe the dataplane to
+    /// stabilize at all routers", §5).
+    pub quiet_period: SimDuration,
+    /// Hard stop for a run.
+    pub max_sim_time: SimDuration,
+    /// Restart crashed routing processes after their vendor restart delay.
+    pub auto_restart_crashed: bool,
+    /// Per-node vendor profile overrides (bug injection).
+    pub profile_overrides: BTreeMap<NodeId, VendorProfile>,
+    /// Start external route feeds only once every pod is Ready — the
+    /// paper's E5 measurement applies configuration and injection to an
+    /// already-booted replica.
+    pub inject_after_boot: bool,
+}
+
+impl Default for EmulationConfig {
+    fn default() -> Self {
+        EmulationConfig {
+            seed: 1,
+            quiet_period: SimDuration::from_secs(12),
+            max_sim_time: SimDuration::from_mins(60),
+            auto_restart_crashed: true,
+            profile_overrides: BTreeMap::new(),
+            inject_after_boot: true,
+        }
+    }
+}
+
+/// Outcome of a convergence run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Whether the dataplane went quiet before `max_sim_time`.
+    pub converged: bool,
+    /// When the last pod became Ready (emulation startup complete).
+    pub boot_complete_at: Option<SimTime>,
+    /// Time of the last dataplane change — the convergence instant.
+    pub converged_at: SimTime,
+    /// Control-plane messages delivered.
+    pub messages_delivered: u64,
+    /// Routing-process crashes observed.
+    pub crashes: u64,
+    /// Events processed (engine work metric).
+    pub events_processed: u64,
+    /// Pods that could not be scheduled.
+    pub unschedulable: Vec<Unschedulable>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    PodReady(NodeId),
+    Poll(NodeId),
+    DeliverIsis { node: NodeId, iface: IfaceId, payload: Bytes },
+    DeliverBgp { node: NodeId, src: Ipv4Addr, dst: Ipv4Addr, payload: Bytes },
+    PollExternal(usize),
+    DeliverToExternal { idx: usize, payload: Bytes },
+    RestartRouter(NodeId),
+}
+
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Owner {
+    Node,
+    External(usize),
+}
+
+/// The running emulation.
+pub struct Emulation {
+    pub topology: Topology,
+    cfg: EmulationConfig,
+    cluster: Cluster,
+    routers: BTreeMap<NodeId, VirtualRouter>,
+    ready_at: BTreeMap<NodeId, SimTime>,
+    externals: Vec<ExternalPeer>,
+    events: BinaryHeap<Reverse<Ev>>,
+    next_poll: BTreeMap<NodeId, SimTime>,
+    next_ext_poll: BTreeMap<usize, SimTime>,
+    now: SimTime,
+    seq: u64,
+    rng: ChaCha8Rng,
+    /// addr → owning entity, for BGP segment delivery.
+    ip_owner: BTreeMap<Ipv4Addr, (Owner, NodeId)>,
+    /// (node, iface) → (peer node, peer iface, latency).
+    link_ends: BTreeMap<(NodeId, IfaceId), (NodeId, IfaceId, u64)>,
+    link_up: BTreeMap<LinkId, bool>,
+    last_activity: SimTime,
+    boot_complete_at: Option<SimTime>,
+    messages_delivered: u64,
+    crashes: u64,
+    events_processed: u64,
+    unschedulable: Vec<Unschedulable>,
+    booted: bool,
+    pending_restarts: usize,
+    /// External feeds are inert until activated (at boot completion when
+    /// `inject_after_boot`, else immediately).
+    feeds_active: bool,
+    /// FIFO clocks: jitter may delay but never reorder messages between the
+    /// same endpoints (BGP runs over TCP; IS-IS links preserve order).
+    /// Cross-flow ordering still varies by seed — the non-determinism §6
+    /// actually has.
+    bgp_flow_clock: BTreeMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    isis_link_clock: BTreeMap<(NodeId, IfaceId), SimTime>,
+}
+
+impl Emulation {
+    /// Prepares an emulation: validates the topology and parses every
+    /// config in its vendor dialect (reporting config errors up front, as
+    /// the real bring-up would).
+    pub fn new(
+        topology: Topology,
+        cluster: Cluster,
+        cfg: EmulationConfig,
+    ) -> Result<Emulation, String> {
+        topology.validate()?;
+        for node in &topology.nodes {
+            node.parse_config()
+                .map_err(|e| format!("config for {}: {e}", node.name))?;
+        }
+        let mut link_ends = BTreeMap::new();
+        let mut link_up = BTreeMap::new();
+        for l in &topology.links {
+            link_ends.insert(
+                (l.a_node.clone(), l.a_iface.clone()),
+                (l.b_node.clone(), l.b_iface.clone(), l.latency_ms),
+            );
+            link_ends.insert(
+                (l.b_node.clone(), l.b_iface.clone()),
+                (l.a_node.clone(), l.a_iface.clone(), l.latency_ms),
+            );
+            link_up.insert(l.id(), true);
+        }
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let feeds_active = !cfg.inject_after_boot;
+        Ok(Emulation {
+            topology,
+            cfg,
+            cluster,
+            routers: BTreeMap::new(),
+            ready_at: BTreeMap::new(),
+            externals: Vec::new(),
+            events: BinaryHeap::new(),
+            next_poll: BTreeMap::new(),
+            next_ext_poll: BTreeMap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng,
+            ip_owner: BTreeMap::new(),
+            link_ends,
+            link_up,
+            last_activity: SimTime::ZERO,
+            boot_complete_at: None,
+            messages_delivered: 0,
+            crashes: 0,
+            events_processed: 0,
+            unschedulable: Vec::new(),
+            booted: false,
+            pending_restarts: 0,
+            feeds_active,
+            bgp_flow_clock: BTreeMap::new(),
+            isis_link_clock: BTreeMap::new(),
+        })
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn router(&self, node: &NodeId) -> Option<&VirtualRouter> {
+        self.routers.get(node)
+    }
+
+    /// Runs an operator CLI command on a node (SSH-to-the-emulated-router).
+    pub fn cli(&self, node: &NodeId, command: &str) -> Option<String> {
+        self.routers.get(node).map(|r| mfv_vrouter::cli::exec(r, command))
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev { time, seq: self.seq, kind }));
+    }
+
+    fn schedule_poll(&mut self, node: &NodeId, at: SimTime) {
+        let at = at.max(SimTime(self.now.0));
+        match self.next_poll.get(node) {
+            Some(t) if *t <= at => return,
+            _ => {}
+        }
+        self.next_poll.insert(node.clone(), at);
+        self.push_event(at, EventKind::Poll(node.clone()));
+    }
+
+    /// Like `schedule_poll`, for external peers: at most one pending poll
+    /// per peer, else event chains multiply and the feed outruns its pacing.
+    fn schedule_ext_poll(&mut self, idx: usize, at: SimTime) {
+        let at = at.max(SimTime(self.now.0));
+        match self.next_ext_poll.get(&idx) {
+            Some(t) if *t <= at => return,
+            _ => {}
+        }
+        self.next_ext_poll.insert(idx, at);
+        self.push_event(at, EventKind::PollExternal(idx));
+    }
+
+    /// Submits all pods to the cluster and wires external peers. Called
+    /// implicitly by `run_until_converged`.
+    fn boot(&mut self) {
+        if self.booted {
+            return;
+        }
+        self.booted = true;
+        let nodes: Vec<_> = self.topology.nodes.clone();
+        for node in &nodes {
+            let profile = self
+                .cfg
+                .profile_overrides
+                .get(&node.name)
+                .cloned()
+                .unwrap_or_else(|| VendorProfile::for_vendor(node.vendor));
+            let req = PodRequest {
+                pod: node.name.clone(),
+                cpu_millis: profile.cpu_millis,
+                mem_mib: profile.mem_mib,
+            };
+            match self.cluster.schedule(&req, self.now, profile.boot_time, &mut self.rng) {
+                Ok(placement) => {
+                    self.push_event(placement.ready_at, EventKind::PodReady(node.name.clone()));
+                }
+                Err(e) => {
+                    self.unschedulable.push(e);
+                }
+            }
+        }
+        let peers: Vec<_> = self.topology.external_peers.clone();
+        for (idx, spec) in peers.iter().enumerate() {
+            // The router-side address: the attach node's interface on the
+            // peer's subnet. Resolved from the parsed config.
+            let node = self.topology.node(&spec.attach_to).expect("validated");
+            let parsed = node.parse_config().expect("validated");
+            let router_addr = parsed
+                .config
+                .interfaces
+                .iter()
+                .filter(|i| i.is_l3())
+                .filter_map(|i| i.addr)
+                .find(|a| a.subnet().contains(spec.addr))
+                .map(|a| a.addr)
+                .unwrap_or(Ipv4Addr::UNSPECIFIED);
+            let base = spec.base_octet.unwrap_or(20 + idx as u8);
+            let routes = synthetic_prefixes(base, spec.route_count);
+            let peer = ExternalPeer::new(spec.addr, spec.asn, router_addr, routes);
+            self.ip_owner
+                .insert(spec.addr, (Owner::External(idx), spec.attach_to.clone()));
+            self.externals.push(peer);
+            if !self.cfg.inject_after_boot {
+                self.schedule_ext_poll(idx, SimTime(self.now.0 + 1_000));
+            }
+        }
+    }
+
+    fn register_addresses(&mut self, node: &NodeId) {
+        if let Some(router) = self.routers.get(node) {
+            for addr in router.addresses() {
+                self.ip_owner.insert(addr, (Owner::Node, node.clone()));
+            }
+        }
+    }
+
+    fn link_is_up(&self, node: &NodeId, iface: &IfaceId) -> bool {
+        let Some((peer, piface, _)) = self.link_ends.get(&(node.clone(), iface.clone()))
+        else {
+            return false;
+        };
+        let id = LinkId::new(
+            (node.clone(), iface.clone()),
+            (peer.clone(), piface.clone()),
+        );
+        self.link_up.get(&id).copied().unwrap_or(false)
+    }
+
+    /// Handles one router's output events.
+    fn dispatch_router_events(&mut self, node: &NodeId, events: Vec<RouterEvent>) {
+        for ev in events {
+            match ev {
+                RouterEvent::IsisFrame { iface, payload } => {
+                    if !self.link_is_up(node, &iface) {
+                        continue;
+                    }
+                    let Some((peer, piface, latency)) =
+                        self.link_ends.get(&(node.clone(), iface.clone())).cloned()
+                    else {
+                        continue;
+                    };
+                    let jitter = self.rng.gen_range(0..3);
+                    let mut at = self.now + SimDuration::from_millis(latency + jitter);
+                    let clock = self
+                        .isis_link_clock
+                        .entry((node.clone(), iface.clone()))
+                        .or_insert(SimTime::ZERO);
+                    at = at.max(SimTime(clock.0 + 1));
+                    *clock = at;
+                    self.push_event(
+                        at,
+                        EventKind::DeliverIsis { node: peer, iface: piface, payload },
+                    );
+                }
+                RouterEvent::BgpSegment { src, dst, payload } => {
+                    let Some((owner, owner_node)) = self.ip_owner.get(&dst).cloned() else {
+                        continue; // addressed to nobody we know
+                    };
+                    let jitter = self.rng.gen_range(0..3);
+                    let mut at = self.now + SimDuration::from_millis(2 + jitter);
+                    let clock =
+                        self.bgp_flow_clock.entry((src, dst)).or_insert(SimTime::ZERO);
+                    at = at.max(SimTime(clock.0 + 1));
+                    *clock = at;
+                    match owner {
+                        Owner::Node => self.push_event(
+                            at,
+                            EventKind::DeliverBgp { node: owner_node, src, dst, payload },
+                        ),
+                        Owner::External(idx) => self
+                            .push_event(at, EventKind::DeliverToExternal { idx, payload }),
+                    }
+                }
+                RouterEvent::Crashed { reason } => {
+                    self.crashes += 1;
+                    self.last_activity = self.now;
+                    let _ = reason;
+                    if self.cfg.auto_restart_crashed {
+                        let delay = self
+                            .routers
+                            .get(node)
+                            .map(|r| r.profile().restart_delay)
+                            .unwrap_or(SimDuration::from_secs(60));
+                        self.pending_restarts += 1;
+                        self.push_event(
+                            self.now + delay,
+                            EventKind::RestartRouter(node.clone()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn poll_router(&mut self, node: &NodeId) {
+        let now = self.now;
+        let Some(router) = self.routers.get_mut(node) else { return };
+        let v_before = router.fib_version();
+        let events = router.poll(now);
+        let v_after = router.fib_version();
+        let wakeup = router.next_wakeup(now);
+        if v_after != v_before {
+            self.last_activity = now;
+        }
+        self.dispatch_router_events(node, events);
+        self.next_poll.remove(node);
+        self.schedule_poll(node, wakeup);
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::PodReady(node) => {
+                let spec = self.topology.node(&node).expect("validated").clone();
+                let profile = self
+                    .cfg
+                    .profile_overrides
+                    .get(&node)
+                    .cloned()
+                    .unwrap_or_else(|| VendorProfile::for_vendor(spec.vendor));
+                let parsed = spec.parse_config().expect("validated at new()");
+                let router = VirtualRouter::new(node.clone(), profile, parsed.config);
+                self.routers.insert(node.clone(), router);
+                self.ready_at.insert(node.clone(), self.now);
+                self.register_addresses(&node);
+                self.last_activity = self.now;
+                if self.ready_at.len() == self.topology.nodes.len() {
+                    self.boot_complete_at = Some(self.now);
+                    if self.cfg.inject_after_boot {
+                        self.feeds_active = true;
+                        for idx in 0..self.externals.len() {
+                            self.schedule_ext_poll(idx, SimTime(self.now.0 + 1_000));
+                        }
+                    }
+                }
+                self.schedule_poll(&node, self.now);
+            }
+            EventKind::Poll(node) => {
+                // Stale-poll suppression: only the earliest scheduled poll
+                // for a node runs.
+                match self.next_poll.get(&node) {
+                    Some(t) if *t == self.now => {}
+                    _ => return,
+                }
+                self.poll_router(&node);
+            }
+            EventKind::DeliverIsis { node, iface, payload } => {
+                if !self.link_is_up(&node, &iface) {
+                    return;
+                }
+                let now = self.now;
+                if let Some(router) = self.routers.get_mut(&node) {
+                    router.push_isis(now, &iface, payload);
+                    self.messages_delivered += 1;
+                    self.schedule_poll(&node, SimTime(now.0 + 1));
+                }
+            }
+            EventKind::DeliverBgp { node, src, dst, payload } => {
+                let now = self.now;
+                if let Some(router) = self.routers.get_mut(&node) {
+                    router.push_bgp(now, src, dst, payload);
+                    self.messages_delivered += 1;
+                    self.schedule_poll(&node, SimTime(now.0 + 1));
+                }
+            }
+            EventKind::PollExternal(idx) => {
+                if !self.feeds_active {
+                    return;
+                }
+                // Stale-poll suppression, as for routers.
+                match self.next_ext_poll.get(&idx) {
+                    Some(t) if *t == self.now => {}
+                    _ => return,
+                }
+                self.next_ext_poll.remove(&idx);
+                let now = self.now;
+                let Some(peer) = self.externals.get_mut(idx) else { return };
+                let msgs = peer.poll(now);
+                let wake = peer.next_wakeup(now);
+                let src = peer.addr;
+                for (dst, msg) in msgs {
+                    let payload = msg.encode();
+                    if let Some((Owner::Node, node)) = self.ip_owner.get(&dst).cloned() {
+                        let jitter = self.rng.gen_range(0..3);
+                        let mut at = now + SimDuration::from_millis(2 + jitter);
+                        let clock =
+                            self.bgp_flow_clock.entry((src, dst)).or_insert(SimTime::ZERO);
+                        at = at.max(SimTime(clock.0 + 1));
+                        *clock = at;
+                        self.push_event(
+                            at,
+                            EventKind::DeliverBgp { node, src, dst, payload },
+                        );
+                    }
+                }
+                self.schedule_ext_poll(idx, wake);
+            }
+            EventKind::DeliverToExternal { idx, payload } => {
+                // An inactive feed is an unplugged device: segments vanish.
+                if !self.feeds_active {
+                    return;
+                }
+                let now = self.now;
+                if let Some(peer) = self.externals.get_mut(idx) {
+                    let mut buf = payload;
+                    if let Ok(msg) = mfv_wire::bgp::BgpMsg::decode(&mut buf) {
+                        peer.push_msg(now, msg);
+                        self.messages_delivered += 1;
+                    }
+                    self.schedule_ext_poll(idx, SimTime(now.0 + 1));
+                }
+            }
+            EventKind::RestartRouter(node) => {
+                let now = self.now;
+                self.pending_restarts = self.pending_restarts.saturating_sub(1);
+                if let Some(router) = self.routers.get_mut(&node) {
+                    if !router.is_running() {
+                        router.restart(now);
+                        self.last_activity = now;
+                        self.schedule_poll(&node, SimTime(now.0 + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn injection_done(&self) -> bool {
+        self.externals.iter().all(|p| p.done())
+    }
+
+    /// Runs the emulation until the dataplane is quiet (or the time cap).
+    pub fn run_until_converged(&mut self) -> RunReport {
+        self.boot();
+        let deadline = SimTime(self.cfg.max_sim_time.as_millis());
+        let mut converged = false;
+        while let Some(Reverse(ev)) = self.events.pop() {
+            if ev.time > deadline {
+                break;
+            }
+            self.now = ev.time;
+            self.handle(ev.kind);
+            self.events_processed += 1;
+
+            let all_ready = self.ready_at.len()
+                == self.topology.nodes.len() - self.unschedulable.len();
+            if all_ready
+                && self.injection_done()
+                && self.pending_restarts == 0
+                && self.now.since(self.last_activity) >= self.cfg.quiet_period
+            {
+                converged = true;
+                break;
+            }
+        }
+        RunReport {
+            converged,
+            boot_complete_at: self.boot_complete_at,
+            converged_at: self.last_activity,
+            messages_delivered: self.messages_delivered,
+            crashes: self.crashes,
+            events_processed: self.events_processed,
+            unschedulable: self.unschedulable.clone(),
+        }
+    }
+
+    /// Applies a configuration change to a running node (config push) and
+    /// returns immediately; call `run_until_converged` to settle.
+    pub fn push_config(&mut self, node: &NodeId, text: &str) -> Result<(), String> {
+        let spec = self
+            .topology
+            .nodes
+            .iter_mut()
+            .find(|n| &n.name == node)
+            .ok_or_else(|| format!("unknown node {node}"))?;
+        let vendor = spec.vendor;
+        let parsed = mfv_config::parse(vendor, text).map_err(|e| e.to_string())?;
+        spec.config_text = text.to_string();
+        let now = self.now;
+        if let Some(router) = self.routers.get_mut(node) {
+            router.apply_config(parsed.config);
+            self.register_addresses(node);
+            self.last_activity = now;
+            self.schedule_poll(node, SimTime(now.0 + 1));
+        }
+        Ok(())
+    }
+
+    /// Brings a link up or down (failure injection).
+    pub fn set_link(&mut self, link: &LinkId, up: bool) {
+        self.link_up.insert(link.clone(), up);
+        let now = self.now;
+        for (node, iface) in [
+            (link.a.0.clone(), link.a.1.clone()),
+            (link.b.0.clone(), link.b.1.clone()),
+        ] {
+            if let Some(router) = self.routers.get_mut(&node) {
+                router.set_link(&iface, up);
+                self.schedule_poll(&node, SimTime(now.0 + 1));
+            }
+        }
+        self.last_activity = now;
+    }
+
+    /// Administratively shuts a BGP session on a node.
+    pub fn shutdown_bgp(&mut self, node: &NodeId, peer: Ipv4Addr) {
+        let now = self.now;
+        if let Some(router) = self.routers.get_mut(node) {
+            router.shutdown_bgp_session(peer, now);
+            self.last_activity = now;
+            self.schedule_poll(node, SimTime(now.0 + 1));
+        }
+    }
+
+    /// Extracts the current dataplane snapshot (the AFT dump step).
+    pub fn dataplane(&self) -> Dataplane {
+        let mut dp = Dataplane::new();
+        for (name, router) in &self.routers {
+            dp.add_node(
+                name.clone(),
+                router.fib(),
+                router.addresses(),
+                router.is_running(),
+            );
+        }
+        for (id, up) in &self.link_up {
+            if *up {
+                dp.add_link(id.clone());
+            }
+        }
+        dp
+    }
+
+    /// Current cluster packing (pods per machine).
+    pub fn cluster_packing(&self) -> Vec<(String, usize)> {
+        self.cluster.packing()
+    }
+}

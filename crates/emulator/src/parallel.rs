@@ -1,0 +1,85 @@
+//! Multi-seed parallel emulation.
+//!
+//! §6 of the paper proposes running "multiple [emulations] in parallel to
+//! produce multiple resulting dataplanes" as the answer to non-determinism:
+//! message-arrival order can legitimately change BGP tie-breaking, so one
+//! run yields one sample of the converged-state distribution. This module
+//! fans runs out across OS threads (one emulation per seed) and collects
+//! the dataplanes for differential comparison.
+
+use std::collections::BTreeMap;
+
+use mfv_dataplane::Dataplane;
+
+use crate::cluster::Cluster;
+use crate::engine::{Emulation, EmulationConfig, RunReport};
+use crate::topology::Topology;
+
+/// Result of one seeded run.
+#[derive(Clone, Debug)]
+pub struct SeedRun {
+    pub seed: u64,
+    pub report: RunReport,
+    pub dataplane: Dataplane,
+}
+
+/// Runs the same topology under each seed, in parallel (bounded by the host
+/// parallelism), returning runs in seed order.
+pub fn run_seeds(
+    topology: &Topology,
+    make_cluster: impl Fn() -> Cluster + Sync,
+    base_cfg: &EmulationConfig,
+    seeds: &[u64],
+) -> Vec<SeedRun> {
+    let mut results: Vec<Option<SeedRun>> = Vec::new();
+    results.resize_with(seeds.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(seeds.len().max(1));
+        let work = crossbeam::channel::unbounded::<(usize, u64)>();
+        for (i, &seed) in seeds.iter().enumerate() {
+            work.0.send((i, seed)).unwrap();
+        }
+        drop(work.0);
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, SeedRun)>();
+
+        for _ in 0..threads {
+            let rx = work.1.clone();
+            let tx = res_tx.clone();
+            let topology = topology.clone();
+            let make_cluster = &make_cluster;
+            let base_cfg = base_cfg.clone();
+            scope.spawn(move |_| {
+                while let Ok((i, seed)) = rx.recv() {
+                    let mut cfg = base_cfg.clone();
+                    cfg.seed = seed;
+                    let mut emu = Emulation::new(topology.clone(), make_cluster(), cfg)
+                        .expect("topology validated by caller");
+                    let report = emu.run_until_converged();
+                    let dataplane = emu.dataplane();
+                    tx.send((i, SeedRun { seed, report, dataplane })).unwrap();
+                }
+            });
+        }
+        drop(res_tx);
+        while let Ok((i, run)) = res_rx.recv() {
+            results[i] = Some(run);
+        }
+    })
+    .expect("no worker panics");
+
+    results.into_iter().map(|r| r.expect("all seeds completed")).collect()
+}
+
+/// Groups runs by converged-dataplane digest: the observable distribution of
+/// distinct outcomes under ordering non-determinism.
+pub fn outcome_distribution(runs: &[SeedRun]) -> BTreeMap<u64, Vec<u64>> {
+    let mut out: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for run in runs {
+        out.entry(run.dataplane.digest()).or_default().push(run.seed);
+    }
+    out
+}

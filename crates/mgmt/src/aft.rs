@@ -1,0 +1,210 @@
+//! OpenConfig-style Abstract Forwarding Table (AFT) data model.
+//!
+//! The model-free pipeline's extraction step: after convergence, each
+//! router's FIB is dumped "in the common OpenConfig data models, which all
+//! vendor images now support, allowing this step to be fully vendor-agnostic"
+//! (§4.1). The structure below mirrors the `openconfig-aft` split into
+//! entries → next-hop-groups → next-hops, keyed exactly as gNMI paths would
+//! key them, and round-trips through JSON.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use mfv_routing::rib::{Fib, FibEntry, FibNextHop};
+use mfv_types::{Prefix, RouteProtocol};
+
+/// One `ipv4-unicast` AFT entry.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AftIpv4Entry {
+    pub prefix: Prefix,
+    /// Reference into [`Aft::next_hop_groups`].
+    pub next_hop_group: u64,
+    /// Origin protocol (an `openconfig-aft` state leaf).
+    pub origin_protocol: RouteProtocol,
+}
+
+/// A next-hop group: a set of next-hop ids (ECMP members).
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct AftNextHopGroup {
+    pub id: u64,
+    pub next_hops: Vec<u64>,
+}
+
+/// One concrete next hop.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AftNextHop {
+    pub id: u64,
+    /// Egress interface name.
+    pub interface: String,
+    /// Gateway address; absent for directly-attached destinations.
+    pub ip_address: Option<Ipv4Addr>,
+}
+
+/// A device's complete AFT snapshot.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Aft {
+    pub ipv4_unicast: Vec<AftIpv4Entry>,
+    pub next_hop_groups: BTreeMap<u64, AftNextHopGroup>,
+    pub next_hops: BTreeMap<u64, AftNextHop>,
+}
+
+impl Aft {
+    /// Builds an AFT from a FIB, deduplicating next hops and groups the way
+    /// real AFT exports do (shared groups across prefixes).
+    pub fn from_fib(fib: &Fib) -> Aft {
+        let mut aft = Aft::default();
+        let mut nh_ids: BTreeMap<FibNextHop, u64> = BTreeMap::new();
+        let mut group_ids: BTreeMap<Vec<u64>, u64> = BTreeMap::new();
+
+        for entry in fib.entries() {
+            let mut members = Vec::with_capacity(entry.next_hops.len());
+            for nh in &entry.next_hops {
+                let next_id = nh_ids.len() as u64 + 1;
+                let id = *nh_ids.entry(nh.clone()).or_insert(next_id);
+                if id == next_id {
+                    aft.next_hops.insert(
+                        id,
+                        AftNextHop {
+                            id,
+                            interface: nh.iface.to_string(),
+                            ip_address: nh.via,
+                        },
+                    );
+                }
+                members.push(id);
+            }
+            members.sort();
+            let next_gid = group_ids.len() as u64 + 1;
+            let gid = *group_ids.entry(members.clone()).or_insert(next_gid);
+            if gid == next_gid {
+                aft.next_hop_groups
+                    .insert(gid, AftNextHopGroup { id: gid, next_hops: members });
+            }
+            aft.ipv4_unicast.push(AftIpv4Entry {
+                prefix: entry.prefix,
+                next_hop_group: gid,
+                origin_protocol: entry.proto,
+            });
+        }
+        aft
+    }
+
+    /// Reconstructs FIB entries from the AFT (the verifier-side ingestion:
+    /// the paper's 3,300-line Batfish modification is exactly this step).
+    pub fn to_fib(&self) -> Fib {
+        let mut fib = Fib::new();
+        for e in &self.ipv4_unicast {
+            let group = self.next_hop_groups.get(&e.next_hop_group);
+            let next_hops = group
+                .map(|g| {
+                    g.next_hops
+                        .iter()
+                        .filter_map(|id| self.next_hops.get(id))
+                        .map(|nh| FibNextHop {
+                            iface: nh.interface.as_str().into(),
+                            via: nh.ip_address,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            fib.insert(FibEntry { prefix: e.prefix, proto: e.origin_protocol, next_hops });
+        }
+        fib
+    }
+
+    /// Number of ipv4 entries.
+    pub fn len(&self) -> usize {
+        self.ipv4_unicast.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ipv4_unicast.is_empty()
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("AFT serialises")
+    }
+
+    pub fn from_json(s: &str) -> Result<Aft, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib() -> Fib {
+        let mut fib = Fib::new();
+        fib.insert(FibEntry {
+            prefix: "10.0.0.0/31".parse().unwrap(),
+            proto: RouteProtocol::Connected,
+            next_hops: vec![FibNextHop { iface: "eth0".into(), via: None }],
+        });
+        fib.insert(FibEntry {
+            prefix: "2.2.2.2/32".parse().unwrap(),
+            proto: RouteProtocol::Isis,
+            next_hops: vec![FibNextHop {
+                iface: "eth0".into(),
+                via: Some("10.0.0.1".parse().unwrap()),
+            }],
+        });
+        fib.insert(FibEntry {
+            prefix: "2.2.2.3/32".parse().unwrap(),
+            proto: RouteProtocol::Isis,
+            next_hops: vec![FibNextHop {
+                iface: "eth0".into(),
+                via: Some("10.0.0.1".parse().unwrap()),
+            }],
+        });
+        fib
+    }
+
+    #[test]
+    fn fib_aft_fib_roundtrip() {
+        let original = fib();
+        let aft = Aft::from_fib(&original);
+        let back = aft.to_fib();
+        assert!(back.same_as(&original));
+    }
+
+    #[test]
+    fn shared_next_hops_are_deduplicated() {
+        let aft = Aft::from_fib(&fib());
+        // Two IS-IS routes share one (iface, via) → 2 distinct next hops
+        // total, 2 groups (one with via, one without).
+        assert_eq!(aft.next_hops.len(), 2);
+        assert_eq!(aft.next_hop_groups.len(), 2);
+        assert_eq!(aft.len(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let aft = Aft::from_fib(&fib());
+        let js = aft.to_json();
+        let back = Aft::from_json(&js).unwrap();
+        assert_eq!(back, aft);
+    }
+
+    #[test]
+    fn empty_fib_empty_aft() {
+        let aft = Aft::from_fib(&Fib::new());
+        assert!(aft.is_empty());
+        assert!(aft.to_fib().is_empty());
+    }
+
+    #[test]
+    fn discard_route_yields_empty_group() {
+        let mut f = Fib::new();
+        f.insert(FibEntry {
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            proto: RouteProtocol::Static,
+            next_hops: vec![],
+        });
+        let aft = Aft::from_fib(&f);
+        let back = aft.to_fib();
+        assert!(back.same_as(&f));
+    }
+}

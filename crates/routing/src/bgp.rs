@@ -1,0 +1,1373 @@
+//! The BGP-4 protocol engine: session FSM, Adj-RIB-In/Out, decision process,
+//! and update generation.
+//!
+//! The engine is a poll-based state machine (smoltcp idiom): the owner feeds
+//! it decoded messages via [`BgpEngine::push_msg`] and advances it with
+//! [`BgpEngine::poll`], which returns messages to transmit. No I/O or clock
+//! access happens inside.
+//!
+//! Vendor-specific behaviours (the reason the paper insists on running *real
+//! implementations*) enter through [`DecisionQuirks`]: the same engine code
+//! parameterised differently reproduces, e.g., the "new software version
+//! introduced an incorrect route metric selection in iBGP" bug from §2.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::net::Ipv4Addr;
+
+use mfv_config::{BgpConfig, PrefixList, RouteMap};
+use mfv_types::{
+    AsNum, Origin, Prefix, RouteProtocol, RouterId, SimDuration, SimTime,
+};
+use mfv_wire::bgp::{BgpMsg, NotificationMsg, OpenMsg, PathAttr, UpdateMsg};
+
+use crate::policy::{eval_route_map, BgpAttrs, PolicyResult};
+use crate::rib::{NextHop, RibRoute};
+
+/// Resolves protocol next hops against the IGP/connected routing state.
+/// Implemented by the router shell over its current RIB.
+pub trait NextHopResolver {
+    /// The IGP cost to reach `ip`, or `None` if unreachable. Resolution via
+    /// the default route does not count (standard BGP behaviour).
+    fn igp_metric(&self, ip: Ipv4Addr) -> Option<u32>;
+}
+
+/// A resolver over a fixed table; convenient for tests and injection stubs.
+#[derive(Default, Clone, Debug)]
+pub struct TableResolver(pub BTreeMap<Ipv4Addr, u32>);
+
+impl NextHopResolver for TableResolver {
+    fn igp_metric(&self, ip: Ipv4Addr) -> Option<u32> {
+        self.0.get(&ip).copied()
+    }
+}
+
+/// Vendor-behaviour knobs for the decision process.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionQuirks {
+    /// BUG REPRODUCTION: prefer the *higher* IGP metric when comparing iBGP
+    /// paths (§2: "a new software version ... introduced an incorrect route
+    /// metric selection in iBGP").
+    pub ibgp_igp_metric_inverted: bool,
+    /// Use arrival order as a tiebreak before router-id (oldest wins). Both
+    /// vendors do this by default; it is the source of the non-determinism
+    /// explored in ablation A1.
+    pub arrival_order_tiebreak: bool,
+}
+
+impl Default for DecisionQuirks {
+    fn default() -> Self {
+        DecisionQuirks { ibgp_igp_metric_inverted: false, arrival_order_tiebreak: true }
+    }
+}
+
+/// Per-session configuration resolved from the device config.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    pub peer: Ipv4Addr,
+    pub remote_as: AsNum,
+    /// Our address on this session (interface address for eBGP, update
+    /// source loopback for iBGP). Used as the advertised next hop.
+    pub local_addr: Ipv4Addr,
+    pub next_hop_self: bool,
+    pub send_community: bool,
+    pub route_map_in: Option<String>,
+    pub route_map_out: Option<String>,
+    pub rr_client: bool,
+    pub shutdown: bool,
+}
+
+impl SessionConfig {
+    pub fn is_ebgp(&self, local_as: AsNum) -> bool {
+        self.remote_as != local_as
+    }
+}
+
+/// BGP finite-state-machine states (condensed: Connect/Active are folded
+/// into Idle since transport is message delivery, not TCP).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionState {
+    Idle,
+    OpenSent,
+    OpenConfirm,
+    Established,
+}
+
+/// A received route in the Adj-RIB-In (post import policy).
+#[derive(Clone, Debug)]
+struct RibInEntry {
+    attrs: BgpAttrs,
+    /// Global arrival sequence for the oldest-path tiebreak.
+    arrival: u64,
+}
+
+struct Session {
+    cfg: SessionConfig,
+    state: SessionState,
+    /// Hold time negotiated (min of ours and peer's).
+    hold_time: SimDuration,
+    last_rx: SimTime,
+    last_keepalive_tx: SimTime,
+    /// When Idle: next time we may retry the OPEN.
+    retry_at: SimTime,
+    rib_in: BTreeMap<Prefix, RibInEntry>,
+    rib_out: BTreeMap<Prefix, BgpAttrs>,
+}
+
+impl Session {
+    fn new(cfg: SessionConfig) -> Session {
+        Session {
+            cfg,
+            state: SessionState::Idle,
+            hold_time: SimDuration::from_secs(90),
+            last_rx: SimTime::ZERO,
+            last_keepalive_tx: SimTime::ZERO,
+            retry_at: SimTime::ZERO,
+            rib_in: BTreeMap::new(),
+            rib_out: BTreeMap::new(),
+        }
+    }
+
+    fn reset(&mut self, now: SimTime, retry_after: SimDuration) {
+        self.state = SessionState::Idle;
+        self.rib_in.clear();
+        self.rib_out.clear();
+        self.retry_at = now + retry_after;
+    }
+}
+
+/// One candidate path considered by the decision process.
+#[derive(Clone)]
+struct Candidate {
+    attrs: BgpAttrs,
+    from: Option<Ipv4Addr>,
+    ebgp: bool,
+    igp_metric: u32,
+    arrival: u64,
+    peer_router_id: u32,
+}
+
+/// What changed in the engine's selection since the owner last asked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectionDelta {
+    /// Everything may have changed (full recomputation ran).
+    All,
+    /// Exactly these prefixes changed selection (may be empty).
+    Prefixes(BTreeSet<Prefix>),
+}
+
+/// A route selected by the decision process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectedRoute {
+    pub prefix: Prefix,
+    pub attrs: BgpAttrs,
+    /// Peer the best path was learned from; `None` for local originations.
+    pub learned_from: Option<Ipv4Addr>,
+    /// Whether the winning path is eBGP-learned.
+    pub ebgp: bool,
+    /// All ECMP protocol next hops (best path's first).
+    pub next_hops: Vec<Ipv4Addr>,
+}
+
+/// Summary of one neighbor, for `show bgp summary` and tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborSummary {
+    pub peer: Ipv4Addr,
+    pub remote_as: AsNum,
+    pub state: SessionState,
+    pub prefixes_received: usize,
+    pub prefixes_sent: usize,
+}
+
+/// The BGP protocol engine for one router.
+pub struct BgpEngine {
+    local_as: AsNum,
+    router_id: RouterId,
+    hold_time: SimDuration,
+    keepalive: SimDuration,
+    retry: SimDuration,
+    max_paths: u8,
+    quirks: DecisionQuirks,
+    sessions: BTreeMap<Ipv4Addr, Session>,
+    /// Locally-originated prefixes (network statements / redistribution),
+    /// with the attrs they are originated with.
+    originated: BTreeMap<Prefix, BgpAttrs>,
+    route_maps: BTreeMap<String, RouteMap>,
+    prefix_lists: BTreeMap<String, PrefixList>,
+    out: VecDeque<(Ipv4Addr, BgpMsg)>,
+    arrival_counter: u64,
+    /// Result of the last decision run.
+    selected: BTreeMap<Prefix, SelectedRoute>,
+    /// Prefixes whose candidates changed since the last decision run.
+    /// Incremental recomputation keeps a million-route table from being
+    /// rescanned on every poll.
+    dirty: BTreeSet<Prefix>,
+    /// Recompute everything (session churn, IGP change, first run).
+    full_dirty: bool,
+    /// Selection changes accumulated for the owner (FIB patching).
+    selection_delta: SelectionDelta,
+    /// Peers whose sessions (re-)established: they need the full table
+    /// advertised, without forcing a global recomputation.
+    full_advert_peers: BTreeSet<Ipv4Addr>,
+}
+
+impl BgpEngine {
+    /// Builds an engine from parsed config. `session_local_addrs` maps each
+    /// neighbor to our source address for that session (the router shell
+    /// resolves update-source interfaces).
+    pub fn new(
+        cfg: &BgpConfig,
+        router_id: RouterId,
+        session_local_addrs: &BTreeMap<Ipv4Addr, Ipv4Addr>,
+        route_maps: BTreeMap<String, RouteMap>,
+        prefix_lists: BTreeMap<String, PrefixList>,
+        quirks: DecisionQuirks,
+    ) -> BgpEngine {
+        let mut sessions = BTreeMap::new();
+        for n in &cfg.neighbors {
+            let local_addr = session_local_addrs
+                .get(&n.peer)
+                .copied()
+                .unwrap_or(Ipv4Addr::UNSPECIFIED);
+            sessions.insert(
+                n.peer,
+                Session::new(SessionConfig {
+                    peer: n.peer,
+                    remote_as: n.remote_as,
+                    local_addr,
+                    next_hop_self: n.next_hop_self,
+                    send_community: n.send_community,
+                    route_map_in: n.route_map_in.clone(),
+                    route_map_out: n.route_map_out.clone(),
+                    rr_client: n.rr_client,
+                    shutdown: n.shutdown,
+                }),
+            );
+        }
+        BgpEngine {
+            local_as: cfg.asn,
+            router_id,
+            hold_time: SimDuration::from_secs(90),
+            keepalive: SimDuration::from_secs(30),
+            retry: SimDuration::from_secs(2),
+            max_paths: cfg.max_paths.max(1),
+            quirks,
+            sessions,
+            originated: BTreeMap::new(),
+            route_maps,
+            prefix_lists,
+            out: VecDeque::new(),
+            arrival_counter: 0,
+            selected: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            full_dirty: true,
+            selection_delta: SelectionDelta::All,
+            full_advert_peers: BTreeSet::new(),
+        }
+    }
+
+    pub fn local_as(&self) -> AsNum {
+        self.local_as
+    }
+
+    /// Replaces the set of locally-originated prefixes. `next_hop_unspec`
+    /// originations advertise our session address as next hop.
+    pub fn set_originated(&mut self, prefixes: impl IntoIterator<Item = Prefix>) {
+        let new: BTreeMap<Prefix, BgpAttrs> = prefixes
+            .into_iter()
+            .map(|p| (p, BgpAttrs::originated(Ipv4Addr::UNSPECIFIED)))
+            .collect();
+        for p in self.originated.keys().chain(new.keys()) {
+            if self.originated.contains_key(p) != new.contains_key(p) {
+                self.dirty.insert(*p);
+            }
+        }
+        self.originated = new;
+    }
+
+    /// Forces a full decision recomputation on the next poll (the owner
+    /// calls this when the IGP view feeding next-hop resolution changed).
+    pub fn mark_all_dirty(&mut self) {
+        self.full_dirty = true;
+    }
+
+    /// Administratively removes a session (used by failure injection).
+    pub fn shutdown_session(&mut self, peer: Ipv4Addr, now: SimTime) {
+        if let Some(s) = self.sessions.get_mut(&peer) {
+            s.cfg.shutdown = true;
+            if s.state != SessionState::Idle {
+                self.out.push_back((
+                    peer,
+                    BgpMsg::Notification(NotificationMsg {
+                        code: 6, // Cease
+                        subcode: 2,
+                        data: bytes::Bytes::new(),
+                    }),
+                ));
+            }
+            let lost: Vec<Prefix> = s.rib_in.keys().copied().collect();
+            s.reset(now, SimDuration::from_secs(u64::MAX / 2_000));
+            self.dirty.extend(lost);
+        }
+    }
+
+    /// Feeds a received message into the engine.
+    pub fn push_msg(&mut self, now: SimTime, from: Ipv4Addr, msg: BgpMsg) {
+        let Some(session) = self.sessions.get_mut(&from) else {
+            // Message from an unconfigured peer: ignore (real routers would
+            // not even have a TCP listener match).
+            return;
+        };
+        if session.cfg.shutdown {
+            return;
+        }
+        session.last_rx = now;
+        match msg {
+            BgpMsg::Open(open) => {
+                if open.asn != session.cfg.remote_as {
+                    // OPEN from wrong AS: notify and reset.
+                    self.out.push_back((
+                        from,
+                        BgpMsg::Notification(NotificationMsg {
+                            code: 2, // OPEN message error
+                            subcode: 2, // bad peer AS
+                            data: bytes::Bytes::new(),
+                        }),
+                    ));
+                    let lost: Vec<Prefix> = session.rib_in.keys().copied().collect();
+                    session.reset(now, SimDuration::from_secs(5));
+                    self.dirty.extend(lost);
+                    return;
+                }
+                session.hold_time = SimDuration::from_secs(
+                    u64::from(open.hold_time_secs.min(90)).max(3),
+                );
+                match session.state {
+                    SessionState::Idle => {
+                        // Passive open: respond with our OPEN + KEEPALIVE.
+                        let our_open = OpenMsg::new(
+                            self.local_as,
+                            (self.hold_time.as_millis() / 1000) as u16,
+                            self.router_id.0,
+                        );
+                        self.out.push_back((from, BgpMsg::Open(our_open)));
+                        self.out.push_back((from, BgpMsg::Keepalive));
+                        session.state = SessionState::OpenConfirm;
+                    }
+                    SessionState::OpenSent => {
+                        self.out.push_back((from, BgpMsg::Keepalive));
+                        session.state = SessionState::OpenConfirm;
+                    }
+                    SessionState::OpenConfirm => {
+                        // Duplicate OPEN mid-handshake (our earlier reply may
+                        // have been lost in flight): re-confirm so the peer
+                        // can make progress instead of deadlocking.
+                        self.out.push_back((from, BgpMsg::Keepalive));
+                    }
+                    SessionState::Established => {
+                        // A fresh OPEN on an established session means the
+                        // peer restarted: drop the old session state and
+                        // re-handshake so the full table is re-sent.
+                        let lost: Vec<Prefix> = session.rib_in.keys().copied().collect();
+                        session.rib_in.clear();
+                        session.rib_out.clear();
+                        self.dirty.extend(lost);
+                        self.full_advert_peers.insert(from);
+                        let our_open = OpenMsg::new(
+                            self.local_as,
+                            (self.hold_time.as_millis() / 1000) as u16,
+                            self.router_id.0,
+                        );
+                        self.out.push_back((from, BgpMsg::Open(our_open)));
+                        self.out.push_back((from, BgpMsg::Keepalive));
+                        session.state = SessionState::OpenConfirm;
+                    }
+                }
+            }
+            BgpMsg::Keepalive => {
+                match session.state {
+                    SessionState::OpenConfirm => {
+                        session.state = SessionState::Established;
+                        self.full_advert_peers.insert(from);
+                    }
+                    SessionState::OpenSent => {
+                        // A KEEPALIVE implies the peer has processed our
+                        // OPEN even though its own OPEN reply was lost;
+                        // confirm and come up (lossy-transport robustness).
+                        self.out.push_back((from, BgpMsg::Keepalive));
+                        session.state = SessionState::Established;
+                        self.full_advert_peers.insert(from);
+                    }
+                    _ => {}
+                }
+            }
+            BgpMsg::Update(update) => {
+                if session.state != SessionState::Established {
+                    return;
+                }
+                self.apply_update(now, from, update);
+            }
+            BgpMsg::Notification(_) => {
+                let lost: Vec<Prefix> = session.rib_in.keys().copied().collect();
+                session.reset(now, SimDuration::from_secs(5));
+                self.dirty.extend(lost);
+            }
+        }
+    }
+
+    fn apply_update(&mut self, _now: SimTime, from: Ipv4Addr, update: UpdateMsg) {
+        let session = self.sessions.get_mut(&from).expect("session exists");
+        for p in &update.withdrawn {
+            session.rib_in.remove(p);
+            self.dirty.insert(*p);
+        }
+        if update.nlri.is_empty() {
+            return;
+        }
+        let ebgp = session.cfg.is_ebgp(self.local_as);
+        let as_path = update.as_path().cloned().unwrap_or_default();
+        // eBGP loop prevention: our AS in the path means discard.
+        if ebgp && as_path.contains(self.local_as) {
+            for p in &update.nlri {
+                session.rib_in.remove(p);
+            }
+            return;
+        }
+        let Some(next_hop) = update.next_hop() else {
+            return; // NLRI without NEXT_HOP is invalid; drop.
+        };
+        let foreign_attrs: Vec<(u8, u8, bytes::Bytes)> = update
+            .attrs
+            .iter()
+            .filter_map(|a| match a {
+                PathAttr::Unknown { flags, type_code, value } => {
+                    Some((*flags, *type_code, value.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        let base = BgpAttrs {
+            origin: update.origin().unwrap_or(Origin::Incomplete),
+            as_path,
+            next_hop,
+            med: update.med(),
+            local_pref: update.local_pref(),
+            communities: update.communities(),
+            foreign_attrs,
+        };
+        let rm_in = session.cfg.route_map_in.clone();
+        let arrival_base = self.arrival_counter;
+        let mut accepted: Vec<(Prefix, BgpAttrs)> = Vec::new();
+        for (i, prefix) in update.nlri.iter().enumerate() {
+            let attrs = match &rm_in {
+                Some(name) => match self.route_maps.get(name) {
+                    Some(rm) => {
+                        match eval_route_map(rm, &self.prefix_lists, prefix, &base) {
+                            PolicyResult::Permit(a) => a,
+                            PolicyResult::Deny => {
+                                continue;
+                            }
+                        }
+                    }
+                    // Referencing a missing route-map denies everything
+                    // (matching EOS behaviour).
+                    None => continue,
+                },
+                None => base.clone(),
+            };
+            accepted.push((*prefix, attrs));
+            self.arrival_counter = arrival_base + i as u64 + 1;
+        }
+        for prefix in &update.nlri {
+            // NLRI prefixes that policy rejected are implicitly withdrawn,
+            // so they are decision-relevant too.
+            self.dirty.insert(*prefix);
+        }
+        let session = self.sessions.get_mut(&from).expect("session exists");
+        for (i, (prefix, attrs)) in accepted.into_iter().enumerate() {
+            session
+                .rib_in
+                .insert(prefix, RibInEntry { attrs, arrival: arrival_base + i as u64 });
+        }
+    }
+
+    /// Advances timers, runs the decision process, and generates updates.
+    /// Returns messages to deliver.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        resolver: &dyn NextHopResolver,
+    ) -> Vec<(Ipv4Addr, BgpMsg)> {
+        // 1. Session liveness: hold timer + transport reachability.
+        let peers: Vec<Ipv4Addr> = self.sessions.keys().copied().collect();
+        for peer in &peers {
+            let s = self.sessions.get_mut(peer).unwrap();
+            if s.cfg.shutdown {
+                continue;
+            }
+            // Transport liveness: losing the route to the peer tears the
+            // TCP session down. Without this, updates enqueued while the
+            // peer is unreachable would be silently lost although the
+            // Adj-RIB-Out believes them delivered.
+            let peer_reachable = resolver.igp_metric(s.cfg.peer).is_some();
+            if s.state != SessionState::Idle {
+                let hold_expired = now.since(s.last_rx) > s.hold_time;
+                if hold_expired || !peer_reachable {
+                    let lost: Vec<Prefix> = s.rib_in.keys().copied().collect();
+                    s.reset(now, self.retry);
+                    self.dirty.extend(lost);
+                    continue;
+                }
+                if s.state == SessionState::Established
+                    && now.since(s.last_keepalive_tx) >= self.keepalive
+                {
+                    s.last_keepalive_tx = now;
+                    self.out.push_back((*peer, BgpMsg::Keepalive));
+                }
+            } else if now >= s.retry_at {
+                if peer_reachable {
+                    // Active open.
+                    let our_open = OpenMsg::new(
+                        self.local_as,
+                        (self.hold_time.as_millis() / 1000) as u16,
+                        self.router_id.0,
+                    );
+                    s.state = SessionState::OpenSent;
+                    s.last_rx = now; // arm hold timer from the attempt
+                    s.retry_at = now + self.retry;
+                    self.out.push_back((*peer, BgpMsg::Open(our_open)));
+                } else {
+                    // No transport to the peer yet: re-arm the retry timer
+                    // so the wakeup schedule stays coarse.
+                    s.retry_at = now + self.retry;
+                }
+            }
+            // OpenSent/OpenConfirm retry: if stuck past retry interval, fall
+            // back to Idle so we re-OPEN (covers lost messages).
+            let s = self.sessions.get_mut(peer).unwrap();
+            if matches!(s.state, SessionState::OpenSent | SessionState::OpenConfirm)
+                && now.since(s.last_rx) > self.retry.saturating_mul(5)
+            {
+                let lost: Vec<Prefix> = s.rib_in.keys().copied().collect();
+                s.reset(now, self.retry);
+                self.dirty.extend(lost);
+            }
+        }
+
+        // 2 + 3. Decision process and update generation, scoped to the
+        // prefixes whose inputs changed (None = everything).
+        let scope: Option<BTreeSet<Prefix>> = if self.full_dirty {
+            None
+        } else {
+            Some(std::mem::take(&mut self.dirty))
+        };
+        let full_advert = std::mem::take(&mut self.full_advert_peers);
+        let nothing_dirty =
+            matches!(&scope, Some(s) if s.is_empty()) && full_advert.is_empty();
+        if !nothing_dirty {
+            self.run_decision(resolver, scope.as_ref());
+            self.generate_updates(scope.as_ref(), &full_advert);
+        }
+        self.full_dirty = false;
+        self.dirty.clear();
+
+        self.out.drain(..).collect()
+    }
+
+    /// The earliest time at which a timer needs servicing.
+    pub fn next_wakeup(&self, now: SimTime) -> SimTime {
+        let mut next = now + self.keepalive;
+        for s in self.sessions.values() {
+            if s.cfg.shutdown {
+                continue;
+            }
+            let candidate = match s.state {
+                SessionState::Idle => {
+                    // An overdue retry must fire at the very next poll.
+                    if s.retry_at > now {
+                        s.retry_at
+                    } else {
+                        SimTime(now.0 + 1)
+                    }
+                }
+                SessionState::Established => s.last_keepalive_tx + self.keepalive,
+                _ => s.last_rx + self.retry.saturating_mul(5),
+            };
+            let candidate = candidate.max(SimTime(now.0 + 1));
+            if candidate < next {
+                next = candidate;
+            }
+        }
+        next
+    }
+
+    /// The currently selected BGP routes, as RIB candidates.
+    pub fn rib_routes(&self) -> Vec<RibRoute> {
+        self.selected
+            .values()
+            .filter(|s| s.learned_from.is_some())
+            .map(|s| {
+                let proto = if s.ebgp {
+                    RouteProtocol::EbgpLearned
+                } else {
+                    RouteProtocol::IbgpLearned
+                };
+                RibRoute {
+                    prefix: s.prefix,
+                    proto,
+                    admin_distance: mfv_types::AdminDistance::default_for(proto),
+                    metric: s.attrs.med.unwrap_or(0),
+                    next_hops: s.next_hops.iter().map(|nh| NextHop::Via(*nh)).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Introspection: the full selection (including local originations).
+    pub fn selected(&self) -> &BTreeMap<Prefix, SelectedRoute> {
+        &self.selected
+    }
+
+    /// Introspection: per-neighbor summaries.
+    pub fn summaries(&self) -> Vec<NeighborSummary> {
+        self.sessions
+            .values()
+            .map(|s| NeighborSummary {
+                peer: s.cfg.peer,
+                remote_as: s.cfg.remote_as,
+                state: s.state,
+                prefixes_received: s.rib_in.len(),
+                prefixes_sent: s.rib_out.len(),
+            })
+            .collect()
+    }
+
+    pub fn session_state(&self, peer: Ipv4Addr) -> Option<SessionState> {
+        self.sessions.get(&peer).map(|s| s.state)
+    }
+
+    /// One candidate path for a prefix.
+    fn gather_candidates(
+        &self,
+        prefix: &Prefix,
+        resolver: &dyn NextHopResolver,
+    ) -> Vec<Candidate> {
+        let mut cands = Vec::new();
+        if let Some(attrs) = self.originated.get(prefix) {
+            cands.push(Candidate {
+                attrs: attrs.clone(),
+                from: None,
+                ebgp: false,
+                igp_metric: 0,
+                arrival: 0,
+                peer_router_id: 0,
+            });
+        }
+        for (peer, session) in &self.sessions {
+            if session.state != SessionState::Established {
+                continue;
+            }
+            let Some(entry) = session.rib_in.get(prefix) else { continue };
+            // Next hop must resolve through the IGP (not default).
+            let Some(igp_metric) = resolver.igp_metric(entry.attrs.next_hop) else {
+                continue;
+            };
+            cands.push(Candidate {
+                attrs: entry.attrs.clone(),
+                from: Some(*peer),
+                ebgp: session.cfg.is_ebgp(self.local_as),
+                igp_metric,
+                arrival: entry.arrival,
+                peer_router_id: u32::from(*peer),
+            });
+        }
+        cands
+    }
+
+    /// RFC 4271 §9.1.2.2 best-path selection over one prefix's candidates,
+    /// with the engine's vendor quirks applied.
+    fn select_best(&self, prefix: Prefix, mut cands: Vec<Candidate>) -> Option<SelectedRoute> {
+        if cands.is_empty() {
+            return None;
+        }
+        let quirks = self.quirks;
+        // Deterministic initial order.
+        cands.sort_by_key(|c| (c.from, c.arrival));
+        let best_idx = cands
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                // 1. Highest local-pref (default 100).
+                let lp_a = a.attrs.local_pref.unwrap_or(100);
+                let lp_b = b.attrs.local_pref.unwrap_or(100);
+                lp_b.cmp(&lp_a)
+                    // 2. Locally-originated first.
+                    .then_with(|| a.from.is_some().cmp(&b.from.is_some()))
+                    // 3. Shortest AS path.
+                    .then_with(|| {
+                        a.attrs.as_path.route_len().cmp(&b.attrs.as_path.route_len())
+                    })
+                    // 4. Lowest origin.
+                    .then_with(|| a.attrs.origin.cmp(&b.attrs.origin))
+                    // 5. Lowest MED among routes from the same first AS.
+                    .then_with(|| {
+                        if a.attrs.as_path.first_as() == b.attrs.as_path.first_as() {
+                            a.attrs.med.unwrap_or(0).cmp(&b.attrs.med.unwrap_or(0))
+                        } else {
+                            std::cmp::Ordering::Equal
+                        }
+                    })
+                    // 6. eBGP over iBGP.
+                    .then_with(|| b.ebgp.cmp(&a.ebgp))
+                    // 7. Lowest IGP metric to next hop (or the vendor's
+                    //    inverted comparison for iBGP when buggy).
+                    .then_with(|| {
+                        if quirks.ibgp_igp_metric_inverted && !a.ebgp && !b.ebgp {
+                            b.igp_metric.cmp(&a.igp_metric)
+                        } else {
+                            a.igp_metric.cmp(&b.igp_metric)
+                        }
+                    })
+                    // 8. Oldest path (arrival order), if enabled.
+                    .then_with(|| {
+                        if quirks.arrival_order_tiebreak {
+                            a.arrival.cmp(&b.arrival)
+                        } else {
+                            std::cmp::Ordering::Equal
+                        }
+                    })
+                    // 9. Lowest peer router id / address.
+                    .then_with(|| a.peer_router_id.cmp(&b.peer_router_id))
+            })
+            .map(|(i, _)| i)?;
+        let best = cands[best_idx].clone();
+
+        // ECMP: additional paths equal through step 7.
+        let mut next_hops = vec![best.attrs.next_hop];
+        let max_paths = self.max_paths as usize;
+        if max_paths > 1 {
+            for (i, c) in cands.iter().enumerate() {
+                if i == best_idx || next_hops.len() >= max_paths {
+                    continue;
+                }
+                let equal = c.attrs.local_pref.unwrap_or(100)
+                    == best.attrs.local_pref.unwrap_or(100)
+                    && c.from.is_some() == best.from.is_some()
+                    && c.attrs.as_path.route_len() == best.attrs.as_path.route_len()
+                    && c.attrs.origin == best.attrs.origin
+                    && c.ebgp == best.ebgp
+                    && c.igp_metric == best.igp_metric;
+                if equal && !next_hops.contains(&c.attrs.next_hop) {
+                    next_hops.push(c.attrs.next_hop);
+                }
+            }
+        }
+
+        Some(SelectedRoute {
+            prefix,
+            attrs: best.attrs,
+            learned_from: best.from,
+            ebgp: best.ebgp,
+            next_hops,
+        })
+    }
+
+    /// Recomputes the decision for `scope` prefixes (None = every prefix
+    /// with any candidate).
+    fn run_decision(&mut self, resolver: &dyn NextHopResolver, scope: Option<&BTreeSet<Prefix>>) {
+        let prefixes: Vec<Prefix> = match scope {
+            Some(set) => set.iter().copied().collect(),
+            None => {
+                self.selection_delta = SelectionDelta::All;
+                let mut all: BTreeSet<Prefix> = self.originated.keys().copied().collect();
+                for session in self.sessions.values() {
+                    if session.state == SessionState::Established {
+                        all.extend(session.rib_in.keys().copied());
+                    }
+                }
+                // Previously-selected prefixes may need removal too.
+                all.extend(self.selected.keys().copied());
+                all.into_iter().collect()
+            }
+        };
+        for prefix in prefixes {
+            let cands = self.gather_candidates(&prefix, resolver);
+            let changed = match self.select_best(prefix, cands) {
+                Some(route) => {
+                    self.selected.insert(prefix, route.clone()) != Some(route)
+                }
+                None => self.selected.remove(&prefix).is_some(),
+            };
+            if changed {
+                if let SelectionDelta::Prefixes(set) = &mut self.selection_delta {
+                    set.insert(prefix);
+                }
+            }
+        }
+    }
+
+    /// Hands the accumulated selection changes to the owner and resets the
+    /// accumulator.
+    pub fn take_selection_delta(&mut self) -> SelectionDelta {
+        std::mem::replace(&mut self.selection_delta, SelectionDelta::Prefixes(BTreeSet::new()))
+    }
+
+    /// The attributes this session should advertise for `route`, or `None`
+    /// when export rules / policy suppress it.
+    fn advert_attrs(
+        route: &SelectedRoute,
+        scfg: &SessionConfig,
+        from_client: bool,
+        local_as: AsNum,
+        route_maps: &BTreeMap<String, RouteMap>,
+        prefix_lists: &BTreeMap<String, PrefixList>,
+    ) -> Option<BgpAttrs> {
+        // Never advertise back to the peer we learned it from.
+        if route.learned_from == Some(scfg.peer) {
+            return None;
+        }
+        let ebgp_peer = scfg.is_ebgp(local_as);
+        // iBGP split horizon: iBGP-learned routes go to iBGP peers only when
+        // reflection applies.
+        if !ebgp_peer && route.learned_from.is_some() && !route.ebgp {
+            let to_client = scfg.rr_client;
+            if !from_client && !to_client {
+                return None;
+            }
+        }
+
+        let mut attrs = route.attrs.clone();
+        if ebgp_peer {
+            attrs.as_path = attrs.as_path.prepend(local_as);
+            attrs.local_pref = None;
+            attrs.med = None;
+            attrs.next_hop = scfg.local_addr;
+        } else {
+            attrs.local_pref = Some(attrs.local_pref.unwrap_or(100));
+            if scfg.next_hop_self || route.learned_from.is_none() {
+                attrs.next_hop = scfg.local_addr;
+            }
+        }
+        if attrs.next_hop == Ipv4Addr::UNSPECIFIED {
+            attrs.next_hop = scfg.local_addr;
+        }
+        if !scfg.send_community {
+            attrs.communities.clear();
+        }
+
+        match &scfg.route_map_out {
+            Some(name) => match route_maps.get(name) {
+                Some(rm) => match eval_route_map(rm, prefix_lists, &route.prefix, &attrs) {
+                    PolicyResult::Permit(a) => Some(a),
+                    PolicyResult::Deny => None,
+                },
+                // Referencing a missing route-map denies everything.
+                None => None,
+            },
+            None => Some(attrs),
+        }
+    }
+
+    /// Diffs the desired advertisements against each session's Adj-RIB-Out
+    /// and queues UPDATE messages, scoped to the changed prefixes.
+    fn generate_updates(
+        &mut self,
+        scope: Option<&BTreeSet<Prefix>>,
+        full_advert: &BTreeSet<Ipv4Addr>,
+    ) {
+        let local_as = self.local_as;
+        let route_maps = std::mem::take(&mut self.route_maps);
+        let prefix_lists = std::mem::take(&mut self.prefix_lists);
+
+        // Prefix universe for the incremental diff.
+        let prefixes: Vec<Prefix> = match scope {
+            Some(set) => set.iter().copied().collect(),
+            None => {
+                let mut all: BTreeSet<Prefix> = self.selected.keys().copied().collect();
+                for session in self.sessions.values() {
+                    all.extend(session.rib_out.keys().copied());
+                }
+                all.into_iter().collect()
+            }
+        };
+
+        // RR-client provenance resolver (cheap per-route lookup).
+        let rr_clients: BTreeSet<Ipv4Addr> = self
+            .sessions
+            .values()
+            .filter(|s| s.cfg.rr_client)
+            .map(|s| s.cfg.peer)
+            .collect();
+        let from_client = |route: &SelectedRoute| {
+            route.learned_from.map(|p| rr_clients.contains(&p)).unwrap_or(false)
+        };
+
+        let selected = std::mem::take(&mut self.selected);
+        // A freshly-established session needs its full Adj-RIB-Out computed,
+        // not just the changed prefixes.
+        let full_universe: Vec<Prefix> = if full_advert.is_empty() {
+            Vec::new()
+        } else {
+            selected.keys().copied().collect()
+        };
+        for session in self.sessions.values_mut() {
+            if session.state != SessionState::Established {
+                continue;
+            }
+            let scfg = session.cfg.clone();
+            let prefixes: &Vec<Prefix> = if full_advert.contains(&scfg.peer) {
+                &full_universe
+            } else {
+                &prefixes
+            };
+
+            let mut withdrawals: Vec<Prefix> = Vec::new();
+            let mut announcements: Vec<(Prefix, BgpAttrs)> = Vec::new();
+            for prefix in prefixes {
+                let want = selected.get(prefix).and_then(|route| {
+                    Self::advert_attrs(
+                        route,
+                        &scfg,
+                        from_client(route),
+                        local_as,
+                        &route_maps,
+                        &prefix_lists,
+                    )
+                });
+                match (want, session.rib_out.get(prefix)) {
+                    (None, Some(_)) => withdrawals.push(*prefix),
+                    (Some(attrs), prev) if prev != Some(&attrs) => {
+                        announcements.push((*prefix, attrs));
+                    }
+                    _ => {}
+                }
+            }
+
+            if !withdrawals.is_empty() {
+                for p in &withdrawals {
+                    session.rib_out.remove(p);
+                }
+                for chunk in withdrawals.chunks(2000) {
+                    self.out.push_back((
+                        scfg.peer,
+                        BgpMsg::Update(UpdateMsg::withdraw(chunk.to_vec())),
+                    ));
+                }
+            }
+            // RFC 4271 packing: prefixes sharing identical attributes ride
+            // in one UPDATE. Essential at production-route scale — a
+            // million-route feed is a few thousand messages, not a million.
+            let mut grouped: BTreeMap<BgpAttrs, Vec<Prefix>> = BTreeMap::new();
+            for (prefix, attrs) in announcements {
+                session.rib_out.insert(prefix, attrs.clone());
+                grouped.entry(attrs).or_default().push(prefix);
+            }
+            for (attrs, prefixes) in grouped {
+                let mut wire_attrs = vec![
+                    PathAttr::Origin(attrs.origin),
+                    PathAttr::AsPath(attrs.as_path.clone()),
+                    PathAttr::NextHop(attrs.next_hop),
+                ];
+                if let Some(med) = attrs.med {
+                    wire_attrs.push(PathAttr::Med(med));
+                }
+                if let Some(lp) = attrs.local_pref {
+                    wire_attrs.push(PathAttr::LocalPref(lp));
+                }
+                if !attrs.communities.is_empty() {
+                    wire_attrs.push(PathAttr::Communities(attrs.communities.clone()));
+                }
+                for (flags, type_code, value) in &attrs.foreign_attrs {
+                    // Unknown transitive attributes propagate with the
+                    // partial bit set; non-transitive ones are dropped.
+                    if flags & mfv_wire::bgp::FLAG_TRANSITIVE != 0 {
+                        wire_attrs.push(PathAttr::Unknown {
+                            flags: flags | mfv_wire::bgp::FLAG_PARTIAL,
+                            type_code: *type_code,
+                            value: value.clone(),
+                        });
+                    }
+                }
+                // Cap NLRI per message so the 2-byte frame length holds.
+                for chunk in prefixes.chunks(2000) {
+                    self.out.push_back((
+                        scfg.peer,
+                        BgpMsg::Update(UpdateMsg {
+                            withdrawn: vec![],
+                            attrs: wire_attrs.clone(),
+                            nlri: chunk.to_vec(),
+                        }),
+                    ));
+                }
+            }
+        }
+        self.selected = selected;
+        self.route_maps = route_maps;
+        self.prefix_lists = prefix_lists;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfv_config::BgpNeighborConfig;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Builds a two-router eBGP pair and drives both engines until quiet.
+    struct Pair {
+        a: BgpEngine,
+        b: BgpEngine,
+        now: SimTime,
+        resolver: TableResolver,
+    }
+
+    impl Pair {
+        fn new_ebgp() -> Pair {
+            let mut cfg_a = BgpConfig::new(AsNum(65001));
+            cfg_a.neighbors.push(BgpNeighborConfig::new(ip("10.0.0.2"), AsNum(65002)));
+            let mut cfg_b = BgpConfig::new(AsNum(65002));
+            cfg_b.neighbors.push(BgpNeighborConfig::new(ip("10.0.0.1"), AsNum(65001)));
+
+            let mut locals_a = BTreeMap::new();
+            locals_a.insert(ip("10.0.0.2"), ip("10.0.0.1"));
+            let mut locals_b = BTreeMap::new();
+            locals_b.insert(ip("10.0.0.1"), ip("10.0.0.2"));
+
+            let a = BgpEngine::new(
+                &cfg_a,
+                RouterId(ip("1.1.1.1")),
+                &locals_a,
+                BTreeMap::new(),
+                BTreeMap::new(),
+                DecisionQuirks::default(),
+            );
+            let b = BgpEngine::new(
+                &cfg_b,
+                RouterId(ip("2.2.2.2")),
+                &locals_b,
+                BTreeMap::new(),
+                BTreeMap::new(),
+                DecisionQuirks::default(),
+            );
+            let mut resolver = TableResolver::default();
+            resolver.0.insert(ip("10.0.0.1"), 0);
+            resolver.0.insert(ip("10.0.0.2"), 0);
+            Pair { a, b, now: SimTime::ZERO, resolver }
+        }
+
+        /// Runs both engines, shuttling messages, until no more traffic.
+        fn settle(&mut self) {
+            for _ in 0..50 {
+                self.now += SimDuration::from_millis(100);
+                let out_a = self.a.poll(self.now, &self.resolver);
+                let out_b = self.b.poll(self.now, &self.resolver);
+                if out_a.is_empty() && out_b.is_empty() {
+                    break;
+                }
+                for (_peer, msg) in out_a {
+                    self.b.push_msg(self.now, ip("10.0.0.1"), msg);
+                }
+                for (_peer, msg) in out_b {
+                    self.a.push_msg(self.now, ip("10.0.0.2"), msg);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ebgp_session_establishes() {
+        let mut pair = Pair::new_ebgp();
+        pair.settle();
+        assert_eq!(pair.a.session_state(ip("10.0.0.2")), Some(SessionState::Established));
+        assert_eq!(pair.b.session_state(ip("10.0.0.1")), Some(SessionState::Established));
+    }
+
+    #[test]
+    fn originated_route_propagates_with_as_path() {
+        let mut pair = Pair::new_ebgp();
+        pair.a.set_originated([pfx("203.0.113.0/24")]);
+        pair.settle();
+        let routes = pair.b.rib_routes();
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].prefix, pfx("203.0.113.0/24"));
+        assert_eq!(routes[0].proto, RouteProtocol::EbgpLearned);
+        assert_eq!(routes[0].next_hops, vec![NextHop::Via(ip("10.0.0.1"))]);
+        let sel = pair.b.selected().get(&pfx("203.0.113.0/24")).unwrap();
+        assert_eq!(sel.attrs.as_path, mfv_types::AsPath::sequence([AsNum(65001)]));
+    }
+
+    #[test]
+    fn withdrawal_propagates() {
+        let mut pair = Pair::new_ebgp();
+        pair.a.set_originated([pfx("203.0.113.0/24")]);
+        pair.settle();
+        assert_eq!(pair.b.rib_routes().len(), 1);
+        pair.a.set_originated([]);
+        pair.settle();
+        assert!(pair.b.rib_routes().is_empty());
+    }
+
+    #[test]
+    fn session_shutdown_flushes_routes() {
+        let mut pair = Pair::new_ebgp();
+        pair.a.set_originated([pfx("203.0.113.0/24")]);
+        pair.settle();
+        pair.a.shutdown_session(ip("10.0.0.2"), pair.now);
+        pair.settle();
+        assert!(pair.b.rib_routes().is_empty(), "notification must flush peer routes");
+        assert_eq!(pair.b.session_state(ip("10.0.0.1")), Some(SessionState::Idle));
+    }
+
+    #[test]
+    fn hold_timer_expiry_resets_session() {
+        let mut pair = Pair::new_ebgp();
+        pair.settle();
+        assert_eq!(pair.a.session_state(ip("10.0.0.2")), Some(SessionState::Established));
+        // Stop delivering B's messages; advance past hold time.
+        pair.now += SimDuration::from_secs(200);
+        let _ = pair.a.poll(pair.now, &pair.resolver.clone());
+        assert_eq!(pair.a.session_state(ip("10.0.0.2")), Some(SessionState::Idle));
+    }
+
+    #[test]
+    fn wrong_as_in_open_is_rejected() {
+        let mut pair = Pair::new_ebgp();
+        // B pretends to be AS 65999.
+        pair.a.push_msg(
+            pair.now,
+            ip("10.0.0.2"),
+            BgpMsg::Open(OpenMsg::new(AsNum(65999), 90, ip("9.9.9.9"))),
+        );
+        let out = pair.a.poll(pair.now, &pair.resolver.clone());
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, BgpMsg::Notification(n) if n.code == 2)));
+        assert_eq!(pair.a.session_state(ip("10.0.0.2")), Some(SessionState::Idle));
+    }
+
+    #[test]
+    fn unresolvable_next_hop_excluded_from_decision() {
+        let mut pair = Pair::new_ebgp();
+        pair.a.set_originated([pfx("203.0.113.0/24")]);
+        pair.settle();
+        assert_eq!(pair.b.rib_routes().len(), 1);
+        // Remove the resolver entry for A's address; B should drop the route.
+        pair.resolver.0.remove(&ip("10.0.0.1"));
+        pair.settle();
+        assert!(pair.b.rib_routes().is_empty());
+    }
+
+    #[test]
+    fn local_pref_beats_shorter_as_path() {
+        // Single engine with two eBGP peers offering the same prefix.
+        let mut cfg = BgpConfig::new(AsNum(65000));
+        cfg.neighbors.push(BgpNeighborConfig::new(ip("10.0.0.1"), AsNum(65001)));
+        cfg.neighbors.push(BgpNeighborConfig::new(ip("10.0.1.1"), AsNum(65002)));
+        let mut locals = BTreeMap::new();
+        locals.insert(ip("10.0.0.1"), ip("10.0.0.0"));
+        locals.insert(ip("10.0.1.1"), ip("10.0.1.0"));
+        // Import policy on peer 2 sets local-pref 200.
+        let mut rms = BTreeMap::new();
+        rms.insert(
+            "LP200".to_string(),
+            RouteMap {
+                entries: vec![mfv_config::RouteMapEntry {
+                    seq: 10,
+                    action: mfv_config::PolicyAction::Permit,
+                    matches: vec![],
+                    sets: vec![mfv_config::SetClause::LocalPref(200)],
+                }],
+            },
+        );
+        cfg.neighbors[1].route_map_in = Some("LP200".to_string());
+        let mut engine = BgpEngine::new(
+            &cfg,
+            RouterId(ip("3.3.3.3")),
+            &locals,
+            rms,
+            BTreeMap::new(),
+            DecisionQuirks::default(),
+        );
+        let mut resolver = TableResolver::default();
+        resolver.0.insert(ip("10.0.0.1"), 1);
+        resolver.0.insert(ip("10.0.1.1"), 1);
+
+        let now = SimTime(1000);
+        // Establish both sessions by hand.
+        for peer in [ip("10.0.0.1"), ip("10.0.1.1")] {
+            let _ = engine.poll(now, &resolver);
+            engine.push_msg(
+                now,
+                peer,
+                BgpMsg::Open(OpenMsg::new(
+                    if peer == ip("10.0.0.1") { AsNum(65001) } else { AsNum(65002) },
+                    90,
+                    peer,
+                )),
+            );
+            engine.push_msg(now, peer, BgpMsg::Keepalive);
+        }
+        assert_eq!(engine.session_state(ip("10.0.0.1")), Some(SessionState::Established));
+
+        // Peer 1 offers a SHORT path; peer 2 a LONG path but higher LP.
+        let update = |asns: Vec<u32>, nh: &str| {
+            BgpMsg::Update(UpdateMsg {
+                withdrawn: vec![],
+                attrs: vec![
+                    PathAttr::Origin(Origin::Igp),
+                    PathAttr::AsPath(mfv_types::AsPath::sequence(
+                        asns.into_iter().map(AsNum),
+                    )),
+                    PathAttr::NextHop(ip(nh)),
+                ],
+                nlri: vec![pfx("203.0.113.0/24")],
+            })
+        };
+        engine.push_msg(now, ip("10.0.0.1"), update(vec![65001], "10.0.0.1"));
+        engine.push_msg(
+            now,
+            ip("10.0.1.1"),
+            update(vec![65002, 65009, 65010], "10.0.1.1"),
+        );
+        let _ = engine.poll(now, &resolver);
+        let sel = engine.selected().get(&pfx("203.0.113.0/24")).unwrap();
+        assert_eq!(sel.learned_from, Some(ip("10.0.1.1")), "LP 200 must win");
+        assert_eq!(sel.attrs.local_pref, Some(200));
+    }
+
+    #[test]
+    fn ebgp_loop_prevention_discards_own_as() {
+        let mut pair = Pair::new_ebgp();
+        pair.settle();
+        // B sends A a route already carrying A's AS.
+        pair.a.push_msg(
+            pair.now,
+            ip("10.0.0.2"),
+            BgpMsg::Update(UpdateMsg {
+                withdrawn: vec![],
+                attrs: vec![
+                    PathAttr::Origin(Origin::Igp),
+                    PathAttr::AsPath(mfv_types::AsPath::sequence([
+                        AsNum(65002),
+                        AsNum(65001),
+                    ])),
+                    PathAttr::NextHop(ip("10.0.0.2")),
+                ],
+                nlri: vec![pfx("198.51.100.0/24")],
+            }),
+        );
+        let _ = pair.a.poll(pair.now, &pair.resolver.clone());
+        assert!(pair.a.rib_routes().is_empty());
+    }
+
+    #[test]
+    fn ibgp_metric_bug_flips_selection() {
+        // One engine, two iBGP peers offering the same prefix with different
+        // IGP metrics to their next hops.
+        let build = |quirks: DecisionQuirks| {
+            let mut cfg = BgpConfig::new(AsNum(65000));
+            cfg.neighbors.push(BgpNeighborConfig::new(ip("2.2.2.1"), AsNum(65000)));
+            cfg.neighbors.push(BgpNeighborConfig::new(ip("2.2.2.2"), AsNum(65000)));
+            let mut locals = BTreeMap::new();
+            locals.insert(ip("2.2.2.1"), ip("2.2.2.9"));
+            locals.insert(ip("2.2.2.2"), ip("2.2.2.9"));
+            let mut engine = BgpEngine::new(
+                &cfg,
+                RouterId(ip("2.2.2.9")),
+                &locals,
+                BTreeMap::new(),
+                BTreeMap::new(),
+                quirks,
+            );
+            let mut resolver = TableResolver::default();
+            resolver.0.insert(ip("2.2.2.1"), 10); // near
+            resolver.0.insert(ip("2.2.2.2"), 100); // far
+            let now = SimTime(1000);
+            for peer in [ip("2.2.2.1"), ip("2.2.2.2")] {
+                let _ = engine.poll(now, &resolver);
+                engine.push_msg(now, peer, BgpMsg::Open(OpenMsg::new(AsNum(65000), 90, peer)));
+                engine.push_msg(now, peer, BgpMsg::Keepalive);
+            }
+            for peer in [ip("2.2.2.1"), ip("2.2.2.2")] {
+                engine.push_msg(
+                    now,
+                    peer,
+                    BgpMsg::Update(UpdateMsg {
+                        withdrawn: vec![],
+                        attrs: vec![
+                            PathAttr::Origin(Origin::Igp),
+                            PathAttr::AsPath(mfv_types::AsPath::sequence([AsNum(65099)])),
+                            PathAttr::NextHop(peer),
+                            PathAttr::LocalPref(100),
+                        ],
+                        nlri: vec![pfx("203.0.113.0/24")],
+                    }),
+                );
+            }
+            let _ = engine.poll(now, &resolver);
+            engine.selected().get(&pfx("203.0.113.0/24")).unwrap().clone()
+        };
+
+        let correct = build(DecisionQuirks::default());
+        assert_eq!(correct.learned_from, Some(ip("2.2.2.1")), "nearest exit wins");
+
+        let buggy = build(DecisionQuirks {
+            ibgp_igp_metric_inverted: true,
+            arrival_order_tiebreak: true,
+        });
+        assert_eq!(
+            buggy.learned_from,
+            Some(ip("2.2.2.2")),
+            "the vendor bug selects the farther exit"
+        );
+    }
+
+    #[test]
+    fn neighbor_summaries_report_counts() {
+        let mut pair = Pair::new_ebgp();
+        pair.a.set_originated([pfx("203.0.113.0/24"), pfx("198.51.100.0/24")]);
+        pair.settle();
+        let sums = pair.a.summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].state, SessionState::Established);
+        assert_eq!(sums[0].prefixes_sent, 2);
+        let sums_b = pair.b.summaries();
+        assert_eq!(sums_b[0].prefixes_received, 2);
+    }
+
+    #[test]
+    fn foreign_transitive_attr_propagates_with_partial_bit() {
+        // A 3-router chain: X --ebgp-- A --ebgp-- (observe A's output).
+        let mut pair = Pair::new_ebgp();
+        pair.settle();
+        // Inject into A (from B) a route carrying an unknown transitive attr.
+        pair.a.push_msg(
+            pair.now,
+            ip("10.0.0.2"),
+            BgpMsg::Update(UpdateMsg {
+                withdrawn: vec![],
+                attrs: vec![
+                    PathAttr::Origin(Origin::Igp),
+                    PathAttr::AsPath(mfv_types::AsPath::sequence([AsNum(65002)])),
+                    PathAttr::NextHop(ip("10.0.0.2")),
+                    PathAttr::Unknown {
+                        flags: mfv_wire::bgp::FLAG_OPTIONAL | mfv_wire::bgp::FLAG_TRANSITIVE,
+                        type_code: 213,
+                        value: bytes::Bytes::from_static(&[1, 2, 3]),
+                    },
+                ],
+                nlri: vec![pfx("198.51.100.0/24")],
+            }),
+        );
+        let _ = pair.a.poll(pair.now, &pair.resolver.clone());
+        let sel = pair.a.selected().get(&pfx("198.51.100.0/24")).unwrap();
+        assert_eq!(sel.attrs.foreign_attrs.len(), 1);
+        assert_eq!(sel.attrs.foreign_attrs[0].1, 213);
+    }
+}

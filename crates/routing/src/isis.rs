@@ -1,0 +1,943 @@
+//! The IS-IS protocol engine: p2p adjacency formation (three-way handshake),
+//! LSP flooding with CSNP/PSNP database synchronisation, and SPF route
+//! computation.
+//!
+//! Poll-based like [`crate::bgp::BgpEngine`]: PDUs in via
+//! [`IsisEngine::push_pdu`], PDUs out via [`IsisEngine::poll`].
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use mfv_types::{IfaceAddr, IfaceId, Prefix, RouteProtocol, SimDuration, SimTime};
+use mfv_wire::isis::{
+    AdjState, Csnp, IpReach, IsNeighbor, IsisPdu, Lsp, LspEntry, LspId, P2pHello, Psnp,
+    SystemId, Tlv, NLPID_IPV4,
+};
+
+use crate::rib::{NextHop, RibRoute};
+
+/// Per-interface IS-IS configuration.
+#[derive(Clone, Debug)]
+pub struct IsisIfaceConfig {
+    pub iface: IfaceId,
+    pub addr: IfaceAddr,
+    pub metric: u32,
+    /// Passive interfaces are announced but form no adjacencies.
+    pub passive: bool,
+}
+
+/// Engine-level configuration.
+#[derive(Clone, Debug)]
+pub struct IsisEngineConfig {
+    pub system_id: SystemId,
+    /// Area bytes (AFI + area id) from the NET.
+    pub area: Bytes,
+    pub hostname: String,
+    pub ifaces: Vec<IsisIfaceConfig>,
+    /// Hello interval (default 10 s).
+    pub hello_interval: SimDuration,
+    /// Adjacency hold time (default 30 s).
+    pub hold_time: SimDuration,
+}
+
+impl IsisEngineConfig {
+    pub fn new(system_id: SystemId, area: Bytes, hostname: impl Into<String>) -> Self {
+        IsisEngineConfig {
+            system_id,
+            area,
+            hostname: hostname.into(),
+            ifaces: Vec::new(),
+            hello_interval: SimDuration::from_secs(10),
+            hold_time: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// State of one adjacency.
+#[derive(Clone, Debug)]
+struct Adjacency {
+    state: AdjState,
+    neighbor: Option<SystemId>,
+    /// Neighbor's interface address (from the hello), the IGP next hop.
+    neighbor_addr: Option<Ipv4Addr>,
+    expires: SimTime,
+    last_hello_tx: Option<SimTime>,
+    /// Interface administratively/physically up.
+    link_up: bool,
+}
+
+impl Adjacency {
+    fn down() -> Adjacency {
+        Adjacency {
+            state: AdjState::Down,
+            neighbor: None,
+            neighbor_addr: None,
+            expires: SimTime::ZERO,
+            last_hello_tx: None,
+            link_up: true,
+        }
+    }
+}
+
+/// Public adjacency snapshot for CLI/tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjacencyInfo {
+    pub iface: IfaceId,
+    pub state: AdjState,
+    pub neighbor: Option<SystemId>,
+    pub neighbor_addr: Option<Ipv4Addr>,
+}
+
+/// One LSDB row for `show isis database`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LsdbEntry {
+    pub lsp_id: LspId,
+    pub seq: u32,
+    pub hostname: Option<String>,
+}
+
+/// The IS-IS engine for one router.
+pub struct IsisEngine {
+    cfg: IsisEngineConfig,
+    adjacencies: BTreeMap<IfaceId, Adjacency>,
+    lsdb: BTreeMap<LspId, Lsp>,
+    own_seq: u32,
+    out: VecDeque<(IfaceId, IsisPdu)>,
+    /// SPF result cache, invalidated on any LSDB/adjacency change.
+    routes_cache: Option<Vec<RibRoute>>,
+}
+
+impl IsisEngine {
+    pub fn new(cfg: IsisEngineConfig) -> IsisEngine {
+        let adjacencies = cfg
+            .ifaces
+            .iter()
+            .filter(|i| !i.passive)
+            .map(|i| (i.iface.clone(), Adjacency::down()))
+            .collect();
+        let mut engine = IsisEngine {
+            cfg,
+            adjacencies,
+            lsdb: BTreeMap::new(),
+            own_seq: 0,
+            out: VecDeque::new(),
+            routes_cache: None,
+        };
+        engine.regenerate_own_lsp();
+        engine
+    }
+
+    pub fn system_id(&self) -> SystemId {
+        self.cfg.system_id
+    }
+
+    fn iface_cfg(&self, iface: &IfaceId) -> Option<&IsisIfaceConfig> {
+        self.cfg.ifaces.iter().find(|i| &i.iface == iface)
+    }
+
+    /// Marks a link up/down (failure injection). Downing a link tears the
+    /// adjacency immediately, as loss-of-light would.
+    pub fn set_link(&mut self, iface: &IfaceId, up: bool) {
+        if let Some(adj) = self.adjacencies.get_mut(iface) {
+            adj.link_up = up;
+            if !up && !matches!(adj.state, AdjState::Down) {
+                adj.state = AdjState::Down;
+                adj.neighbor = None;
+                adj.neighbor_addr = None;
+                self.regenerate_own_lsp();
+            }
+        }
+    }
+
+    /// Regenerates our own LSP after a topology-affecting change.
+    fn regenerate_own_lsp(&mut self) {
+        self.own_seq += 1;
+        let mut is_neighbors = Vec::new();
+        for (iface, adj) in &self.adjacencies {
+            if let (AdjState::Up, Some(n)) = (adj.state, adj.neighbor) {
+                let metric = self.iface_cfg(iface).map(|c| c.metric).unwrap_or(10);
+                is_neighbors.push(IsNeighbor { neighbor: n, pseudonode: 0, metric });
+            }
+        }
+        let ip_reaches: Vec<IpReach> = self
+            .cfg
+            .ifaces
+            .iter()
+            .map(|i| IpReach { metric: i.metric, prefix: i.addr.subnet(), down: false })
+            .collect();
+        let lsp = Lsp {
+            lifetime_secs: 1200,
+            lsp_id: LspId::of(self.cfg.system_id),
+            seq: self.own_seq,
+            tlvs: vec![
+                Tlv::Area(vec![self.cfg.area.clone()]),
+                Tlv::Protocols(vec![NLPID_IPV4]),
+                Tlv::Hostname(self.cfg.hostname.clone()),
+                Tlv::ExtIsReach(is_neighbors),
+                Tlv::ExtIpReach(ip_reaches),
+            ],
+        };
+        self.lsdb.insert(lsp.lsp_id, lsp.clone());
+        self.routes_cache = None;
+        // Flood to all Up adjacencies.
+        let up_ifaces: Vec<IfaceId> = self
+            .adjacencies
+            .iter()
+            .filter(|(_, a)| matches!(a.state, AdjState::Up))
+            .map(|(i, _)| i.clone())
+            .collect();
+        for iface in up_ifaces {
+            self.out.push_back((iface, IsisPdu::Lsp(lsp.clone())));
+        }
+    }
+
+    fn build_hello(&self, iface: &IfaceId) -> Option<IsisPdu> {
+        let icfg = self.iface_cfg(iface)?;
+        let adj = self.adjacencies.get(iface)?;
+        let (state, neighbor) = match (adj.state, adj.neighbor) {
+            (AdjState::Down, _) => (AdjState::Down, None),
+            (s, n) => (s, n),
+        };
+        Some(IsisPdu::P2pHello(P2pHello {
+            circuit_type: 2,
+            source: self.cfg.system_id,
+            hold_time_secs: (self.cfg.hold_time.as_millis() / 1000) as u16,
+            circuit_id: 1,
+            tlvs: vec![
+                Tlv::Area(vec![self.cfg.area.clone()]),
+                Tlv::Protocols(vec![NLPID_IPV4]),
+                Tlv::IpIfaceAddr(vec![icfg.addr.addr]),
+                Tlv::P2pAdjState { state, neighbor },
+            ],
+        }))
+    }
+
+    /// Feeds a received PDU into the engine.
+    pub fn push_pdu(&mut self, now: SimTime, iface: &IfaceId, pdu: IsisPdu) {
+        match pdu {
+            IsisPdu::P2pHello(hello) => self.on_hello(now, iface, hello),
+            IsisPdu::Lsp(lsp) => self.on_lsp(iface, lsp),
+            IsisPdu::Csnp(csnp) => self.on_csnp(iface, csnp),
+            IsisPdu::Psnp(psnp) => self.on_psnp(iface, psnp),
+        }
+    }
+
+    fn on_hello(&mut self, now: SimTime, iface: &IfaceId, hello: P2pHello) {
+        let Some(adj) = self.adjacencies.get(iface) else { return };
+        if !adj.link_up {
+            return;
+        }
+        // Area check: mismatched areas never form L2 p2p adjacency here
+        // (we run a single-area design, as the paper's topologies do).
+        let area_ok = hello.tlvs.iter().any(|t| match t {
+            Tlv::Area(areas) => areas.iter().any(|a| a == &self.cfg.area),
+            _ => false,
+        });
+        if !area_ok {
+            return;
+        }
+        let neighbor_addr = hello.tlvs.iter().find_map(|t| match t {
+            Tlv::IpIfaceAddr(addrs) => addrs.first().copied(),
+            _ => None,
+        });
+        let they_see_us = matches!(
+            hello.adj_state(),
+            Some((_, Some(n))) if n == self.cfg.system_id
+        );
+
+        let my_id = self.cfg.system_id;
+        let adj = self.adjacencies.get_mut(iface).unwrap();
+        adj.neighbor = Some(hello.source);
+        adj.neighbor_addr = neighbor_addr;
+        adj.expires = now + SimDuration::from_secs(hello.hold_time_secs as u64);
+        let old_state = adj.state;
+        adj.state = if they_see_us { AdjState::Up } else { AdjState::Initializing };
+        let new_state = adj.state;
+        let _ = my_id;
+
+        if old_state != new_state {
+            // Respond immediately so the three-way handshake completes in
+            // one exchange rather than a hello interval.
+            if let Some(h) = self.build_hello(iface) {
+                self.out.push_back((iface.clone(), h));
+            }
+            if matches!(new_state, AdjState::Up) {
+                self.regenerate_own_lsp();
+                // Database sync: full CSNP to the new neighbor.
+                let entries = self.csnp_entries();
+                self.out.push_back((
+                    iface.clone(),
+                    IsisPdu::Csnp(Csnp { source: self.cfg.system_id, entries }),
+                ));
+            } else if matches!(old_state, AdjState::Up) {
+                self.regenerate_own_lsp();
+            }
+        }
+    }
+
+    fn csnp_entries(&self) -> Vec<LspEntry> {
+        self.lsdb
+            .values()
+            .map(|l| LspEntry {
+                lifetime: l.lifetime_secs,
+                lsp_id: l.lsp_id,
+                seq: l.seq,
+                checksum: l.checksum(),
+            })
+            .collect()
+    }
+
+    fn on_lsp(&mut self, iface: &IfaceId, lsp: Lsp) {
+        let existing_seq = self.lsdb.get(&lsp.lsp_id).map(|l| l.seq);
+        if lsp.lsp_id.system == self.cfg.system_id {
+            // Someone floods our own LSP back. If theirs is newer (stale
+            // restart), outrun it.
+            if existing_seq.map(|s| lsp.seq >= s).unwrap_or(true) {
+                self.own_seq = lsp.seq;
+                self.regenerate_own_lsp();
+            }
+            return;
+        }
+        match existing_seq {
+            Some(s) if s >= lsp.seq => {
+                if s > lsp.seq {
+                    // We have newer: send ours back.
+                    let ours = self.lsdb.get(&lsp.lsp_id).unwrap().clone();
+                    self.out.push_back((iface.clone(), IsisPdu::Lsp(ours)));
+                }
+                // Equal: ack implicitly via PSNP.
+                else {
+                    self.out.push_back((
+                        iface.clone(),
+                        IsisPdu::Psnp(Psnp {
+                            source: self.cfg.system_id,
+                            entries: vec![LspEntry {
+                                lifetime: lsp.lifetime_secs,
+                                lsp_id: lsp.lsp_id,
+                                seq: lsp.seq,
+                                checksum: lsp.checksum(),
+                            }],
+                        }),
+                    ));
+                }
+            }
+            _ => {
+                // New or newer: install, ack, flood onward.
+                let entry = LspEntry {
+                    lifetime: lsp.lifetime_secs,
+                    lsp_id: lsp.lsp_id,
+                    seq: lsp.seq,
+                    checksum: lsp.checksum(),
+                };
+                self.lsdb.insert(lsp.lsp_id, lsp.clone());
+                self.routes_cache = None;
+                self.out.push_back((
+                    iface.clone(),
+                    IsisPdu::Psnp(Psnp { source: self.cfg.system_id, entries: vec![entry] }),
+                ));
+                let flood_to: Vec<IfaceId> = self
+                    .adjacencies
+                    .iter()
+                    .filter(|(i, a)| *i != iface && matches!(a.state, AdjState::Up))
+                    .map(|(i, _)| i.clone())
+                    .collect();
+                for fi in flood_to {
+                    self.out.push_back((fi, IsisPdu::Lsp(lsp.clone())));
+                }
+            }
+        }
+    }
+
+    fn on_csnp(&mut self, iface: &IfaceId, csnp: Csnp) {
+        let their: BTreeMap<LspId, u32> =
+            csnp.entries.iter().map(|e| (e.lsp_id, e.seq)).collect();
+        // Send them anything we have that they are missing or have older.
+        for (id, lsp) in &self.lsdb {
+            match their.get(id) {
+                Some(&their_seq) if their_seq >= lsp.seq => {}
+                _ => {
+                    self.out.push_back((iface.clone(), IsisPdu::Lsp(lsp.clone())));
+                }
+            }
+        }
+        // Request anything they have newer via PSNP.
+        let mut requests = Vec::new();
+        for e in &csnp.entries {
+            let ours = self.lsdb.get(&e.lsp_id).map(|l| l.seq).unwrap_or(0);
+            if e.seq > ours {
+                requests.push(LspEntry { lifetime: 0, lsp_id: e.lsp_id, seq: 0, checksum: 0 });
+            }
+        }
+        if !requests.is_empty() {
+            self.out.push_back((
+                iface.clone(),
+                IsisPdu::Psnp(Psnp { source: self.cfg.system_id, entries: requests }),
+            ));
+        }
+    }
+
+    fn on_psnp(&mut self, iface: &IfaceId, psnp: Psnp) {
+        // PSNP entries with seq 0 are requests; entries matching our seq are
+        // acks (no retransmission machinery needed in an ordered-delivery
+        // emulation, so acks are informational).
+        for e in &psnp.entries {
+            if let Some(lsp) = self.lsdb.get(&e.lsp_id) {
+                if e.seq < lsp.seq {
+                    self.out.push_back((iface.clone(), IsisPdu::Lsp(lsp.clone())));
+                }
+            }
+        }
+    }
+
+    /// Advances timers; returns PDUs to transmit.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(IfaceId, IsisPdu)> {
+        // Hello transmission.
+        let hello_due: Vec<IfaceId> = self
+            .adjacencies
+            .iter()
+            .filter(|(_, a)| {
+                a.link_up
+                    && a.last_hello_tx
+                        .map(|t| now.since(t) >= self.cfg.hello_interval)
+                        .unwrap_or(true)
+            })
+            .map(|(i, _)| i.clone())
+            .collect();
+        for iface in hello_due {
+            if let Some(h) = self.build_hello(&iface) {
+                self.out.push_back((iface.clone(), h));
+            }
+            if let Some(a) = self.adjacencies.get_mut(&iface) {
+                a.last_hello_tx = Some(now);
+            }
+        }
+
+        // Adjacency expiry.
+        let mut lost = false;
+        for adj in self.adjacencies.values_mut() {
+            if !matches!(adj.state, AdjState::Down) && now >= adj.expires {
+                adj.state = AdjState::Down;
+                adj.neighbor = None;
+                adj.neighbor_addr = None;
+                lost = true;
+            }
+        }
+        if lost {
+            self.regenerate_own_lsp();
+        }
+
+        self.out.drain(..).collect()
+    }
+
+    /// Earliest future instant at which a timer fires.
+    pub fn next_wakeup(&self, now: SimTime) -> SimTime {
+        let mut next = now + self.cfg.hello_interval;
+        for adj in self.adjacencies.values() {
+            if !adj.link_up {
+                continue;
+            }
+            let hello_at = adj
+                .last_hello_tx
+                .map(|t| t + self.cfg.hello_interval)
+                .unwrap_or(now);
+            if hello_at < next {
+                next = hello_at.max(SimTime(now.0 + 1));
+            }
+            if !matches!(adj.state, AdjState::Down) && adj.expires > now && adj.expires < next
+            {
+                next = adj.expires;
+            }
+        }
+        next
+    }
+
+    /// Current adjacency table.
+    pub fn adjacencies(&self) -> Vec<AdjacencyInfo> {
+        self.adjacencies
+            .iter()
+            .map(|(i, a)| AdjacencyInfo {
+                iface: i.clone(),
+                state: a.state,
+                neighbor: a.neighbor,
+                neighbor_addr: a.neighbor_addr,
+            })
+            .collect()
+    }
+
+    /// LSDB summary for `show isis database`.
+    pub fn lsdb(&self) -> Vec<LsdbEntry> {
+        self.lsdb
+            .values()
+            .map(|l| LsdbEntry {
+                lsp_id: l.lsp_id,
+                seq: l.seq,
+                hostname: l.hostname().map(|s| s.to_string()),
+            })
+            .collect()
+    }
+
+    /// Runs SPF and returns IS-IS routes for the RIB. Cached until the LSDB
+    /// or adjacency set changes.
+    pub fn routes(&mut self) -> Vec<RibRoute> {
+        if let Some(cached) = &self.routes_cache {
+            return cached.clone();
+        }
+        let routes = self.spf();
+        self.routes_cache = Some(routes.clone());
+        routes
+    }
+
+    /// Dijkstra over the LSDB with a bidirectional connectivity check.
+    fn spf(&self) -> Vec<RibRoute> {
+        // Adjacency edges from each system, via its LSP.
+        let neighbors_of = |sys: SystemId| -> Vec<IsNeighbor> {
+            self.lsdb
+                .get(&LspId::of(sys))
+                .map(|l| l.is_neighbors())
+                .unwrap_or_default()
+        };
+        let bidirectional = |a: SystemId, b: SystemId| -> bool {
+            neighbors_of(b).iter().any(|n| n.neighbor == a)
+        };
+
+        // First hops: our Up adjacencies.
+        let first_hops: Vec<(SystemId, IfaceId, Ipv4Addr, u32)> = self
+            .adjacencies
+            .iter()
+            .filter_map(|(iface, adj)| match (adj.state, adj.neighbor, adj.neighbor_addr) {
+                (AdjState::Up, Some(n), Some(addr)) => {
+                    let metric = self.iface_cfg(iface).map(|c| c.metric).unwrap_or(10);
+                    Some((n, iface.clone(), addr, metric))
+                }
+                _ => None,
+            })
+            .collect();
+
+        // Dijkstra: distance + set of equal-cost first hops per system.
+        #[derive(PartialEq, Eq)]
+        struct QueueItem(u32, SystemId);
+        impl Ord for QueueItem {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other.0.cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+            }
+        }
+        impl PartialOrd for QueueItem {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let me = self.cfg.system_id;
+        let mut dist: BTreeMap<SystemId, u32> = BTreeMap::new();
+        let mut hops: BTreeMap<SystemId, Vec<(IfaceId, Ipv4Addr)>> = BTreeMap::new();
+        let mut heap = BinaryHeap::new();
+
+        dist.insert(me, 0);
+        heap.push(QueueItem(0, me));
+        for (n, iface, addr, metric) in &first_hops {
+            if !bidirectional(me, *n) {
+                continue;
+            }
+            let d = *metric;
+            let entry = dist.entry(*n).or_insert(u32::MAX);
+            if d < *entry {
+                *entry = d;
+                hops.insert(*n, vec![(iface.clone(), *addr)]);
+                heap.push(QueueItem(d, *n));
+            } else if d == *entry {
+                hops.entry(*n).or_default().push((iface.clone(), *addr));
+            }
+        }
+
+        while let Some(QueueItem(d, sys)) = heap.pop() {
+            if dist.get(&sys).copied().unwrap_or(u32::MAX) < d {
+                continue;
+            }
+            if sys == me {
+                continue;
+            }
+            for edge in neighbors_of(sys) {
+                let next = edge.neighbor;
+                if next == me || !bidirectional(sys, next) {
+                    continue;
+                }
+                let nd = d.saturating_add(edge.metric);
+                let cur = dist.get(&next).copied().unwrap_or(u32::MAX);
+                if nd < cur {
+                    dist.insert(next, nd);
+                    hops.insert(next, hops.get(&sys).cloned().unwrap_or_default());
+                    heap.push(QueueItem(nd, next));
+                } else if nd == cur && nd != u32::MAX {
+                    let via_sys = hops.get(&sys).cloned().unwrap_or_default();
+                    let entry = hops.entry(next).or_default();
+                    for h in via_sys {
+                        if !entry.contains(&h) {
+                            entry.push(h);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Routes: prefixes advertised by reachable systems.
+        let my_prefixes: Vec<Prefix> =
+            self.cfg.ifaces.iter().map(|i| i.addr.subnet()).collect();
+        let mut best: BTreeMap<Prefix, (u32, Vec<(IfaceId, Ipv4Addr)>)> = BTreeMap::new();
+        for (sys, d) in &dist {
+            if *sys == me {
+                continue;
+            }
+            let Some(lsp) = self.lsdb.get(&LspId::of(*sys)) else { continue };
+            let Some(first) = hops.get(sys) else { continue };
+            for reach in lsp.ip_reaches() {
+                // Skip prefixes we own (connected beats IGP anyway, and
+                // shared link subnets would otherwise flap).
+                if my_prefixes.contains(&reach.prefix) {
+                    continue;
+                }
+                let total = d.saturating_add(reach.metric);
+                match best.get_mut(&reach.prefix) {
+                    Some((m, nh)) if *m == total => {
+                        for h in first {
+                            if !nh.contains(h) {
+                                nh.push(h.clone());
+                            }
+                        }
+                    }
+                    Some((m, nh)) if *m > total => {
+                        *m = total;
+                        *nh = first.clone();
+                    }
+                    Some(_) => {}
+                    None => {
+                        best.insert(reach.prefix, (total, first.clone()));
+                    }
+                }
+            }
+        }
+
+        best.into_iter()
+            .map(|(prefix, (metric, nhs))| RibRoute {
+                prefix,
+                proto: RouteProtocol::Isis,
+                admin_distance: mfv_types::AdminDistance::default_for(RouteProtocol::Isis),
+                metric,
+                next_hops: nhs
+                    .into_iter()
+                    .map(|(iface, addr)| NextHop::ViaIface(addr, iface))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(n: u8) -> SystemId {
+        SystemId([0, 0, 0, 0, 0, n])
+    }
+
+    fn area() -> Bytes {
+        Bytes::from_static(&[0x49, 0x00, 0x01])
+    }
+
+    fn engine(n: u8, ifaces: Vec<(&str, &str, u32)>) -> IsisEngine {
+        let mut cfg = IsisEngineConfig::new(sys(n), area(), format!("r{n}"));
+        for (iface, addr, metric) in ifaces {
+            cfg.ifaces.push(IsisIfaceConfig {
+                iface: iface.into(),
+                addr: addr.parse().unwrap(),
+                metric,
+                passive: false,
+            });
+        }
+        // A passive loopback, like real deployments.
+        cfg.ifaces.push(IsisIfaceConfig {
+            iface: "Loopback0".into(),
+            addr: format!("2.2.2.{n}/32").parse().unwrap(),
+            metric: 10,
+            passive: true,
+        });
+        IsisEngine::new(cfg)
+    }
+
+    /// A tiny in-test harness wiring engines over named links.
+    struct Net {
+        engines: Vec<IsisEngine>,
+        /// (engine index, iface) <-> (engine index, iface)
+        links: Vec<((usize, IfaceId), (usize, IfaceId))>,
+        now: SimTime,
+    }
+
+    impl Net {
+        fn settle(&mut self) {
+            for _ in 0..200 {
+                self.now += SimDuration::from_millis(500);
+                let mut deliveries: Vec<(usize, IfaceId, IsisPdu)> = Vec::new();
+                for (i, e) in self.engines.iter_mut().enumerate() {
+                    for (iface, pdu) in e.poll(self.now) {
+                        if let Some((di, diface)) = peer_of(&self.links, i, &iface) {
+                            deliveries.push((di, diface, pdu));
+                        }
+                    }
+                }
+                if deliveries.is_empty() && self.now.0 > 2000 {
+                    // One extra settle round to flush reactions.
+                    let mut extra = false;
+                    for (i, e) in self.engines.iter_mut().enumerate() {
+                        let _ = i;
+                        if e.out.is_empty() {
+                            continue;
+                        }
+                        extra = true;
+                    }
+                    if !extra {
+                        break;
+                    }
+                }
+                loop {
+                    let mut next: Vec<(usize, IfaceId, IsisPdu)> = Vec::new();
+                    for (di, diface, pdu) in deliveries.drain(..) {
+                        self.engines[di].push_pdu(self.now, &diface, pdu);
+                        for (iface, out) in self.engines[di].out.drain(..).collect::<Vec<_>>()
+                        {
+                            if let Some((ti, tiface)) = peer_of(&self.links, di, &iface) {
+                                next.push((ti, tiface, out));
+                            }
+                        }
+                    }
+                    if next.is_empty() {
+                        break;
+                    }
+                    deliveries = next;
+                }
+            }
+        }
+    }
+
+    fn peer_of(
+        links: &[((usize, IfaceId), (usize, IfaceId))],
+        node: usize,
+        iface: &IfaceId,
+    ) -> Option<(usize, IfaceId)> {
+        for ((a, ai), (b, bi)) in links {
+            if *a == node && ai == iface {
+                return Some((*b, bi.clone()));
+            }
+            if *b == node && bi == iface {
+                return Some((*a, ai.clone()));
+            }
+        }
+        None
+    }
+
+    fn line3() -> Net {
+        // r1 -(eth0/eth0)- r2 -(eth1/eth0)- r3
+        let e1 = engine(1, vec![("eth0", "100.64.0.0/31", 10)]);
+        let e2 = engine(
+            2,
+            vec![("eth0", "100.64.0.1/31", 10), ("eth1", "100.64.0.2/31", 10)],
+        );
+        let e3 = engine(3, vec![("eth0", "100.64.0.3/31", 10)]);
+        Net {
+            engines: vec![e1, e2, e3],
+            links: vec![
+                ((0, "eth0".into()), (1, "eth0".into())),
+                ((1, "eth1".into()), (2, "eth0".into())),
+            ],
+            now: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn adjacency_three_way_handshake() {
+        let mut net = line3();
+        net.settle();
+        for e in &net.engines {
+            for adj in e.adjacencies() {
+                assert_eq!(adj.state, AdjState::Up, "{:?} {:?}", e.cfg.hostname, adj);
+                assert!(adj.neighbor_addr.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn lsdb_synchronizes_everywhere() {
+        let mut net = line3();
+        net.settle();
+        for e in &net.engines {
+            let db = e.lsdb();
+            assert_eq!(db.len(), 3, "{} lsdb: {:?}", e.cfg.hostname, db);
+        }
+        // Hostnames present.
+        let names: Vec<Option<String>> =
+            net.engines[0].lsdb().into_iter().map(|e| e.hostname).collect();
+        assert!(names.contains(&Some("r3".to_string())));
+    }
+
+    #[test]
+    fn spf_computes_transit_routes() {
+        let mut net = line3();
+        net.settle();
+        // r1 must reach r3's loopback via r2.
+        let routes = net.engines[0].routes();
+        let lo3 = routes
+            .iter()
+            .find(|r| r.prefix == "2.2.2.3/32".parse().unwrap())
+            .expect("route to r3 loopback");
+        assert_eq!(lo3.metric, 10 + 10 + 10); // eth0 + eth1 + loopback reach
+        match &lo3.next_hops[0] {
+            NextHop::ViaIface(addr, iface) => {
+                assert_eq!(*addr, "100.64.0.1".parse::<Ipv4Addr>().unwrap());
+                assert_eq!(iface, &IfaceId::from("eth0"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Far link subnet also reachable.
+        assert!(routes
+            .iter()
+            .any(|r| r.prefix == "100.64.0.2/31".parse().unwrap()));
+        // Our own link subnet is not an IS-IS route.
+        assert!(!routes
+            .iter()
+            .any(|r| r.prefix == "100.64.0.0/31".parse().unwrap()));
+    }
+
+    #[test]
+    fn link_down_reroutes_or_removes() {
+        let mut net = line3();
+        net.settle();
+        assert!(net.engines[0]
+            .routes()
+            .iter()
+            .any(|r| r.prefix == "2.2.2.3/32".parse().unwrap()));
+        // Cut r2–r3.
+        net.engines[1].set_link(&"eth1".into(), false);
+        net.engines[2].set_link(&"eth0".into(), false);
+        net.settle();
+        let routes = net.engines[0].routes();
+        assert!(
+            !routes.iter().any(|r| r.prefix == "2.2.2.3/32".parse().unwrap()),
+            "r3 loopback must disappear after the cut: {routes:?}"
+        );
+        // r2 still reachable.
+        assert!(routes.iter().any(|r| r.prefix == "2.2.2.2/32".parse().unwrap()));
+    }
+
+    #[test]
+    fn adjacency_expires_without_hellos() {
+        let mut net = line3();
+        net.settle();
+        // Stop delivering: advance r1 far past hold time.
+        net.engines[0].poll(SimTime(net.now.0 + 120_000));
+        let adjs = net.engines[0].adjacencies();
+        assert!(adjs.iter().all(|a| a.state == AdjState::Down));
+        assert!(net.engines[0].routes().is_empty());
+    }
+
+    #[test]
+    fn area_mismatch_blocks_adjacency() {
+        let mut cfg1 = IsisEngineConfig::new(sys(1), area(), "r1");
+        cfg1.ifaces.push(IsisIfaceConfig {
+            iface: "eth0".into(),
+            addr: "10.0.0.0/31".parse().unwrap(),
+            metric: 10,
+            passive: false,
+        });
+        let mut cfg2 = IsisEngineConfig::new(
+            sys(2),
+            Bytes::from_static(&[0x49, 0x00, 0x99]), // different area
+            "r2",
+        );
+        cfg2.ifaces.push(IsisIfaceConfig {
+            iface: "eth0".into(),
+            addr: "10.0.0.1/31".parse().unwrap(),
+            metric: 10,
+            passive: false,
+        });
+        let mut net = Net {
+            engines: vec![IsisEngine::new(cfg1), IsisEngine::new(cfg2)],
+            links: vec![((0, "eth0".into()), (1, "eth0".into()))],
+            now: SimTime::ZERO,
+        };
+        net.settle();
+        assert!(net.engines[0]
+            .adjacencies()
+            .iter()
+            .all(|a| a.state == AdjState::Down));
+    }
+
+    #[test]
+    fn ecmp_on_equal_cost_paths() {
+        // Square: r1 - r2 - r4 and r1 - r3 - r4, all metric 10.
+        let e1 = engine(1, vec![("eth0", "10.0.12.0/31", 10), ("eth1", "10.0.13.0/31", 10)]);
+        let e2 = engine(2, vec![("eth0", "10.0.12.1/31", 10), ("eth1", "10.0.24.0/31", 10)]);
+        let e3 = engine(3, vec![("eth0", "10.0.13.1/31", 10), ("eth1", "10.0.34.0/31", 10)]);
+        let e4 = engine(4, vec![("eth0", "10.0.24.1/31", 10), ("eth1", "10.0.34.1/31", 10)]);
+        let mut net = Net {
+            engines: vec![e1, e2, e3, e4],
+            links: vec![
+                ((0, "eth0".into()), (1, "eth0".into())),
+                ((0, "eth1".into()), (2, "eth0".into())),
+                ((1, "eth1".into()), (3, "eth0".into())),
+                ((2, "eth1".into()), (3, "eth1".into())),
+            ],
+            now: SimTime::ZERO,
+        };
+        net.settle();
+        let routes = net.engines[0].routes();
+        let to4 = routes
+            .iter()
+            .find(|r| r.prefix == "2.2.2.4/32".parse().unwrap())
+            .expect("route to r4");
+        assert_eq!(to4.next_hops.len(), 2, "two equal-cost paths: {to4:?}");
+    }
+
+    #[test]
+    fn passive_interface_announced_but_no_adjacency() {
+        let e = engine(1, vec![("eth0", "10.0.0.0/31", 10)]);
+        // Loopback0 is passive: no adjacency slot exists for it.
+        assert!(e.adjacencies().iter().all(|a| a.iface != IfaceId::from("Loopback0")));
+        // But its prefix is in our LSP.
+        let own = e.lsdb.get(&LspId::of(sys(1))).unwrap();
+        assert!(own
+            .ip_reaches()
+            .iter()
+            .any(|r| r.prefix == "2.2.2.1/32".parse().unwrap()));
+    }
+
+    #[test]
+    fn metric_asymmetry_prefers_cheap_path() {
+        // Triangle: r1-r2 (10), r2-r3 (10), r1-r3 (100).
+        let e1 = engine(1, vec![("eth0", "10.0.12.0/31", 10), ("eth1", "10.0.13.0/31", 100)]);
+        let e2 = engine(2, vec![("eth0", "10.0.12.1/31", 10), ("eth1", "10.0.23.0/31", 10)]);
+        let e3 = engine(3, vec![("eth0", "10.0.13.1/31", 100), ("eth1", "10.0.23.1/31", 10)]);
+        let mut net = Net {
+            engines: vec![e1, e2, e3],
+            links: vec![
+                ((0, "eth0".into()), (1, "eth0".into())),
+                ((0, "eth1".into()), (2, "eth0".into())),
+                ((1, "eth1".into()), (2, "eth1".into())),
+            ],
+            now: SimTime::ZERO,
+        };
+        net.settle();
+        let routes = net.engines[0].routes();
+        let to3 = routes
+            .iter()
+            .find(|r| r.prefix == "2.2.2.3/32".parse().unwrap())
+            .unwrap();
+        // Via r2: 10 + 10 + 10(loopback metric) = 30; direct: 100 + 10.
+        assert_eq!(to3.metric, 30);
+        match &to3.next_hops[0] {
+            NextHop::ViaIface(addr, _) => {
+                assert_eq!(*addr, "10.0.12.1".parse::<Ipv4Addr>().unwrap())
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

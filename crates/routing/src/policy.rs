@@ -1,0 +1,304 @@
+//! Routing-policy evaluation: route-maps applied to BGP routes at
+//! import/export time.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use mfv_config::{MatchClause, PolicyAction, PrefixList, RouteMap, SetClause};
+use mfv_types::{AsPath, Community, Origin, Prefix};
+
+/// The mutable attribute set of a BGP route as it moves through policy.
+///
+/// `Ord` exists so update generation can group prefixes sharing identical
+/// attributes into one UPDATE (RFC 4271 packing) via a BTreeMap key.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct BgpAttrs {
+    pub origin: Origin,
+    pub as_path: AsPath,
+    /// Protocol next hop (not yet resolved).
+    pub next_hop: Ipv4Addr,
+    pub med: Option<u32>,
+    pub local_pref: Option<u32>,
+    pub communities: Vec<Community>,
+    /// Unknown transitive attributes carried through (flags, type, value).
+    pub foreign_attrs: Vec<(u8, u8, bytes::Bytes)>,
+}
+
+impl BgpAttrs {
+    /// Attributes of a locally-originated route.
+    pub fn originated(next_hop: Ipv4Addr) -> BgpAttrs {
+        BgpAttrs {
+            origin: Origin::Igp,
+            as_path: AsPath::empty(),
+            next_hop,
+            med: None,
+            local_pref: None,
+            communities: Vec::new(),
+            foreign_attrs: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of running a policy over a route.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PolicyResult {
+    Permit(BgpAttrs),
+    Deny,
+}
+
+/// Evaluates `route_map` against (prefix, attrs). First matching entry wins;
+/// a route that matches no entry is denied (industry-standard implicit deny).
+pub fn eval_route_map(
+    route_map: &RouteMap,
+    prefix_lists: &BTreeMap<String, PrefixList>,
+    prefix: &Prefix,
+    attrs: &BgpAttrs,
+) -> PolicyResult {
+    for entry in &route_map.entries {
+        let matched = entry.matches.iter().all(|m| match m {
+            MatchClause::PrefixList(name) => prefix_lists
+                .get(name)
+                .map(|pl| pl.permits(prefix))
+                .unwrap_or(false),
+            MatchClause::Community(c) => attrs.communities.contains(c),
+            MatchClause::MaxAsPathLen(n) => attrs.as_path.route_len() <= *n,
+        });
+        if !matched {
+            continue;
+        }
+        match entry.action {
+            PolicyAction::Deny => return PolicyResult::Deny,
+            PolicyAction::Permit => {
+                let mut out = attrs.clone();
+                for set in &entry.sets {
+                    apply_set(&mut out, set);
+                }
+                return PolicyResult::Permit(out);
+            }
+        }
+    }
+    PolicyResult::Deny
+}
+
+fn apply_set(attrs: &mut BgpAttrs, set: &SetClause) {
+    match set {
+        SetClause::LocalPref(v) => attrs.local_pref = Some(*v),
+        SetClause::Med(v) => attrs.med = Some(*v),
+        SetClause::AddCommunities(cs) => {
+            for c in cs {
+                if !attrs.communities.contains(c) {
+                    attrs.communities.push(*c);
+                }
+            }
+            attrs.communities.sort();
+        }
+        SetClause::SetCommunities(cs) => {
+            attrs.communities = cs.clone();
+            attrs.communities.sort();
+        }
+        SetClause::PrependAsPath(asns) => {
+            // Prepends apply left-to-right: the first listed AS ends up
+            // leftmost on the wire.
+            for asn in asns.iter().rev() {
+                attrs.as_path = attrs.as_path.prepend(*asn);
+            }
+        }
+        SetClause::NextHop(ip) => attrs.next_hop = *ip,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfv_config::{PrefixListEntry, RouteMapEntry};
+    use mfv_types::AsNum;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn base_attrs() -> BgpAttrs {
+        BgpAttrs {
+            origin: Origin::Igp,
+            as_path: AsPath::sequence([AsNum(65002)]),
+            next_hop: Ipv4Addr::new(100, 64, 0, 0),
+            med: None,
+            local_pref: None,
+            communities: vec![Community::new(65002, 1)],
+            foreign_attrs: Vec::new(),
+        }
+    }
+
+    fn prefix_lists() -> BTreeMap<String, PrefixList> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "CUST".to_string(),
+            PrefixList {
+                entries: vec![PrefixListEntry {
+                    seq: 10,
+                    action: PolicyAction::Permit,
+                    prefix: pfx("203.0.113.0/24"),
+                    ge: None,
+                    le: Some(32),
+                }],
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn implicit_deny_when_nothing_matches() {
+        let rm = RouteMap {
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Permit,
+                matches: vec![MatchClause::PrefixList("CUST".into())],
+                sets: vec![],
+            }],
+        };
+        let res =
+            eval_route_map(&rm, &prefix_lists(), &pfx("8.8.8.0/24"), &base_attrs());
+        assert_eq!(res, PolicyResult::Deny);
+    }
+
+    #[test]
+    fn match_and_set_local_pref() {
+        let rm = RouteMap {
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Permit,
+                matches: vec![MatchClause::PrefixList("CUST".into())],
+                sets: vec![SetClause::LocalPref(200)],
+            }],
+        };
+        match eval_route_map(&rm, &prefix_lists(), &pfx("203.0.113.128/25"), &base_attrs())
+        {
+            PolicyResult::Permit(attrs) => assert_eq!(attrs.local_pref, Some(200)),
+            PolicyResult::Deny => panic!("should permit"),
+        }
+    }
+
+    #[test]
+    fn deny_entry_short_circuits() {
+        let rm = RouteMap {
+            entries: vec![
+                RouteMapEntry {
+                    seq: 10,
+                    action: PolicyAction::Deny,
+                    matches: vec![MatchClause::Community(Community::new(65002, 1))],
+                    sets: vec![],
+                },
+                RouteMapEntry {
+                    seq: 20,
+                    action: PolicyAction::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                },
+            ],
+        };
+        let res =
+            eval_route_map(&rm, &prefix_lists(), &pfx("203.0.113.0/24"), &base_attrs());
+        assert_eq!(res, PolicyResult::Deny);
+    }
+
+    #[test]
+    fn empty_match_list_matches_everything() {
+        let rm = RouteMap {
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Permit,
+                matches: vec![],
+                sets: vec![SetClause::Med(77)],
+            }],
+        };
+        match eval_route_map(&rm, &prefix_lists(), &pfx("1.2.3.0/24"), &base_attrs()) {
+            PolicyResult::Permit(attrs) => assert_eq!(attrs.med, Some(77)),
+            PolicyResult::Deny => panic!("should permit"),
+        }
+    }
+
+    #[test]
+    fn prepend_preserves_wire_order() {
+        let rm = RouteMap {
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Permit,
+                matches: vec![],
+                sets: vec![SetClause::PrependAsPath(vec![AsNum(65001), AsNum(65001)])],
+            }],
+        };
+        match eval_route_map(&rm, &prefix_lists(), &pfx("1.2.3.0/24"), &base_attrs()) {
+            PolicyResult::Permit(attrs) => {
+                assert_eq!(
+                    attrs.as_path,
+                    AsPath::sequence([AsNum(65001), AsNum(65001), AsNum(65002)])
+                );
+            }
+            PolicyResult::Deny => panic!("should permit"),
+        }
+    }
+
+    #[test]
+    fn additive_communities_dedupe_and_sort() {
+        let rm = RouteMap {
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Permit,
+                matches: vec![],
+                sets: vec![SetClause::AddCommunities(vec![
+                    Community::new(65002, 1), // duplicate of existing
+                    Community::new(65001, 9),
+                ])],
+            }],
+        };
+        match eval_route_map(&rm, &prefix_lists(), &pfx("1.2.3.0/24"), &base_attrs()) {
+            PolicyResult::Permit(attrs) => {
+                assert_eq!(
+                    attrs.communities,
+                    vec![Community::new(65001, 9), Community::new(65002, 1)]
+                );
+            }
+            PolicyResult::Deny => panic!("should permit"),
+        }
+    }
+
+    #[test]
+    fn all_match_clauses_must_hold() {
+        let rm = RouteMap {
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Permit,
+                matches: vec![
+                    MatchClause::PrefixList("CUST".into()),
+                    MatchClause::Community(Community::new(9, 9)), // not present
+                ],
+                sets: vec![],
+            }],
+        };
+        let res =
+            eval_route_map(&rm, &prefix_lists(), &pfx("203.0.113.0/24"), &base_attrs());
+        assert_eq!(res, PolicyResult::Deny);
+    }
+
+    #[test]
+    fn as_path_length_guard() {
+        let rm = RouteMap {
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Permit,
+                matches: vec![MatchClause::MaxAsPathLen(1)],
+                sets: vec![],
+            }],
+        };
+        assert!(matches!(
+            eval_route_map(&rm, &prefix_lists(), &pfx("1.0.0.0/8"), &base_attrs()),
+            PolicyResult::Permit(_)
+        ));
+        let mut long = base_attrs();
+        long.as_path = AsPath::sequence([AsNum(1), AsNum(2), AsNum(3)]);
+        assert_eq!(
+            eval_route_map(&rm, &prefix_lists(), &pfx("1.0.0.0/8"), &long),
+            PolicyResult::Deny
+        );
+    }
+}

@@ -1,0 +1,610 @@
+//! Routing Information Base and Forwarding Information Base.
+//!
+//! Every protocol engine contributes candidate [`RibRoute`]s; the RIB picks
+//! per-prefix winners by administrative distance then metric, and the FIB is
+//! computed from the winners with recursive next-hop resolution (a BGP route
+//! whose next hop is a loopback resolves through the IGP route covering that
+//! loopback).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use mfv_types::{AdminDistance, IfaceId, Prefix, PrefixTrie, RouteProtocol};
+
+/// How a route reaches its destination.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NextHop {
+    /// Destination is on a directly connected subnet of this interface.
+    Connected(IfaceId),
+    /// Forward via a gateway address (resolved recursively through the RIB).
+    Via(Ipv4Addr),
+    /// Forward via a gateway out a known interface (IGP routes: the SPF
+    /// already knows the egress interface).
+    ViaIface(Ipv4Addr, IfaceId),
+    /// Deliberate discard (null route).
+    Discard,
+}
+
+/// A candidate route offered to the RIB by some protocol.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RibRoute {
+    pub prefix: Prefix,
+    pub proto: RouteProtocol,
+    pub admin_distance: AdminDistance,
+    /// Intra-protocol metric (IGP cost, BGP MED is *not* this — BGP performs
+    /// its own selection and submits only winners).
+    pub metric: u32,
+    pub next_hops: Vec<NextHop>,
+}
+
+impl RibRoute {
+    pub fn new(prefix: Prefix, proto: RouteProtocol, metric: u32, nh: NextHop) -> RibRoute {
+        RibRoute {
+            prefix,
+            proto,
+            admin_distance: AdminDistance::default_for(proto),
+            metric,
+            next_hops: vec![nh],
+        }
+    }
+}
+
+/// One resolved forwarding action.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct FibNextHop {
+    /// Egress interface.
+    pub iface: IfaceId,
+    /// Gateway to forward to; `None` when the destination is directly
+    /// attached on `iface`.
+    pub via: Option<Ipv4Addr>,
+}
+
+/// A resolved FIB entry.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FibEntry {
+    pub prefix: Prefix,
+    pub proto: RouteProtocol,
+    /// One or more (ECMP) next hops, sorted for determinism.
+    pub next_hops: Vec<FibNextHop>,
+}
+
+/// The full RIB: candidate routes, stored per protocol so that a protocol
+/// engine can swap its contribution in O(its own size) rather than O(table)
+/// — essential when a small IGP coexists with a million-route BGP table.
+#[derive(Clone, Debug, Default)]
+pub struct Rib {
+    per_proto: BTreeMap<RouteProtocol, BTreeMap<Prefix, RibRoute>>,
+}
+
+impl Rib {
+    pub fn new() -> Rib {
+        Rib::default()
+    }
+
+    /// Replaces all routes contributed by `proto` with `routes`.
+    ///
+    /// Protocol engines recompute their full route set on each convergence
+    /// step; swap semantics keep the RIB consistent without per-route
+    /// add/remove bookkeeping.
+    pub fn set_protocol_routes(&mut self, proto: RouteProtocol, routes: Vec<RibRoute>) {
+        let map: BTreeMap<Prefix, RibRoute> = routes
+            .into_iter()
+            .inspect(|r| debug_assert_eq!(r.proto, proto))
+            .map(|r| (r.prefix, r))
+            .collect();
+        if map.is_empty() {
+            self.per_proto.remove(&proto);
+        } else {
+            self.per_proto.insert(proto, map);
+        }
+    }
+
+    /// All candidates for a prefix (one per contributing protocol).
+    pub fn candidates(&self, prefix: &Prefix) -> Vec<&RibRoute> {
+        self.per_proto.values().filter_map(|m| m.get(prefix)).collect()
+    }
+
+    /// The per-prefix winner: lowest admin distance, then lowest metric,
+    /// then protocol enum order as a deterministic tiebreak.
+    pub fn best(&self, prefix: &Prefix) -> Option<&RibRoute> {
+        self.per_proto
+            .values()
+            .filter_map(|m| m.get(prefix))
+            .min_by_key(|r| (r.admin_distance, r.metric, r.proto))
+    }
+
+    /// Iterates (prefix, winner) pairs, in prefix order.
+    pub fn winners(&self) -> impl Iterator<Item = (&Prefix, &RibRoute)> {
+        // Merge the per-protocol maps: collect the prefix universe, then
+        // resolve each. The all-prefixes scan is inherent to a full-table
+        // walk; incremental paths avoid calling this.
+        let mut universe: BTreeSet<&Prefix> = BTreeSet::new();
+        for m in self.per_proto.values() {
+            universe.extend(m.keys());
+        }
+        universe.into_iter().filter_map(|p| Some((p, self.best(p)?)))
+    }
+
+    /// Iterates (prefix, route) pairs contributed by one protocol.
+    pub fn protocol_routes(
+        &self,
+        proto: RouteProtocol,
+    ) -> impl Iterator<Item = (&Prefix, &RibRoute)> {
+        self.per_proto.get(&proto).into_iter().flat_map(|m| m.iter())
+    }
+
+    /// Total number of prefixes with at least one candidate.
+    pub fn len(&self) -> usize {
+        let mut universe: BTreeSet<&Prefix> = BTreeSet::new();
+        for m in self.per_proto.values() {
+            universe.extend(m.keys());
+        }
+        universe.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.per_proto.is_empty()
+    }
+
+    /// Resolves the RIB into a FIB.
+    ///
+    /// `Via` next hops resolve recursively (up to a depth bound) through the
+    /// winners; routes whose next hop cannot be resolved are dropped — a
+    /// route to an unreachable gateway must not be installed.
+    pub fn to_fib(&self) -> Fib {
+        // Build a winner trie once for recursive resolution.
+        let mut winner_trie: PrefixTrie<&RibRoute> = PrefixTrie::new();
+        for (p, r) in self.winners() {
+            winner_trie.insert(*p, r);
+        }
+
+        let mut fib = Fib::new();
+        for (prefix, route) in self.winners() {
+            let (resolved, discard) = resolve_next_hops(&winner_trie, &route.next_hops);
+            if !resolved.is_empty() {
+                fib.insert(FibEntry {
+                    prefix: *prefix,
+                    proto: route.proto,
+                    next_hops: resolved,
+                });
+            } else if discard {
+                fib.insert(FibEntry {
+                    prefix: *prefix,
+                    proto: route.proto,
+                    next_hops: Vec::new(),
+                });
+            }
+            // else: unresolvable — not installed.
+        }
+        fib
+    }
+}
+
+/// Resolves a route's next hops against a winner trie, returning the
+/// concrete (iface, via) pairs plus whether a discard action was present.
+/// Shared by [`Rib::to_fib`] and incremental FIB patching in router shells.
+pub fn resolve_next_hops(
+    winners: &PrefixTrie<&RibRoute>,
+    next_hops: &[NextHop],
+) -> (Vec<FibNextHop>, bool) {
+    let mut resolved: Vec<FibNextHop> = Vec::new();
+    let mut discard = false;
+    for nh in next_hops {
+        match nh {
+            NextHop::Connected(iface) => {
+                resolved.push(FibNextHop { iface: iface.clone(), via: None });
+            }
+            NextHop::ViaIface(gw, iface) => {
+                resolved.push(FibNextHop { iface: iface.clone(), via: Some(*gw) });
+            }
+            NextHop::Via(gw) => {
+                resolved.extend(resolve_via(winners, *gw, 0));
+            }
+            NextHop::Discard => {
+                discard = true;
+            }
+        }
+    }
+    resolved.sort();
+    resolved.dedup();
+    (resolved, discard)
+}
+
+/// Recursively resolves a gateway address to concrete (iface, via) pairs.
+fn resolve_via(
+    winners: &PrefixTrie<&RibRoute>,
+    gw: Ipv4Addr,
+    depth: usize,
+) -> Vec<FibNextHop> {
+    // Recursion bound: real implementations bound recursive resolution; 8
+    // levels is far beyond any sane design.
+    if depth > 8 {
+        return Vec::new();
+    }
+    let Some((covering, route)) = winners.lookup(gw) else {
+        return Vec::new();
+    };
+    // A default route cannot resolve a BGP next hop (standard behaviour:
+    // next-hop resolution ignores the default route).
+    if covering.is_default() && depth == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for nh in &route.next_hops {
+        match nh {
+            NextHop::Connected(iface) => {
+                // Gateway is on a connected subnet: forward directly to it.
+                out.push(FibNextHop { iface: iface.clone(), via: Some(gw) });
+            }
+            NextHop::ViaIface(via, iface) => {
+                out.push(FibNextHop { iface: iface.clone(), via: Some(*via) });
+            }
+            NextHop::Via(next_gw) => {
+                out.extend(resolve_via(winners, *next_gw, depth + 1));
+            }
+            NextHop::Discard => {}
+        }
+    }
+    out
+}
+
+/// The FIB: longest-prefix-match forwarding state.
+#[derive(Clone, Debug, Default)]
+pub struct Fib {
+    trie: PrefixTrie<FibEntry>,
+}
+
+impl Fib {
+    pub fn new() -> Fib {
+        Fib { trie: PrefixTrie::new() }
+    }
+
+    pub fn insert(&mut self, entry: FibEntry) {
+        self.trie.insert(entry.prefix, entry);
+    }
+
+    /// Removes the entry at exactly `prefix`, returning it if present.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<FibEntry> {
+        self.trie.remove(prefix)
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<&FibEntry> {
+        self.trie.lookup(dst).map(|(_, e)| e)
+    }
+
+    /// Exact-prefix lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&FibEntry> {
+        self.trie.get(prefix)
+    }
+
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trie.len() == 0
+    }
+
+    /// All entries in prefix order.
+    pub fn entries(&self) -> Vec<&FibEntry> {
+        self.trie.iter().map(|(_, e)| e).collect()
+    }
+
+    /// Structural equality check used by the convergence detector: two FIBs
+    /// are equal when they hold identical entries.
+    pub fn same_as(&self, other: &Fib) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.trie
+            .iter()
+            .zip(other.trie.iter())
+            .all(|((pa, ea), (pb, eb))| pa == pb && ea == eb)
+    }
+
+    /// A compact digest of the FIB used for cheap convergence comparison.
+    pub fn digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for (p, e) in self.trie.iter() {
+            p.hash(&mut h);
+            e.proto.hash(&mut h);
+            e.next_hops.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn connected(prefix: &str, iface: &str) -> RibRoute {
+        RibRoute::new(
+            p(prefix),
+            RouteProtocol::Connected,
+            0,
+            NextHop::Connected(iface.into()),
+        )
+    }
+
+    #[test]
+    fn admin_distance_selects_winner() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Isis,
+            vec![RibRoute::new(
+                p("10.0.0.0/8"),
+                RouteProtocol::Isis,
+                20,
+                NextHop::ViaIface(ip("1.1.1.2"), "eth0".into()),
+            )],
+        );
+        rib.set_protocol_routes(
+            RouteProtocol::Static,
+            vec![RibRoute::new(
+                p("10.0.0.0/8"),
+                RouteProtocol::Static,
+                0,
+                NextHop::Discard,
+            )],
+        );
+        assert_eq!(rib.best(&p("10.0.0.0/8")).unwrap().proto, RouteProtocol::Static);
+    }
+
+    #[test]
+    fn metric_breaks_ties_within_distance() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Isis,
+            vec![
+                RibRoute::new(
+                    p("10.0.0.0/8"),
+                    RouteProtocol::Isis,
+                    30,
+                    NextHop::ViaIface(ip("1.1.1.2"), "eth0".into()),
+                ),
+                RibRoute::new(
+                    p("10.0.0.0/8"),
+                    RouteProtocol::Isis,
+                    10,
+                    NextHop::ViaIface(ip("1.1.2.2"), "eth1".into()),
+                ),
+            ],
+        );
+        let best = rib.best(&p("10.0.0.0/8")).unwrap();
+        assert_eq!(best.metric, 10);
+    }
+
+    #[test]
+    fn set_protocol_routes_replaces_previous() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Isis,
+            vec![RibRoute::new(
+                p("10.0.0.0/8"),
+                RouteProtocol::Isis,
+                10,
+                NextHop::Discard,
+            )],
+        );
+        rib.set_protocol_routes(
+            RouteProtocol::Isis,
+            vec![RibRoute::new(
+                p("20.0.0.0/8"),
+                RouteProtocol::Isis,
+                10,
+                NextHop::Discard,
+            )],
+        );
+        assert!(rib.best(&p("10.0.0.0/8")).is_none());
+        assert!(rib.best(&p("20.0.0.0/8")).is_some());
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn fib_resolves_connected_and_iface_routes() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Connected,
+            vec![connected("100.64.0.0/31", "eth0")],
+        );
+        rib.set_protocol_routes(
+            RouteProtocol::Isis,
+            vec![RibRoute::new(
+                p("2.2.2.2/32"),
+                RouteProtocol::Isis,
+                10,
+                NextHop::ViaIface(ip("100.64.0.1"), "eth0".into()),
+            )],
+        );
+        let fib = rib.to_fib();
+        assert_eq!(fib.len(), 2);
+        let e = fib.lookup(ip("2.2.2.2")).unwrap();
+        assert_eq!(e.next_hops[0], FibNextHop { iface: "eth0".into(), via: Some(ip("100.64.0.1")) });
+        let c = fib.lookup(ip("100.64.0.1")).unwrap();
+        assert_eq!(c.next_hops[0], FibNextHop { iface: "eth0".into(), via: None });
+    }
+
+    #[test]
+    fn fib_recursive_resolution_of_bgp_next_hop() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Connected,
+            vec![connected("100.64.0.0/31", "eth0")],
+        );
+        // IGP knows the remote loopback.
+        rib.set_protocol_routes(
+            RouteProtocol::Isis,
+            vec![RibRoute::new(
+                p("2.2.2.5/32"),
+                RouteProtocol::Isis,
+                10,
+                NextHop::ViaIface(ip("100.64.0.1"), "eth0".into()),
+            )],
+        );
+        // BGP route via the loopback (iBGP next-hop-self).
+        rib.set_protocol_routes(
+            RouteProtocol::IbgpLearned,
+            vec![RibRoute::new(
+                p("203.0.113.0/24"),
+                RouteProtocol::IbgpLearned,
+                0,
+                NextHop::Via(ip("2.2.2.5")),
+            )],
+        );
+        let fib = rib.to_fib();
+        let e = fib.lookup(ip("203.0.113.7")).unwrap();
+        assert_eq!(e.proto, RouteProtocol::IbgpLearned);
+        assert_eq!(
+            e.next_hops,
+            vec![FibNextHop { iface: "eth0".into(), via: Some(ip("100.64.0.1")) }]
+        );
+    }
+
+    #[test]
+    fn unresolvable_next_hop_not_installed() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::EbgpLearned,
+            vec![RibRoute::new(
+                p("203.0.113.0/24"),
+                RouteProtocol::EbgpLearned,
+                0,
+                NextHop::Via(ip("99.99.99.99")),
+            )],
+        );
+        let fib = rib.to_fib();
+        assert!(fib.lookup(ip("203.0.113.1")).is_none());
+    }
+
+    #[test]
+    fn default_route_does_not_resolve_next_hops() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Connected,
+            vec![connected("100.64.0.0/31", "eth0")],
+        );
+        rib.set_protocol_routes(
+            RouteProtocol::Static,
+            vec![RibRoute::new(
+                p("0.0.0.0/0"),
+                RouteProtocol::Static,
+                0,
+                NextHop::ViaIface(ip("100.64.0.1"), "eth0".into()),
+            )],
+        );
+        rib.set_protocol_routes(
+            RouteProtocol::EbgpLearned,
+            vec![RibRoute::new(
+                p("203.0.113.0/24"),
+                RouteProtocol::EbgpLearned,
+                0,
+                NextHop::Via(ip("8.8.8.8")), // only covered by 0/0
+            )],
+        );
+        let fib = rib.to_fib();
+        // The /24 must not be installed (its next hop only resolves via the
+        // default route); packets to it fall through to the default.
+        assert!(fib.get(&p("203.0.113.0/24")).is_none());
+        assert_eq!(fib.lookup(ip("203.0.113.1")).unwrap().prefix, p("0.0.0.0/0"));
+        // The default route itself is still installed.
+        assert!(fib.lookup(ip("8.8.8.8")).is_some());
+    }
+
+    #[test]
+    fn discard_route_installs_empty_next_hops() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Static,
+            vec![RibRoute::new(
+                p("192.0.2.0/24"),
+                RouteProtocol::Static,
+                0,
+                NextHop::Discard,
+            )],
+        );
+        let fib = rib.to_fib();
+        let e = fib.lookup(ip("192.0.2.1")).unwrap();
+        assert!(e.next_hops.is_empty());
+    }
+
+    #[test]
+    fn ecmp_next_hops_are_sorted_and_deduped() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Isis,
+            vec![RibRoute {
+                prefix: p("10.0.0.0/8"),
+                proto: RouteProtocol::Isis,
+                admin_distance: AdminDistance::default_for(RouteProtocol::Isis),
+                metric: 10,
+                next_hops: vec![
+                    NextHop::ViaIface(ip("1.0.0.2"), "eth1".into()),
+                    NextHop::ViaIface(ip("1.0.0.1"), "eth0".into()),
+                    NextHop::ViaIface(ip("1.0.0.2"), "eth1".into()),
+                ],
+            }],
+        );
+        let fib = rib.to_fib();
+        let e = fib.lookup(ip("10.1.1.1")).unwrap();
+        assert_eq!(e.next_hops.len(), 2);
+        assert!(e.next_hops[0] < e.next_hops[1]);
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Connected,
+            vec![connected("10.0.0.0/24", "eth0")],
+        );
+        let f1 = rib.to_fib();
+        rib.set_protocol_routes(
+            RouteProtocol::Connected,
+            vec![connected("10.0.0.0/24", "eth0"), connected("10.0.1.0/24", "eth1")],
+        );
+        let f2 = rib.to_fib();
+        assert_ne!(f1.digest(), f2.digest());
+        assert!(!f1.same_as(&f2));
+        assert!(f1.same_as(&f1.clone()));
+    }
+
+    #[test]
+    fn resolution_loop_terminates() {
+        // Two static routes resolving through each other must not hang.
+        let mut rib = Rib::new();
+        rib.set_protocol_routes(
+            RouteProtocol::Static,
+            vec![
+                RibRoute::new(
+                    p("1.0.0.0/8"),
+                    RouteProtocol::Static,
+                    0,
+                    NextHop::Via(ip("2.0.0.1")),
+                ),
+                RibRoute::new(
+                    p("2.0.0.0/8"),
+                    RouteProtocol::Static,
+                    0,
+                    NextHop::Via(ip("1.0.0.1")),
+                ),
+            ],
+        );
+        let fib = rib.to_fib();
+        assert!(fib.lookup(ip("1.2.3.4")).is_none());
+        assert!(fib.lookup(ip("2.3.4.5")).is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared vocabulary types for the model-free verification stack.
+//!
+//! This crate is dependency-light and is used by every other crate in the
+//! workspace. It provides:
+//!
+//! - IPv4 prefixes and interface addresses ([`Prefix`], [`IfaceAddr`])
+//! - identifiers ([`RouterId`], [`AsNum`], [`NodeId`], [`IfaceId`], [`LinkId`])
+//! - routing attribute types shared across protocol implementations
+//!   ([`AsPath`], [`Community`], [`Origin`], [`AdminDistance`], …)
+//! - a longest-prefix-match trie ([`trie::PrefixTrie`])
+//! - a header-space algebra over IPv4 ranges ([`hs::IpSet`],
+//!   [`hs::PacketClass`]) used by the exhaustive verification engine
+//! - simulated-time primitives ([`time::SimTime`], [`time::SimDuration`])
+
+pub mod addr;
+pub mod attrs;
+pub mod hs;
+pub mod ids;
+pub mod time;
+pub mod trie;
+
+pub use addr::{IfaceAddr, Prefix, PrefixParseError};
+pub use attrs::{AdminDistance, AsPath, AsPathSegment, Community, Origin, RouteProtocol};
+pub use hs::{IpSet, PacketClass};
+pub use ids::{AsNum, IfaceId, LinkId, NodeId, RouterId};
+pub use time::{SimDuration, SimTime};
+pub use trie::PrefixTrie;

@@ -1,0 +1,160 @@
+//! Simulated time.
+//!
+//! All control-plane emulation runs on a virtual clock owned by the
+//! discrete-event engine; nothing in the workspace reads the wall clock.
+//! Resolution is one millisecond, which is finer than any protocol timer we
+//! model (hello intervals, keepalives, boot times).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms)
+    }
+
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000)
+    }
+
+    pub const fn from_mins(m: u64) -> SimDuration {
+        SimDuration(m * 60_000)
+    }
+
+    pub fn as_millis(&self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    pub fn as_mins_f64(&self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// Saturating multiplication by a scalar.
+    pub fn saturating_mul(&self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 60_000 && self.0 % 1_000 == 0 {
+            write!(f, "{:.1}min", self.as_mins_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+/// An instant on the simulated clock: milliseconds since emulation start.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn as_millis(&self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(3);
+        assert_eq!(t.as_millis(), 3_000);
+        assert_eq!(t.since(SimTime(1_000)), SimDuration(2_000));
+        assert_eq!(t.since(SimTime(9_000)), SimDuration::ZERO);
+        assert_eq!(t - SimTime(500), SimDuration(2_500));
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SimDuration::from_mins(3).as_millis(), 180_000);
+        assert_eq!(SimDuration::from_secs(2) + SimDuration(5), SimDuration(2_005));
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(SimDuration(900).to_string(), "900ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.000s");
+        assert_eq!(SimDuration::from_mins(3).to_string(), "3.0min");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration(1) < SimDuration(2));
+    }
+}

@@ -1,0 +1,574 @@
+//! Symbolic forwarding analysis over a dataplane snapshot.
+//!
+//! The engine propagates *sets of destination addresses* (packet classes)
+//! hop by hop: at each node the remaining class is partitioned by the FIB's
+//! longest-prefix-match structure, each partition follows its next hops, and
+//! every packet ends in exactly one [`Disposition`]. Because classes are
+//! exact [`IpSet`]s, a query covers **all 2³² destinations at once** — the
+//! exhaustive-search property that distinguishes verification from probing
+//! (§3: "identifying specific routes that do not satisfy a desired invariant
+//! or concluding no such routes exist").
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use mfv_dataplane::Dataplane;
+use mfv_routing::rib::{Fib, FibEntry};
+use mfv_types::{IfaceId, IpSet, NodeId, Prefix};
+
+/// The fate of a packet class.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Disposition {
+    /// Delivered: the destination address is owned by this node.
+    Accepted(NodeId),
+    /// Dropped: no FIB entry matched at this node.
+    NoRoute(NodeId),
+    /// Dropped: matched a null/discard route at this node.
+    NullRoute(NodeId),
+    /// Left the modelled network via an interface with no attached link
+    /// (e.g. toward an external peer) at this node.
+    ExitsNetwork(NodeId),
+    /// Dropped: the node was down (crashed/unbooted) when encountered.
+    NodeDown(NodeId),
+    /// Forwarding loop detected (the node that was revisited).
+    Loop(NodeId),
+    /// Equal-cost branches disagree about the fate of this class.
+    EcmpDivergent(NodeId),
+}
+
+impl Disposition {
+    /// Is this packet class successfully delivered?
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Disposition::Accepted(_))
+    }
+
+    /// The node where the fate was decided.
+    pub fn node(&self) -> &NodeId {
+        match self {
+            Disposition::Accepted(n)
+            | Disposition::NoRoute(n)
+            | Disposition::NullRoute(n)
+            | Disposition::ExitsNetwork(n)
+            | Disposition::NodeDown(n)
+            | Disposition::Loop(n)
+            | Disposition::EcmpDivergent(n) => n,
+        }
+    }
+}
+
+impl std::fmt::Display for Disposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Disposition::Accepted(n) => write!(f, "accepted at {n}"),
+            Disposition::NoRoute(n) => write!(f, "no route at {n}"),
+            Disposition::NullRoute(n) => write!(f, "null-routed at {n}"),
+            Disposition::ExitsNetwork(n) => write!(f, "exits network at {n}"),
+            Disposition::NodeDown(n) => write!(f, "dropped at down node {n}"),
+            Disposition::Loop(n) => write!(f, "loops at {n}"),
+            Disposition::EcmpDivergent(n) => write!(f, "ecmp-divergent at {n}"),
+        }
+    }
+}
+
+/// One hop of a single-packet trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceHop {
+    pub node: NodeId,
+    /// The egress interface taken (absent on the final hop).
+    pub egress: Option<IfaceId>,
+}
+
+/// Result of a single-packet traceroute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    pub hops: Vec<TraceHop>,
+    pub disposition: Disposition,
+}
+
+struct NodeState {
+    fib: Fib,
+    /// Disjoint effective match classes: (class, entry) where `class` is
+    /// exactly the set of destinations this entry forwards (its prefix
+    /// minus all more-specific prefixes in the same FIB).
+    classes: Vec<(IpSet, FibEntry)>,
+    /// Union of all matched destinations (complement = NoRoute).
+    covered: IpSet,
+    addresses: IpSet,
+    up: bool,
+}
+
+/// The analysis context: a dataplane with per-node match classes
+/// precomputed.
+pub struct ForwardingAnalysis {
+    nodes: BTreeMap<NodeId, NodeState>,
+    dp: Dataplane,
+}
+
+fn effective_classes(fib: &Fib) -> (Vec<(IpSet, FibEntry)>, IpSet) {
+    let entries: Vec<&FibEntry> = fib.entries();
+    let prefixes: Vec<Prefix> = entries.iter().map(|e| e.prefix).collect();
+    let mut covered = IpSet::empty();
+    let mut classes = Vec::with_capacity(entries.len());
+    for e in &entries {
+        let mut eff = IpSet::from_prefix(&e.prefix);
+        for q in &prefixes {
+            if *q != e.prefix && e.prefix.covers(q) {
+                eff = eff.subtract(&IpSet::from_prefix(q));
+            }
+        }
+        if !eff.is_empty() {
+            covered = covered.union(&IpSet::from_prefix(&e.prefix));
+            classes.push((eff, (*e).clone()));
+        } else {
+            covered = covered.union(&IpSet::from_prefix(&e.prefix));
+        }
+    }
+    (classes, covered)
+}
+
+impl ForwardingAnalysis {
+    pub fn new(dp: &Dataplane) -> ForwardingAnalysis {
+        let mut nodes = BTreeMap::new();
+        for (name, node) in &dp.nodes {
+            let fib = node.fib();
+            let (classes, covered) = effective_classes(&fib);
+            let mut addresses = IpSet::empty();
+            for a in &node.addresses {
+                addresses = addresses.union(&IpSet::single(*a));
+            }
+            nodes.insert(
+                name.clone(),
+                NodeState { fib, classes, covered, addresses, up: node.up },
+            );
+        }
+        ForwardingAnalysis { nodes, dp: dp.clone() }
+    }
+
+    pub fn dataplane(&self) -> &Dataplane {
+        &self.dp
+    }
+
+    pub fn node_names(&self) -> Vec<NodeId> {
+        self.nodes.keys().cloned().collect()
+    }
+
+    /// Exhaustively computes the fate of every destination in `dst`,
+    /// for packets entering the network at `from`.
+    pub fn dispositions_from(&self, from: &NodeId, dst: &IpSet) -> Vec<(IpSet, Disposition)> {
+        let mut visited = Vec::new();
+        let mut out = self.explore(from, dst.clone(), &mut visited);
+        // Canonical order for stable comparison.
+        out.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.ranges().cmp(b.0.ranges())));
+        coalesce(out)
+    }
+
+    fn explore(
+        &self,
+        node: &NodeId,
+        dst: IpSet,
+        visited: &mut Vec<NodeId>,
+    ) -> Vec<(IpSet, Disposition)> {
+        if dst.is_empty() {
+            return Vec::new();
+        }
+        let Some(state) = self.nodes.get(node) else {
+            return vec![(dst, Disposition::NodeDown(node.clone()))];
+        };
+        if !state.up {
+            return vec![(dst, Disposition::NodeDown(node.clone()))];
+        }
+        let mut out = Vec::new();
+
+        // Local delivery first.
+        let accepted = dst.intersect(&state.addresses);
+        if !accepted.is_empty() {
+            out.push((accepted.clone(), Disposition::Accepted(node.clone())));
+        }
+        let mut rest = dst.subtract(&accepted);
+        if rest.is_empty() {
+            return out;
+        }
+
+        // Loop check: transit through an already-visited node.
+        if visited.contains(node) {
+            out.push((rest, Disposition::Loop(node.clone())));
+            return out;
+        }
+        visited.push(node.clone());
+
+        // Unrouted remainder.
+        let unrouted = rest.subtract(&state.covered);
+        if !unrouted.is_empty() {
+            out.push((unrouted.clone(), Disposition::NoRoute(node.clone())));
+            rest = rest.subtract(&unrouted);
+        }
+
+        for (eff, entry) in &state.classes {
+            let cls = rest.intersect(eff);
+            if cls.is_empty() {
+                continue;
+            }
+            if entry.next_hops.is_empty() {
+                out.push((cls, Disposition::NullRoute(node.clone())));
+                continue;
+            }
+            // Explore every ECMP branch; merge their verdicts per subclass.
+            let mut branch_results: Vec<Vec<(IpSet, Disposition)>> = Vec::new();
+            for nh in &entry.next_hops {
+                match self.dp.peer_of(node, &nh.iface) {
+                    Some((peer, _)) => {
+                        let peer = peer.clone();
+                        branch_results.push(self.explore(&peer, cls.clone(), visited));
+                    }
+                    None => {
+                        branch_results
+                            .push(vec![(cls.clone(), Disposition::ExitsNetwork(node.clone()))]);
+                    }
+                }
+            }
+            out.extend(merge_branches(node, branch_results));
+        }
+        visited.pop();
+        out
+    }
+
+    /// Single-packet trace with full hop recording (ECMP: first next hop,
+    /// as a hashing dataplane would pick deterministically for one flow).
+    pub fn trace(&self, from: &NodeId, dst: Ipv4Addr) -> Trace {
+        let mut hops = Vec::new();
+        let mut node = from.clone();
+        let mut seen: Vec<NodeId> = Vec::new();
+        loop {
+            let Some(state) = self.nodes.get(&node) else {
+                hops.push(TraceHop { node: node.clone(), egress: None });
+                return Trace { hops, disposition: Disposition::NodeDown(node) };
+            };
+            if !state.up {
+                hops.push(TraceHop { node: node.clone(), egress: None });
+                return Trace { hops, disposition: Disposition::NodeDown(node) };
+            }
+            if state.addresses.contains(dst) {
+                hops.push(TraceHop { node: node.clone(), egress: None });
+                return Trace { hops, disposition: Disposition::Accepted(node) };
+            }
+            if seen.contains(&node) {
+                hops.push(TraceHop { node: node.clone(), egress: None });
+                return Trace { hops, disposition: Disposition::Loop(node) };
+            }
+            seen.push(node.clone());
+            let Some(entry) = state.fib.lookup(dst) else {
+                hops.push(TraceHop { node: node.clone(), egress: None });
+                return Trace { hops, disposition: Disposition::NoRoute(node) };
+            };
+            let Some(nh) = entry.next_hops.first() else {
+                hops.push(TraceHop { node: node.clone(), egress: None });
+                return Trace { hops, disposition: Disposition::NullRoute(node) };
+            };
+            hops.push(TraceHop { node: node.clone(), egress: Some(nh.iface.clone()) });
+            match self.dp.peer_of(&node, &nh.iface) {
+                Some((peer, _)) => {
+                    node = peer.clone();
+                }
+                None => {
+                    return Trace { hops, disposition: Disposition::ExitsNetwork(node) };
+                }
+            }
+        }
+    }
+}
+
+/// Are two fates equivalent for ECMP purposes? Delivery must land at the
+/// same node; failures of the same kind are equivalent wherever they occur
+/// (flow hashing picks one branch — the *observable* fate class matters).
+fn equivalent(a: &Disposition, b: &Disposition) -> bool {
+    match (a, b) {
+        (Disposition::Accepted(x), Disposition::Accepted(y)) => x == y,
+        (Disposition::NoRoute(_), Disposition::NoRoute(_))
+        | (Disposition::NullRoute(_), Disposition::NullRoute(_))
+        | (Disposition::ExitsNetwork(_), Disposition::ExitsNetwork(_))
+        | (Disposition::NodeDown(_), Disposition::NodeDown(_))
+        | (Disposition::Loop(_), Disposition::Loop(_))
+        | (Disposition::EcmpDivergent(_), Disposition::EcmpDivergent(_)) => true,
+        _ => false,
+    }
+}
+
+/// Merges per-branch verdicts: where branches agree the verdict stands;
+/// where they disagree the class is ECMP-divergent.
+fn merge_branches(
+    node: &NodeId,
+    mut branches: Vec<Vec<(IpSet, Disposition)>>,
+) -> Vec<(IpSet, Disposition)> {
+    let Some(mut acc) = branches.pop() else { return Vec::new() };
+    while let Some(next) = branches.pop() {
+        let mut merged = Vec::new();
+        for (set_a, disp_a) in &acc {
+            for (set_b, disp_b) in &next {
+                let inter = set_a.intersect(set_b);
+                if inter.is_empty() {
+                    continue;
+                }
+                if equivalent(disp_a, disp_b) {
+                    merged.push((inter, disp_a.clone()));
+                } else {
+                    merged.push((inter, Disposition::EcmpDivergent(node.clone())));
+                }
+            }
+        }
+        acc = merged;
+    }
+    acc
+}
+
+/// Coalesces adjacent result rows with the same disposition.
+fn coalesce(rows: Vec<(IpSet, Disposition)>) -> Vec<(IpSet, Disposition)> {
+    let mut by_disp: BTreeMap<Disposition, IpSet> = BTreeMap::new();
+    for (set, disp) in rows {
+        let entry = by_disp.entry(disp).or_insert_with(IpSet::empty);
+        *entry = entry.union(&set);
+    }
+    by_disp.into_iter().map(|(d, s)| (s, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfv_routing::rib::{FibEntry, FibNextHop};
+    use mfv_types::{LinkId, Prefix, RouteProtocol};
+    use std::collections::BTreeSet;
+
+    fn entry(prefix: &str, iface: &str, via: Option<&str>) -> FibEntry {
+        FibEntry {
+            prefix: prefix.parse().unwrap(),
+            proto: RouteProtocol::Isis,
+            next_hops: vec![FibNextHop {
+                iface: iface.into(),
+                via: via.map(|v| v.parse().unwrap()),
+            }],
+        }
+    }
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// r1 -- r2 -- r3 line where loopbacks 2.2.2.{1,2,3} are routed hop by
+    /// hop.
+    fn line_dp() -> Dataplane {
+        let mut dp = Dataplane::new();
+        let mk_fib = |entries: Vec<FibEntry>| {
+            let mut f = Fib::new();
+            for e in entries {
+                f.insert(e);
+            }
+            f
+        };
+        dp.add_node(
+            "r1".into(),
+            &mk_fib(vec![
+                entry("2.2.2.2/32", "e0", Some("10.0.12.2")),
+                entry("2.2.2.3/32", "e0", Some("10.0.12.2")),
+            ]),
+            BTreeSet::from([addr("2.2.2.1"), addr("10.0.12.1")]),
+            true,
+        );
+        dp.add_node(
+            "r2".into(),
+            &mk_fib(vec![
+                entry("2.2.2.1/32", "e0", Some("10.0.12.1")),
+                entry("2.2.2.3/32", "e1", Some("10.0.23.3")),
+            ]),
+            BTreeSet::from([addr("2.2.2.2"), addr("10.0.12.2"), addr("10.0.23.2")]),
+            true,
+        );
+        dp.add_node(
+            "r3".into(),
+            &mk_fib(vec![
+                entry("2.2.2.1/32", "e0", Some("10.0.23.2")),
+                entry("2.2.2.2/32", "e0", Some("10.0.23.2")),
+            ]),
+            BTreeSet::from([addr("2.2.2.3"), addr("10.0.23.3")]),
+            true,
+        );
+        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        dp.add_link(LinkId::new(("r2".into(), "e1".into()), ("r3".into(), "e0".into())));
+        dp
+    }
+
+    #[test]
+    fn transit_delivery_and_trace() {
+        let fa = ForwardingAnalysis::new(&line_dp());
+        let trace = fa.trace(&"r1".into(), addr("2.2.2.3"));
+        assert_eq!(trace.disposition, Disposition::Accepted("r3".into()));
+        let nodes: Vec<String> =
+            trace.hops.iter().map(|h| h.node.to_string()).collect();
+        assert_eq!(nodes, vec!["r1", "r2", "r3"]);
+    }
+
+    #[test]
+    fn exhaustive_dispositions_partition_full_space() {
+        let fa = ForwardingAnalysis::new(&line_dp());
+        let rows = fa.dispositions_from(&"r1".into(), &IpSet::full());
+        let total: u64 = rows.iter().map(|(s, _)| s.count()).sum();
+        assert_eq!(total, 1u64 << 32, "every destination classified exactly once");
+        // 2.2.2.3 delivered at r3; unknown space NoRoute at r1.
+        let accepted_r3 = rows
+            .iter()
+            .find(|(_, d)| *d == Disposition::Accepted("r3".into()))
+            .unwrap();
+        assert!(accepted_r3.0.contains(addr("2.2.2.3")));
+        let noroute = rows
+            .iter()
+            .find(|(_, d)| *d == Disposition::NoRoute("r1".into()))
+            .unwrap();
+        assert!(noroute.0.contains(addr("8.8.8.8")));
+    }
+
+    #[test]
+    fn loop_detected() {
+        // r1 and r2 point 9.9.9.9/32 at each other.
+        let mut dp = Dataplane::new();
+        let mut f1 = Fib::new();
+        f1.insert(entry("9.9.9.9/32", "e0", None));
+        let mut f2 = Fib::new();
+        f2.insert(entry("9.9.9.9/32", "e0", None));
+        dp.add_node("r1".into(), &f1, BTreeSet::new(), true);
+        dp.add_node("r2".into(), &f2, BTreeSet::new(), true);
+        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        let fa = ForwardingAnalysis::new(&dp);
+        let trace = fa.trace(&"r1".into(), addr("9.9.9.9"));
+        assert!(matches!(trace.disposition, Disposition::Loop(_)));
+        let rows = fa.dispositions_from(&"r1".into(), &IpSet::single(addr("9.9.9.9")));
+        assert!(matches!(rows[0].1, Disposition::Loop(_)));
+    }
+
+    #[test]
+    fn null_route_and_exit() {
+        let mut dp = Dataplane::new();
+        let mut f = Fib::new();
+        f.insert(FibEntry {
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            proto: RouteProtocol::Static,
+            next_hops: vec![],
+        });
+        f.insert(entry("198.51.100.0/24", "uplink", Some("100.64.0.1")));
+        dp.add_node("r1".into(), &f, BTreeSet::new(), true);
+        let fa = ForwardingAnalysis::new(&dp);
+        assert_eq!(
+            fa.trace(&"r1".into(), addr("192.0.2.5")).disposition,
+            Disposition::NullRoute("r1".into())
+        );
+        assert_eq!(
+            fa.trace(&"r1".into(), addr("198.51.100.5")).disposition,
+            Disposition::ExitsNetwork("r1".into())
+        );
+    }
+
+    #[test]
+    fn down_node_drops() {
+        let mut dp = line_dp();
+        dp.nodes.get_mut(&NodeId::from("r2")).unwrap().up = false;
+        let fa = ForwardingAnalysis::new(&dp);
+        let trace = fa.trace(&"r1".into(), addr("2.2.2.3"));
+        assert_eq!(trace.disposition, Disposition::NodeDown("r2".into()));
+    }
+
+    #[test]
+    fn lpm_partition_respects_specificity() {
+        // A /8 toward r2 with a /24 hole toward discard.
+        let mut dp = Dataplane::new();
+        let mut f = Fib::new();
+        f.insert(entry("10.0.0.0/8", "e0", None));
+        f.insert(FibEntry {
+            prefix: "10.5.5.0/24".parse().unwrap(),
+            proto: RouteProtocol::Static,
+            next_hops: vec![],
+        });
+        dp.add_node("r1".into(), &f, BTreeSet::new(), true);
+        dp.add_node(
+            "r2".into(),
+            &Fib::new(),
+            BTreeSet::from([addr("10.1.1.1")]),
+            true,
+        );
+        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        let fa = ForwardingAnalysis::new(&dp);
+        let rows = fa.dispositions_from(
+            &"r1".into(),
+            &IpSet::from_prefix(&"10.0.0.0/8".parse::<Prefix>().unwrap()),
+        );
+        let nulled = rows
+            .iter()
+            .find(|(_, d)| *d == Disposition::NullRoute("r1".into()))
+            .unwrap();
+        assert_eq!(nulled.0.count(), 256);
+        assert!(nulled.0.contains(addr("10.5.5.99")));
+        let accepted = rows
+            .iter()
+            .find(|(_, d)| *d == Disposition::Accepted("r2".into()))
+            .unwrap();
+        assert!(accepted.0.contains(addr("10.1.1.1")));
+    }
+
+    #[test]
+    fn ecmp_divergence_flagged() {
+        // r1 splits 9.9.9.0/24 across two branches: r2 accepts, r3 has no
+        // route → divergent.
+        let mut dp = Dataplane::new();
+        let mut f1 = Fib::new();
+        f1.insert(FibEntry {
+            prefix: "9.9.9.0/24".parse().unwrap(),
+            proto: RouteProtocol::Isis,
+            next_hops: vec![
+                FibNextHop { iface: "e0".into(), via: None },
+                FibNextHop { iface: "e1".into(), via: None },
+            ],
+        });
+        dp.add_node("r1".into(), &f1, BTreeSet::new(), true);
+        dp.add_node(
+            "r2".into(),
+            &Fib::new(),
+            (0..256).map(|i| Ipv4Addr::new(9, 9, 9, i as u8)).collect(),
+            true,
+        );
+        dp.add_node("r3".into(), &Fib::new(), BTreeSet::new(), true);
+        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        dp.add_link(LinkId::new(("r1".into(), "e1".into()), ("r3".into(), "e0".into())));
+        let fa = ForwardingAnalysis::new(&dp);
+        let rows = fa.dispositions_from(
+            &"r1".into(),
+            &IpSet::from_prefix(&"9.9.9.0/24".parse::<Prefix>().unwrap()),
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, Disposition::EcmpDivergent("r1".into()));
+    }
+
+    #[test]
+    fn ecmp_agreement_is_transparent() {
+        // Both branches deliver to nodes owning the same... instead: both
+        // branches NoRoute → class reported NoRoute, not divergent.
+        let mut dp = Dataplane::new();
+        let mut f1 = Fib::new();
+        f1.insert(FibEntry {
+            prefix: "9.9.9.0/24".parse().unwrap(),
+            proto: RouteProtocol::Isis,
+            next_hops: vec![
+                FibNextHop { iface: "e0".into(), via: None },
+                FibNextHop { iface: "e1".into(), via: None },
+            ],
+        });
+        dp.add_node("r1".into(), &f1, BTreeSet::new(), true);
+        dp.add_node("r2".into(), &Fib::new(), BTreeSet::new(), true);
+        dp.add_node("r3".into(), &Fib::new(), BTreeSet::new(), true);
+        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        dp.add_link(LinkId::new(("r1".into(), "e1".into()), ("r3".into(), "e0".into())));
+        let fa = ForwardingAnalysis::new(&dp);
+        let rows = fa.dispositions_from(
+            &"r1".into(),
+            &IpSet::from_prefix(&"9.9.9.0/24".parse::<Prefix>().unwrap()),
+        );
+        assert!(rows
+            .iter()
+            .all(|(_, d)| matches!(d, Disposition::NoRoute(_))));
+    }
+}

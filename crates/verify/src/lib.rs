@@ -1,0 +1,23 @@
+//! The dataplane verification engine — this workspace's counterpart to the
+//! (modified) Batfish verification engine of §4.2.
+//!
+//! Operates purely on [`mfv_dataplane::Dataplane`] snapshots, so it is
+//! backend-agnostic: feed it emulation-extracted AFT state (model-free) or a
+//! model-computed dataplane (baseline) and ask the same questions —
+//! which is precisely what lets the paper compare the two worlds with one
+//! Differential Reachability query.
+//!
+//! - [`graph`] — symbolic packet-class propagation ([`ForwardingAnalysis`])
+//! - [`queries`] — the query library (differential reachability,
+//!   reachability, loops, black holes, multipath consistency, traceroute)
+
+pub mod graph;
+pub mod queries;
+
+pub use graph::{Disposition, ForwardingAnalysis, Trace, TraceHop};
+pub use queries::{
+    deliverability_changes, detect_blackholes, detect_loops,
+    detect_multipath_inconsistency, differential_reachability, disposition_summary,
+    reachability, traceroute, unreachable_pairs, BlackHoleFinding, DiffFinding,
+    LoopFinding, ReachabilityReport,
+};

@@ -1,0 +1,947 @@
+//! The virtual router: a vendor OS instance wired from a parsed
+//! [`DeviceConfig`], composing the protocol engines into a full control
+//! plane with a RIB, FIB, and vendor-specific byte-level behaviour.
+//!
+//! This is the moral equivalent of the vendor container image in the paper's
+//! KNE deployment: the unit the emulator boots per topology node.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use mfv_config::{DeviceConfig, Redistribute};
+use mfv_routing::bgp::{BgpEngine, NextHopResolver};
+use mfv_routing::isis::{IsisEngine, IsisEngineConfig, IsisIfaceConfig};
+use mfv_routing::rib::{Fib, NextHop, Rib, RibRoute};
+use mfv_types::{
+    IfaceId, NodeId, Prefix, PrefixTrie, RouteProtocol, RouterId, SimTime,
+};
+use mfv_wire::bgp::{BgpMsg, PathAttr};
+use mfv_wire::isis::{net_area_bytes, net_system_id, IsisPdu, SystemId};
+
+use crate::profile::VendorProfile;
+
+/// Output events produced by [`VirtualRouter::poll`].
+#[derive(Clone, Debug)]
+pub enum RouterEvent {
+    /// A link-local IS-IS PDU to place on the wire of `iface`.
+    IsisFrame { iface: IfaceId, payload: Bytes },
+    /// A BGP message addressed to a (possibly multi-hop) peer.
+    BgpSegment { src: Ipv4Addr, dst: Ipv4Addr, payload: Bytes },
+    /// The routing process died (vendor bug). The emulator restarts the
+    /// router after its profile's restart delay.
+    Crashed { reason: String },
+}
+
+/// Operational state of the instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouterState {
+    Running,
+    /// The routing process crashed at the contained time.
+    Crashed(SimTime),
+}
+
+/// A full virtual router instance.
+pub struct VirtualRouter {
+    pub name: NodeId,
+    profile: VendorProfile,
+    config: DeviceConfig,
+    state: RouterState,
+    isis: Option<IsisEngine>,
+    bgp: Option<BgpEngine>,
+    rib: Rib,
+    fib: Fib,
+    /// Physical link state per interface (loopbacks are always up).
+    link_up: BTreeMap<IfaceId, bool>,
+    /// Monotone counter bumped whenever the FIB content changes; the
+    /// emulator's convergence detector watches it.
+    fib_version: u64,
+    last_fib_digest: u64,
+    pending_crash: Option<String>,
+    /// Events queued outside poll (e.g. session teardowns on config push).
+    pending_out: Vec<RouterEvent>,
+    /// Digest of the IGP view last handed to BGP next-hop resolution; a
+    /// change forces a full BGP decision recomputation.
+    last_igp_digest: u64,
+    /// Count of messages that failed vendor decoding (dropped).
+    pub decode_errors: u64,
+}
+
+/// IGP view for BGP next-hop resolution: winners of connected/static/IS-IS.
+struct IgpResolver {
+    trie: PrefixTrie<u32>,
+}
+
+impl NextHopResolver for IgpResolver {
+    fn igp_metric(&self, ip: Ipv4Addr) -> Option<u32> {
+        let (covering, metric) = self.trie.lookup(ip)?;
+        if covering.is_default() {
+            return None;
+        }
+        Some(*metric)
+    }
+}
+
+impl VirtualRouter {
+    /// Boots a router from config. The emulator accounts for container boot
+    /// *time* separately (pod scheduling); once constructed, the control
+    /// plane is live.
+    pub fn new(name: NodeId, profile: VendorProfile, config: DeviceConfig) -> VirtualRouter {
+        let mut router = VirtualRouter {
+            name,
+            profile,
+            config,
+            state: RouterState::Running,
+            isis: None,
+            bgp: None,
+            rib: Rib::new(),
+            fib: Fib::new(),
+            link_up: BTreeMap::new(),
+            fib_version: 0,
+            last_fib_digest: 0,
+            pending_crash: None,
+            pending_out: Vec::new(),
+            last_igp_digest: 0,
+            decode_errors: 0,
+        };
+        for iface in &router.config.interfaces {
+            router.link_up.insert(iface.name.clone(), true);
+        }
+        router.build_engines();
+        router
+    }
+
+    pub fn profile(&self) -> &VendorProfile {
+        &self.profile
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    pub fn state(&self) -> RouterState {
+        self.state
+    }
+
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, RouterState::Running)
+    }
+
+    /// The router's current FIB (empty while crashed).
+    pub fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    /// Monotone FIB change counter.
+    pub fn fib_version(&self) -> u64 {
+        self.fib_version
+    }
+
+    /// All L3 addresses owned by this router.
+    pub fn addresses(&self) -> BTreeSet<Ipv4Addr> {
+        self.config
+            .interfaces
+            .iter()
+            .filter(|i| i.is_l3())
+            .filter_map(|i| i.addr.map(|a| a.addr))
+            .collect()
+    }
+
+    /// Loopback address (management identity).
+    pub fn loopback(&self) -> Option<Ipv4Addr> {
+        self.config.loopback_addr()
+    }
+
+    /// Applies a new configuration (config push), rebuilding the control
+    /// plane — equivalent to a config replace + process restart in the lab.
+    pub fn apply_config(&mut self, config: DeviceConfig) {
+        // Tear down existing BGP sessions gracefully (Cease/administrative
+        // reset) — a real config replace restarts the speaker, and peers see
+        // the TCP connection close rather than waiting out their hold timer.
+        if let Some(bgp) = &self.bgp {
+            for s in bgp.summaries() {
+                if s.state == mfv_routing::SessionState::Idle {
+                    continue;
+                }
+                let src = self.session_local_addr_for(s.peer);
+                let msg = BgpMsg::Notification(mfv_wire::bgp::NotificationMsg {
+                    code: 6,    // Cease
+                    subcode: 4, // administrative reset
+                    data: Bytes::new(),
+                });
+                self.pending_out.push(RouterEvent::BgpSegment {
+                    src,
+                    dst: s.peer,
+                    payload: msg.encode(),
+                });
+            }
+        }
+        self.config = config;
+        self.link_up = self
+            .config
+            .interfaces
+            .iter()
+            .map(|i| {
+                let prev = self.link_up.get(&i.name).copied().unwrap_or(true);
+                (i.name.clone(), prev)
+            })
+            .collect();
+        self.build_engines();
+        self.rib = Rib::new();
+        self.fib = Fib::new();
+    }
+
+    /// (Re)constructs protocol engines from the current config.
+    fn build_engines(&mut self) {
+        // IS-IS.
+        self.isis = self.config.isis.as_ref().and_then(|isis_cfg| {
+            if !isis_cfg.af_ipv4 || isis_cfg.net.is_empty() {
+                return None;
+            }
+            let system_id = net_system_id(&isis_cfg.net)
+                .unwrap_or_else(|| SystemId::from_ip(self.loopback().unwrap_or(Ipv4Addr::UNSPECIFIED)));
+            let area = net_area_bytes(&isis_cfg.net)?;
+            let mut cfg = IsisEngineConfig::new(system_id, area, self.config.hostname.clone());
+            for iface in &self.config.interfaces {
+                let Some(ii) = &iface.isis else { continue };
+                if ii.instance != isis_cfg.instance {
+                    continue;
+                }
+                if !iface.is_l3() {
+                    continue;
+                }
+                let Some(addr) = iface.addr else { continue };
+                cfg.ifaces.push(IsisIfaceConfig {
+                    iface: iface.name.clone(),
+                    addr,
+                    metric: ii.metric,
+                    passive: ii.passive || iface.name.is_loopback(),
+                });
+            }
+            if cfg.ifaces.is_empty() {
+                return None;
+            }
+            Some(IsisEngine::new(cfg))
+        });
+
+        // BGP.
+        self.bgp = self.config.bgp.as_ref().map(|bgp_cfg| {
+            let router_id = self
+                .config
+                .effective_router_id()
+                .unwrap_or(RouterId(Ipv4Addr::UNSPECIFIED));
+            let mut local_addrs = BTreeMap::new();
+            for n in &bgp_cfg.neighbors {
+                local_addrs.insert(n.peer, self.session_local_addr(n.peer, &n.update_source));
+            }
+            BgpEngine::new(
+                bgp_cfg,
+                router_id,
+                &local_addrs,
+                self.config.route_maps.clone(),
+                self.config.prefix_lists.clone(),
+                self.profile.quirks,
+            )
+        });
+    }
+
+    /// Our source address for a session to `peer`.
+    fn session_local_addr(&self, peer: Ipv4Addr, update_source: &Option<IfaceId>) -> Ipv4Addr {
+        if let Some(src) = update_source {
+            if let Some(iface) = self.config.interface(src) {
+                if let Some(a) = iface.addr {
+                    return a.addr;
+                }
+            }
+        }
+        // Directly-connected peer: use our address on the shared subnet.
+        for iface in &self.config.interfaces {
+            if !iface.is_l3() {
+                continue;
+            }
+            if let Some(a) = iface.addr {
+                if a.subnet().contains(peer) {
+                    return a.addr;
+                }
+            }
+        }
+        self.loopback().unwrap_or(Ipv4Addr::UNSPECIFIED)
+    }
+
+    /// Marks a physical link up/down (failure injection / topology events).
+    pub fn set_link(&mut self, iface: &IfaceId, up: bool) {
+        self.link_up.insert(iface.clone(), up);
+        if let Some(isis) = &mut self.isis {
+            isis.set_link(iface, up);
+        }
+    }
+
+    /// Administratively shuts a BGP session (config-push scenario E1 uses a
+    /// config change instead, but tests use this directly).
+    pub fn shutdown_bgp_session(&mut self, peer: Ipv4Addr, now: SimTime) {
+        if let Some(bgp) = &mut self.bgp {
+            bgp.shutdown_session(peer, now);
+        }
+    }
+
+    /// Ingests an IS-IS frame from a link.
+    pub fn push_isis(&mut self, now: SimTime, iface: &IfaceId, payload: Bytes) {
+        if !self.is_running() || !self.link_up.get(iface).copied().unwrap_or(false) {
+            return;
+        }
+        let mut buf = payload;
+        match IsisPdu::decode(&mut buf) {
+            Ok(pdu) => {
+                if let Some(isis) = &mut self.isis {
+                    isis.push_pdu(now, iface, pdu);
+                }
+            }
+            Err(_) => {
+                self.decode_errors += 1;
+            }
+        }
+    }
+
+    /// Ingests a BGP segment addressed to one of our session endpoints.
+    pub fn push_bgp(&mut self, now: SimTime, src: Ipv4Addr, dst: Ipv4Addr, payload: Bytes) {
+        if !self.is_running() {
+            return;
+        }
+        if !self.addresses().contains(&dst) {
+            return; // not ours — emulator misdelivery or stale address
+        }
+        let mut buf = payload;
+        let msg = match BgpMsg::decode(&mut buf) {
+            Ok(m) => m,
+            Err(_) => {
+                self.decode_errors += 1;
+                return;
+            }
+        };
+        // VENDOR BUG (paper §2): this OS's parser dies on a particular
+        // unusual-but-valid transitive attribute.
+        if let Some(fatal_type) = self.profile.bugs.crash_on_unknown_attr {
+            if let BgpMsg::Update(u) = &msg {
+                let poisoned = u.attrs.iter().any(|a| {
+                    matches!(a, PathAttr::Unknown { type_code, .. } if *type_code == fatal_type)
+                });
+                if poisoned {
+                    self.pending_crash = Some(format!(
+                        "routing process segfault parsing path attribute {fatal_type}"
+                    ));
+                    return;
+                }
+            }
+        }
+        if let Some(bgp) = &mut self.bgp {
+            bgp.push_msg(now, src, msg);
+        }
+    }
+
+    const IGP_PROTOS: [RouteProtocol; 3] =
+        [RouteProtocol::Connected, RouteProtocol::Static, RouteProtocol::Isis];
+
+    /// Digest of the IGP routes (connected/static/IS-IS): BGP next-hop
+    /// resolution depends on exactly this state. Walks only the (small) IGP
+    /// protocol maps, never the BGP table.
+    fn igp_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for proto in Self::IGP_PROTOS {
+            for (prefix, route) in self.rib.protocol_routes(proto) {
+                prefix.hash(&mut h);
+                route.proto.hash(&mut h);
+                route.metric.hash(&mut h);
+                route.next_hops.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Builds the IGP-only resolver for BGP next hops. Admin distance picks
+    /// the winner when several IGP protocols offer the same prefix.
+    fn igp_resolver(&self) -> IgpResolver {
+        let mut best: BTreeMap<Prefix, (mfv_types::AdminDistance, u32)> = BTreeMap::new();
+        for proto in Self::IGP_PROTOS {
+            for (prefix, route) in self.rib.protocol_routes(proto) {
+                match best.get(prefix) {
+                    Some((ad, m)) if (*ad, *m) <= (route.admin_distance, route.metric) => {}
+                    _ => {
+                        best.insert(*prefix, (route.admin_distance, route.metric));
+                    }
+                }
+            }
+        }
+        let mut trie = PrefixTrie::new();
+        for (prefix, (_, metric)) in best {
+            trie.insert(prefix, metric);
+        }
+        IgpResolver { trie }
+    }
+
+    /// Connected routes from operational L3 interfaces.
+    fn connected_routes(&self) -> Vec<RibRoute> {
+        self.config
+            .interfaces
+            .iter()
+            .filter(|i| i.is_l3())
+            .filter(|i| {
+                i.name.is_loopback() || self.link_up.get(&i.name).copied().unwrap_or(false)
+            })
+            .filter_map(|i| {
+                let addr = i.addr?;
+                Some(RibRoute::new(
+                    addr.subnet(),
+                    RouteProtocol::Connected,
+                    0,
+                    NextHop::Connected(i.name.clone()),
+                ))
+            })
+            .collect()
+    }
+
+    fn static_routes(&self) -> Vec<RibRoute> {
+        self.config
+            .static_routes
+            .iter()
+            .map(|s| {
+                let mut r = RibRoute::new(
+                    s.prefix,
+                    RouteProtocol::Static,
+                    0,
+                    NextHop::Via(s.next_hop),
+                );
+                if let Some(d) = s.distance {
+                    r.admin_distance = mfv_types::AdminDistance(d);
+                }
+                r
+            })
+            .collect()
+    }
+
+    /// Prefixes this router should originate into BGP.
+    fn bgp_originated(&self) -> Vec<Prefix> {
+        let Some(bgp_cfg) = &self.config.bgp else { return Vec::new() };
+        let mut out = Vec::new();
+        for p in &bgp_cfg.networks {
+            // `network` statements require the route to exist in the RIB.
+            if self.rib.best(p).is_some() {
+                out.push(*p);
+            }
+        }
+        for r in &bgp_cfg.redistribute {
+            match r {
+                Redistribute::Connected => {
+                    for route in self.connected_routes() {
+                        out.push(route.prefix);
+                    }
+                }
+                Redistribute::Static => {
+                    for route in self.static_routes() {
+                        out.push(route.prefix);
+                    }
+                }
+                Redistribute::Isis => {
+                    for (prefix, route) in self.rib.winners() {
+                        if route.proto == RouteProtocol::Isis {
+                            out.push(*prefix);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Advances the control plane; returns frames/segments to transmit and
+    /// crash notifications.
+    pub fn poll(&mut self, now: SimTime) -> Vec<RouterEvent> {
+        if let Some(reason) = self.pending_crash.take() {
+            self.state = RouterState::Crashed(now);
+            self.isis = None;
+            self.bgp = None;
+            self.rib = Rib::new();
+            self.fib = Fib::new();
+            self.bump_fib_version();
+            return vec![RouterEvent::Crashed { reason }];
+        }
+        if !self.is_running() {
+            return Vec::new();
+        }
+
+        let mut events = std::mem::take(&mut self.pending_out);
+
+        // 1. IS-IS.
+        if let Some(isis) = &mut self.isis {
+            for (iface, pdu) in isis.poll(now) {
+                if self.link_up.get(&iface).copied().unwrap_or(false) {
+                    events.push(RouterEvent::IsisFrame { iface, payload: pdu.encode() });
+                }
+            }
+        }
+
+        // 2. IGP + static + connected into the RIB.
+        self.rib
+            .set_protocol_routes(RouteProtocol::Connected, self.connected_routes());
+        self.rib.set_protocol_routes(RouteProtocol::Static, self.static_routes());
+        let isis_routes = self.isis.as_mut().map(|i| i.routes()).unwrap_or_default();
+        self.rib.set_protocol_routes(RouteProtocol::Isis, isis_routes);
+
+        // 3. BGP.
+        if self.bgp.is_some() {
+            let originated = self.bgp_originated();
+            let resolver = self.igp_resolver();
+            let igp_digest = self.igp_digest();
+            let igp_changed = igp_digest != self.last_igp_digest;
+            let bgp = self.bgp.as_mut().unwrap();
+            if igp_changed {
+                self.last_igp_digest = igp_digest;
+                bgp.mark_all_dirty();
+            }
+            bgp.set_originated(originated);
+            let msgs = bgp.poll(now, &resolver);
+
+            // 4. FIB maintenance. A full rebuild costs O(table); at
+            // production-route scale (E5) most polls change only a handful
+            // of prefixes, so patch those directly instead.
+            match bgp.take_selection_delta() {
+                _ if igp_changed => self.full_fib_refresh(),
+                mfv_routing::SelectionDelta::All => self.full_fib_refresh(),
+                mfv_routing::SelectionDelta::Prefixes(set) if set.is_empty() => {}
+                mfv_routing::SelectionDelta::Prefixes(set) => self.patch_fib(&set),
+            }
+
+            for (peer, msg) in msgs {
+                let msg = self.apply_emit_bug(msg);
+                let src = self.session_local_addr_for(peer);
+                // Transport: we must have a route to the peer (or share a
+                // subnet) for the segment to leave the box.
+                if !self.can_reach(peer) {
+                    continue;
+                }
+                events.push(RouterEvent::BgpSegment {
+                    src,
+                    dst: peer,
+                    payload: msg.encode(),
+                });
+            }
+        } else if self.igp_digest() != self.last_igp_digest {
+            self.last_igp_digest = self.igp_digest();
+            self.full_fib_refresh();
+        }
+
+        events
+    }
+
+    /// Full FIB rebuild: sync BGP routes into the RIB and resolve.
+    fn full_fib_refresh(&mut self) {
+        let bgp_routes = self.bgp.as_ref().map(|b| b.rib_routes()).unwrap_or_default();
+        let (ebgp, ibgp): (Vec<RibRoute>, Vec<RibRoute>) = bgp_routes
+            .into_iter()
+            .partition(|r| r.proto == RouteProtocol::EbgpLearned);
+        self.rib.set_protocol_routes(RouteProtocol::EbgpLearned, ebgp);
+        self.rib.set_protocol_routes(RouteProtocol::IbgpLearned, ibgp);
+        self.refresh_fib();
+    }
+
+    /// Patches the FIB for a small set of changed BGP selections without
+    /// touching the rest of the table. Sound because BGP next hops resolve
+    /// exclusively through the IGP view, which is unchanged on this path
+    /// (IGP changes force a full rebuild above).
+    fn patch_fib(&mut self, prefixes: &std::collections::BTreeSet<Prefix>) {
+        use mfv_routing::rib::{resolve_next_hops, FibEntry};
+        // IGP-only winner trie for resolution (small; walked per patch).
+        let mut winners: PrefixTrie<&RibRoute> = PrefixTrie::new();
+        for proto in Self::IGP_PROTOS {
+            for (p, r) in self.rib.protocol_routes(proto) {
+                match winners.get(p) {
+                    Some(prev)
+                        if (prev.admin_distance, prev.metric)
+                            <= (r.admin_distance, r.metric) => {}
+                    _ => {
+                        winners.insert(*p, r);
+                    }
+                }
+            }
+        }
+        let bgp = self.bgp.as_ref().expect("patch path implies bgp");
+        let mut changed = false;
+        for prefix in prefixes {
+            // The IGP may own this prefix at a better administrative
+            // distance; BGP changes must not clobber it.
+            let igp_best = self
+                .rib
+                .candidates(prefix)
+                .into_iter()
+                .filter(|r| Self::IGP_PROTOS.contains(&r.proto))
+                .min_by_key(|r| (r.admin_distance, r.metric, r.proto));
+
+            let bgp_sel = bgp.selected().get(prefix).filter(|s| s.learned_from.is_some());
+            let bgp_ad = bgp_sel.map(|s| {
+                if s.ebgp {
+                    mfv_types::AdminDistance::default_for(RouteProtocol::EbgpLearned)
+                } else {
+                    mfv_types::AdminDistance::default_for(RouteProtocol::IbgpLearned)
+                }
+            });
+
+            let use_bgp = match (bgp_ad, igp_best) {
+                (Some(ad), Some(igp)) => ad < igp.admin_distance,
+                (Some(_), None) => true,
+                _ => false,
+            };
+
+            let new_entry = if use_bgp {
+                let sel = bgp_sel.expect("use_bgp implies selection");
+                let nhs: Vec<NextHop> =
+                    sel.next_hops.iter().map(|nh| NextHop::Via(*nh)).collect();
+                let (resolved, _) = resolve_next_hops(&winners, &nhs);
+                if resolved.is_empty() {
+                    None
+                } else {
+                    Some(FibEntry {
+                        prefix: *prefix,
+                        proto: if sel.ebgp {
+                            RouteProtocol::EbgpLearned
+                        } else {
+                            RouteProtocol::IbgpLearned
+                        },
+                        next_hops: resolved,
+                    })
+                }
+            } else if let Some(igp) = igp_best {
+                let (resolved, discard) = resolve_next_hops(&winners, &igp.next_hops);
+                if resolved.is_empty() && !discard {
+                    None
+                } else {
+                    Some(FibEntry { prefix: *prefix, proto: igp.proto, next_hops: resolved })
+                }
+            } else {
+                None
+            };
+
+            let old = self.fib.get(prefix);
+            if old != new_entry.as_ref() {
+                changed = true;
+                match new_entry {
+                    Some(e) => {
+                        self.fib.insert(e);
+                    }
+                    None => {
+                        self.fib.remove(prefix);
+                    }
+                }
+            }
+        }
+        if changed {
+            self.fib_version += 1;
+            self.last_fib_digest = 0; // stale; next full refresh recomputes
+        }
+    }
+
+    fn session_local_addr_for(&self, peer: Ipv4Addr) -> Ipv4Addr {
+        let update_source = self
+            .config
+            .bgp
+            .as_ref()
+            .and_then(|b| b.neighbor(peer))
+            .and_then(|n| n.update_source.clone());
+        self.session_local_addr(peer, &update_source)
+    }
+
+    fn can_reach(&self, dst: Ipv4Addr) -> bool {
+        if self.addresses().contains(&dst) {
+            return true;
+        }
+        self.fib.lookup(dst).map(|e| !e.next_hops.is_empty()).unwrap_or(false)
+    }
+
+    /// VENDOR BUG (paper §2): attach an unusual-but-valid transitive
+    /// attribute to outgoing updates.
+    fn apply_emit_bug(&self, msg: BgpMsg) -> BgpMsg {
+        let Some(attr_type) = self.profile.bugs.emit_unusual_attr else { return msg };
+        match msg {
+            BgpMsg::Update(mut u) if !u.nlri.is_empty() => {
+                let already = u.attrs.iter().any(|a| {
+                    matches!(a, PathAttr::Unknown { type_code, .. } if *type_code == attr_type)
+                });
+                if !already {
+                    u.attrs.push(PathAttr::Unknown {
+                        flags: mfv_wire::bgp::FLAG_OPTIONAL | mfv_wire::bgp::FLAG_TRANSITIVE,
+                        type_code: attr_type,
+                        value: Bytes::from_static(&[0x00]),
+                    });
+                }
+                BgpMsg::Update(u)
+            }
+            other => other,
+        }
+    }
+
+    fn refresh_fib(&mut self) {
+        let fib = self.rib.to_fib();
+        if !fib.same_as(&self.fib) {
+            self.fib_version += 1;
+        }
+        self.last_fib_digest = fib.digest();
+        self.fib = fib;
+    }
+
+    fn bump_fib_version(&mut self) {
+        self.fib_version += 1;
+        self.last_fib_digest = self.fib.digest();
+    }
+
+    /// Restarts a crashed routing process (watchdog). State comes back
+    /// empty, as after a real daemon restart.
+    pub fn restart(&mut self, _now: SimTime) {
+        self.state = RouterState::Running;
+        self.build_engines();
+        self.rib = Rib::new();
+        self.fib = Fib::new();
+        self.decode_errors = 0;
+    }
+
+    /// Earliest instant the router needs a poll for its timers.
+    pub fn next_wakeup(&self, now: SimTime) -> SimTime {
+        let mut next = now + mfv_types::SimDuration::from_secs(30);
+        if let Some(isis) = &self.isis {
+            let t = isis.next_wakeup(now);
+            if t < next {
+                next = t;
+            }
+        }
+        if let Some(bgp) = &self.bgp {
+            let t = bgp.next_wakeup(now);
+            if t < next {
+                next = t;
+            }
+        }
+        next.max(SimTime(now.0 + 1))
+    }
+
+    /// Introspection used by the CLI and the management interface.
+    pub fn isis_engine(&self) -> Option<&IsisEngine> {
+        self.isis.as_ref()
+    }
+
+    pub fn bgp_engine(&self) -> Option<&BgpEngine> {
+        self.bgp.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfv_config::{IfaceSpec, RouterSpec, Vendor};
+    use mfv_types::AsNum;
+
+    fn two_router_setup() -> (VirtualRouter, VirtualRouter) {
+        let spec1 = RouterSpec::new("r1", AsNum(65001), Ipv4Addr::new(2, 2, 2, 1))
+            .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()).with_isis())
+            .ebgp(Ipv4Addr::new(100, 64, 0, 1), AsNum(65002))
+            .network("2.2.2.1/32".parse().unwrap());
+        let spec2 = RouterSpec::new("r2", AsNum(65002), Ipv4Addr::new(2, 2, 2, 2))
+            .iface(IfaceSpec::new("Ethernet1", "100.64.0.1/31".parse().unwrap()).with_isis())
+            .ebgp(Ipv4Addr::new(100, 64, 0, 0), AsNum(65001))
+            .network("2.2.2.2/32".parse().unwrap());
+        let r1 = VirtualRouter::new("r1".into(), VendorProfile::ceos(), spec1.build());
+        let r2 = VirtualRouter::new("r2".into(), VendorProfile::ceos(), spec2.build());
+        (r1, r2)
+    }
+
+    /// Drives two directly-linked routers until quiescent.
+    fn settle(r1: &mut VirtualRouter, r2: &mut VirtualRouter, start: SimTime) -> SimTime {
+        let mut now = start;
+        for _ in 0..300 {
+            now = SimTime(now.0 + 200);
+            let ev1 = r1.poll(now);
+            let ev2 = r2.poll(now);
+            if ev1.is_empty() && ev2.is_empty() && now.0 > start.0 + 5_000 {
+                break;
+            }
+            for ev in ev1 {
+                deliver(r2, now, ev);
+            }
+            for ev in ev2 {
+                deliver(r1, now, ev);
+            }
+        }
+        now
+    }
+
+    fn deliver(to: &mut VirtualRouter, now: SimTime, ev: RouterEvent) {
+        match ev {
+            RouterEvent::IsisFrame { payload, .. } => {
+                to.push_isis(now, &"Ethernet1".into(), payload);
+            }
+            RouterEvent::BgpSegment { src, dst, payload } => {
+                to.push_bgp(now, src, dst, payload);
+            }
+            RouterEvent::Crashed { .. } => {}
+        }
+    }
+
+    #[test]
+    fn full_stack_two_routers_converge() {
+        let (mut r1, mut r2) = two_router_setup();
+        settle(&mut r1, &mut r2, SimTime::ZERO);
+
+        // IS-IS adjacency up, BGP established, loopbacks exchanged.
+        let adj = r1.isis_engine().unwrap().adjacencies();
+        assert!(adj.iter().all(|a| matches!(a.state, mfv_wire::isis::AdjState::Up)));
+        assert_eq!(
+            r1.bgp_engine().unwrap().session_state(Ipv4Addr::new(100, 64, 0, 1)),
+            Some(mfv_routing::SessionState::Established)
+        );
+        let e = r1.fib().lookup(Ipv4Addr::new(2, 2, 2, 2)).expect("route to r2 loopback");
+        // Both IS-IS and eBGP offer it; eBGP wins on admin distance (20<115).
+        assert_eq!(e.proto, RouteProtocol::EbgpLearned);
+    }
+
+    #[test]
+    fn link_down_withdraws_connected_routes() {
+        let (mut r1, mut r2) = two_router_setup();
+        let now = settle(&mut r1, &mut r2, SimTime::ZERO);
+        assert!(r1.fib().lookup(Ipv4Addr::new(100, 64, 0, 1)).is_some());
+        r1.set_link(&"Ethernet1".into(), false);
+        let _ = r1.poll(SimTime(now.0 + 1000));
+        assert!(
+            r1.fib().lookup(Ipv4Addr::new(100, 64, 0, 1)).is_none(),
+            "connected subnet must leave the FIB when the link is down"
+        );
+    }
+
+    #[test]
+    fn crash_on_unknown_attr_kills_process() {
+        let spec1 = RouterSpec::new("r1", AsNum(65001), Ipv4Addr::new(2, 2, 2, 1))
+            .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()))
+            .ebgp(Ipv4Addr::new(100, 64, 0, 1), AsNum(65002))
+            .network("2.2.2.1/32".parse().unwrap());
+        let spec2 = RouterSpec::new("r2", AsNum(65002), Ipv4Addr::new(2, 2, 2, 2))
+            .vendor(Vendor::Vjunos)
+            .iface(IfaceSpec::new("ge-0/0/0", "100.64.0.1/31".parse().unwrap()))
+            .ebgp(Ipv4Addr::new(100, 64, 0, 0), AsNum(65001))
+            .network("2.2.2.2/32".parse().unwrap());
+
+        // r1's parser dies on attribute 213; r2 emits it.
+        let p1 = VendorProfile::ceos().with_bugs(crate::profile::VendorBugs {
+            crash_on_unknown_attr: Some(213),
+            ..Default::default()
+        });
+        let p2 = VendorProfile::vjunos().with_bugs(crate::profile::VendorBugs {
+            emit_unusual_attr: Some(213),
+            ..Default::default()
+        });
+        let mut r1 = VirtualRouter::new("r1".into(), p1, spec1.build());
+        let mut r2 = VirtualRouter::new("r2".into(), p2, spec2.build());
+
+        let mut crashed = false;
+        let mut now = SimTime::ZERO;
+        'outer: for _ in 0..300 {
+            now = SimTime(now.0 + 200);
+            let ev1 = r1.poll(now);
+            for ev in ev1 {
+                if matches!(ev, RouterEvent::Crashed { .. }) {
+                    crashed = true;
+                    break 'outer;
+                }
+                match ev {
+                    RouterEvent::IsisFrame { payload, .. } => {
+                        r2.push_isis(now, &"ge-0/0/0".into(), payload)
+                    }
+                    RouterEvent::BgpSegment { src, dst, payload } => {
+                        r2.push_bgp(now, src, dst, payload)
+                    }
+                    _ => {}
+                }
+            }
+            for ev in r2.poll(now) {
+                match ev {
+                    RouterEvent::IsisFrame { payload, .. } => {
+                        r1.push_isis(now, &"Ethernet1".into(), payload)
+                    }
+                    RouterEvent::BgpSegment { src, dst, payload } => {
+                        r1.push_bgp(now, src, dst, payload)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(crashed, "r1 must crash parsing the unusual attribute");
+        assert!(!r1.is_running());
+        assert!(r1.fib().is_empty(), "crashed process loses its FIB");
+
+        // Watchdog restart brings it back (to crash again on the next
+        // poisoned update — the crash-loop the paper describes).
+        r1.restart(now);
+        assert!(r1.is_running());
+    }
+
+    #[test]
+    fn static_route_installed_with_distance() {
+        let mut spec = RouterSpec::new("r1", AsNum(65001), Ipv4Addr::new(2, 2, 2, 1))
+            .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()));
+        let mut cfg = spec.build();
+        cfg.static_routes.push(mfv_config::StaticRoute {
+            prefix: "198.51.100.0/24".parse().unwrap(),
+            next_hop: Ipv4Addr::new(100, 64, 0, 1),
+            distance: Some(250),
+        });
+        spec.networks.clear();
+        let mut r = VirtualRouter::new("r1".into(), VendorProfile::ceos(), cfg);
+        let _ = r.poll(SimTime(100));
+        let e = r.fib().lookup(Ipv4Addr::new(198, 51, 100, 7)).unwrap();
+        assert_eq!(e.proto, RouteProtocol::Static);
+        assert_eq!(
+            e.next_hops[0],
+            mfv_routing::FibNextHop {
+                iface: "Ethernet1".into(),
+                via: Some(Ipv4Addr::new(100, 64, 0, 1))
+            }
+        );
+    }
+
+    #[test]
+    fn config_push_rebuilds_control_plane() {
+        let (mut r1, mut r2) = two_router_setup();
+        let now = settle(&mut r1, &mut r2, SimTime::ZERO);
+        assert!(r1.fib().lookup(Ipv4Addr::new(2, 2, 2, 2)).is_some());
+
+        // Push a config with the BGP neighbor removed.
+        let mut cfg = r1.config().clone();
+        cfg.bgp.as_mut().unwrap().neighbors.clear();
+        r1.apply_config(cfg);
+        let now2 = settle(&mut r1, &mut r2, now);
+        let _ = now2;
+        // Still reachable via IS-IS after re-convergence.
+        let e = r1.fib().lookup(Ipv4Addr::new(2, 2, 2, 2)).expect("isis route");
+        assert_eq!(e.proto, RouteProtocol::Isis);
+    }
+
+    #[test]
+    fn addresses_and_loopback() {
+        let (r1, _) = two_router_setup();
+        let addrs = r1.addresses();
+        assert!(addrs.contains(&Ipv4Addr::new(2, 2, 2, 1)));
+        assert!(addrs.contains(&Ipv4Addr::new(100, 64, 0, 0)));
+        assert_eq!(r1.loopback(), Some(Ipv4Addr::new(2, 2, 2, 1)));
+    }
+
+    #[test]
+    fn fib_version_increments_on_change_only() {
+        let (mut r1, _) = two_router_setup();
+        let _ = r1.poll(SimTime(100));
+        let v1 = r1.fib_version();
+        let _ = r1.poll(SimTime(200));
+        let _ = r1.poll(SimTime(300));
+        assert_eq!(r1.fib_version(), v1, "no changes, no version bumps");
+        r1.set_link(&"Ethernet1".into(), false);
+        let _ = r1.poll(SimTime(400));
+        assert!(r1.fib_version() > v1);
+    }
+}

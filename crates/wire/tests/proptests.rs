@@ -1,0 +1,254 @@
+//! Property tests for the wire codecs: arbitrary messages must round-trip
+//! bit-exactly, and the decoders must reject (never panic on) arbitrary
+//! byte soup — these parsers face bytes produced by the *other* vendor's
+//! implementation, so total safety matters.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use mfv_types::{AsNum, AsPath, AsPathSegment, Community, Origin, Prefix};
+use mfv_wire::bgp::{BgpMsg, NotificationMsg, OpenMsg, PathAttr, UpdateMsg};
+use mfv_wire::isis::{
+    AdjState, IpReach, IsNeighbor, IsisPdu, Lsp, LspEntry, LspId, P2pHello, SystemId, Tlv,
+};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::from_bits(bits, len))
+}
+
+fn arb_community() -> impl Strategy<Value = Community> {
+    any::<u32>().prop_map(Community)
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    proptest::collection::vec(
+        (any::<bool>(), proptest::collection::vec(any::<u32>().prop_map(AsNum), 1..6)),
+        0..4,
+    )
+    .prop_map(|segs| {
+        AsPath(
+            segs.into_iter()
+                .map(|(is_set, asns)| {
+                    if is_set {
+                        AsPathSegment::Set(asns)
+                    } else {
+                        AsPathSegment::Sequence(asns)
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+fn arb_attr() -> impl Strategy<Value = PathAttr> {
+    prop_oneof![
+        prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)]
+            .prop_map(PathAttr::Origin),
+        arb_as_path().prop_map(PathAttr::AsPath),
+        any::<u32>().prop_map(|v| PathAttr::NextHop(Ipv4Addr::from(v))),
+        any::<u32>().prop_map(PathAttr::Med),
+        any::<u32>().prop_map(PathAttr::LocalPref),
+        proptest::collection::vec(arb_community(), 0..8).prop_map(PathAttr::Communities),
+        // Unknown optional-transitive attributes with arbitrary payloads.
+        (
+            // type codes above the well-known range
+            100u8..=255,
+            proptest::collection::vec(any::<u8>(), 0..40),
+            any::<bool>(),
+        )
+            .prop_map(|(type_code, value, partial)| PathAttr::Unknown {
+                flags: mfv_wire::bgp::FLAG_OPTIONAL
+                    | mfv_wire::bgp::FLAG_TRANSITIVE
+                    | if partial { mfv_wire::bgp::FLAG_PARTIAL } else { 0 },
+                type_code,
+                value: Bytes::from(value),
+            }),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateMsg> {
+    (
+        proptest::collection::vec(arb_prefix(), 0..10),
+        proptest::collection::vec(arb_attr(), 0..6),
+        proptest::collection::vec(arb_prefix(), 0..10),
+    )
+        .prop_map(|(withdrawn, attrs, nlri)| UpdateMsg { withdrawn, attrs, nlri })
+}
+
+fn arb_system_id() -> impl Strategy<Value = SystemId> {
+    any::<[u8; 6]>().prop_map(SystemId)
+}
+
+fn arb_lsp() -> impl Strategy<Value = Lsp> {
+    (
+        any::<u16>(),
+        arb_system_id(),
+        any::<u8>(),
+        any::<u32>(),
+        proptest::collection::vec(
+            prop_oneof![
+                proptest::collection::vec((arb_system_id(), any::<u8>(), 0u32..0xff_ffff), 0..5)
+                    .prop_map(|ns| Tlv::ExtIsReach(
+                        ns.into_iter()
+                            .map(|(neighbor, pseudonode, metric)| IsNeighbor {
+                                neighbor,
+                                pseudonode,
+                                metric
+                            })
+                            .collect()
+                    )),
+                proptest::collection::vec((any::<u32>(), arb_prefix(), any::<bool>()), 0..5)
+                    .prop_map(|rs| Tlv::ExtIpReach(
+                        rs.into_iter()
+                            .map(|(metric, prefix, down)| IpReach { metric, prefix, down })
+                            .collect()
+                    )),
+                "[a-z][a-z0-9-]{0,14}".prop_map(Tlv::Hostname),
+            ],
+            0..4,
+        ),
+    )
+        .prop_map(|(lifetime_secs, sys, fragment, seq, tlvs)| Lsp {
+            lifetime_secs,
+            lsp_id: LspId { system: sys, pseudonode: 0, fragment },
+            seq,
+            tlvs,
+        })
+}
+
+proptest! {
+    #[test]
+    fn bgp_update_roundtrip(update in arb_update()) {
+        let mut bytes = BgpMsg::Update(update.clone()).encode();
+        let decoded = BgpMsg::decode(&mut bytes).unwrap();
+        prop_assert!(bytes.is_empty());
+        match decoded {
+            BgpMsg::Update(got) => {
+                prop_assert_eq!(got.withdrawn, update.withdrawn);
+                prop_assert_eq!(got.nlri, update.nlri);
+                prop_assert_eq!(got.attrs.len(), update.attrs.len());
+                for (g, w) in got.attrs.iter().zip(update.attrs.iter()) {
+                    match (g, w) {
+                        (
+                            PathAttr::Unknown { flags: gf, type_code: gt, value: gv },
+                            PathAttr::Unknown { flags: wf, type_code: wt, value: wv },
+                        ) => {
+                            // Extended-length is framing, not identity.
+                            prop_assert_eq!(gf & !mfv_wire::bgp::FLAG_EXTENDED_LEN,
+                                            wf & !mfv_wire::bgp::FLAG_EXTENDED_LEN);
+                            prop_assert_eq!(gt, wt);
+                            prop_assert_eq!(gv, wv);
+                        }
+                        _ => prop_assert_eq!(g, w),
+                    }
+                }
+            }
+            other => prop_assert!(false, "wrong type {:?}", other),
+        }
+    }
+
+    #[test]
+    fn bgp_open_roundtrip(asn in any::<u32>(), hold in any::<u16>(), id in any::<u32>()) {
+        let open = OpenMsg::new(AsNum(asn), hold, Ipv4Addr::from(id));
+        let mut bytes = BgpMsg::Open(open.clone()).encode();
+        match BgpMsg::decode(&mut bytes).unwrap() {
+            BgpMsg::Open(got) => prop_assert_eq!(got, open),
+            other => prop_assert!(false, "wrong type {:?}", other),
+        }
+    }
+
+    #[test]
+    fn bgp_notification_roundtrip(code in any::<u8>(), sub in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = NotificationMsg { code, subcode: sub, data: Bytes::from(data) };
+        let mut bytes = BgpMsg::Notification(n.clone()).encode();
+        match BgpMsg::decode(&mut bytes).unwrap() {
+            BgpMsg::Notification(got) => prop_assert_eq!(got, n),
+            other => prop_assert!(false, "wrong type {:?}", other),
+        }
+    }
+
+    #[test]
+    fn bgp_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut b = Bytes::from(data);
+        let _ = BgpMsg::decode(&mut b);
+    }
+
+    #[test]
+    fn bgp_decoder_rejects_truncations(update in arb_update(), frac in 0.0f64..1.0) {
+        let bytes = BgpMsg::Update(update).encode();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            let mut b = bytes.slice(..cut);
+            prop_assert!(BgpMsg::decode(&mut b).is_err());
+        }
+    }
+
+    #[test]
+    fn isis_lsp_roundtrip(lsp in arb_lsp()) {
+        let mut bytes = IsisPdu::Lsp(lsp.clone()).encode();
+        let decoded = IsisPdu::decode(&mut bytes).unwrap();
+        prop_assert!(bytes.is_empty());
+        match decoded {
+            IsisPdu::Lsp(got) => prop_assert_eq!(got, lsp),
+            other => prop_assert!(false, "wrong type {:?}", other),
+        }
+    }
+
+    #[test]
+    fn isis_hello_roundtrip(
+        sys in arb_system_id(),
+        hold in any::<u16>(),
+        state_code in 0u8..3,
+        neighbor in proptest::option::of(arb_system_id()),
+    ) {
+        let state = match state_code {
+            0 => AdjState::Up,
+            1 => AdjState::Initializing,
+            _ => AdjState::Down,
+        };
+        let hello = P2pHello {
+            circuit_type: 2,
+            source: sys,
+            hold_time_secs: hold,
+            circuit_id: 1,
+            tlvs: vec![Tlv::P2pAdjState { state, neighbor }],
+        };
+        let mut bytes = IsisPdu::P2pHello(hello.clone()).encode();
+        match IsisPdu::decode(&mut bytes).unwrap() {
+            IsisPdu::P2pHello(got) => prop_assert_eq!(got, hello),
+            other => prop_assert!(false, "wrong type {:?}", other),
+        }
+    }
+
+    #[test]
+    fn isis_csnp_roundtrip(
+        sys in arb_system_id(),
+        entries in proptest::collection::vec(
+            (any::<u16>(), arb_system_id(), any::<u32>(), any::<u16>()),
+            0..10,
+        ),
+    ) {
+        let entries: Vec<LspEntry> = entries
+            .into_iter()
+            .map(|(lifetime, s, seq, checksum)| LspEntry {
+                lifetime,
+                lsp_id: LspId::of(s),
+                seq,
+                checksum,
+            })
+            .collect();
+        let pdu = IsisPdu::Csnp(mfv_wire::isis::Csnp { source: sys, entries: entries.clone() });
+        let mut bytes = pdu.encode();
+        match IsisPdu::decode(&mut bytes).unwrap() {
+            IsisPdu::Csnp(got) => prop_assert_eq!(got.entries, entries),
+            other => prop_assert!(false, "wrong type {:?}", other),
+        }
+    }
+
+    #[test]
+    fn isis_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut b = Bytes::from(data);
+        let _ = IsisPdu::decode(&mut b);
+    }
+}

@@ -1,0 +1,68 @@
+//! Experiment E4 (paper §5): emulation scalability.
+//!
+//! ```sh
+//! cargo run --release --example scale_sweep
+//! ```
+//!
+//! Sweeps topology sizes on a single simulated e2-standard-32 machine
+//! (0.5 vCPU + 1 GiB per router pod, as the paper reports for the cEOS
+//! image), printing bring-up time, convergence time, and cluster packing —
+//! then demonstrates the capacity wall at ~60 routers on one machine and
+//! the 1,000-device / 17-machine cluster bound.
+
+use mfv_core::{scenarios, EmulationBackend};
+use mfv_emulator::Cluster;
+
+fn main() {
+    println!("=== single e2-standard-32 machine, IS-IS line topologies ===");
+    println!("routers  boot(min)  convergence(s)  messages  fib-entries");
+    for n in [5, 10, 20, 40, 60] {
+        let snapshot = scenarios::isis_line(n);
+        let backend = EmulationBackend { cluster_machines: 1, ..Default::default() };
+        match backend.run(&snapshot) {
+            Ok((emu, meta)) => {
+                println!(
+                    "{:>7}  {:>9.1}  {:>14.1}  {:>8}  {:>11}",
+                    n,
+                    meta.boot_time.map(|d| d.as_mins_f64()).unwrap_or(0.0),
+                    meta.convergence_time.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+                    meta.messages,
+                    emu.dataplane().total_entries(),
+                );
+            }
+            Err(e) => println!("{n:>7}  {e}"),
+        }
+    }
+
+    println!("\n=== capacity: how many 0.5-vCPU/1-GiB router pods fit? ===");
+    for machines in [1, 8, 16, 17] {
+        let cluster = Cluster::of_size(machines);
+        println!(
+            "{:>2} machine(s): {:>5} pods (paper: 60-ish on one, 1,000 on 17)",
+            machines,
+            cluster.capacity_for(500, 1024)
+        );
+    }
+
+    println!("\n=== over the wall: 70 routers on one machine ===");
+    let snapshot = scenarios::isis_line(70);
+    let backend = EmulationBackend { cluster_machines: 1, ..Default::default() };
+    match backend.run(&snapshot) {
+        Ok(_) => println!("unexpectedly scheduled"),
+        Err(e) => println!("{e}"),
+    }
+
+    println!("\n=== same 70 routers on a 2-machine cluster ===");
+    let backend = EmulationBackend { cluster_machines: 2, ..Default::default() };
+    match backend.run(&snapshot) {
+        Ok((emu, meta)) => {
+            println!(
+                "boot {:.1} min, converged {} after boot; packing: {:?}",
+                meta.boot_time.map(|d| d.as_mins_f64()).unwrap_or(0.0),
+                meta.convergence_time.unwrap(),
+                emu.cluster_packing(),
+            );
+        }
+        Err(e) => println!("{e}"),
+    }
+}

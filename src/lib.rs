@@ -1,0 +1,16 @@
+//! Facade crate re-exporting the full model-free verification stack.
+//!
+//! See the `mfv-core` crate for the pipeline API and DESIGN.md for the
+//! system inventory.
+
+pub use mfv_config as config;
+pub use mfv_core as core;
+pub use mfv_dataplane as dataplane;
+pub use mfv_emulator as emulator;
+pub use mfv_mgmt as mgmt;
+pub use mfv_model as model;
+pub use mfv_routing as routing;
+pub use mfv_types as types;
+pub use mfv_verify as verify;
+pub use mfv_vrouter as vrouter;
+pub use mfv_wire as wire;

@@ -1,0 +1,111 @@
+//! Black-box tests for the `mfvctl` binary, driven over its real argv/stdout
+//! interface (cargo provides the binary path via `CARGO_BIN_EXE_*`).
+
+use std::process::Command;
+
+fn mfvctl(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mfvctl"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_example(name: &str, file: &str) -> std::path::PathBuf {
+    let (json, _, ok) = mfvctl(&["example", name]);
+    assert!(ok);
+    let path = std::env::temp_dir().join(file);
+    std::fs::write(&path, json).unwrap();
+    path
+}
+
+#[test]
+fn help_lists_commands() {
+    let (out, _, ok) = mfvctl(&["help"]);
+    assert!(ok);
+    for cmd in ["run", "diff", "trace", "show", "model", "example"] {
+        assert!(out.contains(cmd), "missing '{cmd}' in help:\n{out}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (_, err, ok) = mfvctl(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn example_emits_valid_topology_json() {
+    let (json, _, ok) = mfvctl(&["example", "fig3-line"]);
+    assert!(ok);
+    let topo = mfv_emulator::Topology::from_json(&json).unwrap();
+    assert_eq!(topo.nodes.len(), 3);
+    assert_eq!(topo.validate(), Ok(()));
+}
+
+#[test]
+fn run_reports_convergence_and_reachability() {
+    let path = write_example("fig3-line", "mfvctl_run.json");
+    let (out, err, ok) = mfvctl(&["run", path.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("converged:   true"), "{out}");
+    assert!(out.contains("full mesh"), "{out}");
+}
+
+#[test]
+fn trace_prints_hops() {
+    let path = write_example("fig3-line", "mfvctl_trace.json");
+    let (out, err, ok) =
+        mfvctl(&["trace", path.to_str().unwrap(), "r1", "2.2.2.3"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("accepted at r3"), "{out}");
+    assert!(out.contains("r2"), "{out}");
+}
+
+#[test]
+fn diff_finds_the_e1_outage() {
+    let a = write_example("six-node", "mfvctl_a.json");
+    let b = write_example("six-node-broken", "mfvctl_b.json");
+    let (out, err, ok) =
+        mfvctl(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("deliverability changes"), "{out}");
+    assert!(out.contains("2.2.2.3"), "{out}");
+}
+
+#[test]
+fn model_reports_coverage() {
+    let path = write_example("fig3-line", "mfvctl_model.json");
+    let (out, err, ok) = mfvctl(&["model", path.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("unrecognized"), "{out}");
+    assert!(out.contains("broken pairs"), "{out}");
+}
+
+#[test]
+fn show_runs_operator_cli() {
+    let path = write_example("fig3-line", "mfvctl_show.json");
+    let (out, err, ok) = mfvctl(&[
+        "show",
+        path.to_str().unwrap(),
+        "r2",
+        "show",
+        "isis",
+        "database",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("Link State Database"), "{out}");
+    assert!(out.contains("r3"), "{out}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let (_, err, ok) = mfvctl(&["run", "/nonexistent/topo.json"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "{err}");
+}
