@@ -1,7 +1,15 @@
 //! A2: what-if link-cut sweeps (one emulation per context).
+//!
+//! The `k2_verification` pair isolates the verification stage (variant
+//! dataplanes precomputed) to show the incremental win: the cached path
+//! shares the baseline analysis and per-FIB effective classes across all
+//! contexts, the uncached path rebuilds everything per context.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mfv_core::{link_cut_contexts, scenarios, verify_link_cuts, EmulationBackend};
+use mfv_core::{
+    differential_reachability, differential_reachability_with, link_cut_contexts, scenarios,
+    verify_link_cuts, Backend, ClassCache, EmulationBackend, ForwardingAnalysis,
+};
 
 fn bench(c: &mut Criterion) {
     let snapshot = scenarios::six_node();
@@ -12,6 +20,55 @@ fn bench(c: &mut Criterion) {
             assert_eq!(contexts.len(), 10);
         })
     });
+
+    // Precompute the k=2 variant dataplanes so the pair below times
+    // verification only, not emulation.
+    let backend = EmulationBackend::default();
+    let baseline = backend.compute(&snapshot).unwrap().dataplane;
+    let contexts = link_cut_contexts(&snapshot, 2);
+    let variants: Vec<_> = contexts
+        .iter()
+        .map(|cuts| {
+            backend
+                .compute(&snapshot.without_links(cuts))
+                .unwrap()
+                .dataplane
+        })
+        .collect();
+
+    // The cached path must find exactly what the uncached path finds.
+    {
+        let cache = ClassCache::new();
+        let fa_base = ForwardingAnalysis::with_cache(&baseline, &cache);
+        for v in &variants {
+            let fa_v = ForwardingAnalysis::with_cache(v, &cache);
+            let cached = differential_reachability_with(&fa_base, &fa_v, None);
+            let uncached = differential_reachability(&baseline, v, None);
+            assert_eq!(cached, uncached, "cached sweep diverged from uncached");
+        }
+    }
+
+    let mut group = c.benchmark_group("a2/k2_verification");
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            for v in &variants {
+                let findings = differential_reachability(std::hint::black_box(&baseline), v, None);
+                std::hint::black_box(findings);
+            }
+        })
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let cache = ClassCache::new();
+            let fa_base = ForwardingAnalysis::with_cache(&baseline, &cache);
+            for v in &variants {
+                let fa_v = ForwardingAnalysis::with_cache(v, &cache);
+                let findings = differential_reachability_with(&fa_base, &fa_v, None);
+                std::hint::black_box(findings);
+            }
+        })
+    });
+    group.finish();
 
     let mut group = c.benchmark_group("a2/single_cut_sweep");
     group.sample_size(10);

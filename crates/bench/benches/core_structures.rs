@@ -21,8 +21,7 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let trie: PrefixTrie<usize> =
-        prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let trie: PrefixTrie<usize> = prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
     c.bench_function("trie/lookup_100k", |b| {
         let mut i = 0u32;
         b.iter(|| {
@@ -42,8 +41,8 @@ fn bench(c: &mut Criterion) {
     });
 
     // BGP UPDATE encode/decode at packing scale.
-    use mfv_types::{AsNum, AsPath, Origin};
     use ::mfv_wire::bgp::{BgpMsg, PathAttr, UpdateMsg};
+    use mfv_types::{AsNum, AsPath, Origin};
     let update = BgpMsg::Update(UpdateMsg {
         withdrawn: vec![],
         attrs: vec![

@@ -2,18 +2,37 @@
 //! model-free pipeline on the six-node Fig. 2 network.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mfv_core::{differential_reachability, scenarios, Backend, EmulationBackend};
+use mfv_core::{
+    differential_reachability, differential_reachability_with, scenarios, Backend, ClassCache,
+    EmulationBackend, ForwardingAnalysis,
+};
 
 fn bench(c: &mut Criterion) {
     // Precompute the two dataplanes once; the query is the hot path.
     let backend = EmulationBackend::default();
     let base = backend.compute(&scenarios::six_node()).unwrap().dataplane;
-    let broken = backend.compute(&scenarios::six_node_broken()).unwrap().dataplane;
+    let broken = backend
+        .compute(&scenarios::six_node_broken())
+        .unwrap()
+        .dataplane;
 
     c.bench_function("e1/differential_reachability/six_node", |b| {
         b.iter(|| {
+            let findings = differential_reachability(std::hint::black_box(&base), &broken, None);
+            assert!(!findings.is_empty());
+        })
+    });
+
+    // Same query over prebuilt analyses sharing one class cache — the shape
+    // a multi-snapshot comparison (A1 outcome distributions, what-if
+    // sweeps) uses.
+    c.bench_function("e1/differential_reachability/six_node_cached", |b| {
+        let cache = ClassCache::new();
+        let fa_base = ForwardingAnalysis::with_cache(&base, &cache);
+        b.iter(|| {
+            let fa_broken = ForwardingAnalysis::with_cache(&broken, &cache);
             let findings =
-                differential_reachability(std::hint::black_box(&base), &broken, None);
+                differential_reachability_with(std::hint::black_box(&fa_base), &fa_broken, None);
             assert!(!findings.is_empty());
         })
     });

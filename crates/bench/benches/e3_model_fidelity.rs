@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("e3/model_backend/fig3_line", |b| {
         b.iter(|| {
-            let r = ModelBackend.compute(std::hint::black_box(&snapshot)).unwrap();
+            let r = ModelBackend
+                .compute(std::hint::black_box(&snapshot))
+                .unwrap();
             assert!(r.meta.converged);
         })
     });

@@ -14,7 +14,11 @@ use mfv_types::NodeId;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let want = |id: &str| selected.is_empty() || selected.contains(&id);
 
     println!("Model-Free Verification — experiment harness");
@@ -57,7 +61,10 @@ fn banner(id: &str, title: &str) {
 }
 
 fn e1() {
-    banner("E1", "model-free verification uncovers reachability impact (Fig. 2)");
+    banner(
+        "E1",
+        "model-free verification uncovers reachability impact (Fig. 2)",
+    );
     let r = run_e1(1);
     println!(
         "six-node network converged (baseline {} / broken {} messages)\n",
@@ -72,23 +79,39 @@ fn e1() {
     paper_row(
         "loss of connectivity AS3 → AS2 discovered",
         "yes",
-        if e1_as3_lost_as2(&r) { "yes" } else { "NO (mismatch!)" },
+        if e1_as3_lost_as2(&r) {
+            "yes"
+        } else {
+            "NO (mismatch!)"
+        },
     );
-    for f in r.lost.iter().filter(|f| f.src == NodeId::from("r5")).take(3) {
+    for f in r
+        .lost
+        .iter()
+        .filter(|f| f.src == NodeId::from("r5"))
+        .take(3)
+    {
         println!("  example: {f}");
     }
 }
 
 fn e2() {
-    banner("E2", "model-based verification struggles with feature coverage");
+    banner(
+        "E2",
+        "model-based verification struggles with feature coverage",
+    );
     let rows = run_e2();
     println!("config  total  recognized  unrecognized  material  mgmt-only");
     let (mut lo, mut hi) = (usize::MAX, 0);
     for row in &rows {
         println!(
             "{:<7} {:>5}  {:>10}  {:>12}  {:>8}  {:>9}",
-            row.hostname, row.total_lines, row.recognized, row.unrecognized,
-            row.material, row.management_only
+            row.hostname,
+            row.total_lines,
+            row.recognized,
+            row.unrecognized,
+            row.material,
+            row.management_only
         );
         lo = lo.min(row.unrecognized);
         hi = hi.max(row.unrecognized);
@@ -106,12 +129,19 @@ fn e2() {
 }
 
 fn e3() {
-    banner("E3", "model-based results can be wrong or misleading (Fig. 3)");
+    banner(
+        "E3",
+        "model-based results can be wrong or misleading (Fig. 3)",
+    );
     let r = run_e3(1);
     paper_row(
         "emulation: pairwise reachability",
         "full",
-        if r.emu_broken_pairs == 0 { "full" } else { "BROKEN (mismatch!)" },
+        if r.emu_broken_pairs == 0 {
+            "full"
+        } else {
+            "BROKEN (mismatch!)"
+        },
     );
     let model_drops_r2_r1 = r
         .model_broken_pairs
@@ -120,7 +150,11 @@ fn e3() {
     paper_row(
         "model: reachability R2 → R1",
         "dropped",
-        if model_drops_r2_r1 { "dropped" } else { "present (mismatch!)" },
+        if model_drops_r2_r1 {
+            "dropped"
+        } else {
+            "present (mismatch!)"
+        },
     );
     println!("  model broken pairs: {:?}", r.model_broken_pairs);
     println!(
@@ -137,15 +171,23 @@ fn e4(quick: bool) {
     banner("E4", "emulation performance scales in size and complexity");
     println!("single e2-standard-32 machine, cEOS-shape pods (0.5 vCPU + 1 GiB):\n");
     println!("routers  scheduled  boot        convergence  messages  fib     wall");
-    let sizes: &[usize] = if quick { &[5, 10, 20] } else { &[5, 10, 20, 40, 60] };
+    let sizes: &[usize] = if quick {
+        &[5, 10, 20]
+    } else {
+        &[5, 10, 20, 40, 60]
+    };
     for &n in sizes {
         let row = run_e4_size(n, 1, 1);
         println!(
             "{:>7}  {:>9}  {:>10}  {:>11}  {:>8}  {:>6}  {:?}",
             row.routers,
             if row.scheduled { "yes" } else { "NO" },
-            row.boot.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-            row.convergence.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            row.boot
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            row.convergence
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
             row.messages,
             row.fib_entries,
             row.wall,
@@ -155,15 +197,27 @@ fn e4(quick: bool) {
     println!(
         "{:>7}  {:>9}  (insufficient cluster capacity — the paper's single-node wall)",
         70,
-        if over.scheduled { "yes (mismatch!)" } else { "NO" }
+        if over.scheduled {
+            "yes (mismatch!)"
+        } else {
+            "NO"
+        }
     );
     println!();
-    paper_row("pods per e2-standard-32", "~60", &format!("{}", e4_capacity(1)));
-    paper_row("machines for 1,000 devices", "17-node cluster", &format!(
-        "{} pods fit on 17 (15 machines: {})",
-        e4_capacity(17),
-        e4_capacity(15)
-    ));
+    paper_row(
+        "pods per e2-standard-32",
+        "~60",
+        &format!("{}", e4_capacity(1)),
+    );
+    paper_row(
+        "machines for 1,000 devices",
+        "17-node cluster",
+        &format!(
+            "{} pods fit on 17 (15 machines: {})",
+            e4_capacity(17),
+            e4_capacity(15)
+        ),
+    );
     let boot = run_e4_size(40, 1, 1).boot.unwrap();
     paper_row(
         "one-time startup (pull + boot), 40 routers",
@@ -182,14 +236,20 @@ fn e5(quick: bool) {
     println!("(the paper injects millions per peer; we sweep the synthetic feed size —");
     println!(" convergence is injection-paced, so the time extrapolates linearly)\n");
     println!("routes/feed  boot       convergence  messages  fib-entries  wall");
-    let sweeps: &[usize] = if quick { &[2_500, 10_000] } else { &[10_000, 25_000, 50_000] };
+    let sweeps: &[usize] = if quick {
+        &[2_500, 10_000]
+    } else {
+        &[10_000, 25_000, 50_000]
+    };
     let mut last = None;
     for &routes in sweeps {
         let r = run_e5(nodes, routes, 1);
         println!(
             "{:>11}  {:>9}  {:>11}  {:>8}  {:>11}  {:?}",
             routes,
-            r.boot.map(|d| format!("{:.1}min", d.as_mins_f64())).unwrap_or_default(),
+            r.boot
+                .map(|d| format!("{:.1}min", d.as_mins_f64()))
+                .unwrap_or_default(),
             r.convergence.map(|d| d.to_string()).unwrap_or_default(),
             r.messages,
             r.total_fib_entries,
@@ -204,8 +264,9 @@ fn e5(quick: bool) {
     let per_route_ms = r
         .convergence
         .map(|d| (d.as_millis().saturating_sub(1_000)) as f64 / r.routes_per_feed as f64);
-    let extrapolated_min =
-        per_route_ms.map(|ms| ms * 2_000_000.0 / 60_000.0).unwrap_or(0.0);
+    let extrapolated_min = per_route_ms
+        .map(|ms| ms * 2_000_000.0 / 60_000.0)
+        .unwrap_or(0.0);
     paper_row(
         "convergence after config + injection",
         "~3 min (millions of routes)",
@@ -219,7 +280,9 @@ fn e5(quick: bool) {
     paper_row(
         "initial startup (infra + containers)",
         "12–17 min",
-        &r.boot.map(|d| format!("{:.1} min", d.as_mins_f64())).unwrap_or_default(),
+        &r.boot
+            .map(|d| format!("{:.1} min", d.as_mins_f64()))
+            .unwrap_or_default(),
     );
 }
 
@@ -232,12 +295,18 @@ fn e6() {
         .node(&"r3".into())
         .unwrap()
         .config_text
-        .replace("   isis enable default\n!\n", "   ip router isis default\n!\n");
+        .replace(
+            "   isis enable default\n!\n",
+            "   ip router isis default\n!\n",
+        );
     let snapshot: Snapshot = healthy.with_config(&"r3".into(), &broken_r3);
     let backend = EmulationBackend::default();
     let (emu, _) = backend.run(&snapshot).expect("emulation runs");
     let broken = mfv_core::unreachable_pairs(&emu.dataplane());
-    println!("verification: {} broken reachability pairs (expected > 0)\n", broken.len());
+    println!(
+        "verification: {} broken reachability pairs (expected > 0)\n",
+        broken.len()
+    );
     println!("operator drops into the emulated device:");
     println!("r2# show isis database");
     print!("{}", emu.cli(&"r2".into(), "show isis database").unwrap());
@@ -251,7 +320,10 @@ fn e6() {
 }
 
 fn a1() {
-    banner("A1", "non-determinism: one emulation run = one converged state (§6)");
+    banner(
+        "A1",
+        "non-determinism: one emulation run = one converged state (§6)",
+    );
     let seeds: Vec<u64> = (1..=8).collect();
     let r = run_a1(&seeds);
     println!(
@@ -265,26 +337,38 @@ fn a1() {
     paper_row(
         "parallel runs expose ordering-dependent outcomes",
         "proposed",
-        &format!("{} outcomes / {} seeds", r.distribution.len(), r.seeds.len()),
+        &format!(
+            "{} outcomes / {} seeds",
+            r.distribution.len(),
+            r.seeds.len()
+        ),
     );
     paper_row(
         "reachability-level result stable across runs",
         "(desired)",
-        if r.reachability_consistent { "yes" } else { "NO" },
+        if r.reachability_consistent {
+            "yes"
+        } else {
+            "NO"
+        },
     );
 }
 
 fn a2() {
     banner("A2", "exhaustive context search: k link cuts (§6)");
     let r = run_a2(1);
-    println!("six-node snapshot has {} links; contexts to emulate:", r.links);
+    println!(
+        "six-node snapshot has {} links; contexts to emulate:",
+        r.links
+    );
     for (k, n) in &r.growth {
         println!("  any {k} cut(s): {n} emulation contexts");
     }
     println!(
         "\nk=1 sweep (one emulation per context, fanned out across threads):\n  \
-         {} cut contexts survive, {} cause reachability loss (wall {:?})",
-        r.single_cut_survivals, r.single_cut_outages, r.wall
+         {} cut contexts survive, {} cause reachability loss (wall {:?})\n  \
+         class cache: {} node analyses reused, {} computed",
+        r.single_cut_survivals, r.single_cut_outages, r.wall, r.class_cache.0, r.class_cache.1
     );
     paper_row(
         "k-cut context growth",
@@ -300,7 +384,11 @@ fn a3() {
         "emitter (vjunos) attaches unusual-but-valid transitive attr 213;\n\
          victim (ceos) parser crashes on it.\n"
     );
-    paper_row("routing process crashes observed", "1 (production incident)", &r.crashes.to_string());
+    paper_row(
+        "routing process crashes observed",
+        "1 (production incident)",
+        &r.crashes.to_string(),
+    );
     paper_row(
         "partial outage visible to verification",
         "traffic loss / partial outage",
@@ -309,6 +397,10 @@ fn a3() {
     paper_row(
         "single-model baseline can analyse it",
         "no (one reference model)",
-        if r.model_can_ingest { "yes (mismatch!)" } else { "no (vjunos unsupported)" },
+        if r.model_can_ingest {
+            "yes (mismatch!)"
+        } else {
+            "no (vjunos unsupported)"
+        },
     );
 }

@@ -5,8 +5,8 @@
 use std::collections::BTreeMap;
 
 use mfv_core::{
-    deliverability_changes, differential_reachability, scenarios, unreachable_pairs,
-    Backend, BackendMeta, DiffFinding, EmulationBackend, ModelBackend, Snapshot,
+    deliverability_changes, differential_reachability, scenarios, unreachable_pairs, Backend,
+    BackendMeta, DiffFinding, EmulationBackend, ModelBackend, Snapshot,
 };
 use mfv_dataplane::Dataplane;
 use mfv_emulator::{outcome_distribution, run_seeds, Cluster, EmulationConfig};
@@ -33,10 +33,14 @@ pub struct E1Result {
 pub fn run_e1(seed: u64) -> E1Result {
     let backend = EmulationBackend::with_seed(seed);
     let base = backend.compute(&scenarios::six_node()).expect("baseline");
-    let broken = backend.compute(&scenarios::six_node_broken()).expect("broken");
+    let broken = backend
+        .compute(&scenarios::six_node_broken())
+        .expect("broken");
     let findings = differential_reachability(&base.dataplane, &broken.dataplane, None);
-    let lost: Vec<DiffFinding> =
-        deliverability_changes(&findings).into_iter().cloned().collect();
+    let lost: Vec<DiffFinding> = deliverability_changes(&findings)
+        .into_iter()
+        .cloned()
+        .collect();
     let mut lost_by_src = BTreeMap::new();
     for f in &lost {
         *lost_by_src.entry(f.src.clone()).or_insert(0usize) += 1;
@@ -80,7 +84,9 @@ pub struct E2Row {
 }
 
 pub fn run_e2() -> Vec<E2Row> {
-    let result = ModelBackend.compute(&scenarios::six_node()).expect("model ingests");
+    let result = ModelBackend
+        .compute(&scenarios::six_node())
+        .expect("model ingests");
     result
         .meta
         .coverage
@@ -122,7 +128,9 @@ pub struct E3Result {
 
 pub fn run_e3(seed: u64) -> E3Result {
     let snapshot = scenarios::three_node_line_fig3();
-    let emu = EmulationBackend::with_seed(seed).compute(&snapshot).expect("emulation");
+    let emu = EmulationBackend::with_seed(seed)
+        .compute(&snapshot)
+        .expect("emulation");
     let model = ModelBackend.compute(&snapshot).expect("model");
     let emu_broken = unreachable_pairs(&emu.dataplane);
     let model_broken: Vec<(NodeId, NodeId)> = unreachable_pairs(&model.dataplane)
@@ -260,7 +268,11 @@ pub fn run_a1(seeds: &[u64]) -> A1Result {
         );
         trace.disposition.is_delivered()
     });
-    A1Result { seeds: seeds.to_vec(), distribution, reachability_consistent }
+    A1Result {
+        seeds: seeds.to_vec(),
+        distribution,
+        reachability_consistent,
+    }
 }
 
 /// mid peers with left and right (different ASes) which both originate the
@@ -272,20 +284,38 @@ pub fn a1_topology() -> Snapshot {
     use std::net::Ipv4Addr;
 
     let left = RouterSpec::new("left", AsNum(65001), Ipv4Addr::new(2, 2, 2, 1))
-        .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()))
+        .iface(IfaceSpec::new(
+            "Ethernet1",
+            "100.64.0.0/31".parse().unwrap(),
+        ))
         .ebgp("100.64.0.1".parse().unwrap(), AsNum(65000))
         .network("2.2.2.1/32".parse().unwrap())
         .network("203.0.113.0/24".parse().unwrap())
-        .iface(IfaceSpec::new("Ethernet9", "203.0.113.1/24".parse().unwrap()));
+        .iface(IfaceSpec::new(
+            "Ethernet9",
+            "203.0.113.1/24".parse().unwrap(),
+        ));
     let right = RouterSpec::new("right", AsNum(65002), Ipv4Addr::new(2, 2, 2, 2))
-        .iface(IfaceSpec::new("Ethernet1", "100.64.0.2/31".parse().unwrap()))
+        .iface(IfaceSpec::new(
+            "Ethernet1",
+            "100.64.0.2/31".parse().unwrap(),
+        ))
         .ebgp("100.64.0.3".parse().unwrap(), AsNum(65000))
         .network("2.2.2.2/32".parse().unwrap())
         .network("203.0.113.0/24".parse().unwrap())
-        .iface(IfaceSpec::new("Ethernet9", "203.0.113.1/24".parse().unwrap()));
+        .iface(IfaceSpec::new(
+            "Ethernet9",
+            "203.0.113.1/24".parse().unwrap(),
+        ));
     let mid = RouterSpec::new("mid", AsNum(65000), Ipv4Addr::new(2, 2, 2, 9))
-        .iface(IfaceSpec::new("Ethernet1", "100.64.0.1/31".parse().unwrap()))
-        .iface(IfaceSpec::new("Ethernet2", "100.64.0.3/31".parse().unwrap()))
+        .iface(IfaceSpec::new(
+            "Ethernet1",
+            "100.64.0.1/31".parse().unwrap(),
+        ))
+        .iface(IfaceSpec::new(
+            "Ethernet2",
+            "100.64.0.3/31".parse().unwrap(),
+        ))
         .ebgp("100.64.0.0".parse().unwrap(), AsNum(65001))
         .ebgp("100.64.0.2".parse().unwrap(), AsNum(65002))
         .network("2.2.2.9/32".parse().unwrap());
@@ -315,6 +345,9 @@ pub struct A2Result {
     /// Verdicts for the k=1 sweep.
     pub single_cut_survivals: usize,
     pub single_cut_outages: usize,
+    /// `(hits, misses)` of the sweep's per-FIB class cache: hits are node
+    /// analyses reused from an earlier context instead of recomputed.
+    pub class_cache: (usize, usize),
     pub wall: std::time::Duration,
 }
 
@@ -327,14 +360,20 @@ pub fn run_a2(seed: u64) -> A2Result {
     let backend = EmulationBackend::with_seed(seed);
     let contexts = mfv_core::link_cut_contexts(&snapshot, 1);
     let t = std::time::Instant::now();
-    let verdicts = mfv_core::verify_link_cuts(&snapshot, &backend, contexts, None)
+    let report = mfv_core::verify_link_cuts_detailed(&snapshot, &backend, contexts, None)
         .expect("cut sweep runs");
+    let verdicts: Vec<_> = report
+        .verdicts
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("every context verified");
     let survivals = verdicts.iter().filter(|v| v.survives()).count();
     A2Result {
         links,
         growth,
         single_cut_survivals: survivals,
         single_cut_outages: verdicts.len() - survivals,
+        class_cache: report.class_cache,
         wall: t.elapsed(),
     }
 }
@@ -351,7 +390,9 @@ pub struct A3Result {
 
 pub fn run_a3(seed: u64) -> A3Result {
     let snapshot = scenarios::interplay_chain();
-    let clean = EmulationBackend::with_seed(seed).compute(&snapshot).expect("clean");
+    let clean = EmulationBackend::with_seed(seed)
+        .compute(&snapshot)
+        .expect("clean");
 
     let mut backend = EmulationBackend::with_seed(seed);
     backend.auto_restart = false;

@@ -43,7 +43,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "config error at line {}: {} ({})", self.line, self.text, self.reason)
+        write!(
+            f,
+            "config error at line {}: {} ({})",
+            self.line, self.text, self.reason
+        )
     }
 }
 
@@ -132,7 +136,11 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, line: usize, text: &str, reason: &str) -> ParseError {
-        ParseError { line, text: text.to_string(), reason: reason.to_string() }
+        ParseError {
+            line,
+            text: text.to_string(),
+            reason: reason.to_string(),
+        }
     }
 
     /// Collects the indices of the indented lines forming the current
@@ -150,8 +158,11 @@ impl<'a> Parser<'a> {
         let idx = self.pos;
         self.pos += 1;
         let (number, raw) = (self.lines[idx].number, self.lines[idx].raw.to_string());
-        let words: Vec<String> =
-            self.lines[idx].words.iter().map(|w| w.to_string()).collect();
+        let words: Vec<String> = self.lines[idx]
+            .words
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
         let w: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
 
         match w.as_slice() {
@@ -250,9 +261,9 @@ impl<'a> Parser<'a> {
                     let bw = self.lines[b].words.clone();
                     match bw.as_slice() {
                         ["rsvp", "hello-interval", ms] => {
-                            let v: u32 = ms.parse().map_err(|_| {
-                                self.err(n, &r, "bad rsvp hello-interval")
-                            })?;
+                            let v: u32 = ms
+                                .parse()
+                                .map_err(|_| self.err(n, &r, "bad rsvp hello-interval"))?;
                             self.cfg
                                 .mpls
                                 .rsvp
@@ -292,8 +303,9 @@ impl<'a> Parser<'a> {
                 self.isis_section(&instance)?;
             }
             ["router", "bgp", asn] => {
-                let asn: u32 =
-                    asn.parse().map_err(|_| self.err(number, &raw, "bad AS number"))?;
+                let asn: u32 = asn
+                    .parse()
+                    .map_err(|_| self.err(number, &raw, "bad AS number"))?;
                 self.recognized += 1;
                 self.bgp_section(AsNum(asn))?;
             }
@@ -303,8 +315,9 @@ impl<'a> Parser<'a> {
                     "deny" => PolicyAction::Deny,
                     _ => return Err(self.err(number, &raw, "route-map action")),
                 };
-                let seq: u32 =
-                    seq.parse().map_err(|_| self.err(number, &raw, "route-map seq"))?;
+                let seq: u32 = seq
+                    .parse()
+                    .map_err(|_| self.err(number, &raw, "route-map seq"))?;
                 self.recognized += 1;
                 let name = name.to_string();
                 self.route_map_section(&name, action, seq)?;
@@ -328,7 +341,11 @@ impl<'a> Parser<'a> {
                     ),
                     _ => return Err(self.err(number, &raw, "trailing arguments")),
                 };
-                self.cfg.static_routes.push(StaticRoute { prefix, next_hop, distance });
+                self.cfg.static_routes.push(StaticRoute {
+                    prefix,
+                    next_hop,
+                    distance,
+                });
                 self.recognized += 1;
             }
             _ => {
@@ -350,7 +367,11 @@ impl<'a> Parser<'a> {
         // apply — statement order cannot change the result.
         let iface_idx = {
             self.cfg.ensure_interface(name);
-            self.cfg.interfaces.iter().position(|i| i.name.as_str() == name).unwrap()
+            self.cfg
+                .interfaces
+                .iter()
+                .position(|i| i.name.as_str() == name)
+                .unwrap()
         };
         for b in body {
             let (number, raw) = (self.lines[b].number, self.lines[b].raw.to_string());
@@ -399,8 +420,7 @@ impl<'a> Parser<'a> {
                     self.recognized += 1;
                 }
                 ["isis", "passive-interface", instance] => {
-                    let isis =
-                        iface.isis.get_or_insert_with(|| IfaceIsis::new(*instance));
+                    let isis = iface.isis.get_or_insert_with(|| IfaceIsis::new(*instance));
                     isis.passive = true;
                     self.recognized += 1;
                 }
@@ -476,7 +496,11 @@ impl<'a> Parser<'a> {
             }
         }
         if isis.net.is_empty() {
-            self.warn(0, &format!("router isis {instance}"), "isis instance has no NET");
+            self.warn(
+                0,
+                &format!("router isis {instance}"),
+                "isis instance has no NET",
+            );
         }
         self.cfg.isis = Some(isis);
         Ok(())
@@ -486,10 +510,7 @@ impl<'a> Parser<'a> {
         let body = self.section_body();
         let mut bgp = BgpConfig::new(asn);
 
-        fn neighbor<'b>(
-            bgp: &'b mut BgpConfig,
-            peer: Ipv4Addr,
-        ) -> &'b mut BgpNeighborConfig {
+        fn neighbor(bgp: &mut BgpConfig, peer: Ipv4Addr) -> &mut BgpNeighborConfig {
             if let Some(pos) = bgp.neighbors.iter().position(|n| n.peer == peer) {
                 &mut bgp.neighbors[pos]
             } else {
@@ -505,8 +526,9 @@ impl<'a> Parser<'a> {
             let words = self.lines[b].words.clone();
             match words.as_slice() {
                 ["router-id", rid] => {
-                    let ip: Ipv4Addr =
-                        rid.parse().map_err(|_| self.err(number, &raw, "bad router-id"))?;
+                    let ip: Ipv4Addr = rid
+                        .parse()
+                        .map_err(|_| self.err(number, &raw, "bad router-id"))?;
                     bgp.router_id = Some(RouterId(ip));
                     self.recognized += 1;
                 }
@@ -547,8 +569,7 @@ impl<'a> Parser<'a> {
                             neighbor(&mut bgp, peer).remote_as = AsNum(ras);
                         }
                         ["update-source", src] => {
-                            neighbor(&mut bgp, peer).update_source =
-                                Some((*src).into());
+                            neighbor(&mut bgp, peer).update_source = Some((*src).into());
                         }
                         ["next-hop-self"] => {
                             neighbor(&mut bgp, peer).next_hop_self = true;
@@ -557,12 +578,10 @@ impl<'a> Parser<'a> {
                             neighbor(&mut bgp, peer).send_community = true;
                         }
                         ["route-map", name, "in"] => {
-                            neighbor(&mut bgp, peer).route_map_in =
-                                Some(name.to_string());
+                            neighbor(&mut bgp, peer).route_map_in = Some(name.to_string());
                         }
                         ["route-map", name, "out"] => {
-                            neighbor(&mut bgp, peer).route_map_out =
-                                Some(name.to_string());
+                            neighbor(&mut bgp, peer).route_map_out = Some(name.to_string());
                         }
                         ["ebgp-multihop", ..] => {
                             neighbor(&mut bgp, peer).ebgp_multihop = true;
@@ -625,7 +644,12 @@ impl<'a> Parser<'a> {
         seq: u32,
     ) -> Result<(), ParseError> {
         let body = self.section_body();
-        let mut entry = RouteMapEntry { seq, action, matches: Vec::new(), sets: Vec::new() };
+        let mut entry = RouteMapEntry {
+            seq,
+            action,
+            matches: Vec::new(),
+            sets: Vec::new(),
+        };
         for b in body {
             let (number, raw) = (self.lines[b].number, self.lines[b].raw.to_string());
             let words = self.lines[b].words.clone();
@@ -655,8 +679,9 @@ impl<'a> Parser<'a> {
                     self.recognized += 1;
                 }
                 ["set", "metric", v] | ["set", "med", v] => {
-                    let v: u32 =
-                        v.parse().map_err(|_| self.err(number, &raw, "bad metric"))?;
+                    let v: u32 = v
+                        .parse()
+                        .map_err(|_| self.err(number, &raw, "bad metric"))?;
                     entry.sets.push(SetClause::Med(v));
                     self.recognized += 1;
                 }
@@ -667,8 +692,8 @@ impl<'a> Parser<'a> {
                         .filter(|s| **s != "additive")
                         .map(|s| parse_community(s))
                         .collect();
-                    let comms = comms
-                        .ok_or_else(|| self.err(number, &raw, "bad community list"))?;
+                    let comms =
+                        comms.ok_or_else(|| self.err(number, &raw, "bad community list"))?;
                     entry.sets.push(if additive {
                         SetClause::AddCommunities(comms)
                     } else {
@@ -679,14 +704,14 @@ impl<'a> Parser<'a> {
                 ["set", "as-path", "prepend", rest @ ..] => {
                     let asns: Result<Vec<AsNum>, _> =
                         rest.iter().map(|s| s.parse().map(AsNum)).collect();
-                    let asns =
-                        asns.map_err(|_| self.err(number, &raw, "bad prepend list"))?;
+                    let asns = asns.map_err(|_| self.err(number, &raw, "bad prepend list"))?;
                     entry.sets.push(SetClause::PrependAsPath(asns));
                     self.recognized += 1;
                 }
                 ["set", "ip", "next-hop", ip] => {
-                    let ip: Ipv4Addr =
-                        ip.parse().map_err(|_| self.err(number, &raw, "bad next-hop"))?;
+                    let ip: Ipv4Addr = ip
+                        .parse()
+                        .map_err(|_| self.err(number, &raw, "bad next-hop"))?;
                     entry.sets.push(SetClause::NextHop(ip));
                     self.recognized += 1;
                 }
@@ -710,8 +735,9 @@ impl<'a> Parser<'a> {
         number: usize,
         raw: &str,
     ) -> Result<(), ParseError> {
-        let seq: u32 =
-            seq.parse().map_err(|_| self.err(number, raw, "bad prefix-list seq"))?;
+        let seq: u32 = seq
+            .parse()
+            .map_err(|_| self.err(number, raw, "bad prefix-list seq"))?;
         let action = match action {
             "permit" => PolicyAction::Permit,
             "deny" => PolicyAction::Deny,
@@ -719,8 +745,7 @@ impl<'a> Parser<'a> {
         };
         let (prefix, mut ge, mut le) = match rest {
             [p, rest @ ..] => {
-                let p: Prefix =
-                    p.parse().map_err(|_| self.err(number, raw, "bad prefix"))?;
+                let p: Prefix = p.parse().map_err(|_| self.err(number, raw, "bad prefix"))?;
                 let mut ge = None;
                 let mut le = None;
                 let mut it = rest.iter();
@@ -728,8 +753,7 @@ impl<'a> Parser<'a> {
                     let v = it
                         .next()
                         .ok_or_else(|| self.err(number, raw, "missing bound value"))?;
-                    let v: u8 =
-                        v.parse().map_err(|_| self.err(number, raw, "bad bound"))?;
+                    let v: u8 = v.parse().map_err(|_| self.err(number, raw, "bad bound"))?;
                     match *kw {
                         "ge" => ge = Some(v),
                         "le" => le = Some(v),
@@ -752,7 +776,13 @@ impl<'a> Parser<'a> {
             .entry(name.to_string())
             .or_default()
             .entries
-            .push(PrefixListEntry { seq, action, prefix, ge, le });
+            .push(PrefixListEntry {
+                seq,
+                action,
+                prefix,
+                ge,
+                le,
+            });
         self.cfg
             .prefix_lists
             .get_mut(name)
@@ -823,7 +853,10 @@ pub fn render(cfg: &DeviceConfig) -> String {
     if cfg.mpls.te_enabled {
         push("router traffic-engineering");
         if let Some(rsvp) = &cfg.mpls.rsvp {
-            push(&format!("   rsvp hello-interval {}", rsvp.hello_interval_ms));
+            push(&format!(
+                "   rsvp hello-interval {}",
+                rsvp.hello_interval_ms
+            ));
             push(&format!("   rsvp refresh-time {}", rsvp.refresh_ms));
         }
         push("!");
@@ -835,8 +868,7 @@ pub fn render(cfg: &DeviceConfig) -> String {
                 PolicyAction::Permit => "permit",
                 PolicyAction::Deny => "deny",
             };
-            let mut line =
-                format!("ip prefix-list {name} seq {} {action} {}", e.seq, e.prefix);
+            let mut line = format!("ip prefix-list {name} seq {} {action} {}", e.seq, e.prefix);
             if let Some(g) = e.ge {
                 line.push_str(&format!(" ge {g}"));
             }
@@ -870,9 +902,7 @@ pub fn render(cfg: &DeviceConfig) -> String {
             }
             for s in &e.sets {
                 match s {
-                    SetClause::LocalPref(v) => {
-                        push(&format!("   set local-preference {v}"))
-                    }
+                    SetClause::LocalPref(v) => push(&format!("   set local-preference {v}")),
                     SetClause::Med(v) => push(&format!("   set metric {v}")),
                     SetClause::AddCommunities(cs) => {
                         let cs: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
@@ -883,8 +913,7 @@ pub fn render(cfg: &DeviceConfig) -> String {
                         push(&format!("   set community {}", cs.join(" ")));
                     }
                     SetClause::PrependAsPath(asns) => {
-                        let asns: Vec<String> =
-                            asns.iter().map(|a| a.0.to_string()).collect();
+                        let asns: Vec<String> = asns.iter().map(|a| a.0.to_string()).collect();
                         push(&format!("   set as-path prepend {}", asns.join(" ")));
                     }
                     SetClause::NextHop(ip) => push(&format!("   set ip next-hop {ip}")),
@@ -1056,14 +1085,10 @@ interface Ethernet2
     fn statement_order_does_not_matter() {
         // The vendor accepts `ip address` before `no switchport` (paper
         // model issue #1 is the *model* getting this wrong).
-        let a = parse(
-            "interface Ethernet2\n   ip address 100.64.0.1/31\n   no switchport\n!\n",
-        )
-        .unwrap();
-        let b = parse(
-            "interface Ethernet2\n   no switchport\n   ip address 100.64.0.1/31\n!\n",
-        )
-        .unwrap();
+        let a = parse("interface Ethernet2\n   ip address 100.64.0.1/31\n   no switchport\n!\n")
+            .unwrap();
+        let b = parse("interface Ethernet2\n   no switchport\n   ip address 100.64.0.1/31\n!\n")
+            .unwrap();
         assert_eq!(a.config, b.config);
         assert!(a.config.interfaces[0].is_l3());
     }
@@ -1243,7 +1268,11 @@ interface Ethernet1
         cfg.mgmt.ssl_profiles.push("ACME".into());
         let lo = cfg.ensure_interface("Loopback0");
         lo.addr = Some("2.2.2.1/32".parse().unwrap());
-        lo.isis = Some(IfaceIsis { instance: "default".into(), metric: 10, passive: true });
+        lo.isis = Some(IfaceIsis {
+            instance: "default".into(),
+            metric: 10,
+            passive: true,
+        });
         let e1 = cfg.ensure_interface("Ethernet1");
         e1.addr = Some("10.0.0.1/31".parse().unwrap());
         e1.routed = true;

@@ -258,7 +258,9 @@ pub fn add_production_boilerplate(cfg: &mut DeviceConfig) {
         .iter()
         .map(|s| s.to_string()),
     );
-    cfg.mgmt.apis.extend(["gnmi", "grpc", "ssh"].iter().map(|s| s.to_string()));
+    cfg.mgmt
+        .apis
+        .extend(["gnmi", "grpc", "ssh"].iter().map(|s| s.to_string()));
     cfg.mgmt.ssl_profiles.push("mgmt-tls".to_string());
     cfg.mgmt.ntp_servers.push(Ipv4Addr::new(192, 0, 2, 123));
     cfg.mgmt.ntp_servers.push(Ipv4Addr::new(192, 0, 2, 124));
@@ -357,7 +359,12 @@ mod tests {
         let spec = sample_spec(Vendor::Vjunos);
         let text = spec.render();
         let parsed = crate::vjunos::parse(&text).unwrap();
-        assert!(parsed.warnings.is_empty(), "{:?}\n{}", parsed.warnings, text);
+        assert!(
+            parsed.warnings.is_empty(),
+            "{:?}\n{}",
+            parsed.warnings,
+            text
+        );
         let cfg = parsed.config;
         assert_eq!(cfg.hostname, "r1");
         let bgp = cfg.bgp.unwrap();
@@ -393,10 +400,22 @@ mod tests {
     #[test]
     fn classify_lines() {
         assert_eq!(classify_line("   mpls ip"), FeatureClass::Material);
-        assert_eq!(classify_line("router traffic-engineering"), FeatureClass::Material);
-        assert_eq!(classify_line("daemon TerminAttr"), FeatureClass::ManagementOnly);
-        assert_eq!(classify_line("management api gnmi"), FeatureClass::ManagementOnly);
-        assert_eq!(classify_line("ntp server 1.2.3.4"), FeatureClass::ManagementOnly);
+        assert_eq!(
+            classify_line("router traffic-engineering"),
+            FeatureClass::Material
+        );
+        assert_eq!(
+            classify_line("daemon TerminAttr"),
+            FeatureClass::ManagementOnly
+        );
+        assert_eq!(
+            classify_line("management api gnmi"),
+            FeatureClass::ManagementOnly
+        );
+        assert_eq!(
+            classify_line("ntp server 1.2.3.4"),
+            FeatureClass::ManagementOnly
+        );
     }
 
     #[test]

@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 use mfv_types::{AsNum, Community, IfaceAddr, IfaceId, Prefix, RouterId};
 
 /// Which vendor dialect a config was written in / should render to.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub enum Vendor {
     /// EOS-like industry-standard CLI (sectioned, `!`-separated).
     Ceos,
@@ -47,7 +45,11 @@ pub struct IfaceIsis {
 
 impl IfaceIsis {
     pub fn new(instance: impl Into<String>) -> IfaceIsis {
-        IfaceIsis { instance: instance.into(), metric: 10, passive: false }
+        IfaceIsis {
+            instance: instance.into(),
+            metric: 10,
+            passive: false,
+        }
     }
 }
 
@@ -287,7 +289,11 @@ impl PrefixListEntry {
             return false;
         }
         let lo = self.ge.unwrap_or(self.prefix.len());
-        let hi = self.le.unwrap_or(if self.ge.is_some() { 32 } else { self.prefix.len() });
+        let hi = self.le.unwrap_or(if self.ge.is_some() {
+            32
+        } else {
+            self.prefix.len()
+        });
         p.len() >= lo && p.len() <= hi
     }
 }
@@ -333,7 +339,10 @@ pub struct RsvpConfig {
 
 impl Default for RsvpConfig {
     fn default() -> Self {
-        RsvpConfig { hello_interval_ms: 9_000, refresh_ms: 30_000 }
+        RsvpConfig {
+            hello_interval_ms: 9_000,
+            refresh_ms: 30_000,
+        }
     }
 }
 

@@ -225,8 +225,7 @@ pub fn parse(text: &str) -> Result<Parsed, ParseError> {
             }
             "protocols" => {
                 recognized += 1;
-                recognized +=
-                    lower_protocols(section, &mut cfg, &mut warnings)?;
+                recognized += lower_protocols(section, &mut cfg, &mut warnings)?;
             }
             "policy-options" => {
                 recognized += 1;
@@ -247,7 +246,12 @@ pub fn parse(text: &str) -> Result<Parsed, ParseError> {
         }
     }
 
-    Ok(Parsed { config: cfg, warnings, recognized_lines: recognized, total_lines: total })
+    Ok(Parsed {
+        config: cfg,
+        warnings,
+        recognized_lines: recognized,
+        total_lines: total,
+    })
 }
 
 fn count_stmts(stmts: &[Stmt]) -> usize {
@@ -482,15 +486,17 @@ fn lower_protocols(
                     let multihop = group.child("multihop").is_some();
                     let group_nhs = group.child("next-hop-self").is_some();
                     n += count_stmts(&group.children)
-                        - group.children_named("neighbor").map(|s| 1 + count_stmts(&s.children)).sum::<usize>();
+                        - group
+                            .children_named("neighbor")
+                            .map(|s| 1 + count_stmts(&s.children))
+                            .sum::<usize>();
                     for nb in group.children_named("neighbor") {
                         n += 1 + count_stmts(&nb.children);
-                        let peer: Ipv4Addr =
-                            nb.word(1).parse().map_err(|_| ParseError {
-                                line: nb.line,
-                                text: nb.words.join(" "),
-                                reason: "bad neighbor address".into(),
-                            })?;
+                        let peer: Ipv4Addr = nb.word(1).parse().map_err(|_| ParseError {
+                            line: nb.line,
+                            text: nb.words.join(" "),
+                            reason: "bad neighbor address".into(),
+                        })?;
                         // Per-neighbor overrides of group settings.
                         let nb_peer_as = nb
                             .child("peer-as")
@@ -619,12 +625,11 @@ fn lower_policy_options(
                 let name = st.word(1).to_string();
                 let pl = cfg.prefix_lists.entry(name).or_default();
                 for (i, entry) in st.children.iter().enumerate() {
-                    let prefix: Prefix =
-                        entry.word(0).parse().map_err(|_| ParseError {
-                            line: entry.line,
-                            text: entry.words.join(" "),
-                            reason: "bad prefix-list entry".into(),
-                        })?;
+                    let prefix: Prefix = entry.word(0).parse().map_err(|_| ParseError {
+                        line: entry.line,
+                        text: entry.words.join(" "),
+                        reason: "bad prefix-list entry".into(),
+                    })?;
                     pl.entries.push(PrefixListEntry {
                         seq: (i as u32 + 1) * 10,
                         action: PolicyAction::Permit,
@@ -670,9 +675,7 @@ fn lower_policy_options(
                                     {
                                         Some((_, comms)) => {
                                             for c in comms {
-                                                entry
-                                                    .matches
-                                                    .push(MatchClause::Community(*c));
+                                                entry.matches.push(MatchClause::Community(*c));
                                             }
                                         }
                                         None => warnings.push(ParseWarning {
@@ -724,12 +727,12 @@ fn lower_policy_options(
                                         .find(|(defname, _)| defname == cname)
                                         .map(|(_, c)| c.clone());
                                     match comms {
-                                        Some(comms) if mode == "add" => entry
-                                            .sets
-                                            .push(SetClause::AddCommunities(comms)),
-                                        Some(comms) => entry
-                                            .sets
-                                            .push(SetClause::SetCommunities(comms)),
+                                        Some(comms) if mode == "add" => {
+                                            entry.sets.push(SetClause::AddCommunities(comms))
+                                        }
+                                        Some(comms) => {
+                                            entry.sets.push(SetClause::SetCommunities(comms))
+                                        }
                                         None => warnings.push(ParseWarning {
                                             line: a.line,
                                             text: a.words.join(" "),
@@ -936,8 +939,13 @@ pub fn render(cfg: &DeviceConfig) -> String {
     }
     w.close();
 
-    let has_protocols =
-        cfg.isis.is_some() || cfg.bgp.as_ref().map(|b| !b.neighbors.is_empty()).unwrap_or(false) || cfg.mpls.enabled;
+    let has_protocols = cfg.isis.is_some()
+        || cfg
+            .bgp
+            .as_ref()
+            .map(|b| !b.neighbors.is_empty())
+            .unwrap_or(false)
+        || cfg.mpls.enabled;
     if has_protocols {
         w.open("protocols");
         if let Some(isis) = &cfg.isis {
@@ -1000,9 +1008,7 @@ pub fn render(cfg: &DeviceConfig) -> String {
                         w.line("next-hop-self;");
                     }
                     if let Some(src) = int[0].update_source.as_ref() {
-                        if let Some(ifc) =
-                            cfg.interfaces.iter().find(|i| &i.name == src)
-                        {
+                        if let Some(ifc) = cfg.interfaces.iter().find(|i| &i.name == src) {
                             if let Some(a) = ifc.addr {
                                 w.line(&format!("local-address {};", a.addr));
                             }
@@ -1068,9 +1074,7 @@ pub fn render(cfg: &DeviceConfig) -> String {
                 w.open("then");
                 for s in &e.sets {
                     match s {
-                        SetClause::LocalPref(v) => {
-                            w.line(&format!("local-preference {v};"))
-                        }
+                        SetClause::LocalPref(v) => w.line(&format!("local-preference {v};")),
                         SetClause::Med(v) => w.line(&format!("metric {v};")),
                         SetClause::NextHop(ip) => w.line(&format!("next-hop {ip};")),
                         _ => {}
@@ -1276,8 +1280,7 @@ routing-options {
 
     #[test]
     fn quoted_strings_and_comments() {
-        let tree =
-            parse_tree("a { description \"two words\"; } # trailing\n").unwrap();
+        let tree = parse_tree("a { description \"two words\"; } # trailing\n").unwrap();
         let d = tree[0].child("description").unwrap();
         assert_eq!(d.word(1), "two words");
     }
@@ -1337,7 +1340,12 @@ routing-options {
         let parsed = parse(SAMPLE).unwrap();
         let text = render(&parsed.config);
         let back = parse(&text).unwrap();
-        assert!(back.warnings.is_empty(), "{:?}\n---\n{}", back.warnings, text);
+        assert!(
+            back.warnings.is_empty(),
+            "{:?}\n---\n{}",
+            back.warnings,
+            text
+        );
         // Compare the semantically-relevant parts (mgmt rendering collapses
         // some service details).
         assert_eq!(back.config.hostname, parsed.config.hostname);
@@ -1359,10 +1367,7 @@ routing-options {
     fn external_group_without_peer_as_warns() {
         let text = "protocols { bgp { group broken { type external; neighbor 10.0.0.1; } } }";
         let parsed = parse(text).unwrap();
-        assert!(parsed
-            .warnings
-            .iter()
-            .any(|w| w.reason.contains("peer-as")));
+        assert!(parsed.warnings.iter().any(|w| w.reason.contains("peer-as")));
         assert!(parsed.config.bgp.unwrap().neighbors.is_empty());
     }
 

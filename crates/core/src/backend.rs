@@ -95,7 +95,10 @@ impl Default for EmulationBackend {
 
 impl EmulationBackend {
     pub fn with_seed(seed: u64) -> EmulationBackend {
-        EmulationBackend { seed, ..Default::default() }
+        EmulationBackend {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Runs the emulation and returns it alongside the report, for callers
@@ -126,7 +129,9 @@ impl EmulationBackend {
         }
         let meta = BackendMeta {
             converged: report.converged,
-            boot_time: report.boot_complete_at.map(|t| t - mfv_types::SimTime::ZERO),
+            boot_time: report
+                .boot_complete_at
+                .map(|t| t - mfv_types::SimTime::ZERO),
             convergence_time: report
                 .boot_complete_at
                 .map(|boot| report.converged_at.since(boot)),
@@ -195,7 +200,11 @@ impl Backend for ModelBackend {
             mfv_model::model_dataplane(&configs).map_err(|e| BackendError(e.to_string()))?;
         Ok(BackendResult {
             dataplane,
-            meta: BackendMeta { converged: true, coverage, ..Default::default() },
+            meta: BackendMeta {
+                converged: true,
+                coverage,
+                ..Default::default()
+            },
         })
     }
 }

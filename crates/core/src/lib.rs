@@ -30,13 +30,18 @@ pub mod scenarios;
 pub mod snapshot;
 pub mod whatif;
 
-pub use backend::{Backend, BackendError, BackendMeta, BackendResult, EmulationBackend, ModelBackend};
+pub use backend::{
+    Backend, BackendError, BackendMeta, BackendResult, EmulationBackend, ModelBackend,
+};
 pub use snapshot::Snapshot;
-pub use whatif::{link_cut_context_count, link_cut_contexts, verify_link_cuts, CutVerdict};
+pub use whatif::{
+    link_cut_context_count, link_cut_contexts, verify_link_cuts, verify_link_cuts_detailed,
+    CutVerdict, SweepError, SweepReport,
+};
 
 // Re-export the query surface so downstream users need only `mfv-core`.
 pub use mfv_verify::{
-    deliverability_changes, differential_reachability, detect_blackholes, detect_loops,
-    detect_multipath_inconsistency, disposition_summary, reachability, traceroute,
-    unreachable_pairs, DiffFinding, Disposition, ForwardingAnalysis,
+    deliverability_changes, detect_blackholes, detect_loops, detect_multipath_inconsistency,
+    differential_reachability, differential_reachability_with, disposition_summary, reachability,
+    traceroute, unreachable_pairs, ClassCache, DiffFinding, Disposition, ForwardingAnalysis,
 };

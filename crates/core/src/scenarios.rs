@@ -48,6 +48,9 @@ fn ifname(vendor: Vendor, idx: usize) -> String {
 /// (AS3 — AS1 — AS2), IS-IS + iBGP inside each AS, eBGP between them.
 /// Configurations carry production complexity (management daemons, MPLS/TE)
 /// so the same snapshot serves experiment E2's coverage measurement.
+/// A cabling list: ((node, port), (node, port)) per link.
+type PortLinks = Vec<((String, String), (String, String))>;
+
 pub fn six_node() -> Snapshot {
     six_node_inner(false)
 }
@@ -73,7 +76,11 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
 
     // AS1: r1 (border to AS3), r2 (border to AS2).
     let r1 = RouterSpec::new("r1", as1, lo(1))
-        .iface(IfaceSpec::new("Ethernet1", r1r2_a.parse().unwrap()).with_isis().described("to r2"))
+        .iface(
+            IfaceSpec::new("Ethernet1", r1r2_a.parse().unwrap())
+                .with_isis()
+                .described("to r2"),
+        )
         .iface(IfaceSpec::new("Ethernet2", r6r1_b.parse().unwrap()).described("to r6 (AS3)"))
         .ibgp(lo(2))
         .ebgp(host(r6r1_a), as3)
@@ -81,7 +88,11 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
         .redistribute_connected()
         .production();
     let r2 = RouterSpec::new("r2", as1, lo(2))
-        .iface(IfaceSpec::new("Ethernet1", r1r2_b.parse().unwrap()).with_isis().described("to r1"))
+        .iface(
+            IfaceSpec::new("Ethernet1", r1r2_b.parse().unwrap())
+                .with_isis()
+                .described("to r1"),
+        )
         .iface(IfaceSpec::new("Ethernet2", r2r3_a.parse().unwrap()).described("to r3 (AS2)"))
         .ibgp(lo(1))
         .ebgp(host(r2r3_b), as2)
@@ -91,7 +102,11 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
 
     // AS2: r3 (border), r4.
     let r3 = RouterSpec::new("r3", as2, lo(3))
-        .iface(IfaceSpec::new("Ethernet1", r3r4_a.parse().unwrap()).with_isis().described("to r4"))
+        .iface(
+            IfaceSpec::new("Ethernet1", r3r4_a.parse().unwrap())
+                .with_isis()
+                .described("to r4"),
+        )
         .iface(IfaceSpec::new("Ethernet2", r2r3_b.parse().unwrap()).described("to r2 (AS1)"))
         .ibgp(lo(4))
         .ebgp(host(r2r3_a), as1)
@@ -99,19 +114,31 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
         .redistribute_connected()
         .production();
     let r4 = RouterSpec::new("r4", as2, lo(4))
-        .iface(IfaceSpec::new("Ethernet1", r3r4_b.parse().unwrap()).with_isis().described("to r3"))
+        .iface(
+            IfaceSpec::new("Ethernet1", r3r4_b.parse().unwrap())
+                .with_isis()
+                .described("to r3"),
+        )
         .ibgp(lo(3))
         .network("2.2.2.4/32".parse().unwrap())
         .production();
 
     // AS3: r6 (border), r5.
     let r5 = RouterSpec::new("r5", as3, lo(5))
-        .iface(IfaceSpec::new("Ethernet1", r5r6_a.parse().unwrap()).with_isis().described("to r6"))
+        .iface(
+            IfaceSpec::new("Ethernet1", r5r6_a.parse().unwrap())
+                .with_isis()
+                .described("to r6"),
+        )
         .ibgp(lo(6))
         .network("2.2.2.5/32".parse().unwrap())
         .production();
     let r6 = RouterSpec::new("r6", as3, lo(6))
-        .iface(IfaceSpec::new("Ethernet1", r5r6_b.parse().unwrap()).with_isis().described("to r5"))
+        .iface(
+            IfaceSpec::new("Ethernet1", r5r6_b.parse().unwrap())
+                .with_isis()
+                .described("to r5"),
+        )
         .iface(IfaceSpec::new("Ethernet2", r6r1_a.parse().unwrap()).described("to r1 (AS1)"))
         .ibgp(lo(5))
         .ebgp(host(r6r1_b), as1)
@@ -119,7 +146,11 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
         .redistribute_connected()
         .production();
 
-    let mut t = Topology::new(if break_r2_r3 { "six-node-broken" } else { "six-node" });
+    let mut t = Topology::new(if break_r2_r3 {
+        "six-node-broken"
+    } else {
+        "six-node"
+    });
     for spec in [&r1, &r2, &r3, &r4, &r5, &r6] {
         let mut cfg = spec.build();
         if break_r2_r3 && spec.name == "r2" {
@@ -291,7 +322,7 @@ pub fn isis_grid(w: usize, h: usize) -> Snapshot {
     let mut specs: Vec<RouterSpec> = (0..w * h)
         .map(|i| RouterSpec::new(format!("r{}", i + 1), AsNum(65000), loopback(i + 1)))
         .collect();
-    let mut links: Vec<((String, String), (String, String))> = Vec::new();
+    let mut links: PortLinks = Vec::new();
     let mut link_no = 0usize;
     // Port numbering per node: sequential as links are attached.
     let mut port_count = vec![0usize; w * h];
@@ -310,12 +341,10 @@ pub fn isis_grid(w: usize, h: usize) -> Snapshot {
                 let peer_port = ifname(Vendor::Ceos, port_count[peer]);
                 port_count[peer] += 1;
                 specs[me] = specs[me].clone().iface(
-                    IfaceSpec::new(my_port.clone(), mfv_types::IfaceAddr::new(a, 31))
-                        .with_isis(),
+                    IfaceSpec::new(my_port.clone(), mfv_types::IfaceAddr::new(a, 31)).with_isis(),
                 );
                 specs[peer] = specs[peer].clone().iface(
-                    IfaceSpec::new(peer_port.clone(), mfv_types::IfaceAddr::new(b, 31))
-                        .with_isis(),
+                    IfaceSpec::new(peer_port.clone(), mfv_types::IfaceAddr::new(b, 31)).with_isis(),
                 );
                 links.push(((name(x, y), my_port), (name(nx, ny), peer_port)));
             }
@@ -352,8 +381,7 @@ pub fn production_wan(
     };
     let mut specs: Vec<RouterSpec> = (1..=n)
         .map(|i| {
-            let mut s = RouterSpec::new(format!("r{i}"), asn, loopback(i))
-                .vendor(vendor_of(i - 1));
+            let mut s = RouterSpec::new(format!("r{i}"), asn, loopback(i)).vendor(vendor_of(i - 1));
             // iBGP full mesh.
             for j in 1..=n {
                 if j != i {
@@ -368,11 +396,11 @@ pub fn production_wan(
         })
         .collect();
 
-    let mut links: Vec<((String, String), (String, String))> = Vec::new();
+    let mut links: PortLinks = Vec::new();
     let mut port_count = vec![0usize; n];
     let mut link_no = 0usize;
     let mut connect = |specs: &mut Vec<RouterSpec>,
-                       links: &mut Vec<((String, String), (String, String))>,
+                       links: &mut PortLinks,
                        port_count: &mut Vec<usize>,
                        i: usize,
                        j: usize| {
@@ -418,7 +446,10 @@ pub fn production_wan(
             port_count[node_idx] += 1;
             specs[node_idx] = specs[node_idx]
                 .clone()
-                .iface(IfaceSpec::new(port, mfv_types::IfaceAddr::new(router_side, 31)))
+                .iface(IfaceSpec::new(
+                    port,
+                    mfv_types::IfaceAddr::new(router_side, 31),
+                ))
                 .ebgp(peer_side, peer_as);
             feeds.push(ExternalPeerSpec {
                 addr: peer_side,
@@ -469,10 +500,8 @@ pub fn interplay_chain() -> Snapshot {
 
     let mut links = Vec::new();
     let mut port_count = [0usize; 4];
-    let mut link_no = 0usize;
     for i in 0..3 {
-        let (a, b) = p2p(link_no);
-        link_no += 1;
+        let (a, b) = p2p(i);
         let pi = ifname(vendors[i], port_count[i]);
         port_count[i] += 1;
         let pj = ifname(vendors[i + 1], port_count[i + 1]);
@@ -509,7 +538,12 @@ mod tests {
         // All configs parse in their vendor dialect.
         for n in &s.topology.nodes {
             let parsed = n.parse_config().unwrap();
-            assert!(parsed.warnings.is_empty(), "{}: {:?}", n.name, parsed.warnings);
+            assert!(
+                parsed.warnings.is_empty(),
+                "{}: {:?}",
+                n.name,
+                parsed.warnings
+            );
         }
     }
 
@@ -524,11 +558,7 @@ mod tests {
                 .lines()
                 .filter(|l| !l.trim().is_empty())
                 .count();
-            assert!(
-                (55..=95).contains(&lines),
-                "{} has {lines} lines",
-                n.name
-            );
+            assert!((55..=95).contains(&lines), "{} has {lines} lines", n.name);
         }
     }
 
@@ -581,7 +611,8 @@ mod tests {
         assert_eq!(s.topology.external_peers.len(), 2);
         // Every config parses in its own dialect.
         for n in &s.topology.nodes {
-            n.parse_config().unwrap_or_else(|e| panic!("{}: {e}", n.name));
+            n.parse_config()
+                .unwrap_or_else(|e| panic!("{}: {e}", n.name));
         }
     }
 
@@ -630,15 +661,11 @@ pub fn rr_cluster(clients: usize) -> Snapshot {
         let rr_port = ifname(Vendor::Ceos, c);
         let client_port = ifname(Vendor::Ceos, 0);
         rr = rr
-            .iface(
-                IfaceSpec::new(rr_port.clone(), mfv_types::IfaceAddr::new(a, 31))
-                    .with_isis(),
-            )
+            .iface(IfaceSpec::new(rr_port.clone(), mfv_types::IfaceAddr::new(a, 31)).with_isis())
             .ibgp_rr_client(c_lo);
         let client = RouterSpec::new(name.clone(), asn, c_lo)
             .iface(
-                IfaceSpec::new(client_port.clone(), mfv_types::IfaceAddr::new(b, 31))
-                    .with_isis(),
+                IfaceSpec::new(client_port.clone(), mfv_types::IfaceAddr::new(b, 31)).with_isis(),
             )
             .ibgp(rr_lo)
             .network(mfv_types::Prefix::host(c_lo));
@@ -663,25 +690,20 @@ pub fn clos(spines: usize, leaves: usize) -> Snapshot {
         .map(|s| RouterSpec::new(format!("s{}", s + 1), asn, loopback(s + 1)))
         .collect();
     let mut leaf_specs: Vec<RouterSpec> = (0..leaves)
-        .map(|l| {
-            RouterSpec::new(format!("l{}", l + 1), asn, loopback(100 + l))
-        })
+        .map(|l| RouterSpec::new(format!("l{}", l + 1), asn, loopback(100 + l)))
         .collect();
     let mut links = Vec::new();
-    let mut link_no = 0usize;
+    #[allow(clippy::needless_range_loop)]
     for s in 0..spines {
         for l in 0..leaves {
-            let (a, b) = p2p(link_no);
-            link_no += 1;
+            let (a, b) = p2p(s * leaves + l);
             let spine_port = ifname(Vendor::Ceos, l);
             let leaf_port = ifname(Vendor::Ceos, s);
             spine_specs[s] = spine_specs[s].clone().iface(
-                IfaceSpec::new(spine_port.clone(), mfv_types::IfaceAddr::new(a, 31))
-                    .with_isis(),
+                IfaceSpec::new(spine_port.clone(), mfv_types::IfaceAddr::new(a, 31)).with_isis(),
             );
             leaf_specs[l] = leaf_specs[l].clone().iface(
-                IfaceSpec::new(leaf_port.clone(), mfv_types::IfaceAddr::new(b, 31))
-                    .with_isis(),
+                IfaceSpec::new(leaf_port.clone(), mfv_types::IfaceAddr::new(b, 31)).with_isis(),
             );
             links.push((
                 (format!("s{}", s + 1), spine_port),
@@ -711,7 +733,11 @@ mod extension_tests {
         assert_eq!(s.topology.validate(), Ok(()));
         // The hub's config carries route-reflector-client statements.
         let rr = s.topology.node(&"rr".into()).unwrap();
-        assert!(rr.config_text.contains("route-reflector-client"), "{}", rr.config_text);
+        assert!(
+            rr.config_text.contains("route-reflector-client"),
+            "{}",
+            rr.config_text
+        );
     }
 
     #[test]

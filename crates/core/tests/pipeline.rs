@@ -1,8 +1,8 @@
 //! End-to-end pipeline tests: the §5 experiments as assertions.
 
 use mfv_core::{
-    deliverability_changes, differential_reachability, scenarios, unreachable_pairs,
-    Backend, EmulationBackend, ModelBackend, Snapshot,
+    deliverability_changes, differential_reachability, scenarios, unreachable_pairs, Backend,
+    EmulationBackend, ModelBackend, Snapshot,
 };
 use mfv_types::{IpSet, NodeId};
 use mfv_vrouter::{VendorBugs, VendorProfile};
@@ -33,10 +33,12 @@ fn six_node_differential_detects_ebgp_shutdown_impact() {
     let base = backend.compute(&scenarios::six_node()).unwrap();
     let broken = backend.compute(&scenarios::six_node_broken()).unwrap();
 
-    let findings =
-        differential_reachability(&base.dataplane, &broken.dataplane, None);
+    let findings = differential_reachability(&base.dataplane, &broken.dataplane, None);
     let lost = deliverability_changes(&findings);
-    assert!(!lost.is_empty(), "the session shutdown must surface findings");
+    assert!(
+        !lost.is_empty(),
+        "the session shutdown must surface findings"
+    );
 
     // AS3 (r5, r6) loses reachability to AS2 loopbacks (2.2.2.3, 2.2.2.4).
     for src in ["r5", "r6"] {
@@ -47,14 +49,20 @@ fn six_node_differential_detects_ebgp_shutdown_impact() {
                 && (f.dsts.contains("2.2.2.3".parse().unwrap())
                     || f.dsts.contains("2.2.2.4".parse().unwrap()))
         });
-        assert!(has, "expected AS3 router {src} to lose AS2 reachability: {lost:#?}");
+        assert!(
+            has,
+            "expected AS3 router {src} to lose AS2 reachability: {lost:#?}"
+        );
     }
 
     // AS3's intra-AS connectivity is untouched.
-    let intra_as3_broken = lost.iter().any(|f| {
-        f.src == NodeId::from("r5") && f.dsts.contains("2.2.2.6".parse().unwrap())
-    });
-    assert!(!intra_as3_broken, "intra-AS3 reachability must be unaffected");
+    let intra_as3_broken = lost
+        .iter()
+        .any(|f| f.src == NodeId::from("r5") && f.dsts.contains("2.2.2.6".parse().unwrap()));
+    assert!(
+        !intra_as3_broken,
+        "intra-AS3 reachability must be unaffected"
+    );
 }
 
 /// E2: the model-based parser fails to recognise 38–42 lines in each of the
@@ -105,16 +113,18 @@ fn fig3_model_vs_emulation_divergence() {
     );
 
     // The cross-backend differential query (the paper's §5 experiment).
-    let findings =
-        differential_reachability(&model.dataplane, &emu.dataplane, None);
+    let findings = differential_reachability(&model.dataplane, &emu.dataplane, None);
     let gained = findings.iter().any(|f| {
         f.src == NodeId::from("r2")
             && !f.before.is_delivered()
             && f.after.is_delivered()
             && f.dsts.contains("2.2.2.1".parse().unwrap())
     });
-    assert!(gained, "differential must show emulation reaching r1 where the model \
-                     did not: {findings:#?}");
+    assert!(
+        gained,
+        "differential must show emulation reaching r1 where the model \
+                     did not: {findings:#?}"
+    );
 }
 
 /// A3: in a multi-vendor chain, one vendor's unusual-but-valid transitive
@@ -174,8 +184,7 @@ fn scoped_differential_on_six_node() {
     // Scope to AS3 loopbacks only: findings about AS2 destinations vanish.
     let scope = IpSet::from_prefix(&"2.2.2.5/32".parse().unwrap())
         .union(&IpSet::from_prefix(&"2.2.2.6/32".parse().unwrap()));
-    let findings =
-        differential_reachability(&base.dataplane, &broken.dataplane, Some(&scope));
+    let findings = differential_reachability(&base.dataplane, &broken.dataplane, Some(&scope));
     for f in &findings {
         assert!(
             f.dsts.contains("2.2.2.5".parse().unwrap())
@@ -306,12 +315,18 @@ fn ibgp_metric_bug_changes_exit_selection() {
         .iface(IfaceSpec::new("Ethernet1", "10.0.1.0/31".parse().unwrap()).with_metric(10))
         .ibgp(lo(3))
         .network("203.0.113.0/24".parse().unwrap())
-        .iface(IfaceSpec::new("Ethernet9", "203.0.113.1/24".parse().unwrap()));
+        .iface(IfaceSpec::new(
+            "Ethernet9",
+            "203.0.113.1/24".parse().unwrap(),
+        ));
     let far = RouterSpec::new("far", asn, lo(2))
         .iface(IfaceSpec::new("Ethernet1", "10.0.2.0/31".parse().unwrap()).with_metric(100))
         .ibgp(lo(3))
         .network("203.0.113.0/24".parse().unwrap())
-        .iface(IfaceSpec::new("Ethernet9", "203.0.113.1/24".parse().unwrap()));
+        .iface(IfaceSpec::new(
+            "Ethernet9",
+            "203.0.113.1/24".parse().unwrap(),
+        ));
     let mid = RouterSpec::new("mid", asn, lo(3))
         .iface(IfaceSpec::new("Ethernet1", "10.0.1.1/31".parse().unwrap()).with_metric(10))
         .iface(IfaceSpec::new("Ethernet2", "10.0.2.1/31".parse().unwrap()).with_metric(100))
@@ -328,11 +343,7 @@ fn ibgp_metric_bug_changes_exit_selection() {
     let exit_of = |dp: &mfv_dataplane::Dataplane| {
         // .1 is the anycast address owned by both exits; whichever router
         // the trace is delivered at is the selected exit.
-        let trace = mfv_core::traceroute(
-            dp,
-            &NodeId::from("mid"),
-            "203.0.113.1".parse().unwrap(),
-        );
+        let trace = mfv_core::traceroute(dp, &NodeId::from("mid"), "203.0.113.1".parse().unwrap());
         assert!(trace.disposition.is_delivered(), "{trace:?}");
         trace.hops.last().unwrap().node.clone()
     };
@@ -357,8 +368,7 @@ fn ibgp_metric_bug_changes_exit_selection() {
     );
 
     // Differential: paths changed but nothing became undeliverable.
-    let findings =
-        differential_reachability(&healthy.dataplane, &buggy.dataplane, None);
+    let findings = differential_reachability(&healthy.dataplane, &buggy.dataplane, None);
     assert!(!findings.is_empty());
     assert!(deliverability_changes(&findings).is_empty());
 }
@@ -382,7 +392,11 @@ fn link_flap_recovers_original_dataplane() {
     let down_report = emu.run_until_converged();
     assert!(down_report.converged);
     let during = emu.dataplane();
-    assert_ne!(before.digest(), during.digest(), "cut must change the dataplane");
+    assert_ne!(
+        before.digest(),
+        during.digest(),
+        "cut must change the dataplane"
+    );
 
     emu.set_link(&link, true);
     let up_report = emu.run_until_converged();

@@ -37,14 +37,58 @@ impl NodeDataplane {
         }
         fib
     }
+
+    /// Order-insensitive digest of this node's forwarding state. Two nodes
+    /// with the same digest have identical FIBs, so any per-FIB derived
+    /// structure (e.g. the verifier's effective match classes) can be
+    /// shared between them — the key for node-level caching across variant
+    /// dataplanes.
+    pub fn fib_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut sorted: Vec<&FibEntry> = self.entries.iter().collect();
+        sorted.sort_by_key(|e| e.prefix);
+        let mut h = DefaultHasher::new();
+        for e in sorted {
+            e.prefix.hash(&mut h);
+            e.proto.hash(&mut h);
+            e.next_hops.hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 /// A complete network dataplane snapshot.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Dataplane {
     pub nodes: BTreeMap<NodeId, NodeDataplane>,
-    /// Physical point-to-point adjacency.
+    /// Physical point-to-point adjacency, in insertion order.
     pub links: Vec<LinkId>,
+    /// Dedup index over `links`; kept in sync by [`Dataplane::add_link`].
+    link_index: BTreeSet<LinkId>,
+}
+
+impl Serialize for Dataplane {
+    fn to_value(&self) -> serde::Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("nodes".to_string(), self.nodes.to_value());
+        m.insert("links".to_string(), self.links.to_value());
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for Dataplane {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let nodes = Deserialize::from_value(v.get("nodes").unwrap_or(&serde::Value::Null))?;
+        let links: Vec<LinkId> =
+            Deserialize::from_value(v.get("links").unwrap_or(&serde::Value::Null))?;
+        let link_index = links.iter().cloned().collect();
+        Ok(Dataplane {
+            nodes,
+            links,
+            link_index,
+        })
+    }
 }
 
 impl Dataplane {
@@ -53,13 +97,7 @@ impl Dataplane {
     }
 
     /// Adds a node's forwarding state.
-    pub fn add_node(
-        &mut self,
-        name: NodeId,
-        fib: &Fib,
-        addresses: BTreeSet<Ipv4Addr>,
-        up: bool,
-    ) {
+    pub fn add_node(&mut self, name: NodeId, fib: &Fib, addresses: BTreeSet<Ipv4Addr>, up: bool) {
         self.nodes.insert(
             name,
             NodeDataplane {
@@ -70,8 +108,11 @@ impl Dataplane {
         );
     }
 
+    /// Adds a link, ignoring duplicates. The set index makes this O(log n)
+    /// instead of the former full-vector scan, while `links` preserves
+    /// insertion order for deterministic iteration.
     pub fn add_link(&mut self, link: LinkId) {
-        if !self.links.contains(&link) {
+        if self.link_index.insert(link.clone()) {
             self.links.push(link);
         }
     }
@@ -177,13 +218,23 @@ mod tests {
     #[test]
     fn digest_sensitive_to_fib_and_updown() {
         let mut a = Dataplane::new();
-        a.add_node("r1".into(), &fib_with("10.0.0.0/31", "eth0", None), BTreeSet::new(), true);
+        a.add_node(
+            "r1".into(),
+            &fib_with("10.0.0.0/31", "eth0", None),
+            BTreeSet::new(),
+            true,
+        );
         let mut b = a.clone();
         assert_eq!(a.digest(), b.digest());
         b.nodes.get_mut(&NodeId::from("r1")).unwrap().up = false;
         assert_ne!(a.digest(), b.digest());
         let mut c = Dataplane::new();
-        c.add_node("r1".into(), &fib_with("10.0.0.0/30", "eth0", None), BTreeSet::new(), true);
+        c.add_node(
+            "r1".into(),
+            &fib_with("10.0.0.0/30", "eth0", None),
+            BTreeSet::new(),
+            true,
+        );
         assert_ne!(a.digest(), c.digest());
     }
 
@@ -192,7 +243,10 @@ mod tests {
         let mut dp = Dataplane::new();
         let l = LinkId::new(("a".into(), "e0".into()), ("b".into(), "e0".into()));
         dp.add_link(l.clone());
-        dp.add_link(LinkId::new(("b".into(), "e0".into()), ("a".into(), "e0".into())));
+        dp.add_link(LinkId::new(
+            ("b".into(), "e0".into()),
+            ("a".into(), "e0".into()),
+        ));
         assert_eq!(dp.links.len(), 1);
         let _ = l;
     }

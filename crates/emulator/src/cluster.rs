@@ -24,7 +24,11 @@ impl MachineSpec {
     /// The machine used in the paper's single-node experiment:
     /// e2-standard-32 (32 vCPU, 128 GB).
     pub fn e2_standard_32(name: impl Into<String>) -> MachineSpec {
-        MachineSpec { name: name.into(), cpu_millis: 32_000, mem_mib: 128 * 1024 }
+        MachineSpec {
+            name: name.into(),
+            cpu_millis: 32_000,
+            mem_mib: 128 * 1024,
+        }
     }
 }
 
@@ -186,10 +190,13 @@ impl Cluster {
         // Boot jitter: ±20% of the (inflated) boot time.
         let jitter_range = (inflated / 5).max(1);
         let jitter = rng.gen_range(0..jitter_range * 2);
-        let ready_at = submitted
-            + pull
-            + SimDuration::from_millis(inflated - jitter_range + jitter);
-        Ok(Placement { pod: req.pod.clone(), machine: machine.spec.name.clone(), ready_at })
+        let ready_at =
+            submitted + pull + SimDuration::from_millis(inflated - jitter_range + jitter);
+        Ok(Placement {
+            pod: req.pod.clone(),
+            machine: machine.spec.name.clone(),
+            ready_at,
+        })
     }
 
     /// Releases a pod's resources (pod deletion).
@@ -224,7 +231,11 @@ mod tests {
     }
 
     fn ceos_request(i: usize) -> PodRequest {
-        PodRequest { pod: format!("r{i}").into(), cpu_millis: 500, mem_mib: 1024 }
+        PodRequest {
+            pod: format!("r{i}").into(),
+            cpu_millis: 500,
+            mem_mib: 1024,
+        }
     }
 
     #[test]
@@ -242,11 +253,21 @@ mod tests {
         let mut r = rng();
         for i in 0..64 {
             cluster
-                .schedule(&ceos_request(i), SimTime::ZERO, SimDuration::from_secs(110), &mut r)
+                .schedule(
+                    &ceos_request(i),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(110),
+                    &mut r,
+                )
                 .unwrap_or_else(|e| panic!("pod {i}: {e}"));
         }
         let err = cluster
-            .schedule(&ceos_request(64), SimTime::ZERO, SimDuration::from_secs(110), &mut r)
+            .schedule(
+                &ceos_request(64),
+                SimTime::ZERO,
+                SimDuration::from_secs(110),
+                &mut r,
+            )
             .unwrap_err();
         assert!(err.reason.contains("insufficient"));
     }
@@ -265,8 +286,12 @@ mod tests {
         let mut cluster = Cluster::single_node();
         let mut r = rng();
         let boot = SimDuration::from_secs(100);
-        let p1 = cluster.schedule(&ceos_request(0), SimTime::ZERO, boot, &mut r).unwrap();
-        let p2 = cluster.schedule(&ceos_request(1), SimTime::ZERO, boot, &mut r).unwrap();
+        let p1 = cluster
+            .schedule(&ceos_request(0), SimTime::ZERO, boot, &mut r)
+            .unwrap();
+        let p2 = cluster
+            .schedule(&ceos_request(1), SimTime::ZERO, boot, &mut r)
+            .unwrap();
         // First pod: pull (300 s) + boot(±20%); second pod: boot only
         // (inflated 20% by the co-resident first pod).
         assert!(p1.ready_at.as_millis() >= 300_000 + 80_000);
@@ -282,7 +307,12 @@ mod tests {
         }]);
         let mut r = rng();
         cluster
-            .schedule(&ceos_request(0), SimTime::ZERO, SimDuration::from_secs(1), &mut r)
+            .schedule(
+                &ceos_request(0),
+                SimTime::ZERO,
+                SimDuration::from_secs(1),
+                &mut r,
+            )
             .unwrap();
         assert_eq!(cluster.capacity_for(500, 1024), 0);
         cluster.release(&"r0".into(), 500, 1024);
@@ -318,7 +348,12 @@ mod tests {
         let mut r = rng();
         for i in 0..10 {
             cluster
-                .schedule(&ceos_request(i), SimTime::ZERO, SimDuration::from_secs(1), &mut r)
+                .schedule(
+                    &ceos_request(i),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(1),
+                    &mut r,
+                )
                 .unwrap();
         }
         let packing = cluster.packing();

@@ -79,10 +79,22 @@ pub struct RunReport {
 enum EventKind {
     PodReady(NodeId),
     Poll(NodeId),
-    DeliverIsis { node: NodeId, iface: IfaceId, payload: Bytes },
-    DeliverBgp { node: NodeId, src: Ipv4Addr, dst: Ipv4Addr, payload: Bytes },
+    DeliverIsis {
+        node: NodeId,
+        iface: IfaceId,
+        payload: Bytes,
+    },
+    DeliverBgp {
+        node: NodeId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: Bytes,
+    },
     PollExternal(usize),
-    DeliverToExternal { idx: usize, payload: Bytes },
+    DeliverToExternal {
+        idx: usize,
+        payload: Bytes,
+    },
     RestartRouter(NodeId),
 }
 
@@ -222,12 +234,18 @@ impl Emulation {
 
     /// Runs an operator CLI command on a node (SSH-to-the-emulated-router).
     pub fn cli(&self, node: &NodeId, command: &str) -> Option<String> {
-        self.routers.get(node).map(|r| mfv_vrouter::cli::exec(r, command))
+        self.routers
+            .get(node)
+            .map(|r| mfv_vrouter::cli::exec(r, command))
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Ev { time, seq: self.seq, kind }));
+        self.events.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn schedule_poll(&mut self, node: &NodeId, at: SimTime) {
@@ -272,7 +290,10 @@ impl Emulation {
                 cpu_millis: profile.cpu_millis,
                 mem_mib: profile.mem_mib,
             };
-            match self.cluster.schedule(&req, self.now, profile.boot_time, &mut self.rng) {
+            match self
+                .cluster
+                .schedule(&req, self.now, profile.boot_time, &mut self.rng)
+            {
                 Ok(placement) => {
                     self.push_event(placement.ready_at, EventKind::PodReady(node.name.clone()));
                 }
@@ -317,8 +338,7 @@ impl Emulation {
     }
 
     fn link_is_up(&self, node: &NodeId, iface: &IfaceId) -> bool {
-        let Some((peer, piface, _)) = self.link_ends.get(&(node.clone(), iface.clone()))
-        else {
+        let Some((peer, piface, _)) = self.link_ends.get(&(node.clone(), iface.clone())) else {
             return false;
         };
         let id = LinkId::new(
@@ -351,7 +371,11 @@ impl Emulation {
                     *clock = at;
                     self.push_event(
                         at,
-                        EventKind::DeliverIsis { node: peer, iface: piface, payload },
+                        EventKind::DeliverIsis {
+                            node: peer,
+                            iface: piface,
+                            payload,
+                        },
                     );
                 }
                 RouterEvent::BgpSegment { src, dst, payload } => {
@@ -360,17 +384,25 @@ impl Emulation {
                     };
                     let jitter = self.rng.gen_range(0..3);
                     let mut at = self.now + SimDuration::from_millis(2 + jitter);
-                    let clock =
-                        self.bgp_flow_clock.entry((src, dst)).or_insert(SimTime::ZERO);
+                    let clock = self
+                        .bgp_flow_clock
+                        .entry((src, dst))
+                        .or_insert(SimTime::ZERO);
                     at = at.max(SimTime(clock.0 + 1));
                     *clock = at;
                     match owner {
                         Owner::Node => self.push_event(
                             at,
-                            EventKind::DeliverBgp { node: owner_node, src, dst, payload },
+                            EventKind::DeliverBgp {
+                                node: owner_node,
+                                src,
+                                dst,
+                                payload,
+                            },
                         ),
-                        Owner::External(idx) => self
-                            .push_event(at, EventKind::DeliverToExternal { idx, payload }),
+                        Owner::External(idx) => {
+                            self.push_event(at, EventKind::DeliverToExternal { idx, payload })
+                        }
                     }
                 }
                 RouterEvent::Crashed { reason } => {
@@ -384,10 +416,7 @@ impl Emulation {
                             .map(|r| r.profile().restart_delay)
                             .unwrap_or(SimDuration::from_secs(60));
                         self.pending_restarts += 1;
-                        self.push_event(
-                            self.now + delay,
-                            EventKind::RestartRouter(node.clone()),
-                        );
+                        self.push_event(self.now + delay, EventKind::RestartRouter(node.clone()));
                     }
                 }
             }
@@ -396,7 +425,9 @@ impl Emulation {
 
     fn poll_router(&mut self, node: &NodeId) {
         let now = self.now;
-        let Some(router) = self.routers.get_mut(node) else { return };
+        let Some(router) = self.routers.get_mut(node) else {
+            return;
+        };
         let v_before = router.fib_version();
         let events = router.poll(now);
         let v_after = router.fib_version();
@@ -445,7 +476,11 @@ impl Emulation {
                 }
                 self.poll_router(&node);
             }
-            EventKind::DeliverIsis { node, iface, payload } => {
+            EventKind::DeliverIsis {
+                node,
+                iface,
+                payload,
+            } => {
                 if !self.link_is_up(&node, &iface) {
                     return;
                 }
@@ -456,7 +491,12 @@ impl Emulation {
                     self.schedule_poll(&node, SimTime(now.0 + 1));
                 }
             }
-            EventKind::DeliverBgp { node, src, dst, payload } => {
+            EventKind::DeliverBgp {
+                node,
+                src,
+                dst,
+                payload,
+            } => {
                 let now = self.now;
                 if let Some(router) = self.routers.get_mut(&node) {
                     router.push_bgp(now, src, dst, payload);
@@ -475,7 +515,9 @@ impl Emulation {
                 }
                 self.next_ext_poll.remove(&idx);
                 let now = self.now;
-                let Some(peer) = self.externals.get_mut(idx) else { return };
+                let Some(peer) = self.externals.get_mut(idx) else {
+                    return;
+                };
                 let msgs = peer.poll(now);
                 let wake = peer.next_wakeup(now);
                 let src = peer.addr;
@@ -484,13 +526,20 @@ impl Emulation {
                     if let Some((Owner::Node, node)) = self.ip_owner.get(&dst).cloned() {
                         let jitter = self.rng.gen_range(0..3);
                         let mut at = now + SimDuration::from_millis(2 + jitter);
-                        let clock =
-                            self.bgp_flow_clock.entry((src, dst)).or_insert(SimTime::ZERO);
+                        let clock = self
+                            .bgp_flow_clock
+                            .entry((src, dst))
+                            .or_insert(SimTime::ZERO);
                         at = at.max(SimTime(clock.0 + 1));
                         *clock = at;
                         self.push_event(
                             at,
-                            EventKind::DeliverBgp { node, src, dst, payload },
+                            EventKind::DeliverBgp {
+                                node,
+                                src,
+                                dst,
+                                payload,
+                            },
                         );
                     }
                 }
@@ -542,8 +591,8 @@ impl Emulation {
             self.handle(ev.kind);
             self.events_processed += 1;
 
-            let all_ready = self.ready_at.len()
-                == self.topology.nodes.len() - self.unschedulable.len();
+            let all_ready =
+                self.ready_at.len() == self.topology.nodes.len() - self.unschedulable.len();
             if all_ready
                 && self.injection_done()
                 && self.pending_restarts == 0

@@ -241,7 +241,10 @@ mod tests {
         let out = p.poll(now);
         assert!(matches!(out[0].1, BgpMsg::Open(_)));
         // Router's OPEN arrives; we complete and start feeding.
-        p.push_msg(now, BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))));
+        p.push_msg(
+            now,
+            BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))),
+        );
         assert_eq!(p.state(), PeerState::Established);
         let out = p.poll(SimTime(2000));
         let updates: usize = out
@@ -256,7 +259,10 @@ mod tests {
     fn feed_completes_in_bounded_polls() {
         let mut p = peer(10_000);
         let mut now = SimTime(0);
-        p.push_msg(now, BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))));
+        p.push_msg(
+            now,
+            BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))),
+        );
         let mut polls = 0;
         while !p.done() {
             now = SimTime(now.0 + 50);
@@ -271,7 +277,10 @@ mod tests {
     fn notification_resets_session() {
         let mut p = peer(10);
         let now = SimTime(0);
-        p.push_msg(now, BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))));
+        p.push_msg(
+            now,
+            BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))),
+        );
         assert_eq!(p.state(), PeerState::Established);
         p.push_msg(
             now,
@@ -287,7 +296,10 @@ mod tests {
     #[test]
     fn keepalives_flow_when_established_and_idle() {
         let mut p = peer(0);
-        p.push_msg(SimTime(0), BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))));
+        p.push_msg(
+            SimTime(0),
+            BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))),
+        );
         let out = p.poll(SimTime(25_000));
         assert!(out.iter().any(|(_, m)| matches!(m, BgpMsg::Keepalive)));
         assert!(p.done());

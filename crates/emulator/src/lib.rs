@@ -19,5 +19,5 @@ pub mod topology;
 pub use cluster::{Cluster, MachineSpec, PodRequest, Unschedulable};
 pub use engine::{Emulation, EmulationConfig, RunReport};
 pub use inject::{synthetic_prefixes, ExternalPeer};
-pub use parallel::{outcome_distribution, run_seeds, SeedRun};
+pub use parallel::{outcome_distribution, run_seeds, run_seeds_detailed, SeedError, SeedRun};
 pub use topology::{ExternalPeerSpec, NodeSpec, TopoLink, Topology};

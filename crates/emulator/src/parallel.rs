@@ -8,6 +8,8 @@
 //! the dataplanes for differential comparison.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mfv_dataplane::Dataplane;
 
@@ -23,55 +25,120 @@ pub struct SeedRun {
     pub dataplane: Dataplane,
 }
 
+/// Why one seed of a multi-seed sweep failed. Confined to its seed; the
+/// other runs still complete.
+#[derive(Clone, Debug)]
+pub struct SeedError {
+    pub seed: u64,
+    pub message: String,
+}
+
+impl std::fmt::Display for SeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed {} failed: {}", self.seed, self.message)
+    }
+}
+
+impl std::error::Error for SeedError {}
+
 /// Runs the same topology under each seed, in parallel (bounded by the host
-/// parallelism), returning runs in seed order.
+/// parallelism), returning per-seed outcomes in seed order. A panic or
+/// setup error in one run is caught and reported as that seed's [`SeedError`]
+/// instead of aborting the whole sweep.
+pub fn run_seeds_detailed(
+    topology: &Topology,
+    make_cluster: impl Fn() -> Cluster + Sync,
+    base_cfg: &EmulationConfig,
+    seeds: &[u64],
+) -> Vec<Result<SeedRun, SeedError>> {
+    let n = seeds.len();
+    let mut results: Vec<Option<Result<SeedRun, SeedError>>> = Vec::new();
+    results.resize_with(n, || None);
+
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let make_cluster = &make_cluster;
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            handles.push(s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let seed = seeds[i];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut cfg = base_cfg.clone();
+                        cfg.seed = seed;
+                        let mut emu = Emulation::new(topology.clone(), make_cluster(), cfg)
+                            .map_err(|e| e.to_string())?;
+                        let report = emu.run_until_converged();
+                        let dataplane = emu.dataplane();
+                        Ok::<SeedRun, String>(SeedRun {
+                            seed,
+                            report,
+                            dataplane,
+                        })
+                    }));
+                    local.push((
+                        i,
+                        match outcome {
+                            Ok(Ok(run)) => Ok(run),
+                            Ok(Err(message)) => Err(SeedError { seed, message }),
+                            Err(payload) => Err(SeedError {
+                                seed,
+                                message: panic_message(payload),
+                            }),
+                        },
+                    ));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            // Per-run panics are caught above; join only fails on a panic
+            // in the scheduling loop itself.
+            for (i, run) in h.join().expect("seed worker survives its runs") {
+                results[i] = Some(run);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every seed scheduled exactly once"))
+        .collect()
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// [`run_seeds_detailed`] with the original infallible shape: panics if any
+/// seed failed (callers that can tolerate partial results should use the
+/// detailed variant).
 pub fn run_seeds(
     topology: &Topology,
     make_cluster: impl Fn() -> Cluster + Sync,
     base_cfg: &EmulationConfig,
     seeds: &[u64],
 ) -> Vec<SeedRun> {
-    let mut results: Vec<Option<SeedRun>> = Vec::new();
-    results.resize_with(seeds.len(), || None);
-
-    crossbeam::thread::scope(|scope| {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(seeds.len().max(1));
-        let work = crossbeam::channel::unbounded::<(usize, u64)>();
-        for (i, &seed) in seeds.iter().enumerate() {
-            work.0.send((i, seed)).unwrap();
-        }
-        drop(work.0);
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, SeedRun)>();
-
-        for _ in 0..threads {
-            let rx = work.1.clone();
-            let tx = res_tx.clone();
-            let topology = topology.clone();
-            let make_cluster = &make_cluster;
-            let base_cfg = base_cfg.clone();
-            scope.spawn(move |_| {
-                while let Ok((i, seed)) = rx.recv() {
-                    let mut cfg = base_cfg.clone();
-                    cfg.seed = seed;
-                    let mut emu = Emulation::new(topology.clone(), make_cluster(), cfg)
-                        .expect("topology validated by caller");
-                    let report = emu.run_until_converged();
-                    let dataplane = emu.dataplane();
-                    tx.send((i, SeedRun { seed, report, dataplane })).unwrap();
-                }
-            });
-        }
-        drop(res_tx);
-        while let Ok((i, run)) = res_rx.recv() {
-            results[i] = Some(run);
-        }
-    })
-    .expect("no worker panics");
-
-    results.into_iter().map(|r| r.expect("all seeds completed")).collect()
+    run_seeds_detailed(topology, make_cluster, base_cfg, seeds)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
 }
 
 /// Groups runs by converged-dataplane digest: the observable distribution of
@@ -79,7 +146,9 @@ pub fn run_seeds(
 pub fn outcome_distribution(runs: &[SeedRun]) -> BTreeMap<u64, Vec<u64>> {
     let mut out: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     for run in runs {
-        out.entry(run.dataplane.digest()).or_default().push(run.seed);
+        out.entry(run.dataplane.digest())
+            .or_default()
+            .push(run.seed);
     }
     out
 }

@@ -94,7 +94,10 @@ pub struct Topology {
 
 impl Topology {
     pub fn new(name: impl Into<String>) -> Topology {
-        Topology { name: name.into(), ..Default::default() }
+        Topology {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     pub fn node(&self, name: &NodeId) -> Option<&NodeSpec> {
@@ -127,9 +130,7 @@ impl Topology {
     pub fn validate(&self) -> Result<(), String> {
         let mut seen_eps: Vec<(NodeId, IfaceId)> = Vec::new();
         for l in &self.links {
-            for (node, iface) in
-                [(&l.a_node, &l.a_iface), (&l.b_node, &l.b_iface)]
-            {
+            for (node, iface) in [(&l.a_node, &l.a_iface), (&l.b_node, &l.b_iface)] {
                 if self.node(node).is_none() {
                     return Err(format!("link references unknown node {node}"));
                 }
@@ -148,7 +149,10 @@ impl Topology {
         }
         for p in &self.external_peers {
             if self.node(&p.attach_to).is_none() {
-                return Err(format!("external peer attaches to unknown node {}", p.attach_to));
+                return Err(format!(
+                    "external peer attaches to unknown node {}",
+                    p.attach_to
+                ));
             }
         }
         Ok(())

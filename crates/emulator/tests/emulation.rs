@@ -4,7 +4,7 @@ use std::net::Ipv4Addr;
 
 use mfv_config::{IfaceSpec, RouterSpec, Vendor};
 use mfv_emulator::{
-    outcome_distribution, run_seeds, Cluster, Emulation, EmulationConfig,
+    outcome_distribution, run_seeds, run_seeds_detailed, Cluster, Emulation, EmulationConfig,
     ExternalPeerSpec, NodeSpec, Topology,
 };
 use mfv_types::{AsNum, LinkId, NodeId, RouteProtocol};
@@ -28,7 +28,10 @@ fn line3_topology() -> Topology {
         .network("2.2.2.1/32".parse().unwrap());
     // The customer prefix must exist in the RIB for `network` to fire:
     // model it as a connected stub interface.
-    let r1 = r1.iface(IfaceSpec::new("Ethernet9", "203.0.113.1/24".parse().unwrap()));
+    let r1 = r1.iface(IfaceSpec::new(
+        "Ethernet9",
+        "203.0.113.1/24".parse().unwrap(),
+    ));
 
     let r2 = RouterSpec::new("r2", asn, lo(2))
         .iface(IfaceSpec::new("Ethernet1", "100.64.0.1/31".parse().unwrap()).with_isis())
@@ -41,7 +44,10 @@ fn line3_topology() -> Topology {
         .ibgp(lo(1))
         .ibgp(lo(2))
         .network("198.51.100.0/24".parse().unwrap())
-        .iface(IfaceSpec::new("Ethernet9", "198.51.100.1/24".parse().unwrap()));
+        .iface(IfaceSpec::new(
+            "Ethernet9",
+            "198.51.100.1/24".parse().unwrap(),
+        ));
 
     let mut t = Topology::new("line3");
     t.add_node(NodeSpec::from_config("r1", &r1.build()));
@@ -53,13 +59,15 @@ fn line3_topology() -> Topology {
 }
 
 fn quick_cfg(seed: u64) -> EmulationConfig {
-    EmulationConfig { seed, ..Default::default() }
+    EmulationConfig {
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn line3_boots_and_converges() {
-    let mut emu =
-        Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
+    let mut emu = Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
     let report = emu.run_until_converged();
     assert!(report.converged, "{report:?}");
     assert!(report.boot_complete_at.is_some());
@@ -85,8 +93,7 @@ fn line3_boots_and_converges() {
 
 #[test]
 fn dataplane_snapshot_reflects_fibs() {
-    let mut emu =
-        Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
+    let mut emu = Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
     emu.run_until_converged();
     let dp = emu.dataplane();
     assert_eq!(dp.nodes.len(), 3);
@@ -97,8 +104,7 @@ fn dataplane_snapshot_reflects_fibs() {
 
 #[test]
 fn link_cut_withdraws_transit_routes() {
-    let mut emu =
-        Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
+    let mut emu = Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
     emu.run_until_converged();
     let had = emu
         .router(&NodeId::from("r1"))
@@ -122,19 +128,25 @@ fn link_cut_withdraws_transit_routes() {
         r1.fib().lookup(ip("198.51.100.9")).is_none(),
         "r3's prefix must be gone after the cut"
     );
-    assert!(r1.fib().lookup(ip("2.2.2.2")).is_some(), "r2 still reachable");
+    assert!(
+        r1.fib().lookup(ip("2.2.2.2")).is_some(),
+        "r2 still reachable"
+    );
 }
 
 #[test]
 fn same_seed_replays_identically() {
     let digest = |seed: u64| {
         let mut emu =
-            Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(seed))
-                .unwrap();
+            Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(seed)).unwrap();
         emu.run_until_converged();
         emu.dataplane().digest()
     };
-    assert_eq!(digest(42), digest(42), "same seed, same converged dataplane");
+    assert_eq!(
+        digest(42),
+        digest(42),
+        "same seed, same converged dataplane"
+    );
 }
 
 #[test]
@@ -142,8 +154,14 @@ fn route_injection_scales_fib() {
     // Attach an external feed of 5,000 routes to r1 via a stub subnet.
     let mut topo = line3_topology();
     // Give r1 an interface toward the peer and a neighbor statement.
-    let spec = topo.nodes.iter_mut().find(|n| n.name == NodeId::from("r1")).unwrap();
-    let mut parsed = mfv_config::parse(Vendor::Ceos, &spec.config_text).unwrap().config;
+    let spec = topo
+        .nodes
+        .iter_mut()
+        .find(|n| n.name == NodeId::from("r1"))
+        .unwrap();
+    let mut parsed = mfv_config::parse(Vendor::Ceos, &spec.config_text)
+        .unwrap()
+        .config;
     let eth = parsed.ensure_interface("Ethernet5");
     eth.addr = Some("100.64.9.0/31".parse().unwrap());
     eth.routed = true;
@@ -152,7 +170,10 @@ fn route_injection_scales_fib() {
         .as_mut()
         .unwrap()
         .neighbors
-        .push(mfv_config::BgpNeighborConfig::new(ip("100.64.9.1"), AsNum(64999)));
+        .push(mfv_config::BgpNeighborConfig::new(
+            ip("100.64.9.1"),
+            AsNum(64999),
+        ));
     spec.config_text = mfv_config::render(&parsed);
 
     topo.external_peers.push(ExternalPeerSpec {
@@ -232,13 +253,15 @@ fn crash_with_watchdog_restarts_into_crash_loop() {
     cfg.max_sim_time = mfv_types::SimDuration::from_mins(30);
     let mut emu = Emulation::new(line3_topology(), Cluster::single_node(), cfg).unwrap();
     let report = emu.run_until_converged();
-    assert!(report.crashes >= 2, "restart leads to another crash: {report:?}");
+    assert!(
+        report.crashes >= 2,
+        "restart leads to another crash: {report:?}"
+    );
 }
 
 #[test]
 fn config_push_shutting_session_reconverges() {
-    let mut emu =
-        Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
+    let mut emu = Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
     emu.run_until_converged();
     assert!(emu
         .router(&NodeId::from("r3"))
@@ -249,7 +272,9 @@ fn config_push_shutting_session_reconverges() {
 
     // Push a config to r1 dropping its iBGP session to r3.
     let spec = emu.topology.node(&NodeId::from("r1")).unwrap().clone();
-    let mut parsed = mfv_config::parse(Vendor::Ceos, &spec.config_text).unwrap().config;
+    let mut parsed = mfv_config::parse(Vendor::Ceos, &spec.config_text)
+        .unwrap()
+        .config;
     parsed
         .bgp
         .as_mut()
@@ -272,8 +297,7 @@ fn config_push_shutting_session_reconverges() {
 
 #[test]
 fn cli_works_against_running_emulation() {
-    let mut emu =
-        Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
+    let mut emu = Emulation::new(line3_topology(), Cluster::single_node(), quick_cfg(1)).unwrap();
     emu.run_until_converged();
     let out = emu.cli(&NodeId::from("r2"), "show isis neighbors").unwrap();
     assert!(out.contains("Up"), "{out}");
@@ -296,4 +320,40 @@ fn parallel_seed_runs_produce_consistent_reachability() {
     let dist = outcome_distribution(&runs);
     let total: usize = dist.values().map(|v| v.len()).sum();
     assert_eq!(total, 4);
+}
+
+#[test]
+fn detailed_seed_runs_match_plain_and_stay_in_order() {
+    let topo = line3_topology();
+    let plain = run_seeds(&topo, Cluster::single_node, &quick_cfg(0), &[5, 6, 7]);
+    let detailed = run_seeds_detailed(&topo, Cluster::single_node, &quick_cfg(0), &[5, 6, 7]);
+    assert_eq!(detailed.len(), 3);
+    for (p, d) in plain.iter().zip(&detailed) {
+        let d = d.as_ref().expect("seed run succeeds");
+        assert_eq!(p.seed, d.seed);
+        assert_eq!(p.dataplane.digest(), d.dataplane.digest());
+    }
+}
+
+#[test]
+fn seed_worker_panic_is_confined_to_its_seed() {
+    let topo = line3_topology();
+    // A cluster factory that panics poisons every run that calls it — but
+    // each failure must surface as that seed's error, not tear down the
+    // sweep or the test harness.
+    let results = run_seeds_detailed(
+        &topo,
+        || panic!("cluster provisioning exploded"),
+        &quick_cfg(0),
+        &[1, 2],
+    );
+    assert_eq!(results.len(), 2);
+    for (r, seed) in results.iter().zip([1u64, 2]) {
+        let err = r.as_ref().expect_err("run must fail");
+        assert_eq!(err.seed, seed);
+        assert!(
+            err.message.contains("cluster provisioning exploded"),
+            "{err}"
+        );
+    }
 }

@@ -79,8 +79,13 @@ impl Aft {
             let next_gid = group_ids.len() as u64 + 1;
             let gid = *group_ids.entry(members.clone()).or_insert(next_gid);
             if gid == next_gid {
-                aft.next_hop_groups
-                    .insert(gid, AftNextHopGroup { id: gid, next_hops: members });
+                aft.next_hop_groups.insert(
+                    gid,
+                    AftNextHopGroup {
+                        id: gid,
+                        next_hops: members,
+                    },
+                );
             }
             aft.ipv4_unicast.push(AftIpv4Entry {
                 prefix: entry.prefix,
@@ -109,7 +114,11 @@ impl Aft {
                         .collect()
                 })
                 .unwrap_or_default();
-            fib.insert(FibEntry { prefix: e.prefix, proto: e.origin_protocol, next_hops });
+            fib.insert(FibEntry {
+                prefix: e.prefix,
+                proto: e.origin_protocol,
+                next_hops,
+            });
         }
         fib
     }
@@ -141,7 +150,10 @@ mod tests {
         fib.insert(FibEntry {
             prefix: "10.0.0.0/31".parse().unwrap(),
             proto: RouteProtocol::Connected,
-            next_hops: vec![FibNextHop { iface: "eth0".into(), via: None }],
+            next_hops: vec![FibNextHop {
+                iface: "eth0".into(),
+                via: None,
+            }],
         });
         fib.insert(FibEntry {
             prefix: "2.2.2.2/32".parse().unwrap(),

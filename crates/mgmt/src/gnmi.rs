@@ -220,7 +220,10 @@ fn diff_value(old: &Value, new: &Value, path: String, out: &mut Vec<Update>) {
                 let child_path = format!("{path}/{k}");
                 match b.get(k) {
                     Some(vb) => diff_value(va, vb, child_path, out),
-                    None => out.push(Update { path: child_path, value: None }),
+                    None => out.push(Update {
+                        path: child_path,
+                        value: None,
+                    }),
                 }
             }
             for (k, vb) in b {
@@ -233,7 +236,10 @@ fn diff_value(old: &Value, new: &Value, path: String, out: &mut Vec<Update>) {
             }
         }
         (a, b) if a == b => {}
-        (_, b) => out.push(Update { path, value: Some(b.clone()) }),
+        (_, b) => out.push(Update {
+            path,
+            value: Some(b.clone()),
+        }),
     }
 }
 
@@ -249,11 +255,8 @@ mod subscribe_tests {
         let spec = RouterSpec::new("r1", AsNum(65001), Ipv4Addr::new(2, 2, 2, 1))
             .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()).with_isis())
             .network("2.2.2.1/32".parse().unwrap());
-        let mut r = mfv_vrouter::VirtualRouter::new(
-            "r1".into(),
-            VendorProfile::ceos(),
-            spec.build(),
-        );
+        let mut r =
+            mfv_vrouter::VirtualRouter::new("r1".into(), VendorProfile::ceos(), spec.build());
         let _ = r.poll(SimTime(100));
         r
     }
@@ -293,6 +296,9 @@ mod subscribe_tests {
         let _ = r.poll(SimTime(300));
         let t2 = Telemetry::from_router(&r);
         let updates = diff(&t1, &t2);
-        assert!(updates.iter().any(|u| u.path.contains("/interfaces")), "{updates:#?}");
+        assert!(
+            updates.iter().any(|u| u.path.contains("/interfaces")),
+            "{updates:#?}"
+        );
     }
 }

@@ -17,9 +17,7 @@ use std::collections::BTreeMap;
 
 /// Extracts a full-network AFT collection from per-node telemetry — the
 /// "dump AFTs via gNMI" step of §4.1, applied across the topology.
-pub fn collect_afts(
-    telemetry: &BTreeMap<NodeId, Telemetry>,
-) -> BTreeMap<NodeId, Aft> {
+pub fn collect_afts(telemetry: &BTreeMap<NodeId, Telemetry>) -> BTreeMap<NodeId, Aft> {
     telemetry
         .iter()
         .filter_map(|(n, t)| t.aft().map(|a| (n.clone(), a)))
@@ -29,10 +27,7 @@ pub fn collect_afts(
 /// Rebuilds a [`Dataplane`] from extracted AFTs plus the link/address
 /// context the verifier needs. This is the ingestion path that replaces the
 /// model-computed dataplane (the paper's 3,300-line Batfish change).
-pub fn dataplane_from_afts(
-    afts: &BTreeMap<NodeId, Aft>,
-    reference: &Dataplane,
-) -> Dataplane {
+pub fn dataplane_from_afts(afts: &BTreeMap<NodeId, Aft>, reference: &Dataplane) -> Dataplane {
     let mut dp = Dataplane::new();
     for (node, aft) in afts {
         let (addresses, up) = reference
@@ -61,7 +56,10 @@ mod tests {
         fib.insert(FibEntry {
             prefix: "10.0.0.0/24".parse().unwrap(),
             proto: RouteProtocol::Connected,
-            next_hops: vec![FibNextHop { iface: "eth0".into(), via: None }],
+            next_hops: vec![FibNextHop {
+                iface: "eth0".into(),
+                via: None,
+            }],
         });
         let mut reference = Dataplane::new();
         reference.add_node("r1".into(), &fib, Default::default(), true);

@@ -96,8 +96,10 @@ pub struct ModelResult {
 
 /// Computes the model dataplane for a set of parsed (model-view) configs.
 pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
-    let nodes: Vec<ModelNode> =
-        configs.into_iter().map(|(name, cfg)| ModelNode { name, cfg }).collect();
+    let nodes: Vec<ModelNode> = configs
+        .into_iter()
+        .map(|(name, cfg)| ModelNode { name, cfg })
+        .collect();
 
     // ---- 1. L3 edge inference by subnet matching ----------------------
     // (node idx, iface) ↔ (node idx, iface) where addresses share a subnet.
@@ -155,14 +157,12 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
     // Adjacency: an inferred edge whose ends are both IS-IS enabled.
     let isis_edges: Vec<&(usize, IfaceId, usize, IfaceId)> = edges
         .iter()
-        .filter(|(i, ifi, j, ifj)| {
-            nodes[*i].isis_enabled(ifi) && nodes[*j].isis_enabled(ifj)
-        })
+        .filter(|(i, ifi, j, ifj)| nodes[*i].isis_enabled(ifi) && nodes[*j].isis_enabled(ifj))
         .collect();
 
-    for root in 0..nodes.len() {
+    for (root, rib) in ribs.iter_mut().enumerate() {
         let routes = spf_from(root, &nodes, &isis_edges);
-        ribs[root].set_protocol_routes(RouteProtocol::Isis, routes);
+        rib.set_protocol_routes(RouteProtocol::Isis, routes);
     }
 
     // ---- 4. BGP sessions -------------------------------------------------
@@ -179,7 +179,9 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
             if nb.shutdown {
                 continue;
             }
-            let Some(&owner) = addr_owner.get(&nb.peer) else { continue };
+            let Some(&owner) = addr_owner.get(&nb.peer) else {
+                continue;
+            };
             if nodes[owner].asn() != Some(nb.remote_as) {
                 continue;
             }
@@ -197,7 +199,9 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
                         .map(|(_, a)| a.addr)
                 })
                 .or_else(|| n.cfg.loopback_addr());
-            let Some(local_addr) = local_addr else { continue };
+            let Some(local_addr) = local_addr else {
+                continue;
+            };
             // Transport check: the peer address must resolve in our RIB.
             let reachable = {
                 let mut trie = PrefixTrie::new();
@@ -226,8 +230,7 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
 
     // ---- 5. BGP fixpoint iteration ---------------------------------------
     // Per node: prefix → best route.
-    let mut tables: Vec<BTreeMap<Prefix, ModelBgpRoute>> =
-        vec![BTreeMap::new(); nodes.len()];
+    let mut tables: Vec<BTreeMap<Prefix, ModelBgpRoute>> = vec![BTreeMap::new(); nodes.len()];
 
     // Originations.
     for (idx, n) in nodes.iter().enumerate() {
@@ -270,8 +273,7 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
         let mut changed = false;
         // Synchronous exchange round: compute all advertisements from the
         // current tables, then apply.
-        let mut incoming: Vec<Vec<(Prefix, ModelBgpRoute)>> =
-            vec![Vec::new(); nodes.len()];
+        let mut incoming: Vec<Vec<(Prefix, ModelBgpRoute)>> = vec![Vec::new(); nodes.len()];
         for (sid, s) in sessions.iter().enumerate() {
             let sender_as = nodes[s.from].asn().expect("session implies bgp");
             for (prefix, route) in &tables[s.from] {
@@ -305,7 +307,11 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
                 }
                 incoming[s.to].push((
                     *prefix,
-                    ModelBgpRoute { attrs, learned_via: Some(sid), ebgp: s.ebgp },
+                    ModelBgpRoute {
+                        attrs,
+                        learned_via: Some(sid),
+                        ebgp: s.ebgp,
+                    },
                 ));
             }
         }
@@ -325,9 +331,7 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
                     for (wp, wr) in ribs[idx].winners() {
                         if matches!(
                             wr.proto,
-                            RouteProtocol::Connected
-                                | RouteProtocol::Static
-                                | RouteProtocol::Isis
+                            RouteProtocol::Connected | RouteProtocol::Static | RouteProtocol::Isis
                         ) {
                             trie.insert(*wp, wr.metric);
                         }
@@ -348,7 +352,10 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
                     lp_b.cmp(&lp_a)
                         .then_with(|| a.learned_via.is_some().cmp(&b.learned_via.is_some()))
                         .then_with(|| {
-                            a.attrs.as_path.route_len().cmp(&b.attrs.as_path.route_len())
+                            a.attrs
+                                .as_path
+                                .route_len()
+                                .cmp(&b.attrs.as_path.route_len())
                         })
                         .then_with(|| a.attrs.origin.cmp(&b.attrs.origin))
                         .then_with(|| b.ebgp.cmp(&a.ebgp))
@@ -403,7 +410,11 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
         link_ids.push(id);
     }
 
-    ModelResult { dataplane: dp, edges: link_ids, rounds }
+    ModelResult {
+        dataplane: dp,
+        edges: link_ids,
+        rounds,
+    }
 }
 
 /// The reverse direction of session `sid`, for split-horizon bookkeeping.
@@ -450,18 +461,12 @@ fn spf_from(
             .and_then(|x| x.addr)
             .map(|a| a.addr)
             .expect("edge implies address");
-        adj.entry(*i).or_default().push((
-            *j,
-            nodes[*i].isis_metric(ifi),
-            ifi.clone(),
-            addr_j,
-        ));
-        adj.entry(*j).or_default().push((
-            *i,
-            nodes[*j].isis_metric(ifj),
-            ifj.clone(),
-            addr_i,
-        ));
+        adj.entry(*i)
+            .or_default()
+            .push((*j, nodes[*i].isis_metric(ifi), ifi.clone(), addr_j));
+        adj.entry(*j)
+            .or_default()
+            .push((*i, nodes[*j].isis_metric(ifj), ifj.clone(), addr_i));
     }
 
     let mut dist: BTreeMap<usize, u32> = BTreeMap::new();
@@ -499,7 +504,9 @@ fn spf_from(
         if node == root {
             continue;
         }
-        let Some(fh) = first_hop.get(&node) else { continue };
+        let Some(fh) = first_hop.get(&node) else {
+            continue;
+        };
         for iface in &nodes[node].cfg.interfaces {
             if iface.isis.is_none() || !iface.is_l3() {
                 continue;
@@ -509,9 +516,7 @@ fn spf_from(
             if own_subnets.contains(&prefix) {
                 continue;
             }
-            let metric = d.saturating_add(
-                iface.isis.as_ref().map(|i| i.metric).unwrap_or(10),
-            );
+            let metric = d.saturating_add(iface.isis.as_ref().map(|i| i.metric).unwrap_or(10));
             match best.get(&prefix) {
                 Some((m, _)) if *m <= metric => {}
                 _ => {

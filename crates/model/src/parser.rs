@@ -269,19 +269,14 @@ pub fn parse(text: &str) -> Result<(DeviceConfig, CoverageReport), ModelParseErr
                             report.recognized_lines += 1;
                         }
                         ["neighbor", peer, "remote-as", ras] => {
-                            if let (Ok(peer), Ok(ras)) =
-                                (peer.parse(), ras.parse::<u32>())
-                            {
-                                bgp.neighbors
-                                    .push(BgpNeighborConfig::new(peer, AsNum(ras)));
+                            if let (Ok(peer), Ok(ras)) = (peer.parse(), ras.parse::<u32>()) {
+                                bgp.neighbors.push(BgpNeighborConfig::new(peer, AsNum(ras)));
                             }
                             report.recognized_lines += 1;
                         }
                         ["neighbor", peer, "update-source", src] => {
                             if let Ok(peer) = peer.parse::<std::net::Ipv4Addr>() {
-                                if let Some(n) =
-                                    bgp.neighbors.iter_mut().find(|n| n.peer == peer)
-                                {
+                                if let Some(n) = bgp.neighbors.iter_mut().find(|n| n.peer == peer) {
                                     n.update_source = Some(src.to_string().into());
                                 }
                             }
@@ -289,9 +284,7 @@ pub fn parse(text: &str) -> Result<(DeviceConfig, CoverageReport), ModelParseErr
                         }
                         ["neighbor", peer, "next-hop-self"] => {
                             if let Ok(peer) = peer.parse::<std::net::Ipv4Addr>() {
-                                if let Some(n) =
-                                    bgp.neighbors.iter_mut().find(|n| n.peer == peer)
-                                {
+                                if let Some(n) = bgp.neighbors.iter_mut().find(|n| n.peer == peer) {
                                     n.next_hop_self = true;
                                 }
                             }
@@ -303,9 +296,7 @@ pub fn parse(text: &str) -> Result<(DeviceConfig, CoverageReport), ModelParseErr
                         }
                         ["neighbor", peer, "shutdown"] => {
                             if let Ok(peer) = peer.parse::<std::net::Ipv4Addr>() {
-                                if let Some(n) =
-                                    bgp.neighbors.iter_mut().find(|n| n.peer == peer)
-                                {
+                                if let Some(n) = bgp.neighbors.iter_mut().find(|n| n.peer == peer) {
                                     n.shutdown = true;
                                 }
                             }
@@ -425,12 +416,14 @@ interface Ethernet2
     fn isis_enable_flagged_invalid_but_applied() {
         let (cfg, report) = parse(FIG3_IFACE).unwrap();
         let iface = cfg.interface(&IfaceId::from("Ethernet2")).unwrap();
-        assert!(iface.isis.is_some(), "best-effort recovery still enables isis");
+        assert!(
+            iface.isis.is_some(),
+            "best-effort recovery still enables isis"
+        );
         assert!(report
             .unrecognized
             .iter()
-            .any(|u| u.kind == UnrecognizedKind::InvalidSyntax
-                && u.text.contains("isis enable")));
+            .any(|u| u.kind == UnrecognizedKind::InvalidSyntax && u.text.contains("isis enable")));
     }
 
     #[test]
@@ -442,7 +435,10 @@ interface Loopback0
 ";
         let (cfg, _) = parse(text).unwrap();
         let lo = cfg.interface(&IfaceId::from("Loopback0")).unwrap();
-        assert!(lo.addr.is_some(), "loopbacks are not switchports in any model");
+        assert!(
+            lo.addr.is_some(),
+            "loopbacks are not switchports in any model"
+        );
     }
 
     #[test]
@@ -502,9 +498,7 @@ end
         // with tens of unparsed lines.
         use mfv_config::{IfaceSpec, RouterSpec};
         let spec = RouterSpec::new("r1", AsNum(65001), "2.2.2.1".parse().unwrap())
-            .iface(
-                IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()).with_isis(),
-            )
+            .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()).with_isis())
             .ebgp("100.64.0.1".parse().unwrap(), AsNum(65002))
             .network("2.2.2.1/32".parse().unwrap())
             .production();
@@ -536,8 +530,7 @@ mod agreement_tests {
                 std::net::Ipv4Addr::new(2, 2, 2, n),
             )
             .iface(
-                IfaceSpec::new("Ethernet1", format!("10.{n}.0.1/31").parse().unwrap())
-                    .with_isis(),
+                IfaceSpec::new("Ethernet1", format!("10.{n}.0.1/31").parse().unwrap()).with_isis(),
             )
             .production();
             let text = spec.render();

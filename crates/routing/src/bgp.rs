@@ -15,9 +15,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::Ipv4Addr;
 
 use mfv_config::{BgpConfig, PrefixList, RouteMap};
-use mfv_types::{
-    AsNum, Origin, Prefix, RouteProtocol, RouterId, SimDuration, SimTime,
-};
+use mfv_types::{AsNum, Origin, Prefix, RouteProtocol, RouterId, SimDuration, SimTime};
 use mfv_wire::bgp::{BgpMsg, NotificationMsg, OpenMsg, PathAttr, UpdateMsg};
 
 use crate::policy::{eval_route_map, BgpAttrs, PolicyResult};
@@ -56,7 +54,10 @@ pub struct DecisionQuirks {
 
 impl Default for DecisionQuirks {
     fn default() -> Self {
-        DecisionQuirks { ibgp_igp_metric_inverted: false, arrival_order_tiebreak: true }
+        DecisionQuirks {
+            ibgp_igp_metric_inverted: false,
+            arrival_order_tiebreak: true,
+        }
     }
 }
 
@@ -328,7 +329,7 @@ impl BgpEngine {
                     self.out.push_back((
                         from,
                         BgpMsg::Notification(NotificationMsg {
-                            code: 2, // OPEN message error
+                            code: 2,    // OPEN message error
                             subcode: 2, // bad peer AS
                             data: bytes::Bytes::new(),
                         }),
@@ -338,9 +339,8 @@ impl BgpEngine {
                     self.dirty.extend(lost);
                     return;
                 }
-                session.hold_time = SimDuration::from_secs(
-                    u64::from(open.hold_time_secs.min(90)).max(3),
-                );
+                session.hold_time =
+                    SimDuration::from_secs(u64::from(open.hold_time_secs.min(90)).max(3));
                 match session.state {
                     SessionState::Idle => {
                         // Passive open: respond with our OPEN + KEEPALIVE.
@@ -439,9 +439,11 @@ impl BgpEngine {
             .attrs
             .iter()
             .filter_map(|a| match a {
-                PathAttr::Unknown { flags, type_code, value } => {
-                    Some((*flags, *type_code, value.clone()))
-                }
+                PathAttr::Unknown {
+                    flags,
+                    type_code,
+                    value,
+                } => Some((*flags, *type_code, value.clone())),
                 _ => None,
             })
             .collect();
@@ -460,14 +462,12 @@ impl BgpEngine {
         for (i, prefix) in update.nlri.iter().enumerate() {
             let attrs = match &rm_in {
                 Some(name) => match self.route_maps.get(name) {
-                    Some(rm) => {
-                        match eval_route_map(rm, &self.prefix_lists, prefix, &base) {
-                            PolicyResult::Permit(a) => a,
-                            PolicyResult::Deny => {
-                                continue;
-                            }
+                    Some(rm) => match eval_route_map(rm, &self.prefix_lists, prefix, &base) {
+                        PolicyResult::Permit(a) => a,
+                        PolicyResult::Deny => {
+                            continue;
                         }
-                    }
+                    },
                     // Referencing a missing route-map denies everything
                     // (matching EOS behaviour).
                     None => continue,
@@ -484,9 +484,13 @@ impl BgpEngine {
         }
         let session = self.sessions.get_mut(&from).expect("session exists");
         for (i, (prefix, attrs)) in accepted.into_iter().enumerate() {
-            session
-                .rib_in
-                .insert(prefix, RibInEntry { attrs, arrival: arrival_base + i as u64 });
+            session.rib_in.insert(
+                prefix,
+                RibInEntry {
+                    attrs,
+                    arrival: arrival_base + i as u64,
+                },
+            );
         }
     }
 
@@ -561,8 +565,7 @@ impl BgpEngine {
             Some(std::mem::take(&mut self.dirty))
         };
         let full_advert = std::mem::take(&mut self.full_advert_peers);
-        let nothing_dirty =
-            matches!(&scope, Some(s) if s.is_empty()) && full_advert.is_empty();
+        let nothing_dirty = matches!(&scope, Some(s) if s.is_empty()) && full_advert.is_empty();
         if !nothing_dirty {
             self.run_decision(resolver, scope.as_ref());
             self.generate_updates(scope.as_ref(), &full_advert);
@@ -646,11 +649,7 @@ impl BgpEngine {
     }
 
     /// One candidate path for a prefix.
-    fn gather_candidates(
-        &self,
-        prefix: &Prefix,
-        resolver: &dyn NextHopResolver,
-    ) -> Vec<Candidate> {
+    fn gather_candidates(&self, prefix: &Prefix, resolver: &dyn NextHopResolver) -> Vec<Candidate> {
         let mut cands = Vec::new();
         if let Some(attrs) = self.originated.get(prefix) {
             cands.push(Candidate {
@@ -666,7 +665,9 @@ impl BgpEngine {
             if session.state != SessionState::Established {
                 continue;
             }
-            let Some(entry) = session.rib_in.get(prefix) else { continue };
+            let Some(entry) = session.rib_in.get(prefix) else {
+                continue;
+            };
             // Next hop must resolve through the IGP (not default).
             let Some(igp_metric) = resolver.igp_metric(entry.attrs.next_hop) else {
                 continue;
@@ -704,7 +705,10 @@ impl BgpEngine {
                     .then_with(|| a.from.is_some().cmp(&b.from.is_some()))
                     // 3. Shortest AS path.
                     .then_with(|| {
-                        a.attrs.as_path.route_len().cmp(&b.attrs.as_path.route_len())
+                        a.attrs
+                            .as_path
+                            .route_len()
+                            .cmp(&b.attrs.as_path.route_len())
                     })
                     // 4. Lowest origin.
                     .then_with(|| a.attrs.origin.cmp(&b.attrs.origin))
@@ -792,9 +796,7 @@ impl BgpEngine {
         for prefix in prefixes {
             let cands = self.gather_candidates(&prefix, resolver);
             let changed = match self.select_best(prefix, cands) {
-                Some(route) => {
-                    self.selected.insert(prefix, route.clone()) != Some(route)
-                }
+                Some(route) => self.selected.insert(prefix, route.clone()) != Some(route),
                 None => self.selected.remove(&prefix).is_some(),
             };
             if changed {
@@ -808,7 +810,10 @@ impl BgpEngine {
     /// Hands the accumulated selection changes to the owner and resets the
     /// accumulator.
     pub fn take_selection_delta(&mut self) -> SelectionDelta {
-        std::mem::replace(&mut self.selection_delta, SelectionDelta::Prefixes(BTreeSet::new()))
+        std::mem::replace(
+            &mut self.selection_delta,
+            SelectionDelta::Prefixes(BTreeSet::new()),
+        )
     }
 
     /// The attributes this session should advertise for `route`, or `None`
@@ -898,7 +903,10 @@ impl BgpEngine {
             .map(|s| s.cfg.peer)
             .collect();
         let from_client = |route: &SelectedRoute| {
-            route.learned_from.map(|p| rr_clients.contains(&p)).unwrap_or(false)
+            route
+                .learned_from
+                .map(|p| rr_clients.contains(&p))
+                .unwrap_or(false)
         };
 
         let selected = std::mem::take(&mut self.selected);
@@ -1030,9 +1038,13 @@ mod tests {
     impl Pair {
         fn new_ebgp() -> Pair {
             let mut cfg_a = BgpConfig::new(AsNum(65001));
-            cfg_a.neighbors.push(BgpNeighborConfig::new(ip("10.0.0.2"), AsNum(65002)));
+            cfg_a
+                .neighbors
+                .push(BgpNeighborConfig::new(ip("10.0.0.2"), AsNum(65002)));
             let mut cfg_b = BgpConfig::new(AsNum(65002));
-            cfg_b.neighbors.push(BgpNeighborConfig::new(ip("10.0.0.1"), AsNum(65001)));
+            cfg_b
+                .neighbors
+                .push(BgpNeighborConfig::new(ip("10.0.0.1"), AsNum(65001)));
 
             let mut locals_a = BTreeMap::new();
             locals_a.insert(ip("10.0.0.2"), ip("10.0.0.1"));
@@ -1058,7 +1070,12 @@ mod tests {
             let mut resolver = TableResolver::default();
             resolver.0.insert(ip("10.0.0.1"), 0);
             resolver.0.insert(ip("10.0.0.2"), 0);
-            Pair { a, b, now: SimTime::ZERO, resolver }
+            Pair {
+                a,
+                b,
+                now: SimTime::ZERO,
+                resolver,
+            }
         }
 
         /// Runs both engines, shuttling messages, until no more traffic.
@@ -1084,8 +1101,14 @@ mod tests {
     fn ebgp_session_establishes() {
         let mut pair = Pair::new_ebgp();
         pair.settle();
-        assert_eq!(pair.a.session_state(ip("10.0.0.2")), Some(SessionState::Established));
-        assert_eq!(pair.b.session_state(ip("10.0.0.1")), Some(SessionState::Established));
+        assert_eq!(
+            pair.a.session_state(ip("10.0.0.2")),
+            Some(SessionState::Established)
+        );
+        assert_eq!(
+            pair.b.session_state(ip("10.0.0.1")),
+            Some(SessionState::Established)
+        );
     }
 
     #[test]
@@ -1099,7 +1122,10 @@ mod tests {
         assert_eq!(routes[0].proto, RouteProtocol::EbgpLearned);
         assert_eq!(routes[0].next_hops, vec![NextHop::Via(ip("10.0.0.1"))]);
         let sel = pair.b.selected().get(&pfx("203.0.113.0/24")).unwrap();
-        assert_eq!(sel.attrs.as_path, mfv_types::AsPath::sequence([AsNum(65001)]));
+        assert_eq!(
+            sel.attrs.as_path,
+            mfv_types::AsPath::sequence([AsNum(65001)])
+        );
     }
 
     #[test]
@@ -1120,19 +1146,31 @@ mod tests {
         pair.settle();
         pair.a.shutdown_session(ip("10.0.0.2"), pair.now);
         pair.settle();
-        assert!(pair.b.rib_routes().is_empty(), "notification must flush peer routes");
-        assert_eq!(pair.b.session_state(ip("10.0.0.1")), Some(SessionState::Idle));
+        assert!(
+            pair.b.rib_routes().is_empty(),
+            "notification must flush peer routes"
+        );
+        assert_eq!(
+            pair.b.session_state(ip("10.0.0.1")),
+            Some(SessionState::Idle)
+        );
     }
 
     #[test]
     fn hold_timer_expiry_resets_session() {
         let mut pair = Pair::new_ebgp();
         pair.settle();
-        assert_eq!(pair.a.session_state(ip("10.0.0.2")), Some(SessionState::Established));
+        assert_eq!(
+            pair.a.session_state(ip("10.0.0.2")),
+            Some(SessionState::Established)
+        );
         // Stop delivering B's messages; advance past hold time.
         pair.now += SimDuration::from_secs(200);
         let _ = pair.a.poll(pair.now, &pair.resolver.clone());
-        assert_eq!(pair.a.session_state(ip("10.0.0.2")), Some(SessionState::Idle));
+        assert_eq!(
+            pair.a.session_state(ip("10.0.0.2")),
+            Some(SessionState::Idle)
+        );
     }
 
     #[test]
@@ -1148,7 +1186,10 @@ mod tests {
         assert!(out
             .iter()
             .any(|(_, m)| matches!(m, BgpMsg::Notification(n) if n.code == 2)));
-        assert_eq!(pair.a.session_state(ip("10.0.0.2")), Some(SessionState::Idle));
+        assert_eq!(
+            pair.a.session_state(ip("10.0.0.2")),
+            Some(SessionState::Idle)
+        );
     }
 
     #[test]
@@ -1167,8 +1208,10 @@ mod tests {
     fn local_pref_beats_shorter_as_path() {
         // Single engine with two eBGP peers offering the same prefix.
         let mut cfg = BgpConfig::new(AsNum(65000));
-        cfg.neighbors.push(BgpNeighborConfig::new(ip("10.0.0.1"), AsNum(65001)));
-        cfg.neighbors.push(BgpNeighborConfig::new(ip("10.0.1.1"), AsNum(65002)));
+        cfg.neighbors
+            .push(BgpNeighborConfig::new(ip("10.0.0.1"), AsNum(65001)));
+        cfg.neighbors
+            .push(BgpNeighborConfig::new(ip("10.0.1.1"), AsNum(65002)));
         let mut locals = BTreeMap::new();
         locals.insert(ip("10.0.0.1"), ip("10.0.0.0"));
         locals.insert(ip("10.0.1.1"), ip("10.0.1.0"));
@@ -1206,14 +1249,21 @@ mod tests {
                 now,
                 peer,
                 BgpMsg::Open(OpenMsg::new(
-                    if peer == ip("10.0.0.1") { AsNum(65001) } else { AsNum(65002) },
+                    if peer == ip("10.0.0.1") {
+                        AsNum(65001)
+                    } else {
+                        AsNum(65002)
+                    },
                     90,
                     peer,
                 )),
             );
             engine.push_msg(now, peer, BgpMsg::Keepalive);
         }
-        assert_eq!(engine.session_state(ip("10.0.0.1")), Some(SessionState::Established));
+        assert_eq!(
+            engine.session_state(ip("10.0.0.1")),
+            Some(SessionState::Established)
+        );
 
         // Peer 1 offers a SHORT path; peer 2 a LONG path but higher LP.
         let update = |asns: Vec<u32>, nh: &str| {
@@ -1221,9 +1271,7 @@ mod tests {
                 withdrawn: vec![],
                 attrs: vec![
                     PathAttr::Origin(Origin::Igp),
-                    PathAttr::AsPath(mfv_types::AsPath::sequence(
-                        asns.into_iter().map(AsNum),
-                    )),
+                    PathAttr::AsPath(mfv_types::AsPath::sequence(asns.into_iter().map(AsNum))),
                     PathAttr::NextHop(ip(nh)),
                 ],
                 nlri: vec![pfx("203.0.113.0/24")],
@@ -1253,10 +1301,7 @@ mod tests {
                 withdrawn: vec![],
                 attrs: vec![
                     PathAttr::Origin(Origin::Igp),
-                    PathAttr::AsPath(mfv_types::AsPath::sequence([
-                        AsNum(65002),
-                        AsNum(65001),
-                    ])),
+                    PathAttr::AsPath(mfv_types::AsPath::sequence([AsNum(65002), AsNum(65001)])),
                     PathAttr::NextHop(ip("10.0.0.2")),
                 ],
                 nlri: vec![pfx("198.51.100.0/24")],
@@ -1272,8 +1317,10 @@ mod tests {
         // IGP metrics to their next hops.
         let build = |quirks: DecisionQuirks| {
             let mut cfg = BgpConfig::new(AsNum(65000));
-            cfg.neighbors.push(BgpNeighborConfig::new(ip("2.2.2.1"), AsNum(65000)));
-            cfg.neighbors.push(BgpNeighborConfig::new(ip("2.2.2.2"), AsNum(65000)));
+            cfg.neighbors
+                .push(BgpNeighborConfig::new(ip("2.2.2.1"), AsNum(65000)));
+            cfg.neighbors
+                .push(BgpNeighborConfig::new(ip("2.2.2.2"), AsNum(65000)));
             let mut locals = BTreeMap::new();
             locals.insert(ip("2.2.2.1"), ip("2.2.2.9"));
             locals.insert(ip("2.2.2.2"), ip("2.2.2.9"));
@@ -1291,7 +1338,11 @@ mod tests {
             let now = SimTime(1000);
             for peer in [ip("2.2.2.1"), ip("2.2.2.2")] {
                 let _ = engine.poll(now, &resolver);
-                engine.push_msg(now, peer, BgpMsg::Open(OpenMsg::new(AsNum(65000), 90, peer)));
+                engine.push_msg(
+                    now,
+                    peer,
+                    BgpMsg::Open(OpenMsg::new(AsNum(65000), 90, peer)),
+                );
                 engine.push_msg(now, peer, BgpMsg::Keepalive);
             }
             for peer in [ip("2.2.2.1"), ip("2.2.2.2")] {
@@ -1311,11 +1362,19 @@ mod tests {
                 );
             }
             let _ = engine.poll(now, &resolver);
-            engine.selected().get(&pfx("203.0.113.0/24")).unwrap().clone()
+            engine
+                .selected()
+                .get(&pfx("203.0.113.0/24"))
+                .unwrap()
+                .clone()
         };
 
         let correct = build(DecisionQuirks::default());
-        assert_eq!(correct.learned_from, Some(ip("2.2.2.1")), "nearest exit wins");
+        assert_eq!(
+            correct.learned_from,
+            Some(ip("2.2.2.1")),
+            "nearest exit wins"
+        );
 
         let buggy = build(DecisionQuirks {
             ibgp_igp_metric_inverted: true,
@@ -1331,7 +1390,8 @@ mod tests {
     #[test]
     fn neighbor_summaries_report_counts() {
         let mut pair = Pair::new_ebgp();
-        pair.a.set_originated([pfx("203.0.113.0/24"), pfx("198.51.100.0/24")]);
+        pair.a
+            .set_originated([pfx("203.0.113.0/24"), pfx("198.51.100.0/24")]);
         pair.settle();
         let sums = pair.a.summaries();
         assert_eq!(sums.len(), 1);

@@ -12,8 +12,8 @@ use bytes::Bytes;
 
 use mfv_types::{IfaceAddr, IfaceId, Prefix, RouteProtocol, SimDuration, SimTime};
 use mfv_wire::isis::{
-    AdjState, Csnp, IpReach, IsNeighbor, IsisPdu, Lsp, LspEntry, LspId, P2pHello, Psnp,
-    SystemId, Tlv, NLPID_IPV4,
+    AdjState, Csnp, IpReach, IsNeighbor, IsisPdu, Lsp, LspEntry, LspId, P2pHello, Psnp, SystemId,
+    Tlv, NLPID_IPV4,
 };
 
 use crate::rib::{NextHop, RibRoute};
@@ -158,14 +158,22 @@ impl IsisEngine {
         for (iface, adj) in &self.adjacencies {
             if let (AdjState::Up, Some(n)) = (adj.state, adj.neighbor) {
                 let metric = self.iface_cfg(iface).map(|c| c.metric).unwrap_or(10);
-                is_neighbors.push(IsNeighbor { neighbor: n, pseudonode: 0, metric });
+                is_neighbors.push(IsNeighbor {
+                    neighbor: n,
+                    pseudonode: 0,
+                    metric,
+                });
             }
         }
         let ip_reaches: Vec<IpReach> = self
             .cfg
             .ifaces
             .iter()
-            .map(|i| IpReach { metric: i.metric, prefix: i.addr.subnet(), down: false })
+            .map(|i| IpReach {
+                metric: i.metric,
+                prefix: i.addr.subnet(),
+                down: false,
+            })
             .collect();
         let lsp = Lsp {
             lifetime_secs: 1200,
@@ -225,7 +233,9 @@ impl IsisEngine {
     }
 
     fn on_hello(&mut self, now: SimTime, iface: &IfaceId, hello: P2pHello) {
-        let Some(adj) = self.adjacencies.get(iface) else { return };
+        let Some(adj) = self.adjacencies.get(iface) else {
+            return;
+        };
         if !adj.link_up {
             return;
         }
@@ -253,7 +263,11 @@ impl IsisEngine {
         adj.neighbor_addr = neighbor_addr;
         adj.expires = now + SimDuration::from_secs(hello.hold_time_secs as u64);
         let old_state = adj.state;
-        adj.state = if they_see_us { AdjState::Up } else { AdjState::Initializing };
+        adj.state = if they_see_us {
+            AdjState::Up
+        } else {
+            AdjState::Initializing
+        };
         let new_state = adj.state;
         let _ = my_id;
 
@@ -269,7 +283,10 @@ impl IsisEngine {
                 let entries = self.csnp_entries();
                 self.out.push_back((
                     iface.clone(),
-                    IsisPdu::Csnp(Csnp { source: self.cfg.system_id, entries }),
+                    IsisPdu::Csnp(Csnp {
+                        source: self.cfg.system_id,
+                        entries,
+                    }),
                 ));
             } else if matches!(old_state, AdjState::Up) {
                 self.regenerate_own_lsp();
@@ -335,7 +352,10 @@ impl IsisEngine {
                 self.routes_cache = None;
                 self.out.push_back((
                     iface.clone(),
-                    IsisPdu::Psnp(Psnp { source: self.cfg.system_id, entries: vec![entry] }),
+                    IsisPdu::Psnp(Psnp {
+                        source: self.cfg.system_id,
+                        entries: vec![entry],
+                    }),
                 ));
                 let flood_to: Vec<IfaceId> = self
                     .adjacencies
@@ -351,14 +371,14 @@ impl IsisEngine {
     }
 
     fn on_csnp(&mut self, iface: &IfaceId, csnp: Csnp) {
-        let their: BTreeMap<LspId, u32> =
-            csnp.entries.iter().map(|e| (e.lsp_id, e.seq)).collect();
+        let their: BTreeMap<LspId, u32> = csnp.entries.iter().map(|e| (e.lsp_id, e.seq)).collect();
         // Send them anything we have that they are missing or have older.
         for (id, lsp) in &self.lsdb {
             match their.get(id) {
                 Some(&their_seq) if their_seq >= lsp.seq => {}
                 _ => {
-                    self.out.push_back((iface.clone(), IsisPdu::Lsp(lsp.clone())));
+                    self.out
+                        .push_back((iface.clone(), IsisPdu::Lsp(lsp.clone())));
                 }
             }
         }
@@ -367,13 +387,21 @@ impl IsisEngine {
         for e in &csnp.entries {
             let ours = self.lsdb.get(&e.lsp_id).map(|l| l.seq).unwrap_or(0);
             if e.seq > ours {
-                requests.push(LspEntry { lifetime: 0, lsp_id: e.lsp_id, seq: 0, checksum: 0 });
+                requests.push(LspEntry {
+                    lifetime: 0,
+                    lsp_id: e.lsp_id,
+                    seq: 0,
+                    checksum: 0,
+                });
             }
         }
         if !requests.is_empty() {
             self.out.push_back((
                 iface.clone(),
-                IsisPdu::Psnp(Psnp { source: self.cfg.system_id, entries: requests }),
+                IsisPdu::Psnp(Psnp {
+                    source: self.cfg.system_id,
+                    entries: requests,
+                }),
             ));
         }
     }
@@ -385,7 +413,8 @@ impl IsisEngine {
         for e in &psnp.entries {
             if let Some(lsp) = self.lsdb.get(&e.lsp_id) {
                 if e.seq < lsp.seq {
-                    self.out.push_back((iface.clone(), IsisPdu::Lsp(lsp.clone())));
+                    self.out
+                        .push_back((iface.clone(), IsisPdu::Lsp(lsp.clone())));
                 }
             }
         }
@@ -445,8 +474,7 @@ impl IsisEngine {
             if hello_at < next {
                 next = hello_at.max(SimTime(now.0 + 1));
             }
-            if !matches!(adj.state, AdjState::Down) && adj.expires > now && adj.expires < next
-            {
+            if !matches!(adj.state, AdjState::Down) && adj.expires > now && adj.expires < next {
                 next = adj.expires;
             }
         }
@@ -498,21 +526,22 @@ impl IsisEngine {
                 .map(|l| l.is_neighbors())
                 .unwrap_or_default()
         };
-        let bidirectional = |a: SystemId, b: SystemId| -> bool {
-            neighbors_of(b).iter().any(|n| n.neighbor == a)
-        };
+        let bidirectional =
+            |a: SystemId, b: SystemId| -> bool { neighbors_of(b).iter().any(|n| n.neighbor == a) };
 
         // First hops: our Up adjacencies.
         let first_hops: Vec<(SystemId, IfaceId, Ipv4Addr, u32)> = self
             .adjacencies
             .iter()
-            .filter_map(|(iface, adj)| match (adj.state, adj.neighbor, adj.neighbor_addr) {
-                (AdjState::Up, Some(n), Some(addr)) => {
-                    let metric = self.iface_cfg(iface).map(|c| c.metric).unwrap_or(10);
-                    Some((n, iface.clone(), addr, metric))
-                }
-                _ => None,
-            })
+            .filter_map(
+                |(iface, adj)| match (adj.state, adj.neighbor, adj.neighbor_addr) {
+                    (AdjState::Up, Some(n), Some(addr)) => {
+                        let metric = self.iface_cfg(iface).map(|c| c.metric).unwrap_or(10);
+                        Some((n, iface.clone(), addr, metric))
+                    }
+                    _ => None,
+                },
+            )
             .collect();
 
         // Dijkstra: distance + set of equal-cost first hops per system.
@@ -582,14 +611,15 @@ impl IsisEngine {
         }
 
         // Routes: prefixes advertised by reachable systems.
-        let my_prefixes: Vec<Prefix> =
-            self.cfg.ifaces.iter().map(|i| i.addr.subnet()).collect();
+        let my_prefixes: Vec<Prefix> = self.cfg.ifaces.iter().map(|i| i.addr.subnet()).collect();
         let mut best: BTreeMap<Prefix, (u32, Vec<(IfaceId, Ipv4Addr)>)> = BTreeMap::new();
         for (sys, d) in &dist {
             if *sys == me {
                 continue;
             }
-            let Some(lsp) = self.lsdb.get(&LspId::of(*sys)) else { continue };
+            let Some(lsp) = self.lsdb.get(&LspId::of(*sys)) else {
+                continue;
+            };
             let Some(first) = hops.get(sys) else { continue };
             for reach in lsp.ip_reaches() {
                 // Skip prefixes we own (connected beats IGP anyway, and
@@ -703,8 +733,7 @@ mod tests {
                     let mut next: Vec<(usize, IfaceId, IsisPdu)> = Vec::new();
                     for (di, diface, pdu) in deliveries.drain(..) {
                         self.engines[di].push_pdu(self.now, &diface, pdu);
-                        for (iface, out) in self.engines[di].out.drain(..).collect::<Vec<_>>()
-                        {
+                        for (iface, out) in self.engines[di].out.drain(..).collect::<Vec<_>>() {
                             if let Some((ti, tiface)) = peer_of(&self.links, di, &iface) {
                                 next.push((ti, tiface, out));
                             }
@@ -774,8 +803,11 @@ mod tests {
             assert_eq!(db.len(), 3, "{} lsdb: {:?}", e.cfg.hostname, db);
         }
         // Hostnames present.
-        let names: Vec<Option<String>> =
-            net.engines[0].lsdb().into_iter().map(|e| e.hostname).collect();
+        let names: Vec<Option<String>> = net.engines[0]
+            .lsdb()
+            .into_iter()
+            .map(|e| e.hostname)
+            .collect();
         assert!(names.contains(&Some("r3".to_string())));
     }
 
@@ -821,11 +853,15 @@ mod tests {
         net.settle();
         let routes = net.engines[0].routes();
         assert!(
-            !routes.iter().any(|r| r.prefix == "2.2.2.3/32".parse().unwrap()),
+            !routes
+                .iter()
+                .any(|r| r.prefix == "2.2.2.3/32".parse().unwrap()),
             "r3 loopback must disappear after the cut: {routes:?}"
         );
         // r2 still reachable.
-        assert!(routes.iter().any(|r| r.prefix == "2.2.2.2/32".parse().unwrap()));
+        assert!(routes
+            .iter()
+            .any(|r| r.prefix == "2.2.2.2/32".parse().unwrap()));
     }
 
     #[test]
@@ -874,10 +910,22 @@ mod tests {
     #[test]
     fn ecmp_on_equal_cost_paths() {
         // Square: r1 - r2 - r4 and r1 - r3 - r4, all metric 10.
-        let e1 = engine(1, vec![("eth0", "10.0.12.0/31", 10), ("eth1", "10.0.13.0/31", 10)]);
-        let e2 = engine(2, vec![("eth0", "10.0.12.1/31", 10), ("eth1", "10.0.24.0/31", 10)]);
-        let e3 = engine(3, vec![("eth0", "10.0.13.1/31", 10), ("eth1", "10.0.34.0/31", 10)]);
-        let e4 = engine(4, vec![("eth0", "10.0.24.1/31", 10), ("eth1", "10.0.34.1/31", 10)]);
+        let e1 = engine(
+            1,
+            vec![("eth0", "10.0.12.0/31", 10), ("eth1", "10.0.13.0/31", 10)],
+        );
+        let e2 = engine(
+            2,
+            vec![("eth0", "10.0.12.1/31", 10), ("eth1", "10.0.24.0/31", 10)],
+        );
+        let e3 = engine(
+            3,
+            vec![("eth0", "10.0.13.1/31", 10), ("eth1", "10.0.34.0/31", 10)],
+        );
+        let e4 = engine(
+            4,
+            vec![("eth0", "10.0.24.1/31", 10), ("eth1", "10.0.34.1/31", 10)],
+        );
         let mut net = Net {
             engines: vec![e1, e2, e3, e4],
             links: vec![
@@ -901,7 +949,10 @@ mod tests {
     fn passive_interface_announced_but_no_adjacency() {
         let e = engine(1, vec![("eth0", "10.0.0.0/31", 10)]);
         // Loopback0 is passive: no adjacency slot exists for it.
-        assert!(e.adjacencies().iter().all(|a| a.iface != IfaceId::from("Loopback0")));
+        assert!(e
+            .adjacencies()
+            .iter()
+            .all(|a| a.iface != IfaceId::from("Loopback0")));
         // But its prefix is in our LSP.
         let own = e.lsdb.get(&LspId::of(sys(1))).unwrap();
         assert!(own
@@ -913,9 +964,18 @@ mod tests {
     #[test]
     fn metric_asymmetry_prefers_cheap_path() {
         // Triangle: r1-r2 (10), r2-r3 (10), r1-r3 (100).
-        let e1 = engine(1, vec![("eth0", "10.0.12.0/31", 10), ("eth1", "10.0.13.0/31", 100)]);
-        let e2 = engine(2, vec![("eth0", "10.0.12.1/31", 10), ("eth1", "10.0.23.0/31", 10)]);
-        let e3 = engine(3, vec![("eth0", "10.0.13.1/31", 100), ("eth1", "10.0.23.1/31", 10)]);
+        let e1 = engine(
+            1,
+            vec![("eth0", "10.0.12.0/31", 10), ("eth1", "10.0.13.0/31", 100)],
+        );
+        let e2 = engine(
+            2,
+            vec![("eth0", "10.0.12.1/31", 10), ("eth1", "10.0.23.0/31", 10)],
+        );
+        let e3 = engine(
+            3,
+            vec![("eth0", "10.0.13.1/31", 100), ("eth1", "10.0.23.1/31", 10)],
+        );
         let mut net = Net {
             engines: vec![e1, e2, e3],
             links: vec![

@@ -156,8 +156,7 @@ mod tests {
                 sets: vec![],
             }],
         };
-        let res =
-            eval_route_map(&rm, &prefix_lists(), &pfx("8.8.8.0/24"), &base_attrs());
+        let res = eval_route_map(&rm, &prefix_lists(), &pfx("8.8.8.0/24"), &base_attrs());
         assert_eq!(res, PolicyResult::Deny);
     }
 
@@ -171,8 +170,12 @@ mod tests {
                 sets: vec![SetClause::LocalPref(200)],
             }],
         };
-        match eval_route_map(&rm, &prefix_lists(), &pfx("203.0.113.128/25"), &base_attrs())
-        {
+        match eval_route_map(
+            &rm,
+            &prefix_lists(),
+            &pfx("203.0.113.128/25"),
+            &base_attrs(),
+        ) {
             PolicyResult::Permit(attrs) => assert_eq!(attrs.local_pref, Some(200)),
             PolicyResult::Deny => panic!("should permit"),
         }
@@ -196,8 +199,7 @@ mod tests {
                 },
             ],
         };
-        let res =
-            eval_route_map(&rm, &prefix_lists(), &pfx("203.0.113.0/24"), &base_attrs());
+        let res = eval_route_map(&rm, &prefix_lists(), &pfx("203.0.113.0/24"), &base_attrs());
         assert_eq!(res, PolicyResult::Deny);
     }
 
@@ -275,8 +277,7 @@ mod tests {
                 sets: vec![],
             }],
         };
-        let res =
-            eval_route_map(&rm, &prefix_lists(), &pfx("203.0.113.0/24"), &base_attrs());
+        let res = eval_route_map(&rm, &prefix_lists(), &pfx("203.0.113.0/24"), &base_attrs());
         assert_eq!(res, PolicyResult::Deny);
     }
 

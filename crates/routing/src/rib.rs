@@ -103,7 +103,10 @@ impl Rib {
 
     /// All candidates for a prefix (one per contributing protocol).
     pub fn candidates(&self, prefix: &Prefix) -> Vec<&RibRoute> {
-        self.per_proto.values().filter_map(|m| m.get(prefix)).collect()
+        self.per_proto
+            .values()
+            .filter_map(|m| m.get(prefix))
+            .collect()
     }
 
     /// The per-prefix winner: lowest admin distance, then lowest metric,
@@ -124,7 +127,9 @@ impl Rib {
         for m in self.per_proto.values() {
             universe.extend(m.keys());
         }
-        universe.into_iter().filter_map(|p| Some((p, self.best(p)?)))
+        universe
+            .into_iter()
+            .filter_map(|p| Some((p, self.best(p)?)))
     }
 
     /// Iterates (prefix, route) pairs contributed by one protocol.
@@ -132,7 +137,10 @@ impl Rib {
         &self,
         proto: RouteProtocol,
     ) -> impl Iterator<Item = (&Prefix, &RibRoute)> {
-        self.per_proto.get(&proto).into_iter().flat_map(|m| m.iter())
+        self.per_proto
+            .get(&proto)
+            .into_iter()
+            .flat_map(|m| m.iter())
     }
 
     /// Total number of prefixes with at least one candidate.
@@ -194,10 +202,16 @@ pub fn resolve_next_hops(
     for nh in next_hops {
         match nh {
             NextHop::Connected(iface) => {
-                resolved.push(FibNextHop { iface: iface.clone(), via: None });
+                resolved.push(FibNextHop {
+                    iface: iface.clone(),
+                    via: None,
+                });
             }
             NextHop::ViaIface(gw, iface) => {
-                resolved.push(FibNextHop { iface: iface.clone(), via: Some(*gw) });
+                resolved.push(FibNextHop {
+                    iface: iface.clone(),
+                    via: Some(*gw),
+                });
             }
             NextHop::Via(gw) => {
                 resolved.extend(resolve_via(winners, *gw, 0));
@@ -213,11 +227,7 @@ pub fn resolve_next_hops(
 }
 
 /// Recursively resolves a gateway address to concrete (iface, via) pairs.
-fn resolve_via(
-    winners: &PrefixTrie<&RibRoute>,
-    gw: Ipv4Addr,
-    depth: usize,
-) -> Vec<FibNextHop> {
+fn resolve_via(winners: &PrefixTrie<&RibRoute>, gw: Ipv4Addr, depth: usize) -> Vec<FibNextHop> {
     // Recursion bound: real implementations bound recursive resolution; 8
     // levels is far beyond any sane design.
     if depth > 8 {
@@ -236,10 +246,16 @@ fn resolve_via(
         match nh {
             NextHop::Connected(iface) => {
                 // Gateway is on a connected subnet: forward directly to it.
-                out.push(FibNextHop { iface: iface.clone(), via: Some(gw) });
+                out.push(FibNextHop {
+                    iface: iface.clone(),
+                    via: Some(gw),
+                });
             }
             NextHop::ViaIface(via, iface) => {
-                out.push(FibNextHop { iface: iface.clone(), via: Some(*via) });
+                out.push(FibNextHop {
+                    iface: iface.clone(),
+                    via: Some(*via),
+                });
             }
             NextHop::Via(next_gw) => {
                 out.extend(resolve_via(winners, *next_gw, depth + 1));
@@ -258,7 +274,9 @@ pub struct Fib {
 
 impl Fib {
     pub fn new() -> Fib {
-        Fib { trie: PrefixTrie::new() }
+        Fib {
+            trie: PrefixTrie::new(),
+        }
     }
 
     pub fn insert(&mut self, entry: FibEntry) {
@@ -361,7 +379,10 @@ mod tests {
                 NextHop::Discard,
             )],
         );
-        assert_eq!(rib.best(&p("10.0.0.0/8")).unwrap().proto, RouteProtocol::Static);
+        assert_eq!(
+            rib.best(&p("10.0.0.0/8")).unwrap().proto,
+            RouteProtocol::Static
+        );
     }
 
     #[test]
@@ -433,9 +454,21 @@ mod tests {
         let fib = rib.to_fib();
         assert_eq!(fib.len(), 2);
         let e = fib.lookup(ip("2.2.2.2")).unwrap();
-        assert_eq!(e.next_hops[0], FibNextHop { iface: "eth0".into(), via: Some(ip("100.64.0.1")) });
+        assert_eq!(
+            e.next_hops[0],
+            FibNextHop {
+                iface: "eth0".into(),
+                via: Some(ip("100.64.0.1"))
+            }
+        );
         let c = fib.lookup(ip("100.64.0.1")).unwrap();
-        assert_eq!(c.next_hops[0], FibNextHop { iface: "eth0".into(), via: None });
+        assert_eq!(
+            c.next_hops[0],
+            FibNextHop {
+                iface: "eth0".into(),
+                via: None
+            }
+        );
     }
 
     #[test]
@@ -470,7 +503,10 @@ mod tests {
         assert_eq!(e.proto, RouteProtocol::IbgpLearned);
         assert_eq!(
             e.next_hops,
-            vec![FibNextHop { iface: "eth0".into(), via: Some(ip("100.64.0.1")) }]
+            vec![FibNextHop {
+                iface: "eth0".into(),
+                via: Some(ip("100.64.0.1"))
+            }]
         );
     }
 
@@ -519,7 +555,10 @@ mod tests {
         // The /24 must not be installed (its next hop only resolves via the
         // default route); packets to it fall through to the default.
         assert!(fib.get(&p("203.0.113.0/24")).is_none());
-        assert_eq!(fib.lookup(ip("203.0.113.1")).unwrap().prefix, p("0.0.0.0/0"));
+        assert_eq!(
+            fib.lookup(ip("203.0.113.1")).unwrap().prefix,
+            p("0.0.0.0/0")
+        );
         // The default route itself is still installed.
         assert!(fib.lookup(ip("8.8.8.8")).is_some());
     }
@@ -574,7 +613,10 @@ mod tests {
         let f1 = rib.to_fib();
         rib.set_protocol_routes(
             RouteProtocol::Connected,
-            vec![connected("10.0.0.0/24", "eth0"), connected("10.0.1.0/24", "eth1")],
+            vec![
+                connected("10.0.0.0/24", "eth0"),
+                connected("10.0.1.0/24", "eth1"),
+            ],
         );
         let f2 = rib.to_fib();
         assert_ne!(f1.digest(), f2.digest());

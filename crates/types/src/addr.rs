@@ -52,7 +52,10 @@ impl Prefix {
     /// Builds a prefix from raw `u32` bits and a length, zeroing host bits.
     pub fn from_bits(bits: u32, len: u8) -> Prefix {
         let len = len.min(32);
-        Prefix { addr: bits & Self::mask_of(len), len }
+        Prefix {
+            addr: bits & Self::mask_of(len),
+            len,
+        }
     }
 
     fn mask_of(len: u8) -> u32 {
@@ -73,7 +76,9 @@ impl Prefix {
         self.addr
     }
 
-    /// Prefix length.
+    /// Prefix length. (`is_empty` is meaningless for a prefix; a /0 still
+    /// matches everything.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -118,7 +123,10 @@ impl Prefix {
         if self.len >= 32 {
             return None;
         }
-        let left = Prefix { addr: self.addr, len: self.len + 1 };
+        let left = Prefix {
+            addr: self.addr,
+            len: self.len + 1,
+        };
         let right = Prefix {
             addr: self.addr | (1 << (31 - self.len as u32)),
             len: self.len + 1,
@@ -146,8 +154,7 @@ impl FromStr for Prefix {
         let (addr, len) = s
             .split_once('/')
             .ok_or_else(|| PrefixParseError(s.to_string()))?;
-        let addr: Ipv4Addr =
-            addr.parse().map_err(|_| PrefixParseError(s.to_string()))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| PrefixParseError(s.to_string()))?;
         let len: u8 = len.parse().map_err(|_| PrefixParseError(s.to_string()))?;
         if len > 32 {
             return Err(PrefixParseError(s.to_string()));
@@ -157,14 +164,14 @@ impl FromStr for Prefix {
 }
 
 impl Serialize for Prefix {
-    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
-        ser.collect_str(self)
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for Prefix {
-    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(de)?;
+impl Deserialize for Prefix {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = String::from_value(v)?;
         s.parse().map_err(serde::de::Error::custom)
     }
 }
@@ -185,7 +192,10 @@ pub struct IfaceAddr {
 impl IfaceAddr {
     /// Builds an interface address, clamping the length to 32.
     pub fn new(addr: Ipv4Addr, len: u8) -> IfaceAddr {
-        IfaceAddr { addr, len: len.min(32) }
+        IfaceAddr {
+            addr,
+            len: len.min(32),
+        }
     }
 
     /// The connected subnet as a canonical [`Prefix`].
@@ -218,8 +228,7 @@ impl FromStr for IfaceAddr {
         let (addr, len) = s
             .split_once('/')
             .ok_or_else(|| PrefixParseError(s.to_string()))?;
-        let addr: Ipv4Addr =
-            addr.parse().map_err(|_| PrefixParseError(s.to_string()))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| PrefixParseError(s.to_string()))?;
         let len: u8 = len.parse().map_err(|_| PrefixParseError(s.to_string()))?;
         if len > 32 {
             return Err(PrefixParseError(s.to_string()));
@@ -229,14 +238,14 @@ impl FromStr for IfaceAddr {
 }
 
 impl Serialize for IfaceAddr {
-    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
-        ser.collect_str(self)
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for IfaceAddr {
-    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(de)?;
+impl Deserialize for IfaceAddr {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = String::from_value(v)?;
         s.parse().map_err(serde::de::Error::custom)
     }
 }

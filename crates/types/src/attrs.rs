@@ -9,9 +9,7 @@ use crate::ids::AsNum;
 
 /// BGP origin attribute. Ordering follows the decision process preference:
 /// IGP < EGP < Incomplete (lower is better).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub enum Origin {
     Igp,
     Egp,
@@ -162,13 +160,11 @@ impl fmt::Display for AsPath {
             first = false;
             match seg {
                 AsPathSegment::Sequence(s) => {
-                    let parts: Vec<String> =
-                        s.iter().map(|a| a.0.to_string()).collect();
+                    let parts: Vec<String> = s.iter().map(|a| a.0.to_string()).collect();
                     write!(f, "{}", parts.join(" "))?;
                 }
                 AsPathSegment::Set(s) => {
-                    let parts: Vec<String> =
-                        s.iter().map(|a| a.0.to_string()).collect();
+                    let parts: Vec<String> = s.iter().map(|a| a.0.to_string()).collect();
                     write!(f, "{{{}}}", parts.join(","))?;
                 }
             }
@@ -178,9 +174,7 @@ impl fmt::Display for AsPath {
 }
 
 /// The protocol a RIB/FIB entry was learned from.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub enum RouteProtocol {
     Connected,
     Static,
@@ -211,9 +205,7 @@ impl fmt::Display for RouteProtocol {
 
 /// Administrative distance: the cross-protocol preference used when multiple
 /// protocols offer the same prefix. Lower wins.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct AdminDistance(pub u8);
 
 impl AdminDistance {

@@ -27,7 +27,12 @@ pub struct IpRange {
 
 impl fmt::Debug for IpRange {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}-{}]", Ipv4Addr::from(self.lo), Ipv4Addr::from(self.hi))
+        write!(
+            f,
+            "[{}-{}]",
+            Ipv4Addr::from(self.lo),
+            Ipv4Addr::from(self.hi)
+        )
     }
 }
 
@@ -46,18 +51,30 @@ impl IpSet {
 
     /// The full IPv4 space.
     pub fn full() -> IpSet {
-        IpSet { ranges: vec![IpRange { lo: 0, hi: u32::MAX }] }
+        IpSet {
+            ranges: vec![IpRange {
+                lo: 0,
+                hi: u32::MAX,
+            }],
+        }
     }
 
     /// A single address.
     pub fn single(ip: Ipv4Addr) -> IpSet {
         let v = u32::from(ip);
-        IpSet { ranges: vec![IpRange { lo: v, hi: v }] }
+        IpSet {
+            ranges: vec![IpRange { lo: v, hi: v }],
+        }
     }
 
     /// All addresses covered by `prefix`.
     pub fn from_prefix(prefix: &Prefix) -> IpSet {
-        IpSet { ranges: vec![IpRange { lo: prefix.first(), hi: prefix.last() }] }
+        IpSet {
+            ranges: vec![IpRange {
+                lo: prefix.first(),
+                hi: prefix.last(),
+            }],
+        }
     }
 
     /// Builds from arbitrary (possibly overlapping, unsorted) ranges.
@@ -212,10 +229,7 @@ impl IpSet {
 
 impl fmt::Debug for IpSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.ranges.len() == 1
-            && self.ranges[0].lo == 0
-            && self.ranges[0].hi == u32::MAX
-        {
+        if self.ranges.len() == 1 && self.ranges[0].lo == 0 && self.ranges[0].hi == u32::MAX {
             return write!(f, "IpSet(*)");
         }
         write!(f, "IpSet{:?}", self.ranges)
@@ -229,8 +243,7 @@ impl fmt::Display for IpSet {
         }
         let prefixes = self.to_prefixes();
         // Keep reports readable: show at most 4 prefixes.
-        let shown: Vec<String> =
-            prefixes.iter().take(4).map(|p| p.to_string()).collect();
+        let shown: Vec<String> = prefixes.iter().take(4).map(|p| p.to_string()).collect();
         write!(f, "{}", shown.join(", "))?;
         if prefixes.len() > 4 {
             write!(f, ", … ({} prefixes)", prefixes.len())?;
@@ -258,17 +271,26 @@ pub struct PacketClass {
 impl PacketClass {
     /// All packets.
     pub fn full() -> PacketClass {
-        PacketClass { dst: IpSet::full(), src: IpSet::full() }
+        PacketClass {
+            dst: IpSet::full(),
+            src: IpSet::full(),
+        }
     }
 
     /// All packets toward destinations in `dst`, any source.
     pub fn to_dst(dst: impl Into<IpSet>) -> PacketClass {
-        PacketClass { dst: dst.into(), src: IpSet::full() }
+        PacketClass {
+            dst: dst.into(),
+            src: IpSet::full(),
+        }
     }
 
     /// Packets from `src` to `dst`.
     pub fn flow(src: impl Into<IpSet>, dst: impl Into<IpSet>) -> PacketClass {
-        PacketClass { src: src.into(), dst: dst.into() }
+        PacketClass {
+            src: src.into(),
+            dst: dst.into(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -289,12 +311,18 @@ impl PacketClass {
 
     /// Restricts the class to destinations in `dst`.
     pub fn with_dst(&self, dst: &IpSet) -> PacketClass {
-        PacketClass { dst: self.dst.intersect(dst), src: self.src.clone() }
+        PacketClass {
+            dst: self.dst.intersect(dst),
+            src: self.src.clone(),
+        }
     }
 
     /// Removes destinations in `dst` from the class.
     pub fn without_dst(&self, dst: &IpSet) -> PacketClass {
-        PacketClass { dst: self.dst.subtract(dst), src: self.src.clone() }
+        PacketClass {
+            dst: self.dst.subtract(dst),
+            src: self.src.clone(),
+        }
     }
 
     /// A representative (src, dst) pair, if the class is nonempty.
@@ -324,7 +352,10 @@ mod tests {
     #[test]
     fn canonicalization_merges_overlaps_and_adjacency() {
         let s = set(&[(10, 20), (15, 30), (31, 40), (50, 60)]);
-        assert_eq!(s.ranges(), &[IpRange { lo: 10, hi: 40 }, IpRange { lo: 50, hi: 60 }]);
+        assert_eq!(
+            s.ranges(),
+            &[IpRange { lo: 10, hi: 40 }, IpRange { lo: 50, hi: 60 }]
+        );
         assert_eq!(s.count(), 31 + 11);
     }
 

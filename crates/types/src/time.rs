@@ -11,9 +11,7 @@ use std::ops::{Add, AddAssign, Sub};
 use serde::{Deserialize, Serialize};
 
 /// A span of simulated time, in milliseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
@@ -57,7 +55,7 @@ impl fmt::Debug for SimDuration {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 60_000 && self.0 % 1_000 == 0 {
+        if self.0 >= 60_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{:.1}min", self.as_mins_f64())
         } else if self.0 >= 1_000 {
             write!(f, "{:.3}s", self.as_secs_f64())
@@ -75,9 +73,7 @@ impl Add for SimDuration {
 }
 
 /// An instant on the simulated clock: milliseconds since emulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -142,7 +138,10 @@ mod tests {
     #[test]
     fn constructors() {
         assert_eq!(SimDuration::from_mins(3).as_millis(), 180_000);
-        assert_eq!(SimDuration::from_secs(2) + SimDuration(5), SimDuration(2_005));
+        assert_eq!(
+            SimDuration::from_secs(2) + SimDuration(5),
+            SimDuration(2_005)
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn empty() -> Node<V> {
-        Node { value: None, children: [None, None] }
+        Node {
+            value: None,
+            children: [None, None],
+        }
     }
 
     fn is_empty(&self) -> bool {
@@ -45,7 +48,10 @@ fn bit_at(addr: u32, index: u8) -> usize {
 
 impl<V> PrefixTrie<V> {
     pub fn new() -> PrefixTrie<V> {
-        PrefixTrie { root: Node::empty(), len: 0 }
+        PrefixTrie {
+            root: Node::empty(),
+            len: 0,
+        }
     }
 
     /// Number of prefixes stored.
@@ -158,12 +164,7 @@ impl<V> PrefixTrie<V> {
     /// Iterates all `(prefix, value)` pairs in trie (lexicographic) order.
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
         let mut out = Vec::with_capacity(self.len);
-        fn walk<'a, V>(
-            node: &'a Node<V>,
-            bits: u32,
-            depth: u8,
-            out: &mut Vec<(Prefix, &'a V)>,
-        ) {
+        fn walk<'a, V>(node: &'a Node<V>, bits: u32, depth: u8, out: &mut Vec<(Prefix, &'a V)>) {
             if let Some(v) = node.value.as_ref() {
                 out.push((Prefix::from_bits(bits, depth), v));
             }
@@ -181,6 +182,45 @@ impl<V> PrefixTrie<V> {
     /// All stored prefixes (in trie order).
     pub fn prefixes(&self) -> Vec<Prefix> {
         self.iter().map(|(p, _)| p).collect()
+    }
+
+    /// The topmost stored strict descendants of `prefix`: every stored
+    /// prefix more specific than `prefix` with no other stored prefix
+    /// between itself and `prefix`. Subtracting exactly these from
+    /// `prefix`'s address set yields the addresses for which `prefix` is
+    /// the longest match — without scanning unrelated prefixes.
+    pub fn max_descendants(&self, prefix: &Prefix) -> Vec<Prefix> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = bit_at(prefix.network_bits(), i);
+            match node.children[b].as_deref() {
+                Some(child) => node = child,
+                None => return Vec::new(),
+            }
+        }
+        fn walk<V>(node: &Node<V>, bits: u32, depth: u8, out: &mut Vec<Prefix>) {
+            if node.value.is_some() {
+                // Prune: anything deeper is shadowed by this descendant.
+                out.push(Prefix::from_bits(bits, depth));
+                return;
+            }
+            if let Some(c) = node.children[0].as_deref() {
+                walk(c, bits, depth + 1, out);
+            }
+            if let Some(c) = node.children[1].as_deref() {
+                walk(c, bits | (1 << (31 - depth as u32)), depth + 1, out);
+            }
+        }
+        let mut out = Vec::new();
+        let base = prefix.network_bits();
+        let depth = prefix.len();
+        if let Some(c) = node.children[0].as_deref() {
+            walk(c, base, depth + 1, &mut out);
+        }
+        if let Some(c) = node.children[1].as_deref() {
+            walk(c, base | (1 << (31 - depth as u32)), depth + 1, &mut out);
+        }
+        out
     }
 }
 
@@ -227,6 +267,24 @@ mod tests {
 
     fn ip(s: &str) -> Ipv4Addr {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn max_descendants_finds_topmost_holes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("10.1.0.0/16"), ());
+        t.insert(p("10.1.2.0/24"), ()); // shadowed by the /16 hole
+        t.insert(p("10.128.0.0/9"), ());
+        t.insert(p("11.0.0.0/8"), ()); // sibling, not a descendant
+        let mut holes = t.max_descendants(&p("10.0.0.0/8"));
+        holes.sort();
+        assert_eq!(holes, vec![p("10.1.0.0/16"), p("10.128.0.0/9")]);
+        // A leaf has no holes; an absent prefix has none either.
+        assert!(t.max_descendants(&p("10.1.2.0/24")).is_empty());
+        assert!(t.max_descendants(&p("192.168.0.0/16")).is_empty());
+        // Descendants of an unstored midpoint are still found.
+        assert_eq!(t.max_descendants(&p("10.1.0.0/12")), vec![p("10.1.0.0/16")]);
     }
 
     #[test]
@@ -312,10 +370,12 @@ mod tests {
 
     #[test]
     fn equality_ignores_insertion_order() {
-        let a: PrefixTrie<i32> =
-            [(p("10.0.0.0/8"), 1), (p("20.0.0.0/8"), 2)].into_iter().collect();
-        let b: PrefixTrie<i32> =
-            [(p("20.0.0.0/8"), 2), (p("10.0.0.0/8"), 1)].into_iter().collect();
+        let a: PrefixTrie<i32> = [(p("10.0.0.0/8"), 1), (p("20.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
+        let b: PrefixTrie<i32> = [(p("20.0.0.0/8"), 2), (p("10.0.0.0/8"), 1)]
+            .into_iter()
+            .collect();
         assert_eq!(a, b);
         let c: PrefixTrie<i32> = [(p("10.0.0.0/8"), 1)].into_iter().collect();
         assert_ne!(a, c);

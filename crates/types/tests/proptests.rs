@@ -13,13 +13,8 @@ fn arb_prefix() -> impl Strategy<Value = Prefix> {
 }
 
 fn arb_ipset() -> impl Strategy<Value = IpSet> {
-    proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8).prop_map(|pairs| {
-        IpSet::from_ranges(
-            pairs
-                .into_iter()
-                .map(|(a, b)| (a.min(b), a.max(b))),
-        )
-    })
+    proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8)
+        .prop_map(|pairs| IpSet::from_ranges(pairs.into_iter().map(|(a, b)| (a.min(b), a.max(b)))))
 }
 
 /// Naive LPM oracle: scan all prefixes, keep the longest that covers `ip`.

@@ -9,12 +9,14 @@
 //! (§3: "identifying specific routes that do not satisfy a desired invariant
 //! or concluding no such routes exist").
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use mfv_dataplane::Dataplane;
+use mfv_dataplane::{Dataplane, NodeDataplane};
 use mfv_routing::rib::{Fib, FibEntry};
-use mfv_types::{IfaceId, IpSet, NodeId, Prefix};
+use mfv_types::{IfaceId, IpSet, NodeId, PrefixTrie};
 
 /// The fate of a packet class.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -85,63 +87,147 @@ pub struct Trace {
     pub disposition: Disposition,
 }
 
-struct NodeState {
-    fib: Fib,
+/// Effective match classes derived from one FIB — the shareable unit of
+/// the class cache.
+pub struct NodeClasses {
     /// Disjoint effective match classes: (class, entry) where `class` is
     /// exactly the set of destinations this entry forwards (its prefix
     /// minus all more-specific prefixes in the same FIB).
-    classes: Vec<(IpSet, FibEntry)>,
+    pub classes: Vec<(IpSet, FibEntry)>,
     /// Union of all matched destinations (complement = NoRoute).
-    covered: IpSet,
+    pub covered: IpSet,
+}
+
+/// Cross-snapshot cache of per-FIB effective classes, keyed by
+/// [`NodeDataplane::fib_digest`].
+///
+/// What-if sweeps analyse hundreds of variant dataplanes that differ from
+/// the baseline at only a few nodes; sharing the unchanged nodes' classes
+/// makes re-analysis cost proportional to the *changed* nodes rather than
+/// the whole network. Thread-safe, so one cache can back a parallel sweep.
+#[derive(Default)]
+pub struct ClassCache {
+    by_digest: Mutex<HashMap<u64, Arc<NodeClasses>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ClassCache {
+    pub fn new() -> ClassCache {
+        ClassCache::default()
+    }
+
+    /// `(hits, misses)` over the cache's lifetime. A sweep that reuses the
+    /// baseline's classes for unchanged nodes shows up as a high hit count.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn classes_for(&self, node: &NodeDataplane) -> Arc<NodeClasses> {
+        let digest = node.fib_digest();
+        if let Some(hit) = self.by_digest.lock().unwrap().get(&digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Build outside the lock: class computation is the expensive part,
+        // and a rare duplicate build is cheaper than serialising all misses.
+        let built = Arc::new(effective_classes(&node.fib()));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.by_digest
+            .lock()
+            .unwrap()
+            .entry(digest)
+            .or_insert(built)
+            .clone()
+    }
+}
+
+struct NodeState {
+    fib: Fib,
+    classes: Arc<NodeClasses>,
     addresses: IpSet,
     up: bool,
 }
+
+/// A disposition partition of some scope: disjoint packet classes, each
+/// with the fate packets in it meet.
+pub type DispositionRows = Vec<(IpSet, Disposition)>;
 
 /// The analysis context: a dataplane with per-node match classes
 /// precomputed.
 pub struct ForwardingAnalysis {
     nodes: BTreeMap<NodeId, NodeState>,
     dp: Dataplane,
+    /// Memoised disposition partitions per (entry node, scope). The
+    /// baseline side of a differential sweep asks the same question once
+    /// per variant; computing it once amortises the whole sweep.
+    memo: Mutex<HashMap<(NodeId, IpSet), Arc<DispositionRows>>>,
 }
 
-fn effective_classes(fib: &Fib) -> (Vec<(IpSet, FibEntry)>, IpSet) {
+fn effective_classes(fib: &Fib) -> NodeClasses {
     let entries: Vec<&FibEntry> = fib.entries();
-    let prefixes: Vec<Prefix> = entries.iter().map(|e| e.prefix).collect();
+    // LPM holes are exactly the topmost more-specific prefixes present in
+    // the same FIB; the trie walk finds them directly instead of scanning
+    // all prefix pairs.
+    let mut trie = PrefixTrie::new();
+    for e in &entries {
+        trie.insert(e.prefix, ());
+    }
     let mut covered = IpSet::empty();
     let mut classes = Vec::with_capacity(entries.len());
     for e in &entries {
         let mut eff = IpSet::from_prefix(&e.prefix);
-        for q in &prefixes {
-            if *q != e.prefix && e.prefix.covers(q) {
-                eff = eff.subtract(&IpSet::from_prefix(q));
-            }
+        for hole in trie.max_descendants(&e.prefix) {
+            eff = eff.subtract(&IpSet::from_prefix(&hole));
         }
+        covered = covered.union(&IpSet::from_prefix(&e.prefix));
         if !eff.is_empty() {
-            covered = covered.union(&IpSet::from_prefix(&e.prefix));
             classes.push((eff, (*e).clone()));
-        } else {
-            covered = covered.union(&IpSet::from_prefix(&e.prefix));
         }
     }
-    (classes, covered)
+    NodeClasses { classes, covered }
 }
 
 impl ForwardingAnalysis {
     pub fn new(dp: &Dataplane) -> ForwardingAnalysis {
+        Self::build(dp, None)
+    }
+
+    /// Like [`ForwardingAnalysis::new`], but reuses effective classes from
+    /// `cache` for any node whose FIB digest has been seen before.
+    pub fn with_cache(dp: &Dataplane, cache: &ClassCache) -> ForwardingAnalysis {
+        Self::build(dp, Some(cache))
+    }
+
+    fn build(dp: &Dataplane, cache: Option<&ClassCache>) -> ForwardingAnalysis {
         let mut nodes = BTreeMap::new();
         for (name, node) in &dp.nodes {
-            let fib = node.fib();
-            let (classes, covered) = effective_classes(&fib);
+            let classes = match cache {
+                Some(c) => c.classes_for(node),
+                None => Arc::new(effective_classes(&node.fib())),
+            };
             let mut addresses = IpSet::empty();
             for a in &node.addresses {
                 addresses = addresses.union(&IpSet::single(*a));
             }
             nodes.insert(
                 name.clone(),
-                NodeState { fib, classes, covered, addresses, up: node.up },
+                NodeState {
+                    fib: node.fib(),
+                    classes,
+                    addresses,
+                    up: node.up,
+                },
             );
         }
-        ForwardingAnalysis { nodes, dp: dp.clone() }
+        ForwardingAnalysis {
+            nodes,
+            dp: dp.clone(),
+            memo: Mutex::new(HashMap::new()),
+        }
     }
 
     pub fn dataplane(&self) -> &Dataplane {
@@ -155,11 +241,23 @@ impl ForwardingAnalysis {
     /// Exhaustively computes the fate of every destination in `dst`,
     /// for packets entering the network at `from`.
     pub fn dispositions_from(&self, from: &NodeId, dst: &IpSet) -> Vec<(IpSet, Disposition)> {
+        self.dispositions_from_shared(from, dst).as_ref().clone()
+    }
+
+    /// Memoised variant of [`ForwardingAnalysis::dispositions_from`]
+    /// returning a shared handle; repeated queries for the same
+    /// (entry, scope) pair are computed once per analysis.
+    pub fn dispositions_from_shared(&self, from: &NodeId, dst: &IpSet) -> Arc<DispositionRows> {
+        let key = (from.clone(), dst.clone());
+        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
         let mut visited = Vec::new();
         let mut out = self.explore(from, dst.clone(), &mut visited);
         // Canonical order for stable comparison.
         out.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.ranges().cmp(b.0.ranges())));
-        coalesce(out)
+        let rows = Arc::new(coalesce(out));
+        self.memo.lock().unwrap().entry(key).or_insert(rows).clone()
     }
 
     fn explore(
@@ -197,13 +295,13 @@ impl ForwardingAnalysis {
         visited.push(node.clone());
 
         // Unrouted remainder.
-        let unrouted = rest.subtract(&state.covered);
+        let unrouted = rest.subtract(&state.classes.covered);
         if !unrouted.is_empty() {
             out.push((unrouted.clone(), Disposition::NoRoute(node.clone())));
             rest = rest.subtract(&unrouted);
         }
 
-        for (eff, entry) in &state.classes {
+        for (eff, entry) in &state.classes.classes {
             let cls = rest.intersect(eff);
             if cls.is_empty() {
                 continue;
@@ -240,37 +338,79 @@ impl ForwardingAnalysis {
         let mut seen: Vec<NodeId> = Vec::new();
         loop {
             let Some(state) = self.nodes.get(&node) else {
-                hops.push(TraceHop { node: node.clone(), egress: None });
-                return Trace { hops, disposition: Disposition::NodeDown(node) };
+                hops.push(TraceHop {
+                    node: node.clone(),
+                    egress: None,
+                });
+                return Trace {
+                    hops,
+                    disposition: Disposition::NodeDown(node),
+                };
             };
             if !state.up {
-                hops.push(TraceHop { node: node.clone(), egress: None });
-                return Trace { hops, disposition: Disposition::NodeDown(node) };
+                hops.push(TraceHop {
+                    node: node.clone(),
+                    egress: None,
+                });
+                return Trace {
+                    hops,
+                    disposition: Disposition::NodeDown(node),
+                };
             }
             if state.addresses.contains(dst) {
-                hops.push(TraceHop { node: node.clone(), egress: None });
-                return Trace { hops, disposition: Disposition::Accepted(node) };
+                hops.push(TraceHop {
+                    node: node.clone(),
+                    egress: None,
+                });
+                return Trace {
+                    hops,
+                    disposition: Disposition::Accepted(node),
+                };
             }
             if seen.contains(&node) {
-                hops.push(TraceHop { node: node.clone(), egress: None });
-                return Trace { hops, disposition: Disposition::Loop(node) };
+                hops.push(TraceHop {
+                    node: node.clone(),
+                    egress: None,
+                });
+                return Trace {
+                    hops,
+                    disposition: Disposition::Loop(node),
+                };
             }
             seen.push(node.clone());
             let Some(entry) = state.fib.lookup(dst) else {
-                hops.push(TraceHop { node: node.clone(), egress: None });
-                return Trace { hops, disposition: Disposition::NoRoute(node) };
+                hops.push(TraceHop {
+                    node: node.clone(),
+                    egress: None,
+                });
+                return Trace {
+                    hops,
+                    disposition: Disposition::NoRoute(node),
+                };
             };
             let Some(nh) = entry.next_hops.first() else {
-                hops.push(TraceHop { node: node.clone(), egress: None });
-                return Trace { hops, disposition: Disposition::NullRoute(node) };
+                hops.push(TraceHop {
+                    node: node.clone(),
+                    egress: None,
+                });
+                return Trace {
+                    hops,
+                    disposition: Disposition::NullRoute(node),
+                };
             };
-            hops.push(TraceHop { node: node.clone(), egress: Some(nh.iface.clone()) });
+            hops.push(TraceHop {
+                node: node.clone(),
+                egress: Some(nh.iface.clone()),
+            });
             match self.dp.peer_of(&node, &nh.iface) {
                 Some((peer, _)) => {
                     node = peer.clone();
                 }
                 None => {
-                    return Trace { hops, disposition: Disposition::ExitsNetwork(node) };
+                    return Trace {
+                        hops,
+                        disposition: Disposition::ExitsNetwork(node),
+                    };
                 }
             }
         }
@@ -299,7 +439,9 @@ fn merge_branches(
     node: &NodeId,
     mut branches: Vec<Vec<(IpSet, Disposition)>>,
 ) -> Vec<(IpSet, Disposition)> {
-    let Some(mut acc) = branches.pop() else { return Vec::new() };
+    let Some(mut acc) = branches.pop() else {
+        return Vec::new();
+    };
     while let Some(next) = branches.pop() {
         let mut merged = Vec::new();
         for (set_a, disp_a) in &acc {
@@ -390,8 +532,14 @@ mod tests {
             BTreeSet::from([addr("2.2.2.3"), addr("10.0.23.3")]),
             true,
         );
-        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
-        dp.add_link(LinkId::new(("r2".into(), "e1".into()), ("r3".into(), "e0".into())));
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e0".into()),
+            ("r2".into(), "e0".into()),
+        ));
+        dp.add_link(LinkId::new(
+            ("r2".into(), "e1".into()),
+            ("r3".into(), "e0".into()),
+        ));
         dp
     }
 
@@ -400,8 +548,7 @@ mod tests {
         let fa = ForwardingAnalysis::new(&line_dp());
         let trace = fa.trace(&"r1".into(), addr("2.2.2.3"));
         assert_eq!(trace.disposition, Disposition::Accepted("r3".into()));
-        let nodes: Vec<String> =
-            trace.hops.iter().map(|h| h.node.to_string()).collect();
+        let nodes: Vec<String> = trace.hops.iter().map(|h| h.node.to_string()).collect();
         assert_eq!(nodes, vec!["r1", "r2", "r3"]);
     }
 
@@ -410,7 +557,11 @@ mod tests {
         let fa = ForwardingAnalysis::new(&line_dp());
         let rows = fa.dispositions_from(&"r1".into(), &IpSet::full());
         let total: u64 = rows.iter().map(|(s, _)| s.count()).sum();
-        assert_eq!(total, 1u64 << 32, "every destination classified exactly once");
+        assert_eq!(
+            total,
+            1u64 << 32,
+            "every destination classified exactly once"
+        );
         // 2.2.2.3 delivered at r3; unknown space NoRoute at r1.
         let accepted_r3 = rows
             .iter()
@@ -434,7 +585,10 @@ mod tests {
         f2.insert(entry("9.9.9.9/32", "e0", None));
         dp.add_node("r1".into(), &f1, BTreeSet::new(), true);
         dp.add_node("r2".into(), &f2, BTreeSet::new(), true);
-        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e0".into()),
+            ("r2".into(), "e0".into()),
+        ));
         let fa = ForwardingAnalysis::new(&dp);
         let trace = fa.trace(&"r1".into(), addr("9.9.9.9"));
         assert!(matches!(trace.disposition, Disposition::Loop(_)));
@@ -491,7 +645,10 @@ mod tests {
             BTreeSet::from([addr("10.1.1.1")]),
             true,
         );
-        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e0".into()),
+            ("r2".into(), "e0".into()),
+        ));
         let fa = ForwardingAnalysis::new(&dp);
         let rows = fa.dispositions_from(
             &"r1".into(),
@@ -520,8 +677,14 @@ mod tests {
             prefix: "9.9.9.0/24".parse().unwrap(),
             proto: RouteProtocol::Isis,
             next_hops: vec![
-                FibNextHop { iface: "e0".into(), via: None },
-                FibNextHop { iface: "e1".into(), via: None },
+                FibNextHop {
+                    iface: "e0".into(),
+                    via: None,
+                },
+                FibNextHop {
+                    iface: "e1".into(),
+                    via: None,
+                },
             ],
         });
         dp.add_node("r1".into(), &f1, BTreeSet::new(), true);
@@ -532,8 +695,14 @@ mod tests {
             true,
         );
         dp.add_node("r3".into(), &Fib::new(), BTreeSet::new(), true);
-        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
-        dp.add_link(LinkId::new(("r1".into(), "e1".into()), ("r3".into(), "e0".into())));
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e0".into()),
+            ("r2".into(), "e0".into()),
+        ));
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e1".into()),
+            ("r3".into(), "e0".into()),
+        ));
         let fa = ForwardingAnalysis::new(&dp);
         let rows = fa.dispositions_from(
             &"r1".into(),
@@ -553,15 +722,27 @@ mod tests {
             prefix: "9.9.9.0/24".parse().unwrap(),
             proto: RouteProtocol::Isis,
             next_hops: vec![
-                FibNextHop { iface: "e0".into(), via: None },
-                FibNextHop { iface: "e1".into(), via: None },
+                FibNextHop {
+                    iface: "e0".into(),
+                    via: None,
+                },
+                FibNextHop {
+                    iface: "e1".into(),
+                    via: None,
+                },
             ],
         });
         dp.add_node("r1".into(), &f1, BTreeSet::new(), true);
         dp.add_node("r2".into(), &Fib::new(), BTreeSet::new(), true);
         dp.add_node("r3".into(), &Fib::new(), BTreeSet::new(), true);
-        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
-        dp.add_link(LinkId::new(("r1".into(), "e1".into()), ("r3".into(), "e0".into())));
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e0".into()),
+            ("r2".into(), "e0".into()),
+        ));
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e1".into()),
+            ("r3".into(), "e0".into()),
+        ));
         let fa = ForwardingAnalysis::new(&dp);
         let rows = fa.dispositions_from(
             &"r1".into(),

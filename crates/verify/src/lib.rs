@@ -14,10 +14,9 @@
 pub mod graph;
 pub mod queries;
 
-pub use graph::{Disposition, ForwardingAnalysis, Trace, TraceHop};
+pub use graph::{ClassCache, Disposition, ForwardingAnalysis, NodeClasses, Trace, TraceHop};
 pub use queries::{
-    deliverability_changes, detect_blackholes, detect_loops,
-    detect_multipath_inconsistency, differential_reachability, disposition_summary,
-    reachability, traceroute, unreachable_pairs, BlackHoleFinding, DiffFinding,
-    LoopFinding, ReachabilityReport,
+    deliverability_changes, detect_blackholes, detect_loops, detect_multipath_inconsistency,
+    differential_reachability, differential_reachability_with, disposition_summary, reachability,
+    traceroute, unreachable_pairs, BlackHoleFinding, DiffFinding, LoopFinding, ReachabilityReport,
 };

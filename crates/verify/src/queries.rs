@@ -43,22 +43,36 @@ pub fn differential_reachability(
     after: &Dataplane,
     scope: Option<&IpSet>,
 ) -> Vec<DiffFinding> {
+    differential_reachability_with(
+        &ForwardingAnalysis::new(before),
+        &ForwardingAnalysis::new(after),
+        scope,
+    )
+}
+
+/// [`differential_reachability`] over prebuilt analyses. A what-if sweep
+/// builds the baseline analysis once and passes it here for every variant,
+/// so the baseline's dispositions (memoised inside [`ForwardingAnalysis`])
+/// and per-node classes are computed a single time for the whole sweep.
+pub fn differential_reachability_with(
+    fa_before: &ForwardingAnalysis,
+    fa_after: &ForwardingAnalysis,
+    scope: Option<&IpSet>,
+) -> Vec<DiffFinding> {
     let full = IpSet::full();
     let scope = scope.unwrap_or(&full);
-    let fa_before = ForwardingAnalysis::new(before);
-    let fa_after = ForwardingAnalysis::new(after);
     let mut findings = Vec::new();
 
     for src in fa_before.node_names() {
-        if !after.nodes.contains_key(&src) {
+        if !fa_after.dataplane().nodes.contains_key(&src) {
             continue;
         }
-        let rows_before = fa_before.dispositions_from(&src, scope);
-        let rows_after = fa_after.dispositions_from(&src, scope);
+        let rows_before = fa_before.dispositions_from_shared(&src, scope);
+        let rows_after = fa_after.dispositions_from_shared(&src, scope);
         // Pairwise intersect the two partitions; differing fates are
         // findings.
-        for (set_b, disp_b) in &rows_before {
-            for (set_a, disp_a) in &rows_after {
+        for (set_b, disp_b) in rows_before.iter() {
+            for (set_a, disp_a) in rows_after.iter() {
                 if disp_b == disp_a {
                     continue;
                 }
@@ -172,7 +186,11 @@ pub fn detect_loops(dp: &Dataplane) -> Vec<LoopFinding> {
     for src in fa.node_names() {
         for (set, disp) in fa.dispositions_from(&src, &IpSet::full()) {
             if let Disposition::Loop(at) = disp {
-                out.push(LoopFinding { src: src.clone(), dsts: set, at });
+                out.push(LoopFinding {
+                    src: src.clone(),
+                    dsts: set,
+                    at,
+                });
             }
         }
     }
@@ -206,7 +224,11 @@ pub fn detect_blackholes(dp: &Dataplane) -> Vec<BlackHoleFinding> {
         for (set, disp) in fa.dispositions_from(&src, &owned) {
             match disp {
                 Disposition::NoRoute(at) | Disposition::NullRoute(at) => {
-                    out.push(BlackHoleFinding { src: src.clone(), dsts: set, dropped_at: at });
+                    out.push(BlackHoleFinding {
+                        src: src.clone(),
+                        dsts: set,
+                        dropped_at: at,
+                    });
                 }
                 _ => {}
             }
@@ -276,7 +298,10 @@ mod tests {
         FibEntry {
             prefix: prefix.parse().unwrap(),
             proto: RouteProtocol::Isis,
-            next_hops: vec![FibNextHop { iface: iface.into(), via: None }],
+            next_hops: vec![FibNextHop {
+                iface: iface.into(),
+                via: None,
+            }],
         }
     }
 
@@ -289,7 +314,10 @@ mod tests {
         f2.insert(entry("2.2.2.1/32", "e0"));
         dp.add_node("r1".into(), &f1, BTreeSet::from([addr("2.2.2.1")]), true);
         dp.add_node("r2".into(), &f2, BTreeSet::from([addr("2.2.2.2")]), true);
-        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e0".into()),
+            ("r2".into(), "e0".into()),
+        ));
         dp
     }
 
@@ -303,8 +331,7 @@ mod tests {
 
     #[test]
     fn differential_reachability_flags_loss() {
-        let findings =
-            differential_reachability(&pair_dp(), &broken_pair_dp(), None);
+        let findings = differential_reachability(&pair_dp(), &broken_pair_dp(), None);
         assert!(!findings.is_empty());
         let loss = findings
             .iter()
@@ -326,8 +353,7 @@ mod tests {
     #[test]
     fn scoped_differential_ignores_out_of_scope() {
         let scope = IpSet::single(addr("9.9.9.9")); // unrelated address
-        let findings =
-            differential_reachability(&pair_dp(), &broken_pair_dp(), Some(&scope));
+        let findings = differential_reachability(&pair_dp(), &broken_pair_dp(), Some(&scope));
         assert!(findings.is_empty());
     }
 
@@ -364,8 +390,16 @@ mod tests {
         f2.insert(entry("9.9.9.9/32", "e0"));
         dp.add_node("r1".into(), &f1, BTreeSet::new(), true);
         dp.add_node("r2".into(), &f2, BTreeSet::new(), true);
-        dp.add_node("r3".into(), &Fib::new(), BTreeSet::from([addr("9.9.9.9")]), true);
-        dp.add_link(LinkId::new(("r1".into(), "e0".into()), ("r2".into(), "e0".into())));
+        dp.add_node(
+            "r3".into(),
+            &Fib::new(),
+            BTreeSet::from([addr("9.9.9.9")]),
+            true,
+        );
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e0".into()),
+            ("r2".into(), "e0".into()),
+        ));
 
         let loops = detect_loops(&dp);
         assert!(loops.iter().any(|l| l.dsts.contains(addr("9.9.9.9"))));
@@ -377,7 +411,9 @@ mod tests {
         let blackholes = detect_blackholes(&dp);
         // r1→9.9.9.9 loops, so not a blackhole; r2 has no route to nothing
         // else. r3 has no route toward anything → drops at r3.
-        assert!(blackholes.iter().all(|b| b.dropped_at == NodeId::from("r3")));
+        assert!(blackholes
+            .iter()
+            .all(|b| b.dropped_at == NodeId::from("r3")));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use mfv_dataplane::Dataplane;
 use mfv_routing::rib::{Fib, FibEntry, FibNextHop};
 use mfv_types::{IpSet, LinkId, NodeId, Prefix, RouteProtocol};
-use mfv_verify::{differential_reachability, Disposition, ForwardingAnalysis};
+use mfv_verify::{differential_reachability, ClassCache, Disposition, ForwardingAnalysis};
 
 /// A compact generator for random dataplanes: `n` nodes in a ring, each with
 /// a handful of random prefix entries pointing at random neighbors (or
@@ -30,7 +30,11 @@ fn arb_shape() -> impl Strategy<Value = DpShape> {
         proptest::collection::vec((any::<u32>(), 8u8..=28, any::<u8>(), any::<bool>()), 0..24),
         proptest::collection::vec(any::<u8>(), 1..8),
     )
-        .prop_map(|(nodes, entries, owned)| DpShape { nodes, entries, owned })
+        .prop_map(|(nodes, entries, owned)| DpShape {
+            nodes,
+            entries,
+            owned,
+        })
 }
 
 fn build_dp(shape: &DpShape) -> Dataplane {
@@ -47,9 +51,16 @@ fn build_dp(shape: &DpShape) -> Dataplane {
         } else {
             // Egress toward ring-left or ring-right.
             let iface = if egress % 2 == 0 { "left" } else { "right" };
-            vec![FibNextHop { iface: iface.into(), via: None }]
+            vec![FibNextHop {
+                iface: iface.into(),
+                via: None,
+            }]
         };
-        fibs[node].insert(FibEntry { prefix, proto: RouteProtocol::Isis, next_hops });
+        fibs[node].insert(FibEntry {
+            prefix,
+            proto: RouteProtocol::Isis,
+            next_hops,
+        });
     }
     for (i, octet) in shape.owned.iter().enumerate() {
         let node = i % n;
@@ -167,5 +178,53 @@ proptest! {
         let rows = fa.dispositions_from(&first, &IpSet::single(Ipv4Addr::from(probe)));
         prop_assert_eq!(rows.len(), 1);
         prop_assert_eq!(&rows[0].1, &Disposition::NodeDown(first));
+    }
+
+    // A cache warmed on one dataplane must not change the analysis of any
+    // mutated variant: cached and uncached dispositions are identical for
+    // every entry node, under random FIB mutations (cleared FIBs, extra
+    // entries, dropped entries).
+    #[test]
+    fn cached_analysis_matches_uncached(
+        shape in arb_shape(),
+        mutations in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u32>(), 8u8..=28),
+            0..4,
+        ),
+    ) {
+        let base = build_dp(&shape);
+        let mut variant = base.clone();
+        for (which, action, bits, len) in &mutations {
+            let names: Vec<NodeId> = variant.nodes.keys().cloned().collect();
+            let name = &names[*which as usize % names.len()];
+            let node = variant.nodes.get_mut(name).unwrap();
+            match action % 3 {
+                0 => node.entries.clear(),
+                1 => node.entries.push(FibEntry {
+                    prefix: Prefix::from_bits(*bits, *len),
+                    proto: RouteProtocol::Static,
+                    next_hops: vec![],
+                }),
+                _ => {
+                    node.entries.pop();
+                }
+            }
+        }
+
+        // Warm the cache on the base dataplane, then analyse the variant
+        // both through the cache and from scratch.
+        let cache = ClassCache::new();
+        let _warm = ForwardingAnalysis::with_cache(&base, &cache);
+        let cached = ForwardingAnalysis::with_cache(&variant, &cache);
+        let uncached = ForwardingAnalysis::new(&variant);
+        let scope = IpSet::full();
+        for src in uncached.node_names() {
+            prop_assert_eq!(
+                cached.dispositions_from(&src, &scope),
+                uncached.dispositions_from(&src, &scope),
+                "cached analysis diverged from {}",
+                src
+            );
+        }
     }
 }

@@ -27,9 +27,7 @@ pub fn exec(router: &VirtualRouter, command: &str) -> String {
     let vendor = router.profile().vendor;
     match cmd.as_str() {
         "show version" => show_version(router),
-        "show running-config" | "show configuration" => {
-            mfv_config::render(router.config())
-        }
+        "show running-config" | "show configuration" => mfv_config::render(router.config()),
         "show ip route" | "show route" => show_routes(router, vendor),
         "show isis neighbors" | "show isis adjacency" => show_isis_neighbors(router),
         "show isis database" => show_isis_database(router),
@@ -74,9 +72,7 @@ fn show_routes(router: &VirtualRouter, vendor: Vendor) -> String {
     match vendor {
         Vendor::Ceos => {
             out.push_str("VRF: default\n");
-            out.push_str(
-                "Codes: C - connected, S - static, I - IS-IS, B - BGP\n\n",
-            );
+            out.push_str("Codes: C - connected, S - static, I - IS-IS, B - BGP\n\n");
         }
         Vendor::Vjunos => {
             let n = router.fib().len();
@@ -112,15 +108,15 @@ fn show_isis_neighbors(router: &VirtualRouter) -> String {
     let Some(isis) = router.isis_engine() else {
         return "IS-IS is not running\n".to_string();
     };
-    let mut out = String::from(
-        "Interface        System Id       State  Neighbor Address\n",
-    );
+    let mut out = String::from("Interface        System Id       State  Neighbor Address\n");
     for adj in isis.adjacencies() {
         let _ = writeln!(
             out,
             "{:<16} {:<15} {:<6} {}",
             adj.iface.to_string(),
-            adj.neighbor.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            adj.neighbor
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
             format!("{:?}", adj.state),
             adj.neighbor_addr
                 .map(|a| a.to_string())

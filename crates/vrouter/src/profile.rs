@@ -135,6 +135,9 @@ mod tests {
     #[test]
     fn for_vendor_dispatch() {
         assert_eq!(VendorProfile::for_vendor(Vendor::Ceos).vendor, Vendor::Ceos);
-        assert_eq!(VendorProfile::for_vendor(Vendor::Vjunos).vendor, Vendor::Vjunos);
+        assert_eq!(
+            VendorProfile::for_vendor(Vendor::Vjunos).vendor,
+            Vendor::Vjunos
+        );
     }
 }

@@ -14,9 +14,7 @@ use mfv_config::{DeviceConfig, Redistribute};
 use mfv_routing::bgp::{BgpEngine, NextHopResolver};
 use mfv_routing::isis::{IsisEngine, IsisEngineConfig, IsisIfaceConfig};
 use mfv_routing::rib::{Fib, NextHop, Rib, RibRoute};
-use mfv_types::{
-    IfaceId, NodeId, Prefix, PrefixTrie, RouteProtocol, RouterId, SimTime,
-};
+use mfv_types::{IfaceId, NodeId, Prefix, PrefixTrie, RouteProtocol, RouterId, SimTime};
 use mfv_wire::bgp::{BgpMsg, PathAttr};
 use mfv_wire::isis::{net_area_bytes, net_system_id, IsisPdu, SystemId};
 
@@ -28,7 +26,11 @@ pub enum RouterEvent {
     /// A link-local IS-IS PDU to place on the wire of `iface`.
     IsisFrame { iface: IfaceId, payload: Bytes },
     /// A BGP message addressed to a (possibly multi-hop) peer.
-    BgpSegment { src: Ipv4Addr, dst: Ipv4Addr, payload: Bytes },
+    BgpSegment {
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: Bytes,
+    },
     /// The routing process died (vendor bug). The emulator restarts the
     /// router after its profile's restart delay.
     Crashed { reason: String },
@@ -199,8 +201,9 @@ impl VirtualRouter {
             if !isis_cfg.af_ipv4 || isis_cfg.net.is_empty() {
                 return None;
             }
-            let system_id = net_system_id(&isis_cfg.net)
-                .unwrap_or_else(|| SystemId::from_ip(self.loopback().unwrap_or(Ipv4Addr::UNSPECIFIED)));
+            let system_id = net_system_id(&isis_cfg.net).unwrap_or_else(|| {
+                SystemId::from_ip(self.loopback().unwrap_or(Ipv4Addr::UNSPECIFIED))
+            });
             let area = net_area_bytes(&isis_cfg.net)?;
             let mut cfg = IsisEngineConfig::new(system_id, area, self.config.hostname.clone());
             for iface in &self.config.interfaces {
@@ -339,8 +342,11 @@ impl VirtualRouter {
         }
     }
 
-    const IGP_PROTOS: [RouteProtocol; 3] =
-        [RouteProtocol::Connected, RouteProtocol::Static, RouteProtocol::Isis];
+    const IGP_PROTOS: [RouteProtocol; 3] = [
+        RouteProtocol::Connected,
+        RouteProtocol::Static,
+        RouteProtocol::Isis,
+    ];
 
     /// Digest of the IGP routes (connected/static/IS-IS): BGP next-hop
     /// resolution depends on exactly this state. Walks only the (small) IGP
@@ -387,9 +393,7 @@ impl VirtualRouter {
             .interfaces
             .iter()
             .filter(|i| i.is_l3())
-            .filter(|i| {
-                i.name.is_loopback() || self.link_up.get(&i.name).copied().unwrap_or(false)
-            })
+            .filter(|i| i.name.is_loopback() || self.link_up.get(&i.name).copied().unwrap_or(false))
             .filter_map(|i| {
                 let addr = i.addr?;
                 Some(RibRoute::new(
@@ -407,12 +411,8 @@ impl VirtualRouter {
             .static_routes
             .iter()
             .map(|s| {
-                let mut r = RibRoute::new(
-                    s.prefix,
-                    RouteProtocol::Static,
-                    0,
-                    NextHop::Via(s.next_hop),
-                );
+                let mut r =
+                    RibRoute::new(s.prefix, RouteProtocol::Static, 0, NextHop::Via(s.next_hop));
                 if let Some(d) = s.distance {
                     r.admin_distance = mfv_types::AdminDistance(d);
                 }
@@ -423,7 +423,9 @@ impl VirtualRouter {
 
     /// Prefixes this router should originate into BGP.
     fn bgp_originated(&self) -> Vec<Prefix> {
-        let Some(bgp_cfg) = &self.config.bgp else { return Vec::new() };
+        let Some(bgp_cfg) = &self.config.bgp else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for p in &bgp_cfg.networks {
             // `network` statements require the route to exist in the RIB.
@@ -479,7 +481,10 @@ impl VirtualRouter {
         if let Some(isis) = &mut self.isis {
             for (iface, pdu) in isis.poll(now) {
                 if self.link_up.get(&iface).copied().unwrap_or(false) {
-                    events.push(RouterEvent::IsisFrame { iface, payload: pdu.encode() });
+                    events.push(RouterEvent::IsisFrame {
+                        iface,
+                        payload: pdu.encode(),
+                    });
                 }
             }
         }
@@ -487,9 +492,11 @@ impl VirtualRouter {
         // 2. IGP + static + connected into the RIB.
         self.rib
             .set_protocol_routes(RouteProtocol::Connected, self.connected_routes());
-        self.rib.set_protocol_routes(RouteProtocol::Static, self.static_routes());
+        self.rib
+            .set_protocol_routes(RouteProtocol::Static, self.static_routes());
         let isis_routes = self.isis.as_mut().map(|i| i.routes()).unwrap_or_default();
-        self.rib.set_protocol_routes(RouteProtocol::Isis, isis_routes);
+        self.rib
+            .set_protocol_routes(RouteProtocol::Isis, isis_routes);
 
         // 3. BGP.
         if self.bgp.is_some() {
@@ -539,12 +546,18 @@ impl VirtualRouter {
 
     /// Full FIB rebuild: sync BGP routes into the RIB and resolve.
     fn full_fib_refresh(&mut self) {
-        let bgp_routes = self.bgp.as_ref().map(|b| b.rib_routes()).unwrap_or_default();
+        let bgp_routes = self
+            .bgp
+            .as_ref()
+            .map(|b| b.rib_routes())
+            .unwrap_or_default();
         let (ebgp, ibgp): (Vec<RibRoute>, Vec<RibRoute>) = bgp_routes
             .into_iter()
             .partition(|r| r.proto == RouteProtocol::EbgpLearned);
-        self.rib.set_protocol_routes(RouteProtocol::EbgpLearned, ebgp);
-        self.rib.set_protocol_routes(RouteProtocol::IbgpLearned, ibgp);
+        self.rib
+            .set_protocol_routes(RouteProtocol::EbgpLearned, ebgp);
+        self.rib
+            .set_protocol_routes(RouteProtocol::IbgpLearned, ibgp);
         self.refresh_fib();
     }
 
@@ -560,8 +573,7 @@ impl VirtualRouter {
             for (p, r) in self.rib.protocol_routes(proto) {
                 match winners.get(p) {
                     Some(prev)
-                        if (prev.admin_distance, prev.metric)
-                            <= (r.admin_distance, r.metric) => {}
+                        if (prev.admin_distance, prev.metric) <= (r.admin_distance, r.metric) => {}
                     _ => {
                         winners.insert(*p, r);
                     }
@@ -580,7 +592,10 @@ impl VirtualRouter {
                 .filter(|r| Self::IGP_PROTOS.contains(&r.proto))
                 .min_by_key(|r| (r.admin_distance, r.metric, r.proto));
 
-            let bgp_sel = bgp.selected().get(prefix).filter(|s| s.learned_from.is_some());
+            let bgp_sel = bgp
+                .selected()
+                .get(prefix)
+                .filter(|s| s.learned_from.is_some());
             let bgp_ad = bgp_sel.map(|s| {
                 if s.ebgp {
                     mfv_types::AdminDistance::default_for(RouteProtocol::EbgpLearned)
@@ -597,8 +612,7 @@ impl VirtualRouter {
 
             let new_entry = if use_bgp {
                 let sel = bgp_sel.expect("use_bgp implies selection");
-                let nhs: Vec<NextHop> =
-                    sel.next_hops.iter().map(|nh| NextHop::Via(*nh)).collect();
+                let nhs: Vec<NextHop> = sel.next_hops.iter().map(|nh| NextHop::Via(*nh)).collect();
                 let (resolved, _) = resolve_next_hops(&winners, &nhs);
                 if resolved.is_empty() {
                     None
@@ -618,7 +632,11 @@ impl VirtualRouter {
                 if resolved.is_empty() && !discard {
                     None
                 } else {
-                    Some(FibEntry { prefix: *prefix, proto: igp.proto, next_hops: resolved })
+                    Some(FibEntry {
+                        prefix: *prefix,
+                        proto: igp.proto,
+                        next_hops: resolved,
+                    })
                 }
             } else {
                 None
@@ -657,18 +675,23 @@ impl VirtualRouter {
         if self.addresses().contains(&dst) {
             return true;
         }
-        self.fib.lookup(dst).map(|e| !e.next_hops.is_empty()).unwrap_or(false)
+        self.fib
+            .lookup(dst)
+            .map(|e| !e.next_hops.is_empty())
+            .unwrap_or(false)
     }
 
     /// VENDOR BUG (paper §2): attach an unusual-but-valid transitive
     /// attribute to outgoing updates.
     fn apply_emit_bug(&self, msg: BgpMsg) -> BgpMsg {
-        let Some(attr_type) = self.profile.bugs.emit_unusual_attr else { return msg };
+        let Some(attr_type) = self.profile.bugs.emit_unusual_attr else {
+            return msg;
+        };
         match msg {
             BgpMsg::Update(mut u) if !u.nlri.is_empty() => {
-                let already = u.attrs.iter().any(|a| {
-                    matches!(a, PathAttr::Unknown { type_code, .. } if *type_code == attr_type)
-                });
+                let already = u.attrs.iter().any(
+                    |a| matches!(a, PathAttr::Unknown { type_code, .. } if *type_code == attr_type),
+                );
                 if !already {
                     u.attrs.push(PathAttr::Unknown {
                         flags: mfv_wire::bgp::FLAG_OPTIONAL | mfv_wire::bgp::FLAG_TRANSITIVE,
@@ -793,12 +816,19 @@ mod tests {
 
         // IS-IS adjacency up, BGP established, loopbacks exchanged.
         let adj = r1.isis_engine().unwrap().adjacencies();
-        assert!(adj.iter().all(|a| matches!(a.state, mfv_wire::isis::AdjState::Up)));
+        assert!(adj
+            .iter()
+            .all(|a| matches!(a.state, mfv_wire::isis::AdjState::Up)));
         assert_eq!(
-            r1.bgp_engine().unwrap().session_state(Ipv4Addr::new(100, 64, 0, 1)),
+            r1.bgp_engine()
+                .unwrap()
+                .session_state(Ipv4Addr::new(100, 64, 0, 1)),
             Some(mfv_routing::SessionState::Established)
         );
-        let e = r1.fib().lookup(Ipv4Addr::new(2, 2, 2, 2)).expect("route to r2 loopback");
+        let e = r1
+            .fib()
+            .lookup(Ipv4Addr::new(2, 2, 2, 2))
+            .expect("route to r2 loopback");
         // Both IS-IS and eBGP offer it; eBGP wins on admin distance (20<115).
         assert_eq!(e.proto, RouteProtocol::EbgpLearned);
     }
@@ -819,7 +849,10 @@ mod tests {
     #[test]
     fn crash_on_unknown_attr_kills_process() {
         let spec1 = RouterSpec::new("r1", AsNum(65001), Ipv4Addr::new(2, 2, 2, 1))
-            .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()))
+            .iface(IfaceSpec::new(
+                "Ethernet1",
+                "100.64.0.0/31".parse().unwrap(),
+            ))
             .ebgp(Ipv4Addr::new(100, 64, 0, 1), AsNum(65002))
             .network("2.2.2.1/32".parse().unwrap());
         let spec2 = RouterSpec::new("r2", AsNum(65002), Ipv4Addr::new(2, 2, 2, 2))
@@ -884,8 +917,9 @@ mod tests {
 
     #[test]
     fn static_route_installed_with_distance() {
-        let mut spec = RouterSpec::new("r1", AsNum(65001), Ipv4Addr::new(2, 2, 2, 1))
-            .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()));
+        let mut spec = RouterSpec::new("r1", AsNum(65001), Ipv4Addr::new(2, 2, 2, 1)).iface(
+            IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()),
+        );
         let mut cfg = spec.build();
         cfg.static_routes.push(mfv_config::StaticRoute {
             prefix: "198.51.100.0/24".parse().unwrap(),
@@ -919,7 +953,10 @@ mod tests {
         let now2 = settle(&mut r1, &mut r2, now);
         let _ = now2;
         // Still reachable via IS-IS after re-convergence.
-        let e = r1.fib().lookup(Ipv4Addr::new(2, 2, 2, 2)).expect("isis route");
+        let e = r1
+            .fib()
+            .lookup(Ipv4Addr::new(2, 2, 2, 2))
+            .expect("isis route");
         assert_eq!(e.proto, RouteProtocol::Isis);
     }
 

@@ -47,7 +47,11 @@ pub enum PathAttr {
     /// An attribute this implementation does not interpret. `transitive`
     /// attributes must be propagated (with the partial bit set); others are
     /// dropped at the first hop that does not understand them.
-    Unknown { flags: u8, type_code: u8, value: Bytes },
+    Unknown {
+        flags: u8,
+        type_code: u8,
+        value: Bytes,
+    },
 }
 
 impl PathAttr {
@@ -89,7 +93,13 @@ pub struct OpenMsg {
 
 impl OpenMsg {
     pub fn new(asn: AsNum, hold_time_secs: u16, bgp_id: Ipv4Addr) -> OpenMsg {
-        OpenMsg { version: 4, asn, hold_time_secs, bgp_id, capabilities: vec![65] }
+        OpenMsg {
+            version: 4,
+            asn,
+            hold_time_secs,
+            bgp_id,
+            capabilities: vec![65],
+        }
     }
 }
 
@@ -104,7 +114,11 @@ pub struct UpdateMsg {
 impl UpdateMsg {
     /// A pure withdrawal.
     pub fn withdraw(prefixes: Vec<Prefix>) -> UpdateMsg {
-        UpdateMsg { withdrawn: prefixes, attrs: Vec::new(), nlri: Vec::new() }
+        UpdateMsg {
+            withdrawn: prefixes,
+            attrs: Vec::new(),
+            nlri: Vec::new(),
+        }
     }
 
     pub fn attr(&self, type_code: u8) -> Option<&PathAttr> {
@@ -179,8 +193,11 @@ impl BgpMsg {
             BgpMsg::Open(open) => {
                 body.put_u8(open.version);
                 // 2-byte AS field: AS_TRANS when the real ASN doesn't fit.
-                let as16 =
-                    if open.asn.0 > u16::MAX as u32 { 23456 } else { open.asn.0 as u16 };
+                let as16 = if open.asn.0 > u16::MAX as u32 {
+                    23456
+                } else {
+                    open.asn.0 as u16
+                };
                 body.put_u16(as16);
                 body.put_u16(open.hold_time_secs);
                 body.put_u32(u32::from(open.bgp_id));
@@ -335,7 +352,11 @@ impl BgpMsg {
                 while !body.is_empty() {
                     nlri.push(decode_nlri(&mut body)?);
                 }
-                Ok(BgpMsg::Update(UpdateMsg { withdrawn, attrs, nlri }))
+                Ok(BgpMsg::Update(UpdateMsg {
+                    withdrawn,
+                    attrs,
+                    nlri,
+                }))
             }
             TYPE_NOTIFICATION => {
                 if body.len() < 2 {
@@ -343,7 +364,11 @@ impl BgpMsg {
                 }
                 let code = body.get_u8();
                 let subcode = body.get_u8();
-                Ok(BgpMsg::Notification(NotificationMsg { code, subcode, data: body }))
+                Ok(BgpMsg::Notification(NotificationMsg {
+                    code,
+                    subcode,
+                    data: body,
+                }))
             }
             TYPE_KEEPALIVE => Ok(BgpMsg::Keepalive),
             t => Err(err(&format!("unknown message type {t}"))),
@@ -354,7 +379,7 @@ impl BgpMsg {
 fn encode_nlri(out: &mut BytesMut, p: &Prefix) {
     out.put_u8(p.len());
     let bits = p.network_bits().to_be_bytes();
-    let nbytes = (p.len() as usize + 7) / 8;
+    let nbytes = (p.len() as usize).div_ceil(8);
     out.extend_from_slice(&bits[..nbytes]);
 }
 
@@ -367,7 +392,7 @@ fn decode_nlri(buf: &mut Bytes) -> Result<Prefix, DecodeError> {
     if len > 32 {
         return Err(err("NLRI prefix length > 32"));
     }
-    let nbytes = (len as usize + 7) / 8;
+    let nbytes = (len as usize).div_ceil(8);
     if buf.len() < nbytes {
         return Err(err("truncated NLRI"));
     }
@@ -416,7 +441,9 @@ fn encode_attr(out: &mut BytesMut, attr: &PathAttr) {
                 value.put_u32(c.0);
             }
         }
-        PathAttr::Unknown { flags: f, value: v, .. } => {
+        PathAttr::Unknown {
+            flags: f, value: v, ..
+        } => {
             flags = *f;
             value.extend_from_slice(v);
         }
@@ -502,7 +529,7 @@ fn decode_attr(buf: &mut Bytes) -> Result<PathAttr, DecodeError> {
             Ok(PathAttr::LocalPref(value.get_u32()))
         }
         ATTR_COMMUNITIES => {
-            if value.len() % 4 != 0 {
+            if !value.len().is_multiple_of(4) {
                 return Err(err("bad COMMUNITIES length"));
             }
             let mut cs = Vec::with_capacity(value.len() / 4);
@@ -511,7 +538,11 @@ fn decode_attr(buf: &mut Bytes) -> Result<PathAttr, DecodeError> {
             }
             Ok(PathAttr::Communities(cs))
         }
-        _ => Ok(PathAttr::Unknown { flags, type_code, value }),
+        _ => Ok(PathAttr::Unknown {
+            flags,
+            type_code,
+            value,
+        }),
     }
 }
 
@@ -567,10 +598,7 @@ mod tests {
                 PathAttr::NextHop(Ipv4Addr::new(100, 64, 0, 1)),
                 PathAttr::Med(50),
                 PathAttr::LocalPref(200),
-                PathAttr::Communities(vec![
-                    Community::new(65001, 100),
-                    Community::new(65001, 666),
-                ]),
+                PathAttr::Communities(vec![Community::new(65001, 100), Community::new(65001, 666)]),
             ],
             nlri: vec![p("203.0.113.0/24"), p("0.0.0.0/0"), p("2.2.2.1/32")],
         };
@@ -630,7 +658,11 @@ mod tests {
             type_code: 99,
             value: Bytes::from(vec![7u8; 300]),
         };
-        let update = UpdateMsg { withdrawn: vec![], attrs: vec![big.clone()], nlri: vec![] };
+        let update = UpdateMsg {
+            withdrawn: vec![],
+            attrs: vec![big.clone()],
+            nlri: vec![],
+        };
         match roundtrip(BgpMsg::Update(update)) {
             BgpMsg::Update(got) => match &got.attrs[0] {
                 PathAttr::Unknown { flags, value, .. } => {
@@ -700,8 +732,11 @@ mod tests {
     #[test]
     fn nlri_length_is_minimal() {
         // A /8 must use exactly 1 byte of prefix data.
-        let update =
-            UpdateMsg { withdrawn: vec![], attrs: vec![], nlri: vec![p("10.0.0.0/8")] };
+        let update = UpdateMsg {
+            withdrawn: vec![],
+            attrs: vec![],
+            nlri: vec![p("10.0.0.0/8")],
+        };
         let encoded = BgpMsg::Update(update).encode();
         // header 19 + wd_len 2 + attr_len 2 + nlri (1 + 1)
         assert_eq!(encoded.len(), 19 + 2 + 2 + 2);
@@ -709,8 +744,11 @@ mod tests {
 
     #[test]
     fn default_route_nlri() {
-        let update =
-            UpdateMsg { withdrawn: vec![], attrs: vec![], nlri: vec![p("0.0.0.0/0")] };
+        let update = UpdateMsg {
+            withdrawn: vec![],
+            attrs: vec![],
+            nlri: vec![p("0.0.0.0/0")],
+        };
         match roundtrip(BgpMsg::Update(update.clone())) {
             BgpMsg::Update(got) => assert_eq!(got, update),
             other => panic!("{other:?}"),

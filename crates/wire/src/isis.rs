@@ -95,7 +95,11 @@ pub struct LspId {
 
 impl LspId {
     pub fn of(system: SystemId) -> LspId {
-        LspId { system, pseudonode: 0, fragment: 0 }
+        LspId {
+            system,
+            pseudonode: 0,
+            fragment: 0,
+        }
     }
 
     fn encode(&self, out: &mut BytesMut) {
@@ -110,19 +114,31 @@ impl LspId {
         }
         let mut sys = [0u8; 6];
         sys.copy_from_slice(&buf.split_to(6));
-        Ok(LspId { system: SystemId(sys), pseudonode: buf.get_u8(), fragment: buf.get_u8() })
+        Ok(LspId {
+            system: SystemId(sys),
+            pseudonode: buf.get_u8(),
+            fragment: buf.get_u8(),
+        })
     }
 }
 
 impl fmt::Debug for LspId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:02x}-{:02x}", self.system, self.pseudonode, self.fragment)
+        write!(
+            f,
+            "{}.{:02x}-{:02x}",
+            self.system, self.pseudonode, self.fragment
+        )
     }
 }
 
 impl fmt::Display for LspId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:02x}-{:02x}", self.system, self.pseudonode, self.fragment)
+        write!(
+            f,
+            "{}.{:02x}-{:02x}",
+            self.system, self.pseudonode, self.fragment
+        )
     }
 }
 
@@ -190,7 +206,10 @@ pub enum Tlv {
     /// IPv4 interface addresses.
     IpIfaceAddr(Vec<Ipv4Addr>),
     /// Three-way handshake state.
-    P2pAdjState { state: AdjState, neighbor: Option<SystemId> },
+    P2pAdjState {
+        state: AdjState,
+        neighbor: Option<SystemId>,
+    },
     /// Dynamic hostname.
     Hostname(String),
     /// Extended IS reachability (wide metrics).
@@ -199,7 +218,10 @@ pub enum Tlv {
     ExtIpReach(Vec<IpReach>),
     /// LSP entries (CSNP/PSNP).
     LspEntries(Vec<LspEntry>),
-    Unknown { type_code: u8, value: Bytes },
+    Unknown {
+        type_code: u8,
+        value: Bytes,
+    },
 }
 
 impl Tlv {
@@ -257,10 +279,9 @@ fn encode_tlvs(out: &mut BytesMut, tlvs: &[Tlv]) {
             Tlv::ExtIpReach(reaches) => {
                 for r in reaches {
                     v.put_u32(r.metric);
-                    let control =
-                        (r.prefix.len() & 0x3f) | if r.down { 0x80 } else { 0 };
+                    let control = (r.prefix.len() & 0x3f) | if r.down { 0x80 } else { 0 };
                     v.put_u8(control);
-                    let nbytes = (r.prefix.len() as usize + 7) / 8;
+                    let nbytes = (r.prefix.len() as usize).div_ceil(8);
                     let bits = r.prefix.network_bits().to_be_bytes();
                     v.extend_from_slice(&bits[..nbytes]);
                 }
@@ -308,7 +329,7 @@ fn decode_tlvs(buf: &mut Bytes) -> Result<Vec<Tlv>, DecodeError> {
             }
             TLV_PROTOCOLS => Tlv::Protocols(v.to_vec()),
             TLV_IP_IFACE_ADDR => {
-                if v.len() % 4 != 0 {
+                if !v.len().is_multiple_of(4) {
                     return Err(err("bad interface address TLV"));
                 }
                 let mut addrs = Vec::new();
@@ -321,8 +342,8 @@ fn decode_tlvs(buf: &mut Bytes) -> Result<Vec<Tlv>, DecodeError> {
                 if v.is_empty() {
                     return Err(err("empty adjacency state TLV"));
                 }
-                let state = AdjState::from_code(v.get_u8())
-                    .ok_or_else(|| err("bad adjacency state"))?;
+                let state =
+                    AdjState::from_code(v.get_u8()).ok_or_else(|| err("bad adjacency state"))?;
                 let neighbor = if v.len() >= 10 {
                     v.advance(4); // our extended circuit id
                     let mut sys = [0u8; 6];
@@ -333,9 +354,9 @@ fn decode_tlvs(buf: &mut Bytes) -> Result<Vec<Tlv>, DecodeError> {
                 };
                 Tlv::P2pAdjState { state, neighbor }
             }
-            TLV_HOSTNAME => Tlv::Hostname(
-                String::from_utf8(v.to_vec()).map_err(|_| err("bad hostname"))?,
-            ),
+            TLV_HOSTNAME => {
+                Tlv::Hostname(String::from_utf8(v.to_vec()).map_err(|_| err("bad hostname"))?)
+            }
             TLV_EXT_IS_REACH => {
                 let mut neighbors = Vec::new();
                 while !v.is_empty() {
@@ -373,7 +394,7 @@ fn decode_tlvs(buf: &mut Bytes) -> Result<Vec<Tlv>, DecodeError> {
                         return Err(err("IP reach prefix length > 32"));
                     }
                     let down = control & 0x80 != 0;
-                    let nbytes = (plen as usize + 7) / 8;
+                    let nbytes = (plen as usize).div_ceil(8);
                     if v.len() < nbytes {
                         return Err(err("truncated IP reach prefix"));
                     }
@@ -397,11 +418,19 @@ fn decode_tlvs(buf: &mut Bytes) -> Result<Vec<Tlv>, DecodeError> {
                     let lsp_id = LspId::decode(&mut v)?;
                     let seq = v.get_u32();
                     let checksum = v.get_u16();
-                    entries.push(LspEntry { lifetime, lsp_id, seq, checksum });
+                    entries.push(LspEntry {
+                        lifetime,
+                        lsp_id,
+                        seq,
+                        checksum,
+                    });
                 }
                 Tlv::LspEntries(entries)
             }
-            _ => Tlv::Unknown { type_code, value: v },
+            _ => Tlv::Unknown {
+                type_code,
+                value: v,
+            },
         };
         out.push(tlv);
     }
@@ -557,7 +586,7 @@ impl IsisPdu {
                 out.put_u16(0);
                 out.extend_from_slice(&c.source.0);
                 out.put_u8(0); // circuit id
-                // Start/end LSP id range: full range.
+                               // Start/end LSP id range: full range.
                 out.put_bytes(0x00, 8);
                 out.put_bytes(0xff, 8);
                 encode_tlvs(&mut out, &[Tlv::LspEntries(c.entries.clone())]);
@@ -625,7 +654,12 @@ impl IsisPdu {
                 let claimed_checksum = buf.get_u16();
                 let _flags = buf.get_u8();
                 let tlvs = decode_tlvs(buf)?;
-                let lsp = Lsp { lifetime_secs, lsp_id, seq, tlvs };
+                let lsp = Lsp {
+                    lifetime_secs,
+                    lsp_id,
+                    seq,
+                    tlvs,
+                };
                 if lsp.checksum() != claimed_checksum {
                     return Err(err("LSP checksum mismatch"));
                 }
@@ -647,7 +681,10 @@ impl IsisPdu {
                         _ => Vec::new(),
                     })
                     .collect();
-                Ok(IsisPdu::Csnp(Csnp { source: SystemId(sys), entries }))
+                Ok(IsisPdu::Csnp(Csnp {
+                    source: SystemId(sys),
+                    entries,
+                }))
             }
             PDU_L2_PSNP => {
                 if buf.len() < 9 {
@@ -665,7 +702,10 @@ impl IsisPdu {
                         _ => Vec::new(),
                     })
                     .collect();
-                Ok(IsisPdu::Psnp(Psnp { source: SystemId(sys), entries }))
+                Ok(IsisPdu::Psnp(Psnp {
+                    source: SystemId(sys),
+                    entries,
+                }))
             }
             t => Err(err(&format!("unknown PDU type {t}"))),
         }
@@ -743,7 +783,10 @@ mod tests {
                 Tlv::Area(vec![Bytes::from_static(&[0x49, 0x00, 0x01])]),
                 Tlv::Protocols(vec![NLPID_IPV4]),
                 Tlv::IpIfaceAddr(vec![Ipv4Addr::new(100, 64, 0, 1)]),
-                Tlv::P2pAdjState { state: AdjState::Initializing, neighbor: None },
+                Tlv::P2pAdjState {
+                    state: AdjState::Initializing,
+                    neighbor: None,
+                },
             ],
         };
         match roundtrip(IsisPdu::P2pHello(hello.clone())) {
@@ -759,7 +802,10 @@ mod tests {
             source: sys(1),
             hold_time_secs: 30,
             circuit_id: 1,
-            tlvs: vec![Tlv::P2pAdjState { state: AdjState::Up, neighbor: Some(sys(2)) }],
+            tlvs: vec![Tlv::P2pAdjState {
+                state: AdjState::Up,
+                neighbor: Some(sys(2)),
+            }],
         };
         match roundtrip(IsisPdu::P2pHello(hello)) {
             IsisPdu::P2pHello(got) => {
@@ -779,8 +825,16 @@ mod tests {
                 Tlv::Area(vec![Bytes::from_static(&[0x49, 0x00, 0x01])]),
                 Tlv::Hostname("r1".to_string()),
                 Tlv::ExtIsReach(vec![
-                    IsNeighbor { neighbor: sys(2), pseudonode: 0, metric: 10 },
-                    IsNeighbor { neighbor: sys(3), pseudonode: 0, metric: 100 },
+                    IsNeighbor {
+                        neighbor: sys(2),
+                        pseudonode: 0,
+                        metric: 10,
+                    },
+                    IsNeighbor {
+                        neighbor: sys(3),
+                        pseudonode: 0,
+                        metric: 100,
+                    },
                 ]),
                 Tlv::ExtIpReach(vec![
                     IpReach {
@@ -831,14 +885,30 @@ mod tests {
     #[test]
     fn csnp_psnp_roundtrip() {
         let entries = vec![
-            LspEntry { lifetime: 1200, lsp_id: LspId::of(sys(1)), seq: 3, checksum: 77 },
-            LspEntry { lifetime: 900, lsp_id: LspId::of(sys(2)), seq: 9, checksum: 88 },
+            LspEntry {
+                lifetime: 1200,
+                lsp_id: LspId::of(sys(1)),
+                seq: 3,
+                checksum: 77,
+            },
+            LspEntry {
+                lifetime: 900,
+                lsp_id: LspId::of(sys(2)),
+                seq: 9,
+                checksum: 88,
+            },
         ];
-        match roundtrip(IsisPdu::Csnp(Csnp { source: sys(1), entries: entries.clone() })) {
+        match roundtrip(IsisPdu::Csnp(Csnp {
+            source: sys(1),
+            entries: entries.clone(),
+        })) {
             IsisPdu::Csnp(got) => assert_eq!(got.entries, entries),
             other => panic!("{other:?}"),
         }
-        match roundtrip(IsisPdu::Psnp(Psnp { source: sys(2), entries: entries.clone() })) {
+        match roundtrip(IsisPdu::Psnp(Psnp {
+            source: sys(2),
+            entries: entries.clone(),
+        })) {
             IsisPdu::Psnp(got) => assert_eq!(got.entries, entries),
             other => panic!("{other:?}"),
         }

@@ -28,7 +28,10 @@ pub struct DecodeError {
 
 impl DecodeError {
     pub fn new(proto: &'static str, reason: impl Into<String>) -> DecodeError {
-        DecodeError { proto, reason: reason.into() }
+        DecodeError {
+            proto,
+            reason: reason.into(),
+        }
     }
 }
 

@@ -23,7 +23,10 @@ fn arb_community() -> impl Strategy<Value = Community> {
 
 fn arb_as_path() -> impl Strategy<Value = AsPath> {
     proptest::collection::vec(
-        (any::<bool>(), proptest::collection::vec(any::<u32>().prop_map(AsNum), 1..6)),
+        (
+            any::<bool>(),
+            proptest::collection::vec(any::<u32>().prop_map(AsNum), 1..6),
+        ),
         0..4,
     )
     .prop_map(|segs| {
@@ -43,8 +46,12 @@ fn arb_as_path() -> impl Strategy<Value = AsPath> {
 
 fn arb_attr() -> impl Strategy<Value = PathAttr> {
     prop_oneof![
-        prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)]
-            .prop_map(PathAttr::Origin),
+        prop_oneof![
+            Just(Origin::Igp),
+            Just(Origin::Egp),
+            Just(Origin::Incomplete)
+        ]
+        .prop_map(PathAttr::Origin),
         arb_as_path().prop_map(PathAttr::AsPath),
         any::<u32>().prop_map(|v| PathAttr::NextHop(Ipv4Addr::from(v))),
         any::<u32>().prop_map(PathAttr::Med),
@@ -60,7 +67,11 @@ fn arb_attr() -> impl Strategy<Value = PathAttr> {
             .prop_map(|(type_code, value, partial)| PathAttr::Unknown {
                 flags: mfv_wire::bgp::FLAG_OPTIONAL
                     | mfv_wire::bgp::FLAG_TRANSITIVE
-                    | if partial { mfv_wire::bgp::FLAG_PARTIAL } else { 0 },
+                    | if partial {
+                        mfv_wire::bgp::FLAG_PARTIAL
+                    } else {
+                        0
+                    },
                 type_code,
                 value: Bytes::from(value),
             }),
@@ -73,7 +84,11 @@ fn arb_update() -> impl Strategy<Value = UpdateMsg> {
         proptest::collection::vec(arb_attr(), 0..6),
         proptest::collection::vec(arb_prefix(), 0..10),
     )
-        .prop_map(|(withdrawn, attrs, nlri)| UpdateMsg { withdrawn, attrs, nlri })
+        .prop_map(|(withdrawn, attrs, nlri)| UpdateMsg {
+            withdrawn,
+            attrs,
+            nlri,
+        })
 }
 
 fn arb_system_id() -> impl Strategy<Value = SystemId> {
@@ -101,7 +116,11 @@ fn arb_lsp() -> impl Strategy<Value = Lsp> {
                 proptest::collection::vec((any::<u32>(), arb_prefix(), any::<bool>()), 0..5)
                     .prop_map(|rs| Tlv::ExtIpReach(
                         rs.into_iter()
-                            .map(|(metric, prefix, down)| IpReach { metric, prefix, down })
+                            .map(|(metric, prefix, down)| IpReach {
+                                metric,
+                                prefix,
+                                down
+                            })
                             .collect()
                     )),
                 "[a-z][a-z0-9-]{0,14}".prop_map(Tlv::Hostname),
@@ -111,7 +130,11 @@ fn arb_lsp() -> impl Strategy<Value = Lsp> {
     )
         .prop_map(|(lifetime_secs, sys, fragment, seq, tlvs)| Lsp {
             lifetime_secs,
-            lsp_id: LspId { system: sys, pseudonode: 0, fragment },
+            lsp_id: LspId {
+                system: sys,
+                pseudonode: 0,
+                fragment,
+            },
             seq,
             tlvs,
         })

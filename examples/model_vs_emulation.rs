@@ -13,8 +13,8 @@
 //!   surfaces the divergence with one differential query.
 
 use mfv_core::{
-    differential_reachability, scenarios, unreachable_pairs, Backend,
-    EmulationBackend, ModelBackend,
+    differential_reachability, scenarios, unreachable_pairs, Backend, EmulationBackend,
+    ModelBackend,
 };
 use mfv_model::UnrecognizedKind;
 
@@ -22,7 +22,9 @@ fn main() {
     // ---- E2: feature coverage on the production-complexity six-node ----
     println!("=== E2: model feature coverage (six-node production configs) ===");
     let six = scenarios::six_node();
-    let model_six = ModelBackend.compute(&six).expect("model ingests ceos configs");
+    let model_six = ModelBackend
+        .compute(&six)
+        .expect("model ingests ceos configs");
     println!("config      total  recognized  unrecognized  (material / mgmt-only)");
     for report in &model_six.meta.coverage {
         let material = report
@@ -48,7 +50,9 @@ fn main() {
     println!("\n=== E3: model vs emulation on the Fig. 3 line topology ===");
     let snapshot = scenarios::three_node_line_fig3();
 
-    let emu = EmulationBackend::default().compute(&snapshot).expect("emulation");
+    let emu = EmulationBackend::default()
+        .compute(&snapshot)
+        .expect("emulation");
     let emu_broken = unreachable_pairs(&emu.dataplane);
     println!(
         "model-free (emulation): {}",
@@ -61,14 +65,19 @@ fn main() {
 
     let model = ModelBackend.compute(&snapshot).expect("model");
     let model_broken = unreachable_pairs(&model.dataplane);
-    println!("model-based (baseline): {} broken pairs", model_broken.len());
+    println!(
+        "model-based (baseline): {} broken pairs",
+        model_broken.len()
+    );
     for report in &model_broken {
         println!("  {} cannot reach {}", report.src, report.dst_node);
     }
 
     println!("\ndifferential reachability (model → emulation):");
     let findings = differential_reachability(&model.dataplane, &emu.dataplane, None);
-    for f in findings.iter().filter(|f| !f.before.is_delivered() && f.after.is_delivered())
+    for f in findings
+        .iter()
+        .filter(|f| !f.before.is_delivered() && f.after.is_delivered())
     {
         println!("  {f}");
     }

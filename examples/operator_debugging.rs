@@ -41,12 +41,18 @@ interface Ethernet1
 
     let backend = EmulationBackend::default();
     let (emu, meta) = backend.run(&snapshot).expect("emulation runs");
-    println!("emulation converged: {} (crashes: {})\n", meta.converged, meta.crashes);
+    println!(
+        "emulation converged: {} (crashes: {})\n",
+        meta.converged, meta.crashes
+    );
 
     // 1. Verification flags the problem.
     let dp = emu.dataplane();
     let broken = unreachable_pairs(&dp);
-    println!("verification report: {} broken reachability pairs", broken.len());
+    println!(
+        "verification report: {} broken reachability pairs",
+        broken.len()
+    );
     for r in broken.iter().take(4) {
         println!("  {} cannot fully reach {}", r.src, r.dst_node);
     }

@@ -42,7 +42,11 @@ fn main() {
     println!("converged:        {}", result.meta.converged);
     println!(
         "boot time:        {}",
-        result.meta.boot_time.map(|d| d.to_string()).unwrap_or_default()
+        result
+            .meta
+            .boot_time
+            .map(|d| d.to_string())
+            .unwrap_or_default()
     );
     println!(
         "convergence time: {}",
@@ -69,7 +73,11 @@ fn main() {
     let broken = mfv_core::unreachable_pairs(&result.dataplane);
     println!(
         "\nreachability: {}",
-        if broken.is_empty() { "full mesh ✓" } else { "BROKEN" }
+        if broken.is_empty() {
+            "full mesh ✓"
+        } else {
+            "BROKEN"
+        }
     );
     for report in broken {
         println!("  {} cannot fully reach {}", report.src, report.dst_node);

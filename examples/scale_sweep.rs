@@ -18,14 +18,19 @@ fn main() {
     println!("routers  boot(min)  convergence(s)  messages  fib-entries");
     for n in [5, 10, 20, 40, 60] {
         let snapshot = scenarios::isis_line(n);
-        let backend = EmulationBackend { cluster_machines: 1, ..Default::default() };
+        let backend = EmulationBackend {
+            cluster_machines: 1,
+            ..Default::default()
+        };
         match backend.run(&snapshot) {
             Ok((emu, meta)) => {
                 println!(
                     "{:>7}  {:>9.1}  {:>14.1}  {:>8}  {:>11}",
                     n,
                     meta.boot_time.map(|d| d.as_mins_f64()).unwrap_or(0.0),
-                    meta.convergence_time.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+                    meta.convergence_time
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(0.0),
                     meta.messages,
                     emu.dataplane().total_entries(),
                 );
@@ -46,14 +51,20 @@ fn main() {
 
     println!("\n=== over the wall: 70 routers on one machine ===");
     let snapshot = scenarios::isis_line(70);
-    let backend = EmulationBackend { cluster_machines: 1, ..Default::default() };
+    let backend = EmulationBackend {
+        cluster_machines: 1,
+        ..Default::default()
+    };
     match backend.run(&snapshot) {
         Ok(_) => println!("unexpectedly scheduled"),
         Err(e) => println!("{e}"),
     }
 
     println!("\n=== same 70 routers on a 2-machine cluster ===");
-    let backend = EmulationBackend { cluster_machines: 2, ..Default::default() };
+    let backend = EmulationBackend {
+        cluster_machines: 2,
+        ..Default::default()
+    };
     match backend.run(&snapshot) {
         Ok((emu, meta)) => {
             println!(

@@ -12,15 +12,16 @@
 //! AS3 to routers in AS2."
 
 use mfv_core::{
-    deliverability_changes, differential_reachability, scenarios, Backend,
-    EmulationBackend,
+    deliverability_changes, differential_reachability, scenarios, Backend, EmulationBackend,
 };
 
 fn main() {
     let backend = EmulationBackend::default();
 
     println!("=== snapshot A: as configured ===");
-    let base = backend.compute(&scenarios::six_node()).expect("baseline converges");
+    let base = backend
+        .compute(&scenarios::six_node())
+        .expect("baseline converges");
     println!(
         "converged in {} after boot ({} messages)\n",
         base.meta.convergence_time.unwrap(),

@@ -12,8 +12,7 @@
 //! combinatorial wall for larger k.
 
 use mfv_core::{
-    link_cut_context_count, link_cut_contexts, scenarios, verify_link_cuts,
-    EmulationBackend,
+    link_cut_context_count, link_cut_contexts, scenarios, verify_link_cuts, EmulationBackend,
 };
 
 fn main() {
@@ -37,8 +36,7 @@ fn main() {
     let backend = EmulationBackend::default();
     let contexts = link_cut_contexts(&snapshot, 1);
     let t = std::time::Instant::now();
-    let verdicts =
-        verify_link_cuts(&snapshot, &backend, contexts, None).expect("sweep runs");
+    let verdicts = verify_link_cuts(&snapshot, &backend, contexts, None).expect("sweep runs");
     println!("swept {} contexts in {:?}\n", verdicts.len(), t.elapsed());
 
     for v in &verdicts {
@@ -50,7 +48,12 @@ fn main() {
                 "  cut {cut}: {} packet classes lose reachability",
                 v.lost_reachability
             );
-            for f in v.findings.iter().filter(|f| f.before.is_delivered()).take(2) {
+            for f in v
+                .findings
+                .iter()
+                .filter(|f| f.before.is_delivered())
+                .take(2)
+            {
                 println!("      e.g. {f}");
             }
         }

@@ -14,8 +14,8 @@
 use std::process::ExitCode;
 
 use mfv_core::{
-    deliverability_changes, differential_reachability, scenarios, unreachable_pairs,
-    Backend, EmulationBackend, ModelBackend, Snapshot,
+    deliverability_changes, differential_reachability, scenarios, unreachable_pairs, Backend,
+    EmulationBackend, ModelBackend, Snapshot,
 };
 use mfv_emulator::Topology;
 use mfv_types::{IpSet, NodeId};
@@ -79,8 +79,7 @@ fn example(name: &str) -> Result<(), String> {
 }
 
 fn load(path: &str) -> Result<Snapshot, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let topo = Topology::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     topo.validate().map_err(|e| format!("{path}: {e}"))?;
     Ok(Snapshot::new(path.to_string(), topo))
@@ -99,8 +98,7 @@ fn backend_from(args: &[String]) -> Result<EmulationBackend, String> {
         backend.seed = seed.parse().map_err(|_| "bad --seed".to_string())?;
     }
     if let Some(m) = flag(args, "--machines") {
-        backend.cluster_machines =
-            m.parse().map_err(|_| "bad --machines".to_string())?;
+        backend.cluster_machines = m.parse().map_err(|_| "bad --machines".to_string())?;
     }
     Ok(backend)
 }
@@ -151,8 +149,7 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
     let backend = backend_from(args)?;
     let before = backend.compute(&load(a)?).map_err(|e| e.to_string())?;
     let after = backend.compute(&load(b)?).map_err(|e| e.to_string())?;
-    let findings =
-        differential_reachability(&before.dataplane, &after.dataplane, scope.as_ref());
+    let findings = differential_reachability(&before.dataplane, &after.dataplane, scope.as_ref());
     println!("{} fate-changed packet classes", findings.len());
     let lost = deliverability_changes(&findings);
     println!("{} deliverability changes:", lost.len());
@@ -167,12 +164,12 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         (Some(p), Some(s), Some(d)) => (p, s, d),
         _ => return Err("usage: mfvctl trace TOPOLOGY SRC-NODE DST-IP".into()),
     };
-    let dst: std::net::Ipv4Addr =
-        dst.parse().map_err(|_| format!("bad destination '{dst}'"))?;
+    let dst: std::net::Ipv4Addr = dst
+        .parse()
+        .map_err(|_| format!("bad destination '{dst}'"))?;
     let backend = backend_from(args)?;
     let result = backend.compute(&load(path)?).map_err(|e| e.to_string())?;
-    let trace =
-        mfv_core::traceroute(&result.dataplane, &NodeId::from(src.as_str()), dst);
+    let trace = mfv_core::traceroute(&result.dataplane, &NodeId::from(src.as_str()), dst);
     for (i, hop) in trace.hops.iter().enumerate() {
         match &hop.egress {
             Some(e) => println!("{:>2}  {} (out {})", i + 1, hop.node, e),

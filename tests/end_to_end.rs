@@ -4,9 +4,7 @@
 use std::collections::BTreeMap;
 
 use model_free_verification::config::{IfaceSpec, RouterSpec, Vendor};
-use model_free_verification::core::{
-    scenarios, Backend, EmulationBackend, ModelBackend, Snapshot,
-};
+use model_free_verification::core::{scenarios, Backend, EmulationBackend, ModelBackend, Snapshot};
 use model_free_verification::emulator::{NodeSpec, Topology};
 use model_free_verification::mgmt::{collect_afts, dataplane_from_afts, Telemetry};
 use model_free_verification::types::{AsNum, IpSet, NodeId};
@@ -92,23 +90,16 @@ fn config_push_what_if_before_deployment() {
     let proposed = base.with_config(&"r1".into(), model_free_verification::config::render(&cfg));
 
     let after = backend.compute(&proposed).unwrap();
-    let findings =
-        verify::differential_reachability(&before.dataplane, &after.dataplane, None);
+    let findings = verify::differential_reachability(&before.dataplane, &after.dataplane, None);
     // IS-IS still provides loopback reachability; only eBGP-only prefixes
     // change. The query must pinpoint exactly the changed classes.
     for f in &findings {
-        assert!(
-            f.before != f.after,
-            "spurious finding: {f}"
-        );
+        assert!(f.before != f.after, "spurious finding: {f}");
     }
     // And the baseline compares clean against itself.
-    assert!(verify::differential_reachability(
-        &before.dataplane,
-        &before.dataplane,
-        None
-    )
-    .is_empty());
+    assert!(
+        verify::differential_reachability(&before.dataplane, &before.dataplane, None).is_empty()
+    );
 }
 
 #[test]

@@ -60,8 +60,7 @@ fn run_reports_convergence_and_reachability() {
 #[test]
 fn trace_prints_hops() {
     let path = write_example("fig3-line", "mfvctl_trace.json");
-    let (out, err, ok) =
-        mfvctl(&["trace", path.to_str().unwrap(), "r1", "2.2.2.3"]);
+    let (out, err, ok) = mfvctl(&["trace", path.to_str().unwrap(), "r1", "2.2.2.3"]);
     assert!(ok, "{err}");
     assert!(out.contains("accepted at r3"), "{out}");
     assert!(out.contains("r2"), "{out}");
@@ -71,8 +70,7 @@ fn trace_prints_hops() {
 fn diff_finds_the_e1_outage() {
     let a = write_example("six-node", "mfvctl_a.json");
     let b = write_example("six-node-broken", "mfvctl_b.json");
-    let (out, err, ok) =
-        mfvctl(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let (out, err, ok) = mfvctl(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
     assert!(ok, "{err}");
     assert!(out.contains("deliverability changes"), "{out}");
     assert!(out.contains("2.2.2.3"), "{out}");

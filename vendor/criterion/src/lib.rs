@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the authoring API (`criterion_group!`, `criterion_main!`,
+//! `Criterion`, benchmark groups, `black_box`, `BenchmarkId`) but replaces
+//! statistical analysis with a simple calibrated wall-clock loop: each
+//! benchmark is warmed up, iteration count is chosen to fill a fixed
+//! measurement window, and mean/min per-iteration times are printed.
+//! Good enough to compare before/after within one machine, which is all the
+//! in-repo experiments need.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+trait IntoLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+pub struct Bencher {
+    /// Measured mean and min per-iteration, filled by `iter`.
+    result: Option<(Duration, Duration, u64)>,
+}
+
+impl Bencher {
+    /// Calibrate then measure `routine`, recording per-iteration timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & calibration: find an iteration count that takes ~100ms.
+        let mut n: u64 = 1;
+        let calib = loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(20) || n >= 1 << 24 {
+                break dt.max(Duration::from_nanos(1)) / n as u32;
+            }
+            n *= 4;
+        };
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / calib.as_nanos().max(1)).clamp(5, 1 << 24) as u64;
+
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let batches = 5u64;
+        let per_batch = (iters / batches).max(1);
+        for _ in 0..batches {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            let per_iter = dt / per_batch as u32;
+            min = min.min(per_iter);
+            total += dt;
+        }
+        let mean = total / (per_batch * batches) as u32;
+        self.result = Some((mean, min, per_batch * batches));
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((mean, min, iters)) => {
+            println!("{label:<50} mean {mean:>12.2?}   min {min:>12.2?}   ({iters} iters)");
+        }
+        None => println!("{label:<50} (no measurement)"),
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        run_one(label, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample counts are fixed by the calibrated loop; accepted for
+    /// source compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<L: IntoLabel, F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: L,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_label()), f);
+        self
+    }
+
+    pub fn bench_with_input<L: IntoLabel, I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: L,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_label()), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

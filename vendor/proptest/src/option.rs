@@ -1,0 +1,26 @@
+//! Option strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `None` in roughly a quarter of samples, matching the real crate's default
+/// weighting toward `Some`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Deterministic test runner support: per-test RNG and config.
+
+use std::fmt;
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-case RNG, seeded from the test path and case index so runs are
+/// reproducible across invocations and machines.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    pub fn deterministic(test_path: &str, case: u32) -> TestRng {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(
+            h ^ ((case as u64) << 32 | case as u64),
+        ))
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property: carries the assertion message.
+#[derive(Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}

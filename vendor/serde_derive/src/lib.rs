@@ -1,0 +1,511 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-repo serde stand-in.
+//!
+//! Implemented without syn/quote: the input token stream is walked by hand
+//! and the impl is produced as a source string. Supported shapes cover what
+//! this workspace actually derives:
+//!
+//! - named-field structs, with `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes
+//! - tuple structs (1-field behaves like a serde newtype: the inner value;
+//!   n-field as an array); `#[serde(transparent)]` is accepted as a no-op
+//!   since the newtype behaviour already matches
+//! - enums with unit and tuple variants, externally tagged like serde_json
+//!   (`"Variant"` for unit, `{"Variant": payload}` otherwise)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ------------------------------------------------------------------ parsing
+
+struct Field {
+    name: String,            // field name, or index for tuple fields
+    default: Option<String>, // Some("") = Default::default(), Some(path) = path()
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extract the payload of a `#[serde(...)]`-style attribute group if `trees`
+/// beginning at `i` form an attribute; returns (payload-if-serde, next index).
+fn take_attr(trees: &[TokenTree], i: usize) -> Option<(Option<TokenStream>, usize)> {
+    match (&trees[i], trees.get(i + 1)) {
+        (TokenTree::Punct(p), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let payload = match (inner.first(), inner.get(1)) {
+                (Some(TokenTree::Ident(id)), Some(TokenTree::Group(pg)))
+                    if id.to_string() == "serde" =>
+                {
+                    Some(pg.stream())
+                }
+                _ => None,
+            };
+            Some((payload, i + 2))
+        }
+        _ => None,
+    }
+}
+
+/// Parse a `default` / `default = "path"` clause out of a serde attribute
+/// payload. Other clauses (`transparent`, …) are ignored.
+fn parse_default(payload: TokenStream) -> Option<String> {
+    let trees: Vec<TokenTree> = payload.into_iter().collect();
+    let mut i = 0;
+    while i < trees.len() {
+        if let TokenTree::Ident(id) = &trees[i] {
+            if id.to_string() == "default" {
+                if let Some(TokenTree::Punct(p)) = trees.get(i + 1) {
+                    if p.as_char() == '=' {
+                        if let Some(TokenTree::Literal(lit)) = trees.get(i + 2) {
+                            let s = lit.to_string();
+                            return Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                return Some(String::new());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip item-level attributes and visibility.
+    loop {
+        if let Some((_, next)) = take_attr(&trees, i) {
+            i = next;
+            continue;
+        }
+        match &trees[i] {
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = trees.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &trees[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected struct/enum, got {t}"),
+    };
+    i += 1;
+    let name = match &trees[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected item name, got {t}"),
+    };
+    i += 1;
+
+    // Generic parameters are not supported (nothing in-tree derives with them).
+    if let Some(TokenTree::Punct(p)) = trees.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive on generic types is not supported by the offline serde stand-in");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match trees.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match trees.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                t => panic!("expected enum body, got {t:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+/// Split a comma-separated token sequence at top level (outside `<...>`).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![];
+    let mut cur = vec![];
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = vec![];
+    for part in split_commas(body) {
+        let mut i = 0;
+        let mut default = None;
+        while let Some((payload, next)) = take_attr(&part, i) {
+            if let Some(p) = payload {
+                if let Some(d) = parse_default(p) {
+                    default = Some(d);
+                }
+            }
+            i = next;
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = part.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = part.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue, // trailing comma artefact
+        };
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    split_commas(body).len()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = vec![];
+    for part in split_commas(body) {
+        let mut i = 0;
+        while let Some((_, next)) = take_attr(&part, i) {
+            i = next;
+        }
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        i += 1;
+        let arity = match part.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                count_tuple_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("struct enum variants are not supported by the offline serde stand-in")
+            }
+            _ => 0,
+        };
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            shape: Shape::Named(fields),
+        } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.insert({:?}.to_string(), serde::Serialize::to_value(&self.{}));\n",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut __m = std::collections::BTreeMap::new();\n\
+                         {inserts}\
+                         serde::Value::Object(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Struct {
+            name,
+            shape: Shape::Tuple(1),
+        } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Serialize::to_value(&self.0) }}\n\
+             }}"
+        ),
+        Item::Struct {
+            name,
+            shape: Shape::Tuple(n),
+        } => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Struct {
+            name,
+            shape: Shape::Unit,
+        } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match v.arity {
+                        0 => format!(
+                            "{name}::{vn} => serde::Value::String({vn:?}.to_string()),\n"
+                        ),
+                        1 => format!(
+                            "{name}::{vn}(__f0) => {{\n\
+                                 let mut __m = std::collections::BTreeMap::new();\n\
+                                 __m.insert({vn:?}.to_string(), serde::Serialize::to_value(__f0));\n\
+                                 serde::Value::Object(__m)\n\
+                             }}\n"
+                        ),
+                        n => {
+                            let binds: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {{\n\
+                                     let mut __m = std::collections::BTreeMap::new();\n\
+                                     __m.insert({vn:?}.to_string(), serde::Value::Array(vec![{}]));\n\
+                                     serde::Value::Object(__m)\n\
+                                 }}\n",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            shape: Shape::Named(fields),
+        } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let fname = &f.name;
+                    match &f.default {
+                        None => format!(
+                            "{fname}: serde::Deserialize::from_value(\
+                                 __v.get({fname:?}).unwrap_or(&serde::Value::Null))\
+                                 .map_err(|e| serde::Error(format!(\"{name}.{fname}: {{e}}\")))?,\n"
+                        ),
+                        Some(d) => {
+                            let fallback = if d.is_empty() {
+                                "Default::default()".to_string()
+                            } else {
+                                format!("{d}()")
+                            };
+                            format!(
+                                "{fname}: match __v.get({fname:?}) {{\n\
+                                     Some(__x) => serde::Deserialize::from_value(__x)\
+                                         .map_err(|e| serde::Error(format!(\"{name}.{fname}: {{e}}\")))?,\n\
+                                     None => {fallback},\n\
+                                 }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         if !matches!(__v, serde::Value::Object(_)) {{\n\
+                             return Err(serde::Error(format!(\"{name}: expected object, got {{__v:?}}\")));\n\
+                         }}\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Struct {
+            name,
+            shape: Shape::Tuple(1),
+        } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Struct {
+            name,
+            shape: Shape::Tuple(n),
+        } => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             serde::Value::Array(__a) if __a.len() == {n} => \
+                                 Ok({name}({})),\n\
+                             __other => Err(serde::Error(format!(\
+                                 \"{name}: expected {n}-element array, got {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Struct {
+            name,
+            shape: Shape::Unit,
+        } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| format!("{:?} => return Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    let vn = &v.name;
+                    match v.arity {
+                        1 => format!(
+                            "{vn:?} => return Ok({name}::{vn}(\
+                                 serde::Deserialize::from_value(__payload)\
+                                 .map_err(|e| serde::Error(format!(\"{name}::{vn}: {{e}}\")))?)),\n"
+                        ),
+                        n => {
+                            let elems: Vec<String> = (0..n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let serde::Value::Array(__a) = __payload else {{\n\
+                                         return Err(serde::Error(format!(\
+                                             \"{name}::{vn}: expected array payload\")));\n\
+                                     }};\n\
+                                     if __a.len() != {n} {{\n\
+                                         return Err(serde::Error(format!(\
+                                             \"{name}::{vn}: expected {n} elements\")));\n\
+                                     }}\n\
+                                     return Ok({name}::{vn}({}));\n\
+                                 }}\n",
+                                elems.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             serde::Value::String(__s) => {{\n\
+                                 match __s.as_str() {{\n{unit_arms}\
+                                     __other => Err(serde::Error(format!(\
+                                         \"{name}: unknown variant {{__other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __payload) = __m.iter().next().unwrap();\n\
+                                 match __tag.as_str() {{\n{tagged_arms}\
+                                     __other => Err(serde::Error(format!(\
+                                         \"{name}: unknown variant {{__other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(serde::Error(format!(\
+                                 \"{name}: expected variant, got {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde_json`: renders and parses the shared
+//! [`serde::Value`] tree. Covers the workspace surface — `to_string`,
+//! `to_string_pretty`, `from_str`, `to_value`, `from_value`, and the
+//! [`json!`] literal macro.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde::value::{Number, Value};
+
+/// Ordered JSON object map, compatible with `Value::Object`.
+pub type Map = BTreeMap<String, Value>;
+
+/// Subset of the real crate's `json!`: object/array literals whose values
+/// are `null`, nested literals, or expressions serialisable via
+/// [`to_value`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array({
+            let mut items = Vec::new();
+            $crate::json_items!(items: $($tt)+);
+            items
+        })
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut map = $crate::Map::new();
+            $crate::json_fields!(map: $($tt)+);
+            map
+        })
+    };
+    ($value:expr) => {
+        $crate::to_value(&$value).expect("json! value serialises")
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_fields {
+    ($map:ident:) => {};
+    ($map:ident: $key:tt : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $($crate::json_fields!($map: $($rest)*);)?
+    };
+    ($map:ident: $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $($crate::json_fields!($map: $($rest)*);)?
+    };
+    ($map:ident: $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $($crate::json_fields!($map: $($rest)*);)?
+    };
+    ($map:ident: $key:tt : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+        $($crate::json_fields!($map: $($rest)*);)?
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident:) => {};
+    ($items:ident: null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $($crate::json_items!($items: $($rest)*);)?
+    };
+    ($items:ident: { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $($crate::json_items!($items: $($rest)*);)?
+    };
+    ($items:ident: [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $($crate::json_items!($items: $($rest)*);)?
+    };
+    ($items:ident: $value:expr $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!($value));
+        $($crate::json_items!($items: $($rest)*);)?
+    };
+}
+
+#[derive(Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.0)
+    }
+}
+
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Into::into)
+}
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    T::from_value(&v).map_err(Into::into)
+}
+
+// ----------------------------------------------------------------- printing
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ------------------------------------------------------------------ parsing
+
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing data at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected {:?} at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = vec![];
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b
+                    .get(*pos)
+                    .copied()
+                    .ok_or_else(|| Error("bad escape".into()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("bad \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(Error(format!("bad escape \\{}", esc as char))),
+                }
+            }
+            c => {
+                // Re-assemble multi-byte UTF-8 sequences.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let width = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b
+                        .get(start..start + width)
+                        .and_then(|ch| std::str::from_utf8(ch).ok())
+                        .ok_or_else(|| Error("invalid utf-8 in string".into()))?;
+                    out.push_str(chunk);
+                    *pos = start + width;
+                }
+            }
+        }
+    }
+    Err(Error("unterminated string".into()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("invalid number at byte {start}")));
+    }
+    if !float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U(u)));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::I(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::F(f)))
+        .map_err(|_| Error(format!("invalid number {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let src = r#"{"a":[1,2,{"b":"x\ny"}],"c":null,"d":true,"e":-7}"#;
+        let v = parse(src).unwrap();
+        let mut out = String::new();
+        write_compact(&v, &mut out);
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = parse(r#"{"x":{"y":[1,2]},"z":[]}"#).unwrap();
+        let pretty = {
+            let mut s = String::new();
+            write_pretty(&v, 0, &mut s);
+            s
+        };
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+}
