@@ -12,12 +12,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use mfv_dataplane::Dataplane;
-use mfv_emulator::{Cluster, Emulation, EmulationConfig};
-use mfv_mgmt::{collect_afts, dataplane_from_afts, Telemetry};
+use mfv_emulator::{ChaosPlan, Cluster, ConvergenceVerdict, Emulation, EmulationConfig};
+use mfv_mgmt::Collector;
 use mfv_model::CoverageReport;
-use mfv_types::{NodeId, SimDuration};
+use mfv_types::{ExtractionStatus, NodeId, SimDuration};
 use mfv_vrouter::VendorProfile;
 
+use crate::extract::extract_snapshot;
 use crate::snapshot::Snapshot;
 
 /// Why a backend could not produce a dataplane.
@@ -47,6 +48,12 @@ pub struct BackendMeta {
     pub crashes: u64,
     /// Model: per-config coverage reports (unrecognised lines — E2).
     pub coverage: Vec<CoverageReport>,
+    /// Emulation: how the run ended (converged / oscillating / timed out).
+    pub verdict: Option<ConvergenceVerdict>,
+    /// Emulation: fraction of nodes whose AFTs were actually extracted.
+    pub extraction_coverage: Option<f64>,
+    /// Emulation: per-node extraction provenance.
+    pub extraction_status: BTreeMap<NodeId, ExtractionStatus>,
 }
 
 /// A produced dataplane plus its provenance.
@@ -78,6 +85,10 @@ pub struct EmulationBackend {
     /// Restart crashed routing processes (watchdog). Disable to freeze the
     /// post-crash state for inspection.
     pub auto_restart: bool,
+    /// Fault-injection schedule replayed during the run (empty = none).
+    pub chaos: ChaosPlan,
+    /// Management-plane collector (retry policy + simulated RPC failures).
+    pub collector: Collector,
 }
 
 impl Default for EmulationBackend {
@@ -89,6 +100,8 @@ impl Default for EmulationBackend {
             quiet_period: SimDuration::from_secs(12),
             max_sim_time: SimDuration::from_mins(120),
             auto_restart: true,
+            chaos: ChaosPlan::default(),
+            collector: Collector::default(),
         }
     }
 }
@@ -111,6 +124,7 @@ impl EmulationBackend {
             auto_restart_crashed: self.auto_restart,
             profile_overrides: self.profiles.clone(),
             inject_after_boot: true,
+            chaos: self.chaos.clone(),
         };
         let mut emu = Emulation::new(
             snapshot.topology.clone(),
@@ -138,6 +152,9 @@ impl EmulationBackend {
             messages: report.messages_delivered,
             crashes: report.crashes,
             coverage: Vec::new(),
+            verdict: Some(report.verdict.clone()),
+            extraction_coverage: None,
+            extraction_status: BTreeMap::new(),
         };
         Ok((emu, meta))
     }
@@ -149,25 +166,24 @@ impl Backend for EmulationBackend {
     }
 
     fn compute(&self, snapshot: &Snapshot) -> Result<BackendResult, BackendError> {
-        let (emu, meta) = self.run(snapshot)?;
+        let (emu, mut meta) = self.run(snapshot)?;
         // The extraction step of §4.1: dump per-device AFTs through the
         // management plane and rebuild the network dataplane from them —
         // we deliberately do NOT shortcut via the emulator's internal state.
-        let mut telemetry = BTreeMap::new();
-        for node in emu.topology.nodes.iter() {
-            if let Some(router) = emu.router(&node.name) {
-                telemetry.insert(node.name.clone(), Telemetry::from_router(router));
-            }
+        let extracted = extract_snapshot(&emu, &self.collector);
+        if self.collector.failures.is_noop() && extracted.is_complete() {
+            debug_assert_eq!(
+                extracted.dataplane.digest(),
+                emu.dataplane().digest(),
+                "AFT round-trip must be lossless"
+            );
         }
-        let afts = collect_afts(&telemetry);
-        let reference = emu.dataplane();
-        let dataplane = dataplane_from_afts(&afts, &reference);
-        debug_assert_eq!(
-            dataplane.digest(),
-            reference.digest(),
-            "AFT round-trip must be lossless"
-        );
-        Ok(BackendResult { dataplane, meta })
+        meta.extraction_coverage = Some(extracted.coverage);
+        meta.extraction_status = extracted.status;
+        Ok(BackendResult {
+            dataplane: extracted.dataplane,
+            meta,
+        })
     }
 }
 

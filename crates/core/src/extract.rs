@@ -1,0 +1,60 @@
+//! Snapshot extraction with graceful degradation.
+//!
+//! The naive pipeline step "dump every AFT, rebuild the dataplane" becomes
+//! a total function here: [`extract_snapshot`] runs a retrying
+//! [`Collector`] over every topology node and always returns a dataplane —
+//! possibly covering only a subset of nodes — together with per-node
+//! [`ExtractionStatus`] and a coverage fraction. Verification downstream
+//! qualifies its answers with that coverage instead of aborting (see
+//! `mfv_verify::coverage`).
+
+use std::collections::BTreeMap;
+
+use mfv_dataplane::Dataplane;
+use mfv_emulator::Emulation;
+use mfv_mgmt::{collect_afts, dataplane_from_afts, Collector};
+use mfv_types::{ExtractionStatus, NodeId};
+
+/// A dataplane plus the provenance of every node's state in it.
+#[derive(Clone, Debug)]
+pub struct ExtractedSnapshot {
+    /// Dataplane over the covered nodes only; links touching a missing
+    /// node are dropped with it.
+    pub dataplane: Dataplane,
+    /// Per-node extraction outcome for every topology node.
+    pub status: BTreeMap<NodeId, ExtractionStatus>,
+    /// Fraction of topology nodes with extracted state.
+    pub coverage: f64,
+    /// Total management-plane RPC attempts (retries included).
+    pub attempts: u64,
+}
+
+impl ExtractedSnapshot {
+    pub fn is_complete(&self) -> bool {
+        self.status.values().all(|s| s.is_covered())
+    }
+}
+
+/// Extracts a dataplane from a (possibly still-degraded) emulation. Nodes
+/// whose router instance is gone — evicted by a machine failure and not yet
+/// rescheduled — report `Missing("no router instance")`; nodes whose RPC
+/// path fails past the collector's retry budget report `Missing` with the
+/// exhaustion reason. Never panics, never aborts the sweep.
+pub fn extract_snapshot(emu: &Emulation, collector: &Collector) -> ExtractedSnapshot {
+    let nodes: Vec<_> = emu
+        .topology
+        .nodes
+        .iter()
+        .map(|n| (n.name.clone(), emu.router(&n.name)))
+        .collect();
+    let report = collector.collect(nodes);
+    let afts = collect_afts(&report.telemetry);
+    let reference = emu.dataplane();
+    let dataplane = dataplane_from_afts(&afts, &reference);
+    ExtractedSnapshot {
+        dataplane,
+        coverage: report.coverage(),
+        status: report.status,
+        attempts: report.attempts,
+    }
+}

@@ -22,10 +22,12 @@
 //!
 //! - [`snapshot`] — verification inputs and what-if variants
 //! - [`backend`] — [`EmulationBackend`] (model-free) and [`ModelBackend`]
+//! - [`extract`] — AFT extraction with per-node status and coverage
 //! - [`scenarios`] — every topology in the paper's evaluation
 //! - [`whatif`] — link-cut context enumeration and parallel sweeps
 
 pub mod backend;
+pub mod extract;
 pub mod scenarios;
 pub mod snapshot;
 pub mod whatif;
@@ -33,6 +35,7 @@ pub mod whatif;
 pub use backend::{
     Backend, BackendError, BackendMeta, BackendResult, EmulationBackend, ModelBackend,
 };
+pub use extract::{extract_snapshot, ExtractedSnapshot};
 pub use snapshot::Snapshot;
 pub use whatif::{
     link_cut_context_count, link_cut_contexts, verify_link_cuts, verify_link_cuts_detailed,
@@ -42,6 +45,8 @@ pub use whatif::{
 // Re-export the query surface so downstream users need only `mfv-core`.
 pub use mfv_verify::{
     deliverability_changes, detect_blackholes, detect_loops, detect_multipath_inconsistency,
-    differential_reachability, differential_reachability_with, disposition_summary, reachability,
-    traceroute, unreachable_pairs, ClassCache, DiffFinding, Disposition, ForwardingAnalysis,
+    differential_reachability, differential_reachability_with, disposition_summary,
+    qualified_reachability, qualified_unreachable_pairs, reachability, traceroute,
+    unreachable_pairs, ClassCache, Coverage, DiffFinding, Disposition, ForwardingAnalysis,
+    Qualified,
 };

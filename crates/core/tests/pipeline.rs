@@ -455,3 +455,145 @@ fn export_policy_suppresses_advertisements() {
     let r2_dp = &result.dataplane.nodes[&NodeId::from("r2")];
     assert!(r2_dp.fib().lookup("2.2.2.1".parse().unwrap()).is_none());
 }
+
+/// Chaos acceptance: a flap schedule on the two-vendor WAN replica drives
+/// the verdict to Oscillating with the churning prefixes named; the same
+/// run without the flaps converges. Both outcomes are deterministic.
+#[test]
+fn chaos_flap_on_two_vendor_wan_oscillates_and_control_converges() {
+    use mfv_emulator::{ChaosPlan, ConvergenceVerdict};
+    use mfv_types::{LinkId, SimDuration, SimTime};
+
+    let snapshot = scenarios::production_wan(9, 2, true, 50);
+
+    // Fault-free control run; also tells us when boot completes so the
+    // flap schedule can be placed in steady state.
+    let mut backend = EmulationBackend::with_seed(3);
+    let control = backend.compute(&snapshot).unwrap();
+    assert!(control.meta.converged);
+    assert!(matches!(
+        control.meta.verdict,
+        Some(ConvergenceVerdict::Converged)
+    ));
+    let boot_ms = control.meta.boot_time.unwrap().as_millis();
+
+    // Flap the first ring link every 20s (8s down), repeating past the
+    // shortened budget: the network can never stay quiet for 12s.
+    let l = &snapshot.topology.links[0];
+    let link = LinkId::new(
+        (l.a_node.clone(), l.a_iface.clone()),
+        (l.b_node.clone(), l.b_iface.clone()),
+    );
+    backend.max_sim_time = SimDuration::from_millis(boot_ms + 400_000);
+    backend.chaos = ChaosPlan::new().repeated_link_flap(
+        link,
+        SimTime(boot_ms + 60_000),
+        SimDuration::from_secs(8),
+        40,
+        SimDuration::from_secs(20),
+    );
+    let chaotic = backend.compute(&snapshot).unwrap();
+    assert!(!chaotic.meta.converged);
+    match chaotic.meta.verdict.as_ref().unwrap() {
+        ConvergenceVerdict::Oscillating { period, prefixes } => {
+            assert!(!prefixes.is_empty());
+            assert!(period.as_millis() > 0);
+        }
+        other => panic!("expected Oscillating, got {other:?}"),
+    }
+
+    // Determinism: replaying the chaotic run reproduces the verdict.
+    let replay = backend.compute(&snapshot).unwrap();
+    assert_eq!(replay.meta.verdict, chaotic.meta.verdict);
+    assert_eq!(replay.dataplane.digest(), chaotic.dataplane.digest());
+}
+
+/// Degradation acceptance: with one node's gNMI extraction forced to fail
+/// past the retry budget, the pipeline still produces a snapshot (coverage
+/// < 1.0, node Missing) and reachability queries complete with qualified
+/// answers instead of panicking.
+#[test]
+fn forced_extraction_failure_degrades_gracefully() {
+    use mfv_core::{qualified_reachability, qualified_unreachable_pairs, Coverage};
+    use mfv_types::ExtractionStatus;
+    use mfv_verify::ForwardingAnalysis;
+
+    let snapshot = scenarios::six_node();
+    let mut backend = EmulationBackend::default();
+    backend.collector.failures.force_fail.insert("r3".into());
+
+    let result = backend.compute(&snapshot).unwrap();
+    let coverage_frac = result.meta.extraction_coverage.unwrap();
+    assert!(coverage_frac < 1.0, "coverage {coverage_frac}");
+    assert!(matches!(
+        result.meta.extraction_status[&NodeId::from("r3")],
+        ExtractionStatus::Missing(_)
+    ));
+    // The snapshot covers the other five nodes; r3 and its links are gone.
+    assert!(!result.dataplane.nodes.contains_key(&NodeId::from("r3")));
+    assert_eq!(result.dataplane.nodes.len(), 5);
+
+    let coverage = Coverage::from_status(&result.meta.extraction_status);
+    assert_eq!(coverage.fraction(), coverage_frac);
+    let q = qualified_unreachable_pairs(&result.dataplane, &coverage);
+    assert!(!q.is_unqualified());
+    assert!(q.caveats[0].contains("r3"), "{:?}", q.caveats);
+
+    // A query about the missing node completes and is flagged vacuous.
+    let fa = ForwardingAnalysis::new(&result.dataplane);
+    let qr = qualified_reachability(&fa, &"r1".into(), &"r3".into(), &coverage);
+    assert!(
+        qr.caveats.iter().any(|c| c.contains("vacuous")),
+        "{:?}",
+        qr.caveats
+    );
+}
+
+/// Crash path with the restart watchdog off: by default the dead router is
+/// still extracted (present, down, empty FIB); with a fate-shared
+/// management plane it becomes a coverage gap the verifier reports.
+#[test]
+fn crash_without_restart_degrades_dataplane_and_coverage() {
+    use mfv_core::Coverage;
+
+    let snapshot = scenarios::interplay_chain();
+    let mut backend = EmulationBackend::with_seed(7);
+    backend.profiles.insert(
+        "victim".into(),
+        VendorProfile::ceos().with_bugs(VendorBugs {
+            crash_on_unknown_attr: Some(213),
+            ..Default::default()
+        }),
+    );
+    backend.profiles.insert(
+        "emitter".into(),
+        VendorProfile::vjunos().with_bugs(VendorBugs {
+            emit_unusual_attr: Some(213),
+            ..Default::default()
+        }),
+    );
+    backend.auto_restart = false;
+
+    // Default collector: gNMI survives the routing-process crash, so the
+    // victim is extracted as present-but-down with full coverage.
+    let frozen = backend.compute(&snapshot).unwrap();
+    assert!(frozen.meta.crashes >= 1);
+    assert_eq!(frozen.meta.extraction_coverage, Some(1.0));
+    let victim = NodeId::from("victim");
+    let node = &frozen.dataplane.nodes[&victim];
+    assert!(!node.up, "crashed router must be extracted as down");
+    assert!(!unreachable_pairs(&frozen.dataplane).is_empty());
+
+    // Fate-shared management plane: the down device is unreachable over
+    // gNMI too — now it is a coverage gap, not a down node.
+    backend.collector.failures.down_is_missing = true;
+    let degraded = backend.compute(&snapshot).unwrap();
+    assert!(degraded.meta.extraction_coverage.unwrap() < 1.0);
+    assert!(!degraded.dataplane.nodes.contains_key(&victim));
+    let coverage = Coverage::from_status(&degraded.meta.extraction_status);
+    assert!(
+        coverage.caveats()[0].contains("victim"),
+        "{:?}",
+        coverage.caveats()
+    );
+}

@@ -1,0 +1,289 @@
+//! Chaos schedules: seeded, deterministic fault injection.
+//!
+//! The paper's argument for emulation is that real control planes misbehave
+//! in ways hand-written models never predict (§2, §6) — but a replica that
+//! only ever replays the happy path exercises none of that behaviour. A
+//! [`ChaosPlan`] is a declarative schedule of faults the engine injects at
+//! fixed virtual times: link flaps, message impairment on selected links,
+//! routing-process kills, and cluster machine failures that evict pods back
+//! through the bin-packing scheduler. Because the schedule is data and every
+//! random draw comes from the engine's seeded RNG, a run is replayable from
+//! `(topology, seed, plan)` — the same determinism contract the fault-free
+//! engine already offers.
+
+use mfv_types::{LinkId, NodeId, SimDuration, SimTime};
+
+/// Message impairment applied to traffic crossing a link while a
+/// [`ChaosEvent::Impair`] window is active.
+///
+/// Percentages are evaluated per message against the engine's seeded RNG,
+/// so impairment outcomes replay identically for a given `(seed, plan)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ImpairSpec {
+    /// Probability (0–100) that a message crossing the link is dropped.
+    pub drop_pct: u8,
+    /// Probability (0–100) that a message is delivered twice.
+    pub duplicate_pct: u8,
+    /// Extra one-way delay added to every message, in milliseconds.
+    pub extra_delay_ms: u64,
+}
+
+impl ImpairSpec {
+    /// Does this spec do anything at all?
+    pub fn is_noop(&self) -> bool {
+        self.drop_pct == 0 && self.duplicate_pct == 0 && self.extra_delay_ms == 0
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChaosEvent {
+    /// Take `link` down at `at`, restore it `down_for` later — and repeat
+    /// the cycle `repeats` times, `every` apart. `repeats == 1` is a single
+    /// flap; a long train of flaps is how oscillation scenarios are built.
+    LinkFlap {
+        link: LinkId,
+        at: SimTime,
+        down_for: SimDuration,
+        repeats: u32,
+        every: SimDuration,
+    },
+    /// Kill the routing process on `node` at `at` (the process dies exactly
+    /// as a vendor-bug crash does: FIB flushed, sessions lost; the engine's
+    /// watchdog applies its usual restart policy).
+    KillRouting { node: NodeId, at: SimTime },
+    /// Fail the named cluster machine at `at`: every pod on it is evicted
+    /// and resubmitted to the scheduler, which places it on surviving
+    /// machines (or reports it unschedulable).
+    FailMachine { machine: String, at: SimTime },
+    /// Impair messages crossing `link` during `[from, until)`.
+    Impair {
+        link: LinkId,
+        from: SimTime,
+        until: SimTime,
+        spec: ImpairSpec,
+    },
+}
+
+impl ChaosEvent {
+    /// The last instant at which this event can still change the network —
+    /// convergence must not be declared before every scheduled fault has
+    /// had its say.
+    pub fn horizon(&self) -> SimTime {
+        match self {
+            ChaosEvent::LinkFlap {
+                at,
+                down_for,
+                repeats,
+                every,
+                ..
+            } => *at + every.saturating_mul((*repeats).saturating_sub(1) as u64) + *down_for,
+            ChaosEvent::KillRouting { at, .. } => *at,
+            ChaosEvent::FailMachine { at, .. } => *at,
+            ChaosEvent::Impair { until, .. } => *until,
+        }
+    }
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// Built with the chainable constructors and handed to the engine via
+/// [`EmulationConfig::chaos`](crate::EmulationConfig); an empty plan (the
+/// default) is a fault-free run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ChaosPlan {
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    pub fn new() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// One down/up flap of `link`.
+    pub fn link_flap(self, link: LinkId, at: SimTime, down_for: SimDuration) -> ChaosPlan {
+        self.repeated_link_flap(link, at, down_for, 1, SimDuration::ZERO)
+    }
+
+    /// A train of `repeats` flaps starting at `at`, one cycle `every`
+    /// (which must exceed `down_for` for the link to come back up between
+    /// cycles).
+    pub fn repeated_link_flap(
+        mut self,
+        link: LinkId,
+        at: SimTime,
+        down_for: SimDuration,
+        repeats: u32,
+        every: SimDuration,
+    ) -> ChaosPlan {
+        self.events.push(ChaosEvent::LinkFlap {
+            link,
+            at,
+            down_for,
+            repeats,
+            every,
+        });
+        self
+    }
+
+    pub fn kill_routing(mut self, node: impl Into<NodeId>, at: SimTime) -> ChaosPlan {
+        self.events.push(ChaosEvent::KillRouting {
+            node: node.into(),
+            at,
+        });
+        self
+    }
+
+    pub fn fail_machine(mut self, machine: impl Into<String>, at: SimTime) -> ChaosPlan {
+        self.events.push(ChaosEvent::FailMachine {
+            machine: machine.into(),
+            at,
+        });
+        self
+    }
+
+    pub fn impair_link(
+        mut self,
+        link: LinkId,
+        from: SimTime,
+        until: SimTime,
+        spec: ImpairSpec,
+    ) -> ChaosPlan {
+        self.events.push(ChaosEvent::Impair {
+            link,
+            from,
+            until,
+            spec,
+        });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Latest horizon across all scheduled events ([`SimTime::ZERO`] for an
+    /// empty plan).
+    pub fn horizon(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| e.horizon())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// Why a convergence run ended the way it did — the watchdog's replacement
+/// for a bare `converged: bool`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConvergenceVerdict {
+    /// The dataplane went quiet for the configured window.
+    Converged,
+    /// The time budget ran out while a recognisable set of prefixes kept
+    /// changing — the network is flapping, not converging slowly.
+    Oscillating {
+        /// Mean interval between consecutive changes of the most-churning
+        /// prefix: the detected flap period.
+        period: SimDuration,
+        /// Prefixes still churning at the deadline (sorted; capped at
+        /// [`ConvergenceVerdict::MAX_REPORTED_PREFIXES`]).
+        prefixes: Vec<mfv_types::Prefix>,
+    },
+    /// The time budget ran out without quiescence or detectable
+    /// oscillation (e.g. still booting, or a feed still draining).
+    TimedOut,
+}
+
+impl ConvergenceVerdict {
+    /// Cap on the prefix list carried by an `Oscillating` verdict.
+    pub const MAX_REPORTED_PREFIXES: usize = 32;
+
+    pub fn is_converged(&self) -> bool {
+        matches!(self, ConvergenceVerdict::Converged)
+    }
+}
+
+impl std::fmt::Display for ConvergenceVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvergenceVerdict::Converged => write!(f, "converged"),
+            ConvergenceVerdict::Oscillating { period, prefixes } => write!(
+                f,
+                "oscillating ({} prefixes churning, period {period})",
+                prefixes.len()
+            ),
+            ConvergenceVerdict::TimedOut => write!(f, "timed out"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkId {
+        LinkId::new(
+            ("r1".into(), "Ethernet1".into()),
+            ("r2".into(), "Ethernet1".into()),
+        )
+    }
+
+    #[test]
+    fn plan_builders_accumulate_events() {
+        let plan = ChaosPlan::new()
+            .link_flap(link(), SimTime(10_000), SimDuration::from_secs(5))
+            .kill_routing("r2", SimTime(20_000))
+            .fail_machine("node-0", SimTime(30_000))
+            .impair_link(
+                link(),
+                SimTime(40_000),
+                SimTime(50_000),
+                ImpairSpec {
+                    drop_pct: 10,
+                    ..Default::default()
+                },
+            );
+        assert_eq!(plan.events.len(), 4);
+        assert!(!plan.is_empty());
+        assert!(ChaosPlan::new().is_empty());
+    }
+
+    #[test]
+    fn horizon_covers_the_last_fault() {
+        let plan = ChaosPlan::new().repeated_link_flap(
+            link(),
+            SimTime(100_000),
+            SimDuration::from_secs(5),
+            10,
+            SimDuration::from_secs(20),
+        );
+        // Last down at 100s + 9*20s = 280s; back up 5s later.
+        assert_eq!(plan.horizon(), SimTime(285_000));
+        assert_eq!(ChaosPlan::new().horizon(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn impair_horizon_is_window_end() {
+        let ev = ChaosEvent::Impair {
+            link: link(),
+            from: SimTime(1_000),
+            until: SimTime(9_000),
+            spec: ImpairSpec::default(),
+        };
+        assert_eq!(ev.horizon(), SimTime(9_000));
+    }
+
+    #[test]
+    fn verdict_display_and_predicates() {
+        assert!(ConvergenceVerdict::Converged.is_converged());
+        assert!(!ConvergenceVerdict::TimedOut.is_converged());
+        let v = ConvergenceVerdict::Oscillating {
+            period: SimDuration::from_secs(15),
+            prefixes: vec!["10.0.0.0/24".parse().unwrap()],
+        };
+        assert_eq!(
+            v.to_string(),
+            "oscillating (1 prefixes churning, period 15.000s)"
+        );
+    }
+}

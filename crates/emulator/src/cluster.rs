@@ -33,7 +33,7 @@ impl MachineSpec {
 }
 
 /// A pod resource request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PodRequest {
     pub pod: NodeId,
     pub cpu_millis: u32,
@@ -60,9 +60,14 @@ struct Machine {
     spec: MachineSpec,
     used_cpu: u32,
     used_mem: u32,
-    pods: Vec<NodeId>,
+    /// Requests (not just names): a machine failure must return each
+    /// evicted pod's resource shape so it can be resubmitted verbatim.
+    pods: Vec<PodRequest>,
     /// Whether the router image has been pulled to this machine already.
     image_cached: bool,
+    /// A failed machine keeps its entry (stable indices for reporting) but
+    /// accepts no pods and holds none.
+    failed: bool,
 }
 
 /// A pod placement decision.
@@ -93,6 +98,7 @@ impl Cluster {
                     used_mem: 0,
                     pods: Vec::new(),
                     image_cached: false,
+                    failed: false,
                 })
                 .collect(),
             image_pull: SimDuration::from_secs(300),
@@ -117,20 +123,24 @@ impl Cluster {
         self.machines.len()
     }
 
-    /// Remaining capacity in (cpu_millis, mem_mib) across all machines.
+    /// Remaining capacity in (cpu_millis, mem_mib) across live machines.
     pub fn free_capacity(&self) -> (u64, u64) {
-        self.machines.iter().fold((0, 0), |(c, m), machine| {
-            (
-                c + (machine.spec.cpu_millis - machine.used_cpu) as u64,
-                m + (machine.spec.mem_mib - machine.used_mem) as u64,
-            )
-        })
+        self.machines
+            .iter()
+            .filter(|m| !m.failed)
+            .fold((0, 0), |(c, m), machine| {
+                (
+                    c + (machine.spec.cpu_millis - machine.used_cpu) as u64,
+                    m + (machine.spec.mem_mib - machine.used_mem) as u64,
+                )
+            })
     }
 
     /// How many pods of the given request shape still fit.
     pub fn capacity_for(&self, cpu_millis: u32, mem_mib: u32) -> usize {
         self.machines
             .iter()
+            .filter(|m| !m.failed)
             .map(|m| {
                 let by_cpu = (m.spec.cpu_millis - m.used_cpu) / cpu_millis.max(1);
                 let by_mem = (m.spec.mem_mib - m.used_mem) / mem_mib.max(1);
@@ -157,7 +167,8 @@ impl Cluster {
             .machines
             .iter_mut()
             .filter(|m| {
-                m.spec.cpu_millis - m.used_cpu >= req.cpu_millis
+                !m.failed
+                    && m.spec.cpu_millis - m.used_cpu >= req.cpu_millis
                     && m.spec.mem_mib - m.used_mem >= req.mem_mib
             })
             // Best fit: the machine with the least leftover CPU.
@@ -173,7 +184,7 @@ impl Cluster {
         };
         machine.used_cpu += req.cpu_millis;
         machine.used_mem += req.mem_mib;
-        machine.pods.push(req.pod.clone());
+        machine.pods.push(req.clone());
 
         let pull = if machine.image_cached {
             SimDuration::ZERO
@@ -202,13 +213,39 @@ impl Cluster {
     /// Releases a pod's resources (pod deletion).
     pub fn release(&mut self, pod: &NodeId, cpu_millis: u32, mem_mib: u32) {
         for m in &mut self.machines {
-            if let Some(pos) = m.pods.iter().position(|p| p == pod) {
+            if let Some(pos) = m.pods.iter().position(|p| &p.pod == pod) {
                 m.pods.remove(pos);
                 m.used_cpu = m.used_cpu.saturating_sub(cpu_millis);
                 m.used_mem = m.used_mem.saturating_sub(mem_mib);
                 return;
             }
         }
+    }
+
+    /// Fails a machine (node outage): it stops accepting pods and every pod
+    /// it held is evicted. The evicted pods' requests are returned in
+    /// placement order so the caller can resubmit them to the scheduler —
+    /// the k8s eviction/reschedule loop, compressed into one call.
+    /// Unknown or already-failed machines evict nothing.
+    pub fn fail_machine(&mut self, name: &str) -> Vec<PodRequest> {
+        for m in &mut self.machines {
+            if m.spec.name == name && !m.failed {
+                m.failed = true;
+                m.used_cpu = 0;
+                m.used_mem = 0;
+                return std::mem::take(&mut m.pods);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Names of machines that have failed.
+    pub fn failed_machines(&self) -> Vec<String> {
+        self.machines
+            .iter()
+            .filter(|m| m.failed)
+            .map(|m| m.spec.name.clone())
+            .collect()
     }
 
     /// Pods per machine, for reporting.
@@ -340,6 +377,47 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn machine_failure_evicts_pods_and_excludes_machine() {
+        let mut cluster = Cluster::of_size(2);
+        let mut r = rng();
+        for i in 0..3 {
+            cluster
+                .schedule(
+                    &ceos_request(i),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(1),
+                    &mut r,
+                )
+                .unwrap();
+        }
+        // Best-fit packs all three onto one machine; find it.
+        let (loaded, _) = cluster
+            .packing()
+            .into_iter()
+            .find(|(_, n)| *n == 3)
+            .expect("one machine holds all pods");
+        let evicted = cluster.fail_machine(&loaded);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(evicted[0], ceos_request(0));
+        assert_eq!(cluster.failed_machines(), vec![loaded.clone()]);
+        // Evicted pods resubmit onto the survivor only.
+        for req in &evicted {
+            let p = cluster
+                .schedule(req, SimTime::ZERO, SimDuration::from_secs(1), &mut r)
+                .unwrap();
+            assert_ne!(p.machine, loaded);
+        }
+        // Failing again evicts nothing.
+        assert!(cluster.fail_machine(&loaded).is_empty());
+        // A failed machine contributes no capacity.
+        assert_eq!(Cluster::of_size(1).capacity_for(500, 1024), {
+            let mut c = Cluster::of_size(2);
+            c.fail_machine("node-1");
+            c.capacity_for(500, 1024)
+        });
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! is exactly the non-determinism surface §6 of the paper discusses.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
@@ -15,9 +15,10 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use mfv_dataplane::Dataplane;
-use mfv_types::{IfaceId, LinkId, NodeId, SimDuration, SimTime};
+use mfv_types::{IfaceId, LinkId, NodeId, Prefix, SimDuration, SimTime};
 use mfv_vrouter::{RouterEvent, VendorProfile, VirtualRouter};
 
+use crate::chaos::{ChaosEvent, ChaosPlan, ConvergenceVerdict, ImpairSpec};
 use crate::cluster::{Cluster, PodRequest, Unschedulable};
 use crate::inject::{synthetic_prefixes, ExternalPeer};
 use crate::topology::Topology;
@@ -41,6 +42,10 @@ pub struct EmulationConfig {
     /// paper's E5 measurement applies configuration and injection to an
     /// already-booted replica.
     pub inject_after_boot: bool,
+    /// Scheduled fault injection. The default (empty) plan is a fault-free
+    /// run; see [`ChaosPlan`] for what can be scheduled. Events referencing
+    /// unknown links/nodes/machines are inert.
+    pub chaos: ChaosPlan,
 }
 
 impl Default for EmulationConfig {
@@ -52,15 +57,24 @@ impl Default for EmulationConfig {
             auto_restart_crashed: true,
             profile_overrides: BTreeMap::new(),
             inject_after_boot: true,
+            chaos: ChaosPlan::default(),
         }
     }
 }
 
 /// Outcome of a convergence run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` so determinism tests can compare whole reports: a replay of
+/// the same `(topology, seed, plan)` must produce an identical one.
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunReport {
     /// Whether the dataplane went quiet before `max_sim_time`.
+    /// (Equivalent to `verdict.is_converged()`; kept for callers that only
+    /// need the boolean.)
     pub converged: bool,
+    /// The watchdog's full verdict: converged, oscillating (with the
+    /// detected flap period and churning prefixes), or timed out.
+    pub verdict: ConvergenceVerdict,
     /// When the last pod became Ready (emulation startup complete).
     pub boot_complete_at: Option<SimTime>,
     /// Time of the last dataplane change — the convergence instant.
@@ -96,6 +110,12 @@ enum EventKind {
         payload: Bytes,
     },
     RestartRouter(NodeId),
+    ChaosLink {
+        link: LinkId,
+        up: bool,
+    },
+    ChaosKillRouter(NodeId),
+    ChaosFailMachine(String),
 }
 
 struct Ev {
@@ -163,7 +183,25 @@ pub struct Emulation {
     /// actually has.
     bgp_flow_clock: BTreeMap<(Ipv4Addr, Ipv4Addr), SimTime>,
     isis_link_clock: BTreeMap<(NodeId, IfaceId), SimTime>,
+    /// Chaos events scheduled but not yet handled; convergence must wait
+    /// for zero, or a quiet spell before a scheduled fault would be
+    /// declared final.
+    chaos_pending: usize,
+    /// Active message-impairment windows from the chaos plan.
+    impairments: Vec<(LinkId, SimTime, SimTime, ImpairSpec)>,
+    /// Recent per-prefix dataplane-change timestamps (recorded once boot
+    /// and injection are done), bounded in both axes. The watchdog reads
+    /// this at the deadline to distinguish oscillation from slow progress.
+    churn: BTreeMap<Prefix, VecDeque<SimTime>>,
 }
+
+/// Most prefixes tracked by the churn watchdog; arrivals past the cap are
+/// ignored (deterministically) to bound memory at production-feed scale.
+const CHURN_PREFIX_CAP: usize = 4096;
+/// Change timestamps retained per prefix.
+const CHURN_HISTORY: usize = 8;
+/// Changes a prefix needs within the recent window to count as oscillating.
+const OSCILLATION_MIN_CHANGES: usize = 4;
 
 impl Emulation {
     /// Prepares an emulation: validates the topology and parses every
@@ -221,6 +259,9 @@ impl Emulation {
             feeds_active,
             bgp_flow_clock: BTreeMap::new(),
             isis_link_clock: BTreeMap::new(),
+            chaos_pending: 0,
+            impairments: Vec::new(),
+            churn: BTreeMap::new(),
         })
     }
 
@@ -327,6 +368,55 @@ impl Emulation {
                 self.schedule_ext_poll(idx, SimTime(self.now.0 + 1_000));
             }
         }
+        // Chaos schedule: expand the plan into engine events up front so the
+        // whole fault timeline is part of the deterministic event order.
+        let plan = self.cfg.chaos.clone();
+        for ev in plan.events {
+            match ev {
+                ChaosEvent::LinkFlap {
+                    link,
+                    at,
+                    down_for,
+                    repeats,
+                    every,
+                } => {
+                    for k in 0..repeats as u64 {
+                        let down_at = at + every.saturating_mul(k);
+                        self.chaos_pending += 2;
+                        self.push_event(
+                            down_at,
+                            EventKind::ChaosLink {
+                                link: link.clone(),
+                                up: false,
+                            },
+                        );
+                        self.push_event(
+                            down_at + down_for,
+                            EventKind::ChaosLink {
+                                link: link.clone(),
+                                up: true,
+                            },
+                        );
+                    }
+                }
+                ChaosEvent::KillRouting { node, at } => {
+                    self.chaos_pending += 1;
+                    self.push_event(at, EventKind::ChaosKillRouter(node));
+                }
+                ChaosEvent::FailMachine { machine, at } => {
+                    self.chaos_pending += 1;
+                    self.push_event(at, EventKind::ChaosFailMachine(machine));
+                }
+                ChaosEvent::Impair {
+                    link,
+                    from,
+                    until,
+                    spec,
+                } => {
+                    self.impairments.push((link, from, until, spec));
+                }
+            }
+        }
     }
 
     fn register_addresses(&mut self, node: &NodeId) {
@@ -348,6 +438,46 @@ impl Emulation {
         self.link_up.get(&id).copied().unwrap_or(false)
     }
 
+    /// The active impairment window covering `link` right now, if any.
+    fn impairment_for(&self, link: &LinkId) -> Option<ImpairSpec> {
+        let now = self.now;
+        self.impairments
+            .iter()
+            .find(|(l, from, until, _)| l == link && now >= *from && now < *until)
+            .map(|(_, _, _, spec)| *spec)
+    }
+
+    /// Impairment for BGP traffic between two nodes: matched when an
+    /// impaired link directly connects them (eBGP single-hop, or iBGP
+    /// between adjacent routers). Multi-hop sessions crossing an impaired
+    /// transit link are not modelled — impairment targets links, and we
+    /// route no per-message paths here.
+    fn bgp_impairment_for(&self, a: &NodeId, b: &NodeId) -> Option<ImpairSpec> {
+        let now = self.now;
+        self.impairments
+            .iter()
+            .find(|(l, from, until, _)| {
+                now >= *from
+                    && now < *until
+                    && ((l.a.0 == *a && l.b.0 == *b) || (l.a.0 == *b && l.b.0 == *a))
+            })
+            .map(|(_, _, _, spec)| *spec)
+    }
+
+    /// Applies an impairment's drop/duplicate draws; returns how many
+    /// copies to deliver (0 = dropped). Draws come from the engine RNG, so
+    /// impairment outcomes are part of the seed-deterministic replay.
+    fn impaired_copies(&mut self, spec: Option<ImpairSpec>) -> u32 {
+        let Some(spec) = spec else { return 1 };
+        if spec.drop_pct > 0 && self.rng.gen_range(0..100u32) < spec.drop_pct as u32 {
+            return 0;
+        }
+        if spec.duplicate_pct > 0 && self.rng.gen_range(0..100u32) < spec.duplicate_pct as u32 {
+            return 2;
+        }
+        1
+    }
+
     /// Handles one router's output events.
     fn dispatch_router_events(&mut self, node: &NodeId, events: Vec<RouterEvent>) {
         for ev in events {
@@ -361,47 +491,68 @@ impl Emulation {
                     else {
                         continue;
                     };
-                    let jitter = self.rng.gen_range(0..3);
-                    let mut at = self.now + SimDuration::from_millis(latency + jitter);
-                    let clock = self
-                        .isis_link_clock
-                        .entry((node.clone(), iface.clone()))
-                        .or_insert(SimTime::ZERO);
-                    at = at.max(SimTime(clock.0 + 1));
-                    *clock = at;
-                    self.push_event(
-                        at,
-                        EventKind::DeliverIsis {
-                            node: peer,
-                            iface: piface,
-                            payload,
-                        },
+                    let link = LinkId::new(
+                        (node.clone(), iface.clone()),
+                        (peer.clone(), piface.clone()),
                     );
+                    let impair = self.impairment_for(&link);
+                    let copies = self.impaired_copies(impair);
+                    let extra = impair.map(|s| s.extra_delay_ms).unwrap_or(0);
+                    for _ in 0..copies {
+                        let jitter = self.rng.gen_range(0..3);
+                        let mut at = self.now + SimDuration::from_millis(latency + jitter + extra);
+                        let clock = self
+                            .isis_link_clock
+                            .entry((node.clone(), iface.clone()))
+                            .or_insert(SimTime::ZERO);
+                        at = at.max(SimTime(clock.0 + 1));
+                        *clock = at;
+                        self.push_event(
+                            at,
+                            EventKind::DeliverIsis {
+                                node: peer.clone(),
+                                iface: piface.clone(),
+                                payload: payload.clone(),
+                            },
+                        );
+                    }
                 }
                 RouterEvent::BgpSegment { src, dst, payload } => {
                     let Some((owner, owner_node)) = self.ip_owner.get(&dst).cloned() else {
                         continue; // addressed to nobody we know
                     };
-                    let jitter = self.rng.gen_range(0..3);
-                    let mut at = self.now + SimDuration::from_millis(2 + jitter);
-                    let clock = self
-                        .bgp_flow_clock
-                        .entry((src, dst))
-                        .or_insert(SimTime::ZERO);
-                    at = at.max(SimTime(clock.0 + 1));
-                    *clock = at;
-                    match owner {
-                        Owner::Node => self.push_event(
-                            at,
-                            EventKind::DeliverBgp {
-                                node: owner_node,
-                                src,
-                                dst,
-                                payload,
-                            },
-                        ),
-                        Owner::External(idx) => {
-                            self.push_event(at, EventKind::DeliverToExternal { idx, payload })
+                    let impair = match owner {
+                        Owner::Node => self.bgp_impairment_for(node, &owner_node),
+                        Owner::External(_) => None,
+                    };
+                    let copies = self.impaired_copies(impair);
+                    let extra = impair.map(|s| s.extra_delay_ms).unwrap_or(0);
+                    for _ in 0..copies {
+                        let jitter = self.rng.gen_range(0..3);
+                        let mut at = self.now + SimDuration::from_millis(2 + jitter + extra);
+                        let clock = self
+                            .bgp_flow_clock
+                            .entry((src, dst))
+                            .or_insert(SimTime::ZERO);
+                        at = at.max(SimTime(clock.0 + 1));
+                        *clock = at;
+                        match owner {
+                            Owner::Node => self.push_event(
+                                at,
+                                EventKind::DeliverBgp {
+                                    node: owner_node.clone(),
+                                    src,
+                                    dst,
+                                    payload: payload.clone(),
+                                },
+                            ),
+                            Owner::External(idx) => self.push_event(
+                                at,
+                                EventKind::DeliverToExternal {
+                                    idx,
+                                    payload: payload.clone(),
+                                },
+                            ),
                         }
                     }
                 }
@@ -432,12 +583,68 @@ impl Emulation {
         let events = router.poll(now);
         let v_after = router.fib_version();
         let wakeup = router.next_wakeup(now);
+        let changed = router.take_changed_prefixes();
         if v_after != v_before {
             self.last_activity = now;
         }
         self.dispatch_router_events(node, events);
         self.next_poll.remove(node);
         self.schedule_poll(node, wakeup);
+        if !changed.is_empty() {
+            self.record_churn(now, changed);
+        }
+    }
+
+    /// Records per-prefix change timestamps for the oscillation watchdog.
+    /// Only steady-state churn matters (boot and feed injection legitimately
+    /// touch every prefix), and both axes are capped so production-scale
+    /// tables cannot blow up the tracker.
+    fn record_churn(&mut self, now: SimTime, prefixes: BTreeSet<Prefix>) {
+        if self.boot_complete_at.is_none() || !self.injection_done() {
+            return;
+        }
+        for p in prefixes {
+            if !self.churn.contains_key(&p) && self.churn.len() >= CHURN_PREFIX_CAP {
+                continue;
+            }
+            let q = self.churn.entry(p).or_default();
+            q.push_back(now);
+            if q.len() > CHURN_HISTORY {
+                q.pop_front();
+            }
+        }
+    }
+
+    /// The watchdog's post-mortem when the time budget expires: prefixes
+    /// that kept changing right up to the end mean the network is
+    /// *oscillating*, not converging slowly.
+    fn oscillation_verdict(&self) -> ConvergenceVerdict {
+        let window = self.cfg.quiet_period.saturating_mul(4);
+        let now = self.now;
+        let mut churning: Vec<(&Prefix, &VecDeque<SimTime>)> = self
+            .churn
+            .iter()
+            .filter(|(_, q)| {
+                q.len() >= OSCILLATION_MIN_CHANGES
+                    && q.back().map(|t| now.since(*t) <= window).unwrap_or(false)
+            })
+            .collect();
+        if churning.is_empty() {
+            return ConvergenceVerdict::TimedOut;
+        }
+        // Flap period: mean inter-change interval of the most-churning
+        // prefix (ties broken by prefix order — deterministic).
+        churning.sort_by_key(|(p, q)| (std::cmp::Reverse(q.len()), **p));
+        let (_, q) = churning[0];
+        let span = q
+            .back()
+            .expect("non-empty")
+            .since(*q.front().expect("non-empty"));
+        let period = SimDuration::from_millis(span.as_millis() / (q.len() as u64 - 1).max(1));
+        let mut prefixes: Vec<Prefix> = churning.iter().map(|(p, _)| **p).collect();
+        prefixes.sort();
+        prefixes.truncate(ConvergenceVerdict::MAX_REPORTED_PREFIXES);
+        ConvergenceVerdict::Oscillating { period, prefixes }
     }
 
     fn handle(&mut self, kind: EventKind) {
@@ -456,7 +663,9 @@ impl Emulation {
                 self.ready_at.insert(node.clone(), self.now);
                 self.register_addresses(&node);
                 self.last_activity = self.now;
-                if self.ready_at.len() == self.topology.nodes.len() {
+                if self.ready_at.len() == self.topology.nodes.len()
+                    && self.boot_complete_at.is_none()
+                {
                     self.boot_complete_at = Some(self.now);
                     if self.cfg.inject_after_boot {
                         self.feeds_active = true;
@@ -571,6 +780,58 @@ impl Emulation {
                     }
                 }
             }
+            EventKind::ChaosLink { link, up } => {
+                self.chaos_pending = self.chaos_pending.saturating_sub(1);
+                // Unknown links are inert rather than phantom dataplane
+                // entries.
+                if self.link_up.contains_key(&link) {
+                    self.set_link(&link, up);
+                }
+            }
+            EventKind::ChaosKillRouter(node) => {
+                self.chaos_pending = self.chaos_pending.saturating_sub(1);
+                let now = self.now;
+                if let Some(router) = self.routers.get_mut(&node) {
+                    router.inject_crash("chaos: routing process killed");
+                    self.last_activity = now;
+                    self.schedule_poll(&node, SimTime(now.0 + 1));
+                }
+            }
+            EventKind::ChaosFailMachine(name) => {
+                self.chaos_pending = self.chaos_pending.saturating_sub(1);
+                let now = self.now;
+                let evicted = self.cluster.fail_machine(&name);
+                for req in evicted {
+                    let node = req.pod.clone();
+                    // The pod (and its router) is gone; the scheduler
+                    // resubmits it onto surviving machines, and the usual
+                    // PodReady path boots a fresh instance.
+                    self.routers.remove(&node);
+                    self.ready_at.remove(&node);
+                    self.next_poll.remove(&node);
+                    self.last_activity = now;
+                    let Some(spec) = self.topology.node(&node) else {
+                        continue;
+                    };
+                    let profile = self
+                        .cfg
+                        .profile_overrides
+                        .get(&node)
+                        .cloned()
+                        .unwrap_or_else(|| VendorProfile::for_vendor(spec.vendor));
+                    match self
+                        .cluster
+                        .schedule(&req, now, profile.boot_time, &mut self.rng)
+                    {
+                        Ok(placement) => {
+                            self.push_event(placement.ready_at, EventKind::PodReady(node));
+                        }
+                        Err(e) => {
+                            self.unschedulable.push(e);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -578,7 +839,10 @@ impl Emulation {
         self.externals.iter().all(|p| p.done())
     }
 
-    /// Runs the emulation until the dataplane is quiet (or the time cap).
+    /// Runs the emulation until the dataplane is quiet (or the time cap),
+    /// and renders the watchdog's [`ConvergenceVerdict`]: a quiet spell
+    /// only counts once every scheduled fault has fired, and a run that
+    /// exhausts its budget is post-mortemed for oscillation.
     pub fn run_until_converged(&mut self) -> RunReport {
         self.boot();
         let deadline = SimTime(self.cfg.max_sim_time.as_millis());
@@ -596,14 +860,21 @@ impl Emulation {
             if all_ready
                 && self.injection_done()
                 && self.pending_restarts == 0
+                && self.chaos_pending == 0
                 && self.now.since(self.last_activity) >= self.cfg.quiet_period
             {
                 converged = true;
                 break;
             }
         }
+        let verdict = if converged {
+            ConvergenceVerdict::Converged
+        } else {
+            self.oscillation_verdict()
+        };
         RunReport {
             converged,
+            verdict,
             boot_complete_at: self.boot_complete_at,
             converged_at: self.last_activity,
             messages_delivered: self.messages_delivered,

@@ -38,6 +38,12 @@ pub struct ExternalPeer {
     msgs_per_tick: usize,
     last_keepalive: SimTime,
     last_open_attempt: Option<SimTime>,
+    /// OPEN attempts since the session was last Established; drives the
+    /// capped exponential retry backoff.
+    open_attempts: u32,
+    /// Set once the retry budget is exhausted: the peer stops trying (a
+    /// real feed operator pages a human instead of hammering a dead box).
+    gave_up: bool,
     /// Last instant a batch was released; pacing is enforced here so that
     /// extra polls (e.g. triggered by router replies) cannot speed the feed.
     last_batch: Option<SimTime>,
@@ -78,18 +84,43 @@ impl ExternalPeer {
             msgs_per_tick: 2,
             last_keepalive: SimTime::ZERO,
             last_open_attempt: None,
+            open_attempts: 0,
+            gave_up: false,
             last_batch: None,
             out: Vec::new(),
         }
+    }
+
+    /// OPEN retry policy: capped exponential backoff, bounded attempts.
+    const OPEN_BASE_RETRY: SimDuration = SimDuration::from_secs(5);
+    const OPEN_MAX_RETRY: SimDuration = SimDuration::from_secs(80);
+    const OPEN_MAX_ATTEMPTS: u32 = 8;
+
+    /// Delay before the next OPEN attempt: 5 s doubling per failure,
+    /// capped at 80 s.
+    fn open_retry_delay(&self) -> SimDuration {
+        let exp = self.open_attempts.saturating_sub(1).min(4); // 5s << 4 = 80s cap
+        SimDuration::from_millis(
+            Self::OPEN_BASE_RETRY
+                .as_millis()
+                .saturating_mul(1 << exp)
+                .min(Self::OPEN_MAX_RETRY.as_millis()),
+        )
+    }
+
+    /// True once the peer has abandoned session establishment.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
     }
 
     pub fn state(&self) -> PeerState {
         self.state
     }
 
-    /// True once every route has been announced.
+    /// True once every route has been announced — or the peer has given up
+    /// on ever establishing (so a dead router cannot stall the run forever).
     pub fn done(&self) -> bool {
-        self.state == PeerState::Established && self.pending.is_empty()
+        self.gave_up || (self.state == PeerState::Established && self.pending.is_empty())
     }
 
     pub fn announced(&self) -> usize {
@@ -109,11 +140,13 @@ impl ExternalPeer {
                 }
                 self.out.push((self.router_addr, BgpMsg::Keepalive));
                 self.state = PeerState::Established;
+                self.open_attempts = 0;
                 self.last_keepalive = now;
             }
             BgpMsg::Keepalive => {
                 if self.state == PeerState::OpenSent {
                     self.state = PeerState::Established;
+                    self.open_attempts = 0;
                 }
             }
             BgpMsg::Notification(_) => {
@@ -130,12 +163,20 @@ impl ExternalPeer {
     pub fn poll(&mut self, now: SimTime) -> Vec<(Ipv4Addr, BgpMsg)> {
         match self.state {
             PeerState::Idle => {
+                if self.gave_up {
+                    return std::mem::take(&mut self.out);
+                }
                 let retry = self
                     .last_open_attempt
-                    .map(|t| now.since(t) >= SimDuration::from_secs(5))
+                    .map(|t| now.since(t) >= self.open_retry_delay())
                     .unwrap_or(true);
                 if retry {
+                    if self.open_attempts >= Self::OPEN_MAX_ATTEMPTS {
+                        self.gave_up = true;
+                        return std::mem::take(&mut self.out);
+                    }
                     self.last_open_attempt = Some(now);
+                    self.open_attempts += 1;
                     self.state = PeerState::OpenSent;
                     self.out.push((
                         self.router_addr,
@@ -203,6 +244,9 @@ impl ExternalPeer {
                 SimTime(now.0 + 50)
             }
             PeerState::Established => now + SimDuration::from_secs(20),
+            // A peer that gave up needs no servicing; park it far out so it
+            // cannot keep the event loop busy.
+            _ if self.gave_up => now + SimDuration::from_mins(60),
             _ => now + SimDuration::from_secs(1),
         }
     }
@@ -291,6 +335,73 @@ mod tests {
             }),
         );
         assert_eq!(p.state(), PeerState::Idle);
+    }
+
+    #[test]
+    fn open_retry_backs_off_and_gives_up() {
+        let mut p = peer(10);
+        let mut now = SimTime(0);
+        let mut open_times: Vec<u64> = Vec::new();
+        for _ in 0..1_000 {
+            for (_, m) in p.poll(now) {
+                if matches!(m, BgpMsg::Open(_)) {
+                    open_times.push(now.0);
+                }
+            }
+            if p.gave_up() {
+                break;
+            }
+            now = SimTime(now.0 + 1_000);
+        }
+        assert!(p.gave_up(), "peer must stop retrying a dead router");
+        assert!(p.done(), "a given-up peer reports done so runs can end");
+        assert_eq!(open_times.len(), 8, "bounded attempts: {open_times:?}");
+        // Inter-attempt gaps never shrink (exponential backoff, capped).
+        let gaps: Vec<u64> = open_times.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.windows(2).all(|g| g[1] >= g[0]),
+            "backoff must be monotone: {gaps:?}"
+        );
+        assert!(
+            *gaps.last().unwrap() <= 95_000,
+            "backoff is capped: {gaps:?}"
+        );
+        // And it stays silent afterwards.
+        for i in 0..50 {
+            assert!(p.poll(SimTime(now.0 + 100_000 + i * 7_000)).is_empty());
+        }
+    }
+
+    #[test]
+    fn established_session_resets_retry_budget() {
+        let mut p = peer(10);
+        // Burn a few attempts.
+        let mut now = SimTime(0);
+        for _ in 0..40 {
+            let _ = p.poll(now);
+            now = SimTime(now.0 + 1_000);
+        }
+        assert!(!p.gave_up());
+        // The router finally answers: session establishes, budget resets.
+        p.push_msg(
+            now,
+            BgpMsg::Open(OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1))),
+        );
+        assert_eq!(p.state(), PeerState::Established);
+        // A notification drops us back to Idle; we get a full budget again.
+        p.push_msg(
+            now,
+            BgpMsg::Notification(mfv_wire::bgp::NotificationMsg {
+                code: 6,
+                subcode: 0,
+                data: bytes::Bytes::new(),
+            }),
+        );
+        let out = p.poll(SimTime(now.0 + 10_000));
+        assert!(
+            out.iter().any(|(_, m)| matches!(m, BgpMsg::Open(_))),
+            "fresh budget after an established session"
+        );
     }
 
     #[test]

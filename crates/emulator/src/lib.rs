@@ -7,15 +7,18 @@
 //! - [`topology`] — the topology-file format (nodes, links, external peers)
 //! - [`cluster`] — simulated k8s machines, bin-packing scheduler, boot model
 //! - [`inject`] — synthetic production-route BGP feeds
+//! - [`chaos`] — seeded fault-injection schedules and convergence verdicts
 //! - [`engine`] — the discrete-event emulation itself
 //! - [`parallel`] — multi-seed parallel runs for the non-determinism study
 
+pub mod chaos;
 pub mod cluster;
 pub mod engine;
 pub mod inject;
 pub mod parallel;
 pub mod topology;
 
+pub use chaos::{ChaosEvent, ChaosPlan, ConvergenceVerdict, ImpairSpec};
 pub use cluster::{Cluster, MachineSpec, PodRequest, Unschedulable};
 pub use engine::{Emulation, EmulationConfig, RunReport};
 pub use inject::{synthetic_prefixes, ExternalPeer};

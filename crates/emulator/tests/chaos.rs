@@ -1,0 +1,315 @@
+//! Chaos-schedule integration tests: fault injection, convergence verdicts,
+//! and replay determinism over `(topology, seed, plan)`.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use mfv_config::{IfaceSpec, RouterSpec};
+use mfv_emulator::{
+    ChaosPlan, Cluster, ConvergenceVerdict, Emulation, EmulationConfig, ImpairSpec, NodeSpec,
+    Topology,
+};
+use mfv_mgmt::{Aft, Telemetry};
+use mfv_types::{AsNum, LinkId, NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+/// r1 - r2 - r3 line: IS-IS + iBGP full mesh, customer prefixes at both
+/// ends (same shape as the fault-free integration tests).
+fn line3_topology() -> Topology {
+    let asn = AsNum(65000);
+    let lo = |n: u8| Ipv4Addr::new(2, 2, 2, n);
+
+    let r1 = RouterSpec::new("r1", asn, lo(1))
+        .iface(IfaceSpec::new("Ethernet1", "100.64.0.0/31".parse().unwrap()).with_isis())
+        .ibgp(lo(2))
+        .ibgp(lo(3))
+        .network("203.0.113.0/24".parse().unwrap())
+        .iface(IfaceSpec::new(
+            "Ethernet9",
+            "203.0.113.1/24".parse().unwrap(),
+        ));
+
+    let r2 = RouterSpec::new("r2", asn, lo(2))
+        .iface(IfaceSpec::new("Ethernet1", "100.64.0.1/31".parse().unwrap()).with_isis())
+        .iface(IfaceSpec::new("Ethernet2", "100.64.0.2/31".parse().unwrap()).with_isis())
+        .ibgp(lo(1))
+        .ibgp(lo(3));
+
+    let r3 = RouterSpec::new("r3", asn, lo(3))
+        .iface(IfaceSpec::new("Ethernet1", "100.64.0.3/31".parse().unwrap()).with_isis())
+        .ibgp(lo(1))
+        .ibgp(lo(2))
+        .network("198.51.100.0/24".parse().unwrap())
+        .iface(IfaceSpec::new(
+            "Ethernet9",
+            "198.51.100.1/24".parse().unwrap(),
+        ));
+
+    let mut t = Topology::new("line3-chaos");
+    t.add_node(NodeSpec::from_config("r1", &r1.build()));
+    t.add_node(NodeSpec::from_config("r2", &r2.build()));
+    t.add_node(NodeSpec::from_config("r3", &r3.build()));
+    t.add_link(("r1", "Ethernet1"), ("r2", "Ethernet1"));
+    t.add_link(("r2", "Ethernet2"), ("r3", "Ethernet1"));
+    t
+}
+
+fn r2r3_link() -> LinkId {
+    LinkId::new(
+        ("r2".into(), "Ethernet2".into()),
+        ("r3".into(), "Ethernet1".into()),
+    )
+}
+
+fn cfg_with(seed: u64, chaos: ChaosPlan, max_sim_time: SimDuration) -> EmulationConfig {
+    EmulationConfig {
+        seed,
+        chaos,
+        max_sim_time,
+        ..Default::default()
+    }
+}
+
+/// Boot on the single-node cluster completes around t=430s; faults in these
+/// tests start at 450s to land in steady state.
+const AFTER_BOOT: SimTime = SimTime(450_000);
+
+#[test]
+fn flap_train_yields_oscillating_verdict_and_control_run_converges() {
+    // A flap every 20s (8s down) on r2-r3, repeating past the 12-minute
+    // budget: neither the down nor the up interval ever spans the 12s quiet
+    // period, so the run cannot converge.
+    let plan = ChaosPlan::new().repeated_link_flap(
+        r2r3_link(),
+        AFTER_BOOT,
+        SimDuration::from_secs(8),
+        40,
+        SimDuration::from_secs(20),
+    );
+    let budget = SimDuration::from_mins(12);
+    let mut emu = Emulation::new(
+        line3_topology(),
+        Cluster::single_node(),
+        cfg_with(5, plan, budget),
+    )
+    .unwrap();
+    let report = emu.run_until_converged();
+    assert!(!report.converged);
+    match &report.verdict {
+        ConvergenceVerdict::Oscillating { period, prefixes } => {
+            assert!(!prefixes.is_empty());
+            // r3's customer prefix is withdrawn and restored every cycle.
+            assert!(
+                prefixes.contains(&"198.51.100.0/24".parse().unwrap()),
+                "{prefixes:?}"
+            );
+            // One flap cycle is 20s: down and up each change the FIB, so
+            // consecutive changes are 8s and 12s apart. The detected period
+            // must land in that band.
+            assert!(
+                period.as_millis() >= 6_000 && period.as_millis() <= 14_000,
+                "detected period {period}"
+            );
+        }
+        other => panic!("expected Oscillating, got {other:?}"),
+    }
+
+    // Control: identical run minus the flap schedule converges.
+    let mut control = Emulation::new(
+        line3_topology(),
+        Cluster::single_node(),
+        cfg_with(5, ChaosPlan::new(), budget),
+    )
+    .unwrap();
+    let control_report = control.run_until_converged();
+    assert!(control_report.converged, "{control_report:?}");
+    assert!(control_report.verdict.is_converged());
+}
+
+#[test]
+fn finite_flap_train_settles_back_to_the_clean_dataplane() {
+    // Three flaps that end well before the budget: the verdict must be
+    // Converged and the final dataplane identical to a fault-free run.
+    let plan = ChaosPlan::new().repeated_link_flap(
+        r2r3_link(),
+        AFTER_BOOT,
+        SimDuration::from_secs(8),
+        3,
+        SimDuration::from_secs(20),
+    );
+    let budget = SimDuration::from_mins(30);
+    let mut emu = Emulation::new(
+        line3_topology(),
+        Cluster::single_node(),
+        cfg_with(5, plan, budget),
+    )
+    .unwrap();
+    let report = emu.run_until_converged();
+    assert!(report.converged, "{report:?}");
+
+    let mut clean = Emulation::new(
+        line3_topology(),
+        Cluster::single_node(),
+        cfg_with(5, ChaosPlan::new(), budget),
+    )
+    .unwrap();
+    clean.run_until_converged();
+    assert_eq!(emu.dataplane().digest(), clean.dataplane().digest());
+}
+
+#[test]
+fn kill_routing_crashes_and_watchdog_recovers() {
+    let plan = ChaosPlan::new().kill_routing("r2", AFTER_BOOT);
+    let budget = SimDuration::from_mins(30);
+    let mut emu = Emulation::new(
+        line3_topology(),
+        Cluster::single_node(),
+        cfg_with(7, plan, budget),
+    )
+    .unwrap();
+    let report = emu.run_until_converged();
+    assert!(report.converged, "{report:?}");
+    assert!(report.crashes >= 1, "{report:?}");
+
+    // After restart and reconvergence, transit routes are back.
+    let r1 = emu.router(&NodeId::from("r1")).unwrap();
+    assert!(r1.fib().lookup(ip("198.51.100.9")).is_some());
+}
+
+#[test]
+fn machine_failure_reschedules_pods_and_reconverges() {
+    // Two machines; fail each in turn at 500s. Whichever hosted pods, they
+    // are evicted, resubmitted to the survivor, rebooted, and the network
+    // reconverges to the same dataplane as a fault-free run.
+    let budget = SimDuration::from_mins(40);
+    let mut clean = Emulation::new(
+        line3_topology(),
+        Cluster::of_size(2),
+        cfg_with(11, ChaosPlan::new(), budget),
+    )
+    .unwrap();
+    assert!(clean.run_until_converged().converged);
+    let clean_digest = clean.dataplane().digest();
+
+    for machine in ["node-0", "node-1"] {
+        let plan = ChaosPlan::new().fail_machine(machine, SimTime(500_000));
+        let mut emu = Emulation::new(
+            line3_topology(),
+            Cluster::of_size(2),
+            cfg_with(11, plan, budget),
+        )
+        .unwrap();
+        let report = emu.run_until_converged();
+        assert!(report.converged, "fail {machine}: {report:?}");
+        for node in ["r1", "r2", "r3"] {
+            assert!(
+                emu.router(&NodeId::from(node)).is_some(),
+                "{node} must be rescheduled after {machine} fails"
+            );
+        }
+        assert_eq!(emu.dataplane().digest(), clean_digest, "fail {machine}");
+    }
+}
+
+#[test]
+fn impairment_window_slows_but_does_not_break_convergence() {
+    // 35% drop + 10% duplication + 150ms extra delay on r1-r2 while a flap
+    // on r2-r3 forces reconvergence traffic through the impaired link.
+    let spec = ImpairSpec {
+        drop_pct: 35,
+        duplicate_pct: 10,
+        extra_delay_ms: 150,
+    };
+    let plan = ChaosPlan::new()
+        .impair_link(
+            LinkId::new(
+                ("r1".into(), "Ethernet1".into()),
+                ("r2".into(), "Ethernet1".into()),
+            ),
+            AFTER_BOOT,
+            SimTime(700_000),
+            spec,
+        )
+        .link_flap(r2r3_link(), SimTime(460_000), SimDuration::from_secs(8));
+    let budget = SimDuration::from_mins(40);
+    let run = |seed| {
+        let mut emu = Emulation::new(
+            line3_topology(),
+            Cluster::single_node(),
+            cfg_with(seed, plan.clone(), budget),
+        )
+        .unwrap();
+        let report = emu.run_until_converged();
+        (report, emu.dataplane().digest())
+    };
+    let (report, digest) = run(13);
+    assert!(report.converged, "{report:?}");
+    // Replay: same (topology, seed, plan) → same report and dataplane.
+    let (report2, digest2) = run(13);
+    assert_eq!(report, report2);
+    assert_eq!(digest, digest2);
+}
+
+/// Extracts every node's AFT through the management plane, as the pipeline
+/// does — the satellite acceptance check wants AFT-level determinism, not
+/// just digest equality.
+fn extract_afts(emu: &Emulation) -> BTreeMap<NodeId, Aft> {
+    ["r1", "r2", "r3"]
+        .iter()
+        .filter_map(|n| {
+            let node = NodeId::from(*n);
+            let router = emu.router(&node)?;
+            let t = Telemetry::from_router(router).ok()?;
+            t.aft().map(|a| (node, a))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // Replaying any chaos plan with the same `(topology, seed, plan)`
+    // yields an identical RunReport and identical extracted AFTs.
+    #[test]
+    fn chaos_replay_is_deterministic(
+        seed in 0u64..10_000,
+        start_s in 440u64..470,
+        every_s in 15u64..25,
+        repeats in 2u32..6,
+    ) {
+        let plan = ChaosPlan::new()
+            .repeated_link_flap(
+                r2r3_link(),
+                SimTime(start_s * 1_000),
+                SimDuration::from_secs(7),
+                repeats,
+                SimDuration::from_secs(every_s),
+            )
+            .kill_routing("r2", SimTime((start_s + 90) * 1_000));
+        let budget = SimDuration::from_mins(45);
+        let run = || {
+            let mut emu = Emulation::new(
+                line3_topology(),
+                Cluster::single_node(),
+                cfg_with(seed, plan.clone(), budget),
+            )
+            .unwrap();
+            let report = emu.run_until_converged();
+            let afts = extract_afts(&emu);
+            (report, afts, emu.dataplane().digest())
+        };
+        let (report_a, afts_a, digest_a) = run();
+        let (report_b, afts_b, digest_b) = run();
+        prop_assert_eq!(report_a, report_b);
+        prop_assert_eq!(digest_a, digest_b);
+        prop_assert_eq!(afts_a.len(), afts_b.len());
+        for (node, aft) in &afts_a {
+            let other = &afts_b[node];
+            prop_assert!(aft.to_fib().same_as(&other.to_fib()), "AFT of {} differs", node);
+        }
+    }
+}

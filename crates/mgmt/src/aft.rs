@@ -75,7 +75,9 @@ impl Aft {
                 }
                 members.push(id);
             }
-            members.sort();
+            // Groups are keyed by the ordered member list: preserving the
+            // FIB's next-hop order makes the round-trip exactly lossless,
+            // which the pipeline's extraction check relies on.
             let next_gid = group_ids.len() as u64 + 1;
             let gid = *group_ids.entry(members.clone()).or_insert(next_gid);
             if gid == next_gid {

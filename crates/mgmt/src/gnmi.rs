@@ -19,6 +19,18 @@ pub struct Telemetry {
     root: Value,
 }
 
+/// Why a device's state tree could not be captured.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtractError(pub String);
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "extraction failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
 /// Normalises a gNMI-ish path: strips `[name=...]` list keys and empty
 /// segments, producing the plain segment list used for traversal.
 fn normalize(path: &str) -> Vec<String> {
@@ -32,10 +44,17 @@ fn normalize(path: &str) -> Vec<String> {
 }
 
 impl Telemetry {
-    /// Captures the state tree of a router.
-    pub fn from_router(router: &VirtualRouter) -> Telemetry {
+    /// Captures the state tree of a router. Fails (rather than panicking)
+    /// if the AFT does not serialise — a malformed dump from one device
+    /// must degrade that device's coverage, not abort the whole collection.
+    pub fn from_router(router: &VirtualRouter) -> Result<Telemetry, ExtractError> {
         let aft = Aft::from_fib(router.fib());
-        let aft_value = serde_json::to_value(&aft).expect("aft serialises");
+        let aft_value = serde_json::to_value(&aft).map_err(|e| {
+            ExtractError(format!(
+                "aft for {} does not serialise: {e}",
+                router.config().hostname
+            ))
+        })?;
 
         let bgp_neighbors: Vec<Value> = router
             .bgp_engine()
@@ -105,7 +124,7 @@ impl Telemetry {
                 }
             }
         });
-        Telemetry { root }
+        Ok(Telemetry { root })
     }
 
     /// gNMI Get: returns the subtree at `path`, or `None` if absent.
@@ -149,14 +168,14 @@ mod tests {
 
     #[test]
     fn get_system_hostname() {
-        let t = Telemetry::from_router(&router());
+        let t = Telemetry::from_router(&router()).unwrap();
         let v = t.get("/system/state/hostname").unwrap();
         assert_eq!(v, "r1");
     }
 
     #[test]
     fn get_with_list_keys_normalized() {
-        let t = Telemetry::from_router(&router());
+        let t = Telemetry::from_router(&router()).unwrap();
         assert!(t
             .get("/network-instances/network-instance[name=default]/afts")
             .is_some());
@@ -166,7 +185,7 @@ mod tests {
     #[test]
     fn aft_extraction_matches_fib() {
         let r = router();
-        let t = Telemetry::from_router(&r);
+        let t = Telemetry::from_router(&r).unwrap();
         let aft = t.aft().unwrap();
         assert_eq!(aft.len(), r.fib().len());
         assert!(aft.to_fib().same_as(r.fib()));
@@ -174,7 +193,7 @@ mod tests {
 
     #[test]
     fn bgp_and_isis_state_visible() {
-        let t = Telemetry::from_router(&router());
+        let t = Telemetry::from_router(&router()).unwrap();
         let neighbors = t
             .get("/network-instances/network-instance/protocols/bgp/neighbors/neighbor")
             .unwrap();
@@ -187,7 +206,7 @@ mod tests {
 
     #[test]
     fn interfaces_listed() {
-        let t = Telemetry::from_router(&router());
+        let t = Telemetry::from_router(&router()).unwrap();
         let ifs = t.get("/interfaces/interface").unwrap().as_array().unwrap();
         assert_eq!(ifs.len(), 2); // Loopback0 + Ethernet1
     }
@@ -264,18 +283,18 @@ mod subscribe_tests {
     #[test]
     fn identical_snapshots_produce_no_updates() {
         let r = router();
-        let t1 = Telemetry::from_router(&r);
-        let t2 = Telemetry::from_router(&r);
+        let t1 = Telemetry::from_router(&r).unwrap();
+        let t2 = Telemetry::from_router(&r).unwrap();
         assert!(diff(&t1, &t2).is_empty());
     }
 
     #[test]
     fn link_down_shows_up_as_aft_update() {
         let mut r = router();
-        let t1 = Telemetry::from_router(&r);
+        let t1 = Telemetry::from_router(&r).unwrap();
         r.set_link(&"Ethernet1".into(), false);
         let _ = r.poll(SimTime(200));
-        let t2 = Telemetry::from_router(&r);
+        let t2 = Telemetry::from_router(&r).unwrap();
         let updates = diff(&t1, &t2);
         assert!(!updates.is_empty());
         assert!(
@@ -287,14 +306,14 @@ mod subscribe_tests {
     #[test]
     fn crash_flips_the_up_leaf() {
         let mut r = router();
-        let t1 = Telemetry::from_router(&r);
+        let t1 = Telemetry::from_router(&r).unwrap();
         // Simulate the process dying via restart + empty poll comparison:
         // apply a config removing the interface instead (visible change).
         let mut cfg = r.config().clone();
         cfg.interfaces.retain(|i| i.name.is_loopback());
         r.apply_config(cfg);
         let _ = r.poll(SimTime(300));
-        let t2 = Telemetry::from_router(&r);
+        let t2 = Telemetry::from_router(&r).unwrap();
         let updates = diff(&t1, &t2);
         assert!(
             updates.iter().any(|u| u.path.contains("/interfaces")),

@@ -4,12 +4,16 @@
 //! - [`aft`] — OpenConfig-style Abstract Forwarding Tables (what the
 //!   pipeline dumps after convergence and feeds to the verifier)
 //! - [`gnmi`] — a gNMI-flavoured Get interface over a device state tree
+//! - [`collect`] — a retrying collector over a simulated lossy RPC path,
+//!   degrading gracefully to partial coverage instead of aborting
 
 pub mod aft;
+pub mod collect;
 pub mod gnmi;
 
 pub use aft::{Aft, AftIpv4Entry, AftNextHop, AftNextHopGroup};
-pub use gnmi::{diff, Telemetry, Update};
+pub use collect::{CollectionReport, Collector, CollectorConfig, RpcFailureModel};
+pub use gnmi::{diff, ExtractError, Telemetry, Update};
 
 use mfv_dataplane::Dataplane;
 use mfv_types::NodeId;
@@ -27,6 +31,10 @@ pub fn collect_afts(telemetry: &BTreeMap<NodeId, Telemetry>) -> BTreeMap<NodeId,
 /// Rebuilds a [`Dataplane`] from extracted AFTs plus the link/address
 /// context the verifier needs. This is the ingestion path that replaces the
 /// model-computed dataplane (the paper's 3,300-line Batfish change).
+///
+/// Only nodes present in `afts` appear; links with an absent endpoint are
+/// dropped with them, so a partially-covered extraction still yields a
+/// self-consistent dataplane.
 pub fn dataplane_from_afts(afts: &BTreeMap<NodeId, Aft>, reference: &Dataplane) -> Dataplane {
     let mut dp = Dataplane::new();
     for (node, aft) in afts {
@@ -38,7 +46,9 @@ pub fn dataplane_from_afts(afts: &BTreeMap<NodeId, Aft>, reference: &Dataplane) 
         dp.add_node(node.clone(), &aft.to_fib(), addresses, up);
     }
     for link in &reference.links {
-        dp.add_link(link.clone());
+        if dp.nodes.contains_key(&link.a.0) && dp.nodes.contains_key(&link.b.0) {
+            dp.add_link(link.clone());
+        }
     }
     dp
 }

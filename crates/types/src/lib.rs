@@ -11,11 +11,14 @@
 //! - a header-space algebra over IPv4 ranges ([`hs::IpSet`],
 //!   [`hs::PacketClass`]) used by the exhaustive verification engine
 //! - simulated-time primitives ([`time::SimTime`], [`time::SimDuration`])
+//! - extraction provenance shared by the management plane and the verifier
+//!   ([`status::ExtractionStatus`])
 
 pub mod addr;
 pub mod attrs;
 pub mod hs;
 pub mod ids;
+pub mod status;
 pub mod time;
 pub mod trie;
 
@@ -23,5 +26,6 @@ pub use addr::{IfaceAddr, Prefix, PrefixParseError};
 pub use attrs::{AdminDistance, AsPath, AsPathSegment, Community, Origin, RouteProtocol};
 pub use hs::{IpSet, PacketClass};
 pub use ids::{AsNum, IfaceId, LinkId, NodeId, RouterId};
+pub use status::ExtractionStatus;
 pub use time::{SimDuration, SimTime};
 pub use trie::PrefixTrie;

@@ -1,0 +1,69 @@
+//! Extraction provenance: how trustworthy is the state we pulled from a
+//! device's management plane?
+//!
+//! The model-free pipeline extracts per-device AFTs over gNMI. In a real
+//! deployment that RPC path fails in mundane ways — timeouts, transient
+//! errors, a telemetry cache serving old data — and the verdict of a
+//! verification run must say which devices' state it actually saw. This
+//! lives in `mfv-types` so the management plane (producer), snapshot
+//! pipeline (carrier), and verifier (consumer) share one vocabulary without
+//! a dependency cycle.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Per-node outcome of AFT extraction.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ExtractionStatus {
+    /// The device answered with current state.
+    Fresh,
+    /// The device answered from a telemetry cache this much older than the
+    /// live dataplane; the state may trail it.
+    Stale(SimDuration),
+    /// Extraction failed past its retry budget (reason attached); the
+    /// snapshot has no state for this node.
+    Missing(String),
+}
+
+impl ExtractionStatus {
+    /// Did extraction produce *some* state (fresh or stale)?
+    pub fn is_covered(&self) -> bool {
+        !matches!(self, ExtractionStatus::Missing(_))
+    }
+
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, ExtractionStatus::Fresh)
+    }
+}
+
+impl std::fmt::Display for ExtractionStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractionStatus::Fresh => write!(f, "fresh"),
+            ExtractionStatus::Stale(age) => write!(f, "stale ({age} old)"),
+            ExtractionStatus::Missing(reason) => write!(f, "missing ({reason})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_predicate() {
+        assert!(ExtractionStatus::Fresh.is_covered());
+        assert!(ExtractionStatus::Stale(SimDuration::from_secs(30)).is_covered());
+        assert!(!ExtractionStatus::Missing("deadline".into()).is_covered());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ExtractionStatus::Fresh.to_string(), "fresh");
+        assert_eq!(
+            ExtractionStatus::Stale(SimDuration::from_secs(5)).to_string(),
+            "stale (5.000s old)"
+        );
+    }
+}

@@ -10,10 +10,14 @@
 //! - [`graph`] — symbolic packet-class propagation ([`ForwardingAnalysis`])
 //! - [`queries`] — the query library (differential reachability,
 //!   reachability, loops, black holes, multipath consistency, traceroute)
+//! - [`coverage`] — coverage-qualified answers over partially-extracted
+//!   snapshots (which devices a verdict does and does not speak for)
 
+pub mod coverage;
 pub mod graph;
 pub mod queries;
 
+pub use coverage::{qualified_reachability, qualified_unreachable_pairs, Coverage, Qualified};
 pub use graph::{ClassCache, Disposition, ForwardingAnalysis, NodeClasses, Trace, TraceHop};
 pub use queries::{
     deliverability_changes, detect_blackholes, detect_loops, detect_multipath_inconsistency,

@@ -60,6 +60,11 @@ pub struct VirtualRouter {
     /// emulator's convergence detector watches it.
     fib_version: u64,
     last_fib_digest: u64,
+    /// Prefixes whose FIB entries changed since the last
+    /// [`take_changed_prefixes`](Self::take_changed_prefixes) — the
+    /// emulator's convergence watchdog uses these to tell oscillation
+    /// (the same prefixes churning) from slow convergence.
+    changed_prefixes: BTreeSet<Prefix>,
     pending_crash: Option<String>,
     /// Events queued outside poll (e.g. session teardowns on config push).
     pending_out: Vec<RouterEvent>,
@@ -102,6 +107,7 @@ impl VirtualRouter {
             link_up: BTreeMap::new(),
             fib_version: 0,
             last_fib_digest: 0,
+            changed_prefixes: BTreeSet::new(),
             pending_crash: None,
             pending_out: Vec::new(),
             last_igp_digest: 0,
@@ -138,6 +144,22 @@ impl VirtualRouter {
     /// Monotone FIB change counter.
     pub fn fib_version(&self) -> u64 {
         self.fib_version
+    }
+
+    /// Drains the set of prefixes whose FIB entries changed since the last
+    /// call. Callers that only watch [`fib_version`](Self::fib_version) can
+    /// ignore this; the emulator's watchdog drains it every poll.
+    pub fn take_changed_prefixes(&mut self) -> BTreeSet<Prefix> {
+        std::mem::take(&mut self.changed_prefixes)
+    }
+
+    /// Kills the routing process (fault injection): takes effect on the
+    /// next poll, exactly as a vendor-bug crash does — the FIB is flushed
+    /// and a [`RouterEvent::Crashed`] is emitted for the watchdog.
+    pub fn inject_crash(&mut self, reason: impl Into<String>) {
+        if self.is_running() {
+            self.pending_crash = Some(reason.into());
+        }
     }
 
     /// All L3 addresses owned by this router.
@@ -467,6 +489,9 @@ impl VirtualRouter {
             self.isis = None;
             self.bgp = None;
             self.rib = Rib::new();
+            for e in self.fib.entries() {
+                self.changed_prefixes.insert(e.prefix);
+            }
             self.fib = Fib::new();
             self.bump_fib_version();
             return vec![RouterEvent::Crashed { reason }];
@@ -645,6 +670,7 @@ impl VirtualRouter {
             let old = self.fib.get(prefix);
             if old != new_entry.as_ref() {
                 changed = true;
+                self.changed_prefixes.insert(*prefix);
                 match new_entry {
                     Some(e) => {
                         self.fib.insert(e);
@@ -709,6 +735,20 @@ impl VirtualRouter {
         let fib = self.rib.to_fib();
         if !fib.same_as(&self.fib) {
             self.fib_version += 1;
+            // Symmetric difference old↔new for the churn tracker.
+            for e in self.fib.entries() {
+                match fib.get(&e.prefix) {
+                    Some(n) if n == e => {}
+                    _ => {
+                        self.changed_prefixes.insert(e.prefix);
+                    }
+                }
+            }
+            for e in fib.entries() {
+                if self.fib.get(&e.prefix).is_none() {
+                    self.changed_prefixes.insert(e.prefix);
+                }
+            }
         }
         self.last_fib_digest = fib.digest();
         self.fib = fib;
@@ -967,6 +1007,39 @@ mod tests {
         assert!(addrs.contains(&Ipv4Addr::new(2, 2, 2, 1)));
         assert!(addrs.contains(&Ipv4Addr::new(100, 64, 0, 0)));
         assert_eq!(r1.loopback(), Some(Ipv4Addr::new(2, 2, 2, 1)));
+    }
+
+    #[test]
+    fn changed_prefixes_track_fib_churn_and_drain() {
+        let (mut r1, mut r2) = two_router_setup();
+        let now = settle(&mut r1, &mut r2, SimTime::ZERO);
+        let _ = r1.take_changed_prefixes();
+        r1.set_link(&"Ethernet1".into(), false);
+        let _ = r1.poll(SimTime(now.0 + 1000));
+        let changed = r1.take_changed_prefixes();
+        assert!(
+            changed.contains(&"100.64.0.0/31".parse().unwrap()),
+            "link subnet must be recorded as changed: {changed:?}"
+        );
+        assert!(r1.take_changed_prefixes().is_empty(), "take drains the set");
+    }
+
+    #[test]
+    fn inject_crash_kills_on_next_poll() {
+        let (mut r1, mut r2) = two_router_setup();
+        let now = settle(&mut r1, &mut r2, SimTime::ZERO);
+        let _ = r1.take_changed_prefixes();
+        r1.inject_crash("chaos: routing process killed");
+        let evs = r1.poll(SimTime(now.0 + 100));
+        assert!(matches!(evs[0], RouterEvent::Crashed { .. }));
+        assert!(!r1.is_running());
+        assert!(
+            !r1.take_changed_prefixes().is_empty(),
+            "losing the whole FIB counts as churn"
+        );
+        // Injecting into an already-crashed process is a no-op.
+        r1.inject_crash("again");
+        assert!(r1.poll(SimTime(now.0 + 200)).is_empty());
     }
 
     #[test]

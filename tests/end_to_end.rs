@@ -56,7 +56,7 @@ fn gnmi_extraction_path_is_equivalent_to_direct_state() {
     for node in &emu.topology.nodes {
         telemetry.insert(
             node.name.clone(),
-            Telemetry::from_router(emu.router(&node.name).unwrap()),
+            Telemetry::from_router(emu.router(&node.name).unwrap()).unwrap(),
         );
     }
     let afts = collect_afts(&telemetry);
