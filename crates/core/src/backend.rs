@@ -133,12 +133,12 @@ impl EmulationBackend {
         )
         .map_err(BackendError)?;
         let report = emu.run_until_converged();
-        if !report.unschedulable.is_empty() {
+        if let Some(first) = report.unschedulable.first() {
             return Err(BackendError(format!(
                 "{} pods unschedulable on a {}-machine cluster (first: {})",
                 report.unschedulable.len(),
                 self.cluster_machines,
-                report.unschedulable[0],
+                first,
             )));
         }
         let meta = BackendMeta {

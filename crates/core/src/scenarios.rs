@@ -8,6 +8,8 @@
 //! - [`interplay_pair`] — a multi-vendor topology for the cross-vendor
 //!   crash study (A3)
 
+// mfv-lint: allow-file(P1, scenario builders parse/index compile-time literals only; a bad literal is a programming error caught by the scenario tests, and no runtime input reaches these paths)
+
 use std::net::Ipv4Addr;
 
 use mfv_config::{IfaceSpec, RouterSpec, Vendor};

@@ -171,8 +171,15 @@ impl Cluster {
                     && m.spec.cpu_millis - m.used_cpu >= req.cpu_millis
                     && m.spec.mem_mib - m.used_mem >= req.mem_mib
             })
-            // Best fit: the machine with the least leftover CPU.
-            .min_by_key(|m| m.spec.cpu_millis - m.used_cpu - req.cpu_millis);
+            // Best fit: the machine with the least leftover CPU. Ties are
+            // broken by machine name so the placement is a function of the
+            // cluster state alone, not of the machine list's build order.
+            .min_by_key(|m| {
+                (
+                    m.spec.cpu_millis - m.used_cpu - req.cpu_millis,
+                    m.spec.name.clone(),
+                )
+            });
         let Some(machine) = candidate else {
             return Err(Unschedulable {
                 pod: req.pod.clone(),

@@ -193,6 +193,10 @@ pub struct Emulation {
     /// and injection are done), bounded in both axes. The watchdog reads
     /// this at the deadline to distinguish oscillation from slow progress.
     churn: BTreeMap<Prefix, VecDeque<SimTime>>,
+    /// Per-node configs parsed once at [`Emulation::new`]; every later
+    /// consumer (boot wiring, pod bring-up, crash-restart) reads from here
+    /// instead of re-parsing and asserting success.
+    parsed_configs: BTreeMap<NodeId, mfv_config::Parsed>,
 }
 
 /// Most prefixes tracked by the churn watchdog; arrivals past the cap are
@@ -213,9 +217,12 @@ impl Emulation {
         cfg: EmulationConfig,
     ) -> Result<Emulation, String> {
         topology.validate()?;
+        let mut parsed_configs = BTreeMap::new();
         for node in &topology.nodes {
-            node.parse_config()
+            let parsed = node
+                .parse_config()
                 .map_err(|e| format!("config for {}: {e}", node.name))?;
+            parsed_configs.insert(node.name.clone(), parsed);
         }
         let mut link_ends = BTreeMap::new();
         let mut link_up = BTreeMap::new();
@@ -262,6 +269,7 @@ impl Emulation {
             chaos_pending: 0,
             impairments: Vec::new(),
             churn: BTreeMap::new(),
+            parsed_configs,
         })
     }
 
@@ -346,17 +354,20 @@ impl Emulation {
         let peers: Vec<_> = self.topology.external_peers.clone();
         for (idx, spec) in peers.iter().enumerate() {
             // The router-side address: the attach node's interface on the
-            // peer's subnet. Resolved from the parsed config.
-            let node = self.topology.node(&spec.attach_to).expect("validated");
-            let parsed = node.parse_config().expect("validated");
-            let router_addr = parsed
-                .config
-                .interfaces
-                .iter()
-                .filter(|i| i.is_l3())
-                .filter_map(|i| i.addr)
-                .find(|a| a.subnet().contains(spec.addr))
-                .map(|a| a.addr)
+            // peer's subnet. Resolved from the config parsed at `new()`.
+            let router_addr = self
+                .parsed_configs
+                .get(&spec.attach_to)
+                .and_then(|parsed| {
+                    parsed
+                        .config
+                        .interfaces
+                        .iter()
+                        .filter(|i| i.is_l3())
+                        .filter_map(|i| i.addr)
+                        .find(|a| a.subnet().contains(spec.addr))
+                        .map(|a| a.addr)
+                })
                 .unwrap_or(Ipv4Addr::UNSPECIFIED);
             let base = spec.base_octet.unwrap_or(20 + idx as u8);
             let routes = synthetic_prefixes(base, spec.route_count);
@@ -635,12 +646,15 @@ impl Emulation {
         // Flap period: mean inter-change interval of the most-churning
         // prefix (ties broken by prefix order — deterministic).
         churning.sort_by_key(|(p, q)| (std::cmp::Reverse(q.len()), **p));
-        let (_, q) = churning[0];
-        let span = q
-            .back()
-            .expect("non-empty")
-            .since(*q.front().expect("non-empty"));
-        let period = SimDuration::from_millis(span.as_millis() / (q.len() as u64 - 1).max(1));
+        let period = match churning.first() {
+            Some((_, q)) => match (q.front(), q.back()) {
+                (Some(first), Some(last)) => SimDuration::from_millis(
+                    last.since(*first).as_millis() / (q.len() as u64 - 1).max(1),
+                ),
+                _ => SimDuration::ZERO,
+            },
+            None => SimDuration::ZERO,
+        };
         let mut prefixes: Vec<Prefix> = churning.iter().map(|(p, _)| **p).collect();
         prefixes.sort();
         prefixes.truncate(ConvergenceVerdict::MAX_REPORTED_PREFIXES);
@@ -650,14 +664,21 @@ impl Emulation {
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::PodReady(node) => {
-                let spec = self.topology.node(&node).expect("validated").clone();
+                // Both lookups were populated at `new()` from the validated
+                // topology; a miss means the event named an unknown node,
+                // which is dropped rather than panicking mid-run.
+                let (Some(spec), Some(parsed)) = (
+                    self.topology.node(&node).cloned(),
+                    self.parsed_configs.get(&node).cloned(),
+                ) else {
+                    return;
+                };
                 let profile = self
                     .cfg
                     .profile_overrides
                     .get(&node)
                     .cloned()
                     .unwrap_or_else(|| VendorProfile::for_vendor(spec.vendor));
-                let parsed = spec.parse_config().expect("validated at new()");
                 let router = VirtualRouter::new(node.clone(), profile, parsed.config);
                 self.routers.insert(node.clone(), router);
                 self.ready_at.insert(node.clone(), self.now);

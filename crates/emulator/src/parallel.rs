@@ -72,7 +72,7 @@ pub fn run_seeds_detailed(
                     if i >= n {
                         break;
                     }
-                    let seed = seeds[i];
+                    let Some(&seed) = seeds.get(i) else { break };
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         let mut cfg = base_cfg.clone();
                         cfg.seed = seed;
@@ -103,16 +103,30 @@ pub fn run_seeds_detailed(
         }
         for h in handles {
             // Per-run panics are caught above; join only fails on a panic
-            // in the scheduling loop itself.
-            for (i, run) in h.join().expect("seed worker survives its runs") {
-                results[i] = Some(run);
+            // in the scheduling loop itself. Even then the sweep degrades:
+            // the lost worker's seeds stay `None` and become per-seed
+            // errors below instead of poisoning the whole sweep.
+            if let Ok(local) = h.join() {
+                for (i, run) in local {
+                    if let Some(slot) = results.get_mut(i) {
+                        *slot = Some(run);
+                    }
+                }
             }
         }
     });
 
     results
         .into_iter()
-        .map(|r| r.expect("every seed scheduled exactly once"))
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| {
+                Err(SeedError {
+                    seed: seeds.get(i).copied().unwrap_or(u64::MAX),
+                    message: "worker thread lost before reporting this seed".to_string(),
+                })
+            })
+        })
         .collect()
 }
 

@@ -1,0 +1,320 @@
+//! `mfv-lint` — determinism & panic-safety static analysis for this
+//! workspace.
+//!
+//! The paper's pitch only holds if an emulated run is *trustworthy
+//! evidence*: bit-exact replay of a seeded `ChaosPlan`, and verification
+//! verdicts that degrade (coverage-qualified) instead of panicking
+//! mid-sweep. Those invariants are dynamic-test-checked in a handful of
+//! places; this crate machine-checks them across every source file as
+//! named, suppressible rules:
+//!
+//! | rule | scope                                 | invariant |
+//! |------|---------------------------------------|-----------|
+//! | D1   | `emulator`, `routing`, `vrouter`, `verify` | no `HashMap`/`HashSet` — iteration order leaks into schedules/verdicts |
+//! | D2   | all crates except `bench`             | no wall clock / unseeded RNG — discrete-event time only |
+//! | P1   | `mgmt`, `verify`, `core`              | no `unwrap`/`expect`/`panic!`/indexing — degrade via `Result` |
+//! | W1   | `wire`                                | decoders reject input via `DecodeError`, never panic |
+//!
+//! Analysis is a self-contained lexer + line/scope heuristic (no `syn`,
+//! consistent with the workspace's vendored-offline policy). Test code
+//! (`#[cfg(test)]` modules, `#[test]` fns) is exempt — tests may assert.
+//!
+//! Suppression: `// mfv-lint: allow(RULE, reason)` on the offending line or
+//! the line directly above; `// mfv-lint: allow-file(RULE, reason)` anywhere
+//! in a file. The reason is mandatory.
+
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::RuleId;
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub rule: RuleId,
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the match.
+    pub col: usize,
+    pub message: String,
+    /// The raw offending source line, for the diagnostic snippet.
+    pub snippet: String,
+    pub help: String,
+}
+
+/// Outcome of scanning a workspace.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    pub crates_scanned: Vec<String>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// IO/layout failure — distinct from "the code has violations".
+#[derive(Debug)]
+pub struct ScanError(pub String);
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Scans `<root>/crates/*/src/**/*.rs` and returns every unsuppressed
+/// violation, ordered by (file, line, column).
+pub fn scan_workspace(root: &Path) -> Result<Report, ScanError> {
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| ScanError(format!("cannot read {}: {e}", crates_dir.display())))?;
+    let mut crate_names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| ScanError(format!("readdir: {e}")))?;
+        let path = entry.path();
+        if path.is_dir() && path.join("src").is_dir() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                crate_names.push(name.to_string());
+            }
+        }
+    }
+    crate_names.sort();
+
+    let mut report = Report::default();
+    for name in &crate_names {
+        let src = crates_dir.join(name).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let source = fs::read_to_string(&file)
+                .map_err(|e| ScanError(format!("cannot read {}: {e}", file.display())))?;
+            check_file(name, &rel, &source, &mut report.violations);
+            report.files_scanned += 1;
+        }
+    }
+    report.crates_scanned = crate_names;
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), ScanError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| ScanError(format!("cannot read {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| ScanError(format!("readdir: {e}")))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Checks one file's source against every rule that applies to its crate.
+pub fn check_file(crate_name: &str, rel_path: &Path, source: &str, out: &mut Vec<Violation>) {
+    let active: Vec<RuleId> = RuleId::ALL
+        .into_iter()
+        .filter(|r| r.applies_to(crate_name))
+        .collect();
+    if active.is_empty() {
+        return;
+    }
+    let scanned = scan::scan(source);
+
+    // Collect suppressions. Line allows attach to their own line and the
+    // one below (an allow comment usually sits above the offending line).
+    let mut file_allows: Vec<RuleId> = Vec::new();
+    let mut line_allows: Vec<(usize, RuleId)> = Vec::new(); // 0-based line
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        for (rule, file_wide, reason) in rules::parse_allows(&line.raw) {
+            if reason.is_empty() {
+                // Bare allows in test code (e.g. fixture strings in the
+                // linter's own tests) are not policing anything real.
+                if line.in_test {
+                    continue;
+                }
+                out.push(Violation {
+                    rule,
+                    file: rel_path.to_path_buf(),
+                    line: idx + 1,
+                    col: 1,
+                    message: format!(
+                        "suppression of {} without a reason — `allow({}, <why>)` is required",
+                        rule.as_str(),
+                        rule.as_str()
+                    ),
+                    snippet: line.raw.clone(),
+                    help: "state why the invariant holds here despite the pattern".to_string(),
+                });
+                continue;
+            }
+            if file_wide {
+                file_allows.push(rule);
+            } else {
+                line_allows.push((idx, rule));
+            }
+        }
+    }
+
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for rule in &active {
+            if file_allows.contains(rule) {
+                continue;
+            }
+            let suppressed = line_allows
+                .iter()
+                .any(|(l, r)| r == rule && (*l == idx || *l + 1 == idx));
+            if suppressed {
+                continue;
+            }
+            for m in rules::check_line(*rule, line) {
+                out.push(Violation {
+                    rule: *rule,
+                    file: rel_path.to_path_buf(),
+                    line: idx + 1,
+                    col: m.col + 1,
+                    message: rule.message(&m.pattern),
+                    snippet: line.raw.clone(),
+                    help: rule.help().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Renders a violation rustc-style.
+pub fn render(v: &Violation) -> String {
+    format!(
+        "error[{rule}]: {msg}\n  --> {file}:{line}:{col}\n   |\n{line:>3} | {snippet}\n   |\n   = help: {help}\n",
+        rule = v.rule.as_str(),
+        msg = v.message,
+        file = v.file.display(),
+        line = v.line,
+        col = v.col,
+        snippet = v.snippet.trim_end(),
+        help = v.help,
+    )
+}
+
+/// Renders the whole report as a JSON array (hand-rolled: the linter stays
+/// dependency-free so it can never be broken by the crates it checks).
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::from("[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"help\":\"{}\"}}",
+            v.rule.as_str(),
+            json_escape(&v.file.display().to_string()),
+            v.line,
+            v.col,
+            json_escape(&v.message),
+            json_escape(&v.help),
+        ));
+    }
+    if !report.violations.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(crate_name: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        check_file(crate_name, Path::new("test.rs"), src, &mut out);
+        out
+    }
+
+    #[test]
+    fn rules_scope_to_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(violations("emulator", src).len(), 1);
+        assert_eq!(violations("mgmt", src).len(), 0); // D1 not in scope
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(violations("mgmt", src).len(), 1);
+        assert_eq!(violations("emulator", src).len(), 0); // P1 not in scope
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert_eq!(violations("verify", src).len(), 0);
+    }
+
+    #[test]
+    fn line_allow_suppresses_same_and_next_line() {
+        let src = "// mfv-lint: allow(P1, bounded by construction)\nlet x = xs[0];\n";
+        assert_eq!(violations("core", src).len(), 0);
+        let src = "let x = xs[0]; // mfv-lint: allow(P1, bounded by construction)\n";
+        assert_eq!(violations("core", src).len(), 0);
+        // ...but not two lines below.
+        let src = "// mfv-lint: allow(P1, bounded)\nlet a = 1;\nlet x = xs[0];\n";
+        assert_eq!(violations("core", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_itself_a_violation() {
+        let src = "let x = xs[0]; // mfv-lint: allow(P1)\n";
+        let v = violations("core", src);
+        assert_eq!(v.len(), 2); // the bare allow + the unsuppressed index
+        assert!(v.iter().any(|v| v.message.contains("without a reason")));
+    }
+
+    #[test]
+    fn file_allow_suppresses_everywhere() {
+        let src = "// mfv-lint: allow-file(P1, static literals)\nlet a = xs[0];\nlet b = ys[1];\n";
+        assert_eq!(violations("core", src).len(), 0);
+    }
+
+    #[test]
+    fn wrong_rule_allow_does_not_suppress() {
+        let src = "let x = xs[0]; // mfv-lint: allow(D1, wrong rule)\n";
+        assert_eq!(violations("core", src).len(), 1);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

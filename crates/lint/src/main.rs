@@ -1,0 +1,86 @@
+//! CLI entry point: `cargo run -p mfv-lint [-- --json] [--root <dir>]`.
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mfv_lint::{render, render_json, scan_workspace};
+
+const USAGE: &str = "usage: mfv-lint [--json] [--root <workspace-dir>]
+
+Checks crates/*/src against the workspace's determinism and panic-safety
+rules (D1 hash-order, D2 wall-clock/entropy, P1 panic paths, W1 wire
+decode). See DESIGN.md \"Determinism & panic-safety invariants\".";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace this binary lives in (crates/lint/../..).
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or(manifest)
+    });
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mfv-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        for v in &report.violations {
+            println!("{}", render(v));
+        }
+        let n = report.violations.len();
+        if n == 0 {
+            println!(
+                "mfv-lint: clean — {} files across {} crates ({})",
+                report.files_scanned,
+                report.crates_scanned.len(),
+                report.crates_scanned.join(", "),
+            );
+        } else {
+            println!(
+                "mfv-lint: {n} violation{} in {} files scanned",
+                if n == 1 { "" } else { "s" },
+                report.files_scanned,
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,319 @@
+//! Source scanning: a lightweight Rust lexer that strips comments, string
+//! and char literals, and tracks `#[cfg(test)]` / `#[test]` brace scopes.
+//!
+//! The rules in [`crate::rules`] match against *sanitized* lines — the
+//! original source with every comment and literal body replaced by spaces —
+//! so `"HashMap"` inside a string or a doc comment never trips a rule.
+//! Deliberately not a full parser (the workspace vendors no `syn`): scope
+//! tracking is brace-counting plus attribute lookahead, which is exact for
+//! the `#[cfg(test)] mod tests { ... }` idiom this workspace uses.
+
+/// One line of a scanned file.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// Code with comments/strings/chars blanked to spaces (same length as
+    /// `raw` wherever it matters: column positions are preserved).
+    pub code: String,
+    /// The raw source line, used for suppression-comment detection and
+    /// diagnostic snippets.
+    pub raw: String,
+    /// True when every brace scope containing this line is test-only code
+    /// (`#[cfg(test)]` or `#[test]`-attributed blocks).
+    pub in_test: bool,
+}
+
+/// A whole scanned file.
+#[derive(Clone, Debug, Default)]
+pub struct ScannedFile {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment,
+    Str,
+    RawStr,
+    Char,
+}
+
+/// Scans `source`, producing sanitized lines plus test-scope flags.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines = Vec::new();
+
+    let mut mode = Mode::Code;
+    let mut block_depth = 0usize;
+    let mut raw_hashes = 0usize;
+
+    // Brace-scope tracking: each entry is "is this scope test code".
+    let mut scopes: Vec<bool> = Vec::new();
+    // Set when a `#[cfg(test)]` or `#[test]` attribute has been seen and
+    // the brace it governs has not opened yet.
+    let mut pending_test_attr = false;
+
+    for raw_line in source.lines() {
+        let in_test_at_start = scopes.iter().any(|&t| t) || pending_test_attr;
+        let mut code = String::with_capacity(raw_line.len());
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0usize;
+        // A line comment never spans lines.
+        if mode == Mode::LineComment {
+            mode = Mode::Code;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        mode = Mode::LineComment;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment;
+                        block_depth = 1;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        code.push(' ');
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string r"..." / r#"..."#; count hashes.
+                        let mut j = i + 1;
+                        let mut hashes = 0usize;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            mode = Mode::RawStr;
+                            raw_hashes = hashes;
+                            for _ in i..=j {
+                                code.push(' ');
+                            }
+                            i = j + 1;
+                            continue;
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                        let is_char_lit = match next {
+                            Some('\\') => true,
+                            Some(n) if n != '\'' => chars.get(i + 2) == Some(&'\''),
+                            _ => false,
+                        };
+                        if is_char_lit {
+                            mode = Mode::Char;
+                        }
+                        code.push(' ');
+                    }
+                    '{' => {
+                        let parent_test = scopes.iter().any(|&t| t);
+                        scopes.push(parent_test || pending_test_attr);
+                        pending_test_attr = false;
+                        code.push(c);
+                    }
+                    '}' => {
+                        scopes.pop();
+                        code.push(c);
+                    }
+                    ';' => {
+                        // An attribute that governed an item without a body
+                        // (`#[cfg(test)] use foo;`) is spent here.
+                        pending_test_attr = false;
+                        code.push(c);
+                    }
+                    _ => code.push(c),
+                },
+                Mode::LineComment => {
+                    code.push(' ');
+                }
+                Mode::BlockComment => {
+                    if c == '*' && next == Some('/') {
+                        block_depth -= 1;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        if block_depth == 0 {
+                            mode = Mode::Code;
+                        }
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        block_depth += 1;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        mode = Mode::Code;
+                    }
+                    code.push(' ');
+                }
+                Mode::RawStr => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..raw_hashes {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for _ in 0..=raw_hashes {
+                                code.push(' ');
+                            }
+                            i += 1 + raw_hashes;
+                            mode = Mode::Code;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                }
+                Mode::Char => {
+                    if c == '\\' {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '\'' {
+                        mode = Mode::Code;
+                    }
+                    code.push(' ');
+                }
+            }
+            i += 1;
+        }
+
+        // Attribute detection on the sanitized line (comments are blanked,
+        // so `// #[test]` never counts).
+        if code.contains("#[cfg(test)]") || test_attr(&code) {
+            pending_test_attr = true;
+        }
+
+        lines.push(Line {
+            code,
+            raw: raw_line.to_string(),
+            in_test: in_test_at_start || scopes.iter().any(|&t| t),
+        });
+    }
+    ScannedFile { lines }
+}
+
+/// Matches a bare `#[test]` / `#[tokio::test]`-style attribute.
+fn test_attr(code: &str) -> bool {
+    let t = code.trim();
+    t.starts_with("#[") && t.contains("test]")
+}
+
+/// True when `code[pos..]` starts a word-bounded occurrence of `needle`.
+/// A boundary is only required on a side where the needle itself ends in an
+/// identifier character (`.unwrap()` starts with `.`, so anything may
+/// precede it; `HashMap` must not extend `FxHashMap`).
+pub fn word_bounded(code: &str, pos: usize, needle: &str) -> bool {
+    let first_ident = needle.chars().next().map(is_ident_char).unwrap_or(false);
+    let last_ident = needle
+        .chars()
+        .next_back()
+        .map(is_ident_char)
+        .unwrap_or(false);
+    let before_ok = !first_ident
+        || pos == 0
+        || !code[..pos]
+            .chars()
+            .next_back()
+            .map(is_ident_char)
+            .unwrap_or(false);
+    let end = pos + needle.len();
+    let after_ok = !last_ident
+        || end >= code.len()
+        || !code[end..]
+            .chars()
+            .next()
+            .map(is_ident_char)
+            .unwrap_or(false);
+    before_ok && after_ok
+}
+
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = scan("let x = \"HashMap\"; // HashMap\nlet y = 'h';");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let x ="));
+        assert!(!f.lines[1].code.contains('h'));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let f = scan("a /* one\n/* two */ still\ncomment */ b");
+        assert!(f.lines[0].code.starts_with('a'));
+        assert!(!f.lines[1].code.contains("still"));
+        assert!(f.lines[2].code.contains('b'));
+        assert!(!f.lines[2].code.contains("comment"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan("let x = r#\"panic!()\"#; panic!()");
+        let code = &f.lines[0].code;
+        assert_eq!(code.matches("panic!").count(), 1);
+    }
+
+    #[test]
+    fn cfg_test_scope_is_tracked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_tracked() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn real() {}\n";
+        let f = scan(src);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {\n    x();\n}\n";
+        let f = scan(src);
+        assert!(!f.lines[3].in_test);
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(f.lines[0].code.contains(".unwrap()"));
+    }
+}

@@ -1,0 +1,17 @@
+//! D1 fixture: hash collections in an order-sensitive crate.
+
+use std::collections::BTreeMap; // negative: ordered map is the sanctioned type
+use std::collections::HashMap; // positive: D1 fires here
+
+pub struct Positive {
+    pub map: HashMap<u32, u32>, // positive: D1 fires here too
+}
+
+pub struct Suppressed {
+    // mfv-lint: allow(D1, fixture: probed by key only, never iterated)
+    pub cache: std::collections::HashSet<u64>,
+}
+
+pub struct Negative {
+    pub map: BTreeMap<u32, u32>,
+}

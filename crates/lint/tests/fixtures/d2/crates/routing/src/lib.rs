@@ -1,0 +1,19 @@
+//! D2 fixture: wall-clock and entropy sources outside the bench crate.
+
+pub fn positive_clock() -> std::time::Instant {
+    std::time::Instant::now() // positive: D2 fires here
+}
+
+pub fn positive_rng() -> u64 {
+    let mut r = thread_rng(); // positive: D2 fires here
+    r.next()
+}
+
+pub fn suppressed_clock() -> std::time::Instant {
+    // mfv-lint: allow(D2, fixture: wall time feeds a log label, never the schedule)
+    std::time::Instant::now()
+}
+
+pub fn negative_seeded(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,27 @@
+//! P1 fixture: panic paths in a crate that must degrade via `Result`.
+
+pub fn positive_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // positive: P1 fires here
+}
+
+pub fn positive_index(xs: &[u32]) -> u32 {
+    xs[0] // positive: P1 fires here
+}
+
+pub fn suppressed_index(xs: &[u32; 4]) -> u32 {
+    // mfv-lint: allow(P1, fixture: fixed-size array, index is compile-time in range)
+    xs[0]
+}
+
+pub fn negative(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_assert() {
+        let xs = [1u32];
+        assert_eq!(xs[0], Some(1).unwrap()); // exempt: test code
+    }
+}

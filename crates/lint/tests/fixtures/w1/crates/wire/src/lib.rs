@@ -1,0 +1,28 @@
+//! W1 fixture: decoders must reject input via a typed error, never panic.
+
+pub struct DecodeError(pub String);
+
+pub fn positive_decode(buf: &[u8]) -> u8 {
+    buf[0] // positive: W1 fires here
+}
+
+pub fn positive_panic(buf: &[u8]) -> u8 {
+    if buf.is_empty() {
+        panic!("truncated") // positive: W1 fires here
+    }
+    0
+}
+
+pub fn suppressed_decode(buf: &[u8]) -> Result<u8, DecodeError> {
+    if buf.len() < 2 {
+        return Err(DecodeError("truncated".to_string()));
+    }
+    // mfv-lint: allow(W1, fixture: length checked above, index in bounds)
+    Ok(buf[1])
+}
+
+pub fn negative_decode(buf: &[u8]) -> Result<u8, DecodeError> {
+    buf.first()
+        .copied()
+        .ok_or_else(|| DecodeError("empty".to_string()))
+}

@@ -134,8 +134,8 @@ impl Aft {
         self.ipv4_unicast.is_empty()
     }
 
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("AFT serialises")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     pub fn from_json(s: &str) -> Result<Aft, serde_json::Error> {
@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let aft = Aft::from_fib(&fib());
-        let js = aft.to_json();
+        let js = aft.to_json().unwrap();
         let back = Aft::from_json(&js).unwrap();
         assert_eq!(back, aft);
     }

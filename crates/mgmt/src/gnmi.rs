@@ -36,10 +36,7 @@ impl std::error::Error for ExtractError {}
 fn normalize(path: &str) -> Vec<String> {
     path.split('/')
         .filter(|s| !s.is_empty())
-        .map(|s| match s.find('[') {
-            Some(i) => s[..i].to_string(),
-            None => s.to_string(),
-        })
+        .map(|s| s.split('[').next().unwrap_or(s).to_string())
         .collect()
 }
 

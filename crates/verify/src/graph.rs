@@ -9,10 +9,11 @@
 //! (§3: "identifying specific routes that do not satisfy a desired invariant
 //! or concluding no such routes exist").
 
+// mfv-lint: allow(D1, HashMap here backs digest-keyed caches that are only probed, never iterated)
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use mfv_dataplane::{Dataplane, NodeDataplane};
 use mfv_routing::rib::{Fib, FibEntry};
@@ -107,6 +108,7 @@ pub struct NodeClasses {
 /// the whole network. Thread-safe, so one cache can back a parallel sweep.
 #[derive(Default)]
 pub struct ClassCache {
+    // mfv-lint: allow(D1, probed by digest only; iteration order never observed)
     by_digest: Mutex<HashMap<u64, Arc<NodeClasses>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -128,7 +130,15 @@ impl ClassCache {
 
     fn classes_for(&self, node: &NodeDataplane) -> Arc<NodeClasses> {
         let digest = node.fib_digest();
-        if let Some(hit) = self.by_digest.lock().unwrap().get(&digest) {
+        // Poisoning cannot corrupt the cache (insertions are atomic via the
+        // entry API), so recover the guard instead of propagating a panic
+        // from an unrelated worker thread into this sweep.
+        if let Some(hit) = self
+            .by_digest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&digest)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
@@ -138,7 +148,7 @@ impl ClassCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.by_digest
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(digest)
             .or_insert(built)
             .clone()
@@ -164,6 +174,7 @@ pub struct ForwardingAnalysis {
     /// Memoised disposition partitions per (entry node, scope). The
     /// baseline side of a differential sweep asks the same question once
     /// per variant; computing it once amortises the whole sweep.
+    // mfv-lint: allow(D1, probed by (node, scope) key only; iteration order never observed)
     memo: Mutex<HashMap<(NodeId, IpSet), Arc<DispositionRows>>>,
 }
 
@@ -226,6 +237,7 @@ impl ForwardingAnalysis {
         ForwardingAnalysis {
             nodes,
             dp: dp.clone(),
+            // mfv-lint: allow(D1, memo is probed by key only; iteration order never observed)
             memo: Mutex::new(HashMap::new()),
         }
     }
@@ -249,7 +261,13 @@ impl ForwardingAnalysis {
     /// (entry, scope) pair are computed once per analysis.
     pub fn dispositions_from_shared(&self, from: &NodeId, dst: &IpSet) -> Arc<DispositionRows> {
         let key = (from.clone(), dst.clone());
-        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+        // Same poison-recovery rationale as `ClassCache::classes_for`.
+        if let Some(hit) = self
+            .memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return Arc::clone(hit);
         }
         let mut visited = Vec::new();
@@ -257,7 +275,12 @@ impl ForwardingAnalysis {
         // Canonical order for stable comparison.
         out.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.ranges().cmp(b.0.ranges())));
         let rows = Arc::new(coalesce(out));
-        self.memo.lock().unwrap().entry(key).or_insert(rows).clone()
+        self.memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(rows)
+            .clone()
     }
 
     fn explore(

@@ -45,8 +45,8 @@ impl SystemId {
     /// Derives a system-id from an IPv4 address (the common operational
     /// convention: zero-padded loopback octets).
     pub fn from_ip(ip: Ipv4Addr) -> SystemId {
-        let o = ip.octets();
-        SystemId([0, 0, o[0], o[1], o[2], o[3]])
+        let [a, b, c, d] = ip.octets();
+        SystemId([0, 0, a, b, c, d])
     }
 }
 
@@ -58,12 +58,8 @@ impl fmt::Debug for SystemId {
 
 impl fmt::Display for SystemId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let b = self.0;
-        write!(
-            f,
-            "{:02x}{:02x}.{:02x}{:02x}.{:02x}{:02x}",
-            b[0], b[1], b[2], b[3], b[4], b[5]
-        )
+        let [b0, b1, b2, b3, b4, b5] = self.0;
+        write!(f, "{b0:02x}{b1:02x}.{b2:02x}{b3:02x}.{b4:02x}{b5:02x}")
     }
 }
 
@@ -73,11 +69,14 @@ impl FromStr for SystemId {
     /// Parses `xxxx.xxxx.xxxx` hex groups.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let hex: String = s.chars().filter(|c| *c != '.').collect();
-        if hex.len() != 12 {
+        // ASCII check up front: byte-slicing below must never split a
+        // multi-byte character.
+        if hex.len() != 12 || !hex.is_ascii() {
             return Err(DecodeError::new("isis", format!("bad system-id {s}")));
         }
         let mut out = [0u8; 6];
         for (i, chunk) in out.iter_mut().enumerate() {
+            // mfv-lint: allow(W1, hex is 12 ASCII bytes per the check above, so i*2+2 <= 12 on char boundaries)
             *chunk = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16)
                 .map_err(|_| DecodeError::new("isis", format!("bad system-id {s}")))?;
         }
@@ -283,6 +282,7 @@ fn encode_tlvs(out: &mut BytesMut, tlvs: &[Tlv]) {
                     v.put_u8(control);
                     let nbytes = (r.prefix.len() as usize).div_ceil(8);
                     let bits = r.prefix.network_bits().to_be_bytes();
+                    // mfv-lint: allow(W1, Prefix guarantees len <= 32, so nbytes <= 4 == bits.len())
                     v.extend_from_slice(&bits[..nbytes]);
                 }
             }
@@ -399,6 +399,7 @@ fn decode_tlvs(buf: &mut Bytes) -> Result<Vec<Tlv>, DecodeError> {
                         return Err(err("truncated IP reach prefix"));
                     }
                     let mut bits = [0u8; 4];
+                    // mfv-lint: allow(W1, plen > 32 rejected above with DecodeError, so nbytes <= 4)
                     bits[..nbytes].copy_from_slice(&v.split_to(nbytes));
                     reaches.push(IpReach {
                         metric,
@@ -540,6 +541,24 @@ pub fn fletcher16(data: &[u8]) -> u16 {
     ((c1 as u16) << 8) | c0 as u16
 }
 
+/// Back-patches one byte reserved earlier by a placeholder `put_u8`.
+/// A position outside the buffer (impossible by construction — every call
+/// passes an offset previously returned by `out.len()`) is a no-op, so the
+/// encoder can never panic.
+fn patch_u8(out: &mut BytesMut, pos: usize, val: u8) {
+    if let Some(b) = out.get_mut(pos) {
+        *b = val;
+    }
+}
+
+/// Back-patches a big-endian u16 reserved earlier by a placeholder
+/// `put_u16`. Same no-panic contract as [`patch_u8`].
+fn patch_u16_be(out: &mut BytesMut, pos: usize, val: u16) {
+    if let Some(slot) = out.get_mut(pos..pos + 2) {
+        slot.copy_from_slice(&val.to_be_bytes());
+    }
+}
+
 impl IsisPdu {
     pub fn encode(&self) -> Bytes {
         let mut out = BytesMut::new();
@@ -556,7 +575,7 @@ impl IsisPdu {
 
         match self {
             IsisPdu::P2pHello(h) => {
-                out[type_pos] = PDU_P2P_HELLO;
+                patch_u8(&mut out, type_pos, PDU_P2P_HELLO);
                 out.put_u8(h.circuit_type);
                 out.extend_from_slice(&h.source.0);
                 out.put_u16(h.hold_time_secs);
@@ -565,10 +584,10 @@ impl IsisPdu {
                 out.put_u8(h.circuit_id);
                 encode_tlvs(&mut out, &h.tlvs);
                 let total = out.len() as u16;
-                out[len_pos..len_pos + 2].copy_from_slice(&total.to_be_bytes());
+                patch_u16_be(&mut out, len_pos, total);
             }
             IsisPdu::Lsp(l) => {
-                out[type_pos] = PDU_L2_LSP;
+                patch_u8(&mut out, type_pos, PDU_L2_LSP);
                 let len_pos = out.len();
                 out.put_u16(0); // pdu length, patched below
                 out.put_u16(l.lifetime_secs);
@@ -578,10 +597,10 @@ impl IsisPdu {
                 out.put_u8(0x03); // flags: L2 IS
                 encode_tlvs(&mut out, &l.tlvs);
                 let total = out.len() as u16;
-                out[len_pos..len_pos + 2].copy_from_slice(&total.to_be_bytes());
+                patch_u16_be(&mut out, len_pos, total);
             }
             IsisPdu::Csnp(c) => {
-                out[type_pos] = PDU_L2_CSNP;
+                patch_u8(&mut out, type_pos, PDU_L2_CSNP);
                 let len_pos = out.len();
                 out.put_u16(0);
                 out.extend_from_slice(&c.source.0);
@@ -591,17 +610,17 @@ impl IsisPdu {
                 out.put_bytes(0xff, 8);
                 encode_tlvs(&mut out, &[Tlv::LspEntries(c.entries.clone())]);
                 let total = out.len() as u16;
-                out[len_pos..len_pos + 2].copy_from_slice(&total.to_be_bytes());
+                patch_u16_be(&mut out, len_pos, total);
             }
             IsisPdu::Psnp(p) => {
-                out[type_pos] = PDU_L2_PSNP;
+                patch_u8(&mut out, type_pos, PDU_L2_PSNP);
                 let len_pos = out.len();
                 out.put_u16(0);
                 out.extend_from_slice(&p.source.0);
                 out.put_u8(0);
                 encode_tlvs(&mut out, &[Tlv::LspEntries(p.entries.clone())]);
                 let total = out.len() as u16;
-                out[len_pos..len_pos + 2].copy_from_slice(&total.to_be_bytes());
+                patch_u16_be(&mut out, len_pos, total);
             }
         }
         out.freeze()
@@ -720,13 +739,17 @@ pub fn net_area_bytes(net: &str) -> Option<Bytes> {
     if parts.len() < 5 {
         return None;
     }
+    // mfv-lint: allow(W1, parts.len() >= 5 is checked above, so len - 4 cannot underflow)
     let area_parts = &parts[..parts.len() - 4];
     let mut out = Vec::new();
     for p in area_parts {
-        if p.len() % 2 != 0 {
+        // ASCII check: byte-slicing below must never split a multi-byte
+        // character.
+        if p.len() % 2 != 0 || !p.is_ascii() {
             return None;
         }
         for i in (0..p.len()).step_by(2) {
+            // mfv-lint: allow(W1, p is even-length ASCII per the check above, so i+2 <= p.len() on char boundaries)
             out.push(u8::from_str_radix(&p[i..i + 2], 16).ok()?);
         }
     }
@@ -739,6 +762,7 @@ pub fn net_system_id(net: &str) -> Option<SystemId> {
     if parts.len() < 5 {
         return None;
     }
+    // mfv-lint: allow(W1, parts.len() >= 5 is checked above, so the range is in bounds)
     let sys = parts[parts.len() - 4..parts.len() - 1].join(".");
     sys.parse().ok()
 }

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "==> cargo clippy (default members, deny warnings)"
 cargo clippy -- -D warnings
 
+echo "==> mfv-lint (determinism & panic-safety rules)"
+cargo run -q -p mfv-lint
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
