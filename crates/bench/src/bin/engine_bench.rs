@@ -1,0 +1,200 @@
+//! Engine hot-path benchmark: runs the emulation engine scenario suite
+//! (message fan-out, a2/e1 convergence, the §5 60-router grid) and emits
+//! `BENCH_emulator.json` with median wall times and the engine's own work
+//! counters (events processed, messages delivered).
+//!
+//! When a recorded baseline is supplied (`--baseline scripts/bench_baseline.txt`,
+//! captured from the pre-overhaul engine), the report also carries the
+//! event-count reduction and wall-time speedup per scenario — the numbers
+//! the EXPERIMENTS.md "Engine performance" table tracks.
+//!
+//! Flags:
+//!   --smoke            tiny grid + 1 iteration (CI bit-rot guard)
+//!   --iters <n>        iterations per scenario (default 5; median reported)
+//!   --out <path>       output JSON path (default BENCH_emulator.json)
+//!   --baseline <path>  recorded pre-change numbers (plain `key value` lines)
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::process::ExitCode;
+
+use mfv_bench::{engine_scenarios, run_engine_scenario, EngineRunStats};
+
+struct Args {
+    smoke: bool,
+    iters: usize,
+    out: String,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        iters: 0,
+        out: "BENCH_emulator.json".to_string(),
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                args.iters = v.parse().map_err(|_| format!("bad --iters {v}"))?;
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a value")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.iters == 0 {
+        args.iters = if args.smoke { 1 } else { 5 };
+    }
+    Ok(args)
+}
+
+/// Baseline file format: `scenario.metric value` per line, `#` comments.
+fn load_baseline(path: &str) -> BTreeMap<String, f64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        eprintln!("engine_bench: no baseline at {path} (reporting absolute numbers only)");
+        return BTreeMap::new();
+    };
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(key), Some(value)) = (parts.next(), parts.next()) {
+            if let Ok(v) = value.parse::<f64>() {
+                out.insert(key.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("engine_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = args
+        .baseline
+        .as_deref()
+        .map(load_baseline)
+        .unwrap_or_default();
+
+    let suite = engine_scenarios(args.smoke);
+    let mut rows: Vec<String> = Vec::new();
+    let mut total_events = 0u64;
+    let mut total_scheduled = 0u64;
+    let mut baseline_total_events = 0.0f64;
+    let mut have_full_baseline = !baseline.is_empty();
+
+    for (name, snapshot) in &suite {
+        let mut walls: Vec<f64> = Vec::new();
+        let mut stats: Option<EngineRunStats> = None;
+        for _ in 0..args.iters {
+            let s = run_engine_scenario(snapshot, 1);
+            walls.push(s.wall.as_secs_f64() * 1_000.0);
+            stats = Some(s);
+        }
+        let stats = stats.expect("at least one iteration");
+        let wall_ms = median_ms(&mut walls);
+        total_events += stats.events_processed;
+        total_scheduled += stats.events_scheduled;
+
+        let base_events = baseline.get(&format!("{name}.events")).copied();
+        let base_wall = baseline.get(&format!("{name}.wall_ms")).copied();
+        match base_events {
+            Some(e) => baseline_total_events += e,
+            None => have_full_baseline = false,
+        }
+
+        let mut row = format!(
+            "    \"{name}\": {{\"wall_ms_median\": {}, \"events_processed\": {}, \"events_scheduled\": {}, \"messages_delivered\": {}, \"converged\": {}",
+            json_f64(wall_ms),
+            stats.events_processed,
+            stats.events_scheduled,
+            stats.messages_delivered,
+            stats.converged,
+        );
+        // Pre-overhaul baselines predate the scheduled/processed split:
+        // every work item went through the heap then, so the recorded
+        // `.events` (events processed) equals events scheduled and the
+        // reduction ratio compares like with like.
+        if let Some(e) = base_events {
+            row.push_str(&format!(
+                ", \"baseline_events\": {e:.0}, \"event_reduction\": {}",
+                json_f64(e / stats.events_scheduled.max(1) as f64)
+            ));
+        }
+        if let Some(w) = base_wall {
+            row.push_str(&format!(
+                ", \"baseline_wall_ms\": {}, \"wall_speedup\": {}",
+                json_f64(w),
+                json_f64(w / wall_ms.max(1e-9))
+            ));
+        }
+        row.push('}');
+        rows.push(row);
+        eprintln!(
+            "engine_bench: {name}: {wall_ms:.1} ms median, {} processed / {} scheduled, {} messages, converged={}",
+            stats.events_processed, stats.events_scheduled, stats.messages_delivered, stats.converged
+        );
+        if !stats.converged {
+            eprintln!("engine_bench: FAIL — scenario {name} did not converge");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut doc = String::from("{\n");
+    doc.push_str("  \"generated_by\": \"engine_bench\",\n");
+    doc.push_str(&format!("  \"smoke\": {},\n", args.smoke));
+    doc.push_str(&format!("  \"iterations\": {},\n", args.iters));
+    doc.push_str("  \"scenarios\": {\n");
+    doc.push_str(&rows.join(",\n"));
+    doc.push_str("\n  },\n");
+    doc.push_str(&format!("  \"total_events\": {total_events},\n"));
+    doc.push_str(&format!("  \"total_events_scheduled\": {total_scheduled}"));
+    if have_full_baseline {
+        doc.push_str(&format!(
+            ",\n  \"baseline_total_events\": {baseline_total_events:.0},\n  \"total_event_reduction\": {}",
+            json_f64(baseline_total_events / total_scheduled.max(1) as f64)
+        ));
+    }
+    doc.push_str("\n}\n");
+
+    if let Err(e) = fs::write(&args.out, &doc) {
+        eprintln!("engine_bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("engine_bench: wrote {}", args.out);
+    ExitCode::SUCCESS
+}

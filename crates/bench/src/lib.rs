@@ -9,7 +9,7 @@ use mfv_core::{
     BackendMeta, DiffFinding, EmulationBackend, ModelBackend, Snapshot,
 };
 use mfv_dataplane::Dataplane;
-use mfv_emulator::{outcome_distribution, run_seeds, Cluster, EmulationConfig};
+use mfv_emulator::{outcome_distribution, run_seeds, Cluster, Emulation, EmulationConfig};
 use mfv_model::UnrecognizedKind;
 use mfv_types::{IpSet, NodeId, SimDuration};
 use mfv_vrouter::{VendorBugs, VendorProfile};
@@ -417,6 +417,66 @@ pub fn run_a3(seed: u64) -> A3Result {
         crashes: buggy.meta.crashes,
         lost_classes: lost,
         model_can_ingest: ModelBackend.compute(&snapshot).is_ok(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine performance rig — the emulation engine's own hot path (message
+// dispatch, polling, convergence detection), measured as wall time plus the
+// engine's work counters so every future change has a perf trajectory to
+// answer to. `scripts/bench.sh` runs these via the `engine_bench` binary and
+// emits `BENCH_emulator.json`.
+// ---------------------------------------------------------------------------
+
+/// One engine scenario run: wall time plus the engine's own work counters.
+#[derive(Clone, Debug)]
+pub struct EngineRunStats {
+    pub wall: std::time::Duration,
+    pub converged: bool,
+    pub events_processed: u64,
+    /// Events pushed onto the engine's priority queue — the scheduling-cost
+    /// metric the demand-driven scheduler is judged on (wake-set polls
+    /// never enter the heap).
+    pub events_scheduled: u64,
+    pub messages_delivered: u64,
+}
+
+/// The engine-bench scenario suite: a micro fan-out workload (a line where
+/// every LSP floods end to end), the a2/e1 verification topologies, and the
+/// §5 60-router grid. Smoke mode shrinks the grid so CI can run the rig in
+/// seconds.
+pub fn engine_scenarios(smoke: bool) -> Vec<(&'static str, Snapshot)> {
+    let mut suite = vec![
+        ("fanout_line16", scenarios::isis_line(16)),
+        ("a2_six_node", scenarios::six_node()),
+        ("e1_line3", scenarios::three_node_line_fig3()),
+    ];
+    if smoke {
+        suite.push(("grid_3x2", scenarios::isis_grid(3, 2)));
+    } else {
+        suite.push(("grid60", scenarios::isis_grid(10, 6)));
+    }
+    suite
+}
+
+/// Boots the scenario on a single-machine cluster and runs it to
+/// convergence, timing only the event loop (construction and validation are
+/// not the hot path under measurement).
+pub fn run_engine_scenario(snapshot: &Snapshot, seed: u64) -> EngineRunStats {
+    let cfg = EmulationConfig {
+        seed,
+        ..Default::default()
+    };
+    let mut emu = Emulation::new(snapshot.topology.clone(), Cluster::single_node(), cfg)
+        .expect("bench scenario validates");
+    let t = std::time::Instant::now();
+    let report = emu.run_until_converged();
+    EngineRunStats {
+        wall: t.elapsed(),
+        converged: report.converged,
+        events_processed: report.events_processed,
+        events_scheduled: report.events_scheduled,
+        messages_delivered: report.messages_delivered,
     }
 }
 

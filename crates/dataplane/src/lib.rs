@@ -101,7 +101,7 @@ impl Dataplane {
         self.nodes.insert(
             name,
             NodeDataplane {
-                entries: fib.entries().into_iter().cloned().collect(),
+                entries: fib.entries().cloned().collect(),
                 addresses,
                 up,
             },

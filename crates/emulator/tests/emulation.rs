@@ -357,3 +357,32 @@ fn seed_worker_panic_is_confined_to_its_seed() {
         );
     }
 }
+
+/// Demand-driven polling acceptance: an idle network — routers with only
+/// connected interfaces, no IS-IS, no BGP — must never put a poll event on
+/// the heap. The only scheduled events are the 60 pod boots; each router is
+/// woken exactly once after boot, reports no future work, and is never
+/// visited again. Under the old fixed-interval scheduler this run cost
+/// O(nodes x sim-time) poll events.
+#[test]
+fn idle_network_schedules_zero_poll_events() {
+    const N: u8 = 60;
+    let asn = AsNum(65000);
+    let mut t = Topology::new("idle60");
+    for i in 1..=N {
+        let name = format!("r{i}");
+        let spec = RouterSpec::new(&name, asn, Ipv4Addr::new(9, 9, 9, i)).iface(IfaceSpec::new(
+            "Ethernet1",
+            format!("10.{i}.0.1/24").parse().unwrap(),
+        ));
+        t.add_node(NodeSpec::from_config(name.as_str(), &spec.build()));
+    }
+    let mut emu = Emulation::new(t, Cluster::single_node(), quick_cfg(7)).unwrap();
+    let report = emu.run_until_converged();
+    assert!(report.converged, "{report:?}");
+    // Heap traffic: one PodReady per node, nothing else — zero poll events.
+    assert_eq!(report.events_scheduled, u64::from(N));
+    // Work items: each boot plus exactly one demand-driven wake per router
+    // (which finds no engines and requests no further wakeup).
+    assert_eq!(report.events_processed, 2 * u64::from(N));
+}

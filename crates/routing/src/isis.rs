@@ -104,9 +104,16 @@ pub struct IsisEngine {
     adjacencies: BTreeMap<IfaceId, Adjacency>,
     lsdb: BTreeMap<LspId, Lsp>,
     own_seq: u32,
-    out: VecDeque<(IfaceId, IsisPdu)>,
+    /// Outbound queue. Each entry is one PDU destined for a *group* of
+    /// interfaces: floods enqueue a single entry listing every target so the
+    /// caller can encode the PDU once and fan the bytes out, instead of
+    /// re-encoding per interface.
+    out: VecDeque<(Vec<IfaceId>, IsisPdu)>,
     /// SPF result cache, invalidated on any LSDB/adjacency change.
     routes_cache: Option<Vec<RibRoute>>,
+    /// Bumped on every cache invalidation; callers can skip re-reading
+    /// (and re-installing) routes when the version is unchanged.
+    routes_version: u64,
 }
 
 impl IsisEngine {
@@ -124,6 +131,7 @@ impl IsisEngine {
             own_seq: 0,
             out: VecDeque::new(),
             routes_cache: None,
+            routes_version: 0,
         };
         engine.regenerate_own_lsp();
         engine
@@ -188,7 +196,7 @@ impl IsisEngine {
             ],
         };
         self.lsdb.insert(lsp.lsp_id, lsp.clone());
-        self.routes_cache = None;
+        self.invalidate_routes();
         // Flood to all Up adjacencies.
         let up_ifaces: Vec<IfaceId> = self
             .adjacencies
@@ -196,8 +204,8 @@ impl IsisEngine {
             .filter(|(_, a)| matches!(a.state, AdjState::Up))
             .map(|(i, _)| i.clone())
             .collect();
-        for iface in up_ifaces {
-            self.out.push_back((iface, IsisPdu::Lsp(lsp.clone())));
+        if !up_ifaces.is_empty() {
+            self.out.push_back((up_ifaces, IsisPdu::Lsp(lsp)));
         }
     }
 
@@ -275,14 +283,14 @@ impl IsisEngine {
             // Respond immediately so the three-way handshake completes in
             // one exchange rather than a hello interval.
             if let Some(h) = self.build_hello(iface) {
-                self.out.push_back((iface.clone(), h));
+                self.out.push_back((vec![iface.clone()], h));
             }
             if matches!(new_state, AdjState::Up) {
                 self.regenerate_own_lsp();
                 // Database sync: full CSNP to the new neighbor.
                 let entries = self.csnp_entries();
                 self.out.push_back((
-                    iface.clone(),
+                    vec![iface.clone()],
                     IsisPdu::Csnp(Csnp {
                         source: self.cfg.system_id,
                         entries,
@@ -322,12 +330,13 @@ impl IsisEngine {
                 if s > lsp.seq {
                     // We have newer: send ours back.
                     let ours = self.lsdb.get(&lsp.lsp_id).unwrap().clone();
-                    self.out.push_back((iface.clone(), IsisPdu::Lsp(ours)));
+                    self.out
+                        .push_back((vec![iface.clone()], IsisPdu::Lsp(ours)));
                 }
                 // Equal: ack implicitly via PSNP.
                 else {
                     self.out.push_back((
-                        iface.clone(),
+                        vec![iface.clone()],
                         IsisPdu::Psnp(Psnp {
                             source: self.cfg.system_id,
                             entries: vec![LspEntry {
@@ -349,9 +358,9 @@ impl IsisEngine {
                     checksum: lsp.checksum(),
                 };
                 self.lsdb.insert(lsp.lsp_id, lsp.clone());
-                self.routes_cache = None;
+                self.invalidate_routes();
                 self.out.push_back((
-                    iface.clone(),
+                    vec![iface.clone()],
                     IsisPdu::Psnp(Psnp {
                         source: self.cfg.system_id,
                         entries: vec![entry],
@@ -363,8 +372,8 @@ impl IsisEngine {
                     .filter(|(i, a)| *i != iface && matches!(a.state, AdjState::Up))
                     .map(|(i, _)| i.clone())
                     .collect();
-                for fi in flood_to {
-                    self.out.push_back((fi, IsisPdu::Lsp(lsp.clone())));
+                if !flood_to.is_empty() {
+                    self.out.push_back((flood_to, IsisPdu::Lsp(lsp)));
                 }
             }
         }
@@ -378,7 +387,7 @@ impl IsisEngine {
                 Some(&their_seq) if their_seq >= lsp.seq => {}
                 _ => {
                     self.out
-                        .push_back((iface.clone(), IsisPdu::Lsp(lsp.clone())));
+                        .push_back((vec![iface.clone()], IsisPdu::Lsp(lsp.clone())));
                 }
             }
         }
@@ -397,7 +406,7 @@ impl IsisEngine {
         }
         if !requests.is_empty() {
             self.out.push_back((
-                iface.clone(),
+                vec![iface.clone()],
                 IsisPdu::Psnp(Psnp {
                     source: self.cfg.system_id,
                     entries: requests,
@@ -414,14 +423,15 @@ impl IsisEngine {
             if let Some(lsp) = self.lsdb.get(&e.lsp_id) {
                 if e.seq < lsp.seq {
                     self.out
-                        .push_back((iface.clone(), IsisPdu::Lsp(lsp.clone())));
+                        .push_back((vec![iface.clone()], IsisPdu::Lsp(lsp.clone())));
                 }
             }
         }
     }
 
-    /// Advances timers; returns PDUs to transmit.
-    pub fn poll(&mut self, now: SimTime) -> Vec<(IfaceId, IsisPdu)> {
+    /// Advances timers; returns PDUs to transmit, each with the group of
+    /// interfaces it should go out of (encode once, send to all).
+    pub fn poll(&mut self, now: SimTime) -> Vec<(Vec<IfaceId>, IsisPdu)> {
         // Hello transmission.
         let hello_due: Vec<IfaceId> = self
             .adjacencies
@@ -436,7 +446,7 @@ impl IsisEngine {
             .collect();
         for iface in hello_due {
             if let Some(h) = self.build_hello(&iface) {
-                self.out.push_back((iface.clone(), h));
+                self.out.push_back((vec![iface.clone()], h));
             }
             if let Some(a) = self.adjacencies.get_mut(&iface) {
                 a.last_hello_tx = Some(now);
@@ -504,6 +514,19 @@ impl IsisEngine {
                 hostname: l.hostname().map(|s| s.to_string()),
             })
             .collect()
+    }
+
+    /// Drops the SPF cache and bumps the version callers key off.
+    fn invalidate_routes(&mut self) {
+        self.routes_cache = None;
+        self.routes_version = self.routes_version.wrapping_add(1);
+    }
+
+    /// Monotone stamp of the SPF result: unchanged version means `routes()`
+    /// would return exactly what it returned last time, so the caller can
+    /// skip the call (and the RIB churn) entirely.
+    pub fn routes_version(&self) -> u64 {
+        self.routes_version
     }
 
     /// Runs SPF and returns IS-IS routes for the RIB. Cached until the LSDB
@@ -709,9 +732,11 @@ mod tests {
                 self.now += SimDuration::from_millis(500);
                 let mut deliveries: Vec<(usize, IfaceId, IsisPdu)> = Vec::new();
                 for (i, e) in self.engines.iter_mut().enumerate() {
-                    for (iface, pdu) in e.poll(self.now) {
-                        if let Some((di, diface)) = peer_of(&self.links, i, &iface) {
-                            deliveries.push((di, diface, pdu));
+                    for (ifaces, pdu) in e.poll(self.now) {
+                        for iface in ifaces {
+                            if let Some((di, diface)) = peer_of(&self.links, i, &iface) {
+                                deliveries.push((di, diface, pdu.clone()));
+                            }
                         }
                     }
                 }
@@ -733,9 +758,11 @@ mod tests {
                     let mut next: Vec<(usize, IfaceId, IsisPdu)> = Vec::new();
                     for (di, diface, pdu) in deliveries.drain(..) {
                         self.engines[di].push_pdu(self.now, &diface, pdu);
-                        for (iface, out) in self.engines[di].out.drain(..).collect::<Vec<_>>() {
-                            if let Some((ti, tiface)) = peer_of(&self.links, di, &iface) {
-                                next.push((ti, tiface, out));
+                        for (ifaces, out) in self.engines[di].out.drain(..).collect::<Vec<_>>() {
+                            for iface in ifaces {
+                                if let Some((ti, tiface)) = peer_of(&self.links, di, &iface) {
+                                    next.push((ti, tiface, out.clone()));
+                                }
                             }
                         }
                     }

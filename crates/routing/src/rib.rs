@@ -101,12 +101,11 @@ impl Rib {
         }
     }
 
-    /// All candidates for a prefix (one per contributing protocol).
-    pub fn candidates(&self, prefix: &Prefix) -> Vec<&RibRoute> {
-        self.per_proto
-            .values()
-            .filter_map(|m| m.get(prefix))
-            .collect()
+    /// All candidates for a prefix (one per contributing protocol), in
+    /// protocol order. Lazy: hot consumers filter or min-reduce without an
+    /// intermediate allocation.
+    pub fn candidates<'a>(&'a self, prefix: &'a Prefix) -> impl Iterator<Item = &'a RibRoute> {
+        self.per_proto.values().filter_map(move |m| m.get(prefix))
     }
 
     /// The per-prefix winner: lowest admin distance, then lowest metric,
@@ -306,9 +305,11 @@ impl Fib {
         self.trie.len() == 0
     }
 
-    /// All entries in prefix order.
-    pub fn entries(&self) -> Vec<&FibEntry> {
-        self.trie.iter().map(|(_, e)| e).collect()
+    /// All entries in prefix order. Lazy: callers iterating tables at
+    /// production scale (AFT extraction, class computation) pay no
+    /// per-snapshot `Vec<&_>` allocation.
+    pub fn entries(&self) -> impl Iterator<Item = &FibEntry> {
+        self.trie.iter().map(|(_, e)| e)
     }
 
     /// Structural equality check used by the convergence detector: two FIBs

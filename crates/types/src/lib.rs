@@ -5,6 +5,8 @@
 //!
 //! - IPv4 prefixes and interface addresses ([`Prefix`], [`IfaceAddr`])
 //! - identifiers ([`RouterId`], [`AsNum`], [`NodeId`], [`IfaceId`], [`LinkId`])
+//!   and deterministic interned `Copy` handles for the string-backed ones
+//!   ([`intern::Interner`], [`intern::NodeRef`], [`intern::IfaceRef`])
 //! - routing attribute types shared across protocol implementations
 //!   ([`AsPath`], [`Community`], [`Origin`], [`AdminDistance`], …)
 //! - a longest-prefix-match trie ([`trie::PrefixTrie`])
@@ -18,6 +20,7 @@ pub mod addr;
 pub mod attrs;
 pub mod hs;
 pub mod ids;
+pub mod intern;
 pub mod status;
 pub mod time;
 pub mod trie;
@@ -26,6 +29,7 @@ pub use addr::{IfaceAddr, Prefix, PrefixParseError};
 pub use attrs::{AdminDistance, AsPath, AsPathSegment, Community, Origin, RouteProtocol};
 pub use hs::{IpSet, PacketClass};
 pub use ids::{AsNum, IfaceId, LinkId, NodeId, RouterId};
+pub use intern::{IfaceRef, Interner, NodeRef};
 pub use status::ExtractionStatus;
 pub use time::{SimDuration, SimTime};
 pub use trie::PrefixTrie;

@@ -179,7 +179,7 @@ pub struct ForwardingAnalysis {
 }
 
 fn effective_classes(fib: &Fib) -> NodeClasses {
-    let entries: Vec<&FibEntry> = fib.entries();
+    let entries: Vec<&FibEntry> = fib.entries().collect();
     // LPM holes are exactly the topmost more-specific prefixes present in
     // the same FIB; the trie walk finds them directly instead of scanning
     // all prefix pairs.

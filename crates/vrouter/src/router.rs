@@ -71,6 +71,14 @@ pub struct VirtualRouter {
     /// Digest of the IGP view last handed to BGP next-hop resolution; a
     /// change forces a full BGP decision recomputation.
     last_igp_digest: u64,
+    /// True when connected/static route sources may have changed (link
+    /// events, config pushes, restarts); cleared after the RIB resync.
+    rib_sources_dirty: bool,
+    /// IS-IS SPF version last installed in the RIB; unchanged version means
+    /// the IS-IS contribution is already current.
+    last_isis_version: Option<u64>,
+    /// IGP next-hop resolver reused across polls while the IGP is stable.
+    cached_resolver: Option<IgpResolver>,
     /// Count of messages that failed vendor decoding (dropped).
     pub decode_errors: u64,
 }
@@ -111,6 +119,9 @@ impl VirtualRouter {
             pending_crash: None,
             pending_out: Vec::new(),
             last_igp_digest: 0,
+            rib_sources_dirty: true,
+            last_isis_version: None,
+            cached_resolver: None,
             decode_errors: 0,
         };
         for iface in &router.config.interfaces {
@@ -214,6 +225,15 @@ impl VirtualRouter {
         self.build_engines();
         self.rib = Rib::new();
         self.fib = Fib::new();
+        self.mark_rib_sources_dirty();
+    }
+
+    /// Invalidates everything derived from the route sources: the next poll
+    /// resyncs the RIB and rebuilds the cached IGP resolver.
+    fn mark_rib_sources_dirty(&mut self) {
+        self.rib_sources_dirty = true;
+        self.last_isis_version = None;
+        self.cached_resolver = None;
     }
 
     /// (Re)constructs protocol engines from the current config.
@@ -297,6 +317,7 @@ impl VirtualRouter {
     /// Marks a physical link up/down (failure injection / topology events).
     pub fn set_link(&mut self, iface: &IfaceId, up: bool) {
         self.link_up.insert(iface.clone(), up);
+        self.mark_rib_sources_dirty();
         if let Some(isis) = &mut self.isis {
             isis.set_link(iface, up);
         }
@@ -502,40 +523,65 @@ impl VirtualRouter {
 
         let mut events = std::mem::take(&mut self.pending_out);
 
-        // 1. IS-IS.
+        // 1. IS-IS. The engine hands each PDU out once with the full group
+        // of target interfaces; encode once per group and share the bytes
+        // across every frame (payloads are cheaply-cloneable `Bytes`).
         if let Some(isis) = &mut self.isis {
-            for (iface, pdu) in isis.poll(now) {
-                if self.link_up.get(&iface).copied().unwrap_or(false) {
-                    events.push(RouterEvent::IsisFrame {
-                        iface,
-                        payload: pdu.encode(),
-                    });
+            for (ifaces, pdu) in isis.poll(now) {
+                let mut payload = None;
+                for iface in ifaces {
+                    if self.link_up.get(&iface).copied().unwrap_or(false) {
+                        let payload = payload.get_or_insert_with(|| pdu.encode()).clone();
+                        events.push(RouterEvent::IsisFrame { iface, payload });
+                    }
                 }
             }
         }
 
-        // 2. IGP + static + connected into the RIB.
-        self.rib
-            .set_protocol_routes(RouteProtocol::Connected, self.connected_routes());
-        self.rib
-            .set_protocol_routes(RouteProtocol::Static, self.static_routes());
-        let isis_routes = self.isis.as_mut().map(|i| i.routes()).unwrap_or_default();
-        self.rib
-            .set_protocol_routes(RouteProtocol::Isis, isis_routes);
+        // 2. IGP + static + connected into the RIB — only when a source
+        // actually changed. Connected/static routes move on config or link
+        // events (tracked by `rib_sources_dirty`); IS-IS routes move when
+        // its SPF inputs change (tracked by `routes_version`). Most polls
+        // on a converged network skip this entirely.
+        let isis_version = self.isis.as_ref().map(|i| i.routes_version());
+        let igp_dirty = self.rib_sources_dirty || isis_version != self.last_isis_version;
+        if igp_dirty {
+            self.rib
+                .set_protocol_routes(RouteProtocol::Connected, self.connected_routes());
+            self.rib
+                .set_protocol_routes(RouteProtocol::Static, self.static_routes());
+            let isis_routes = self.isis.as_mut().map(|i| i.routes()).unwrap_or_default();
+            self.rib
+                .set_protocol_routes(RouteProtocol::Isis, isis_routes);
+            self.rib_sources_dirty = false;
+            self.last_isis_version = isis_version;
+        }
 
-        // 3. BGP.
+        // 3. BGP. The digest (and hence `igp_changed`) can only move when
+        // the RIB's IGP sources were just rewritten, so both the digest
+        // hash and the resolver trie rebuild are gated on `igp_dirty`.
         if self.bgp.is_some() {
             let originated = self.bgp_originated();
-            let resolver = self.igp_resolver();
-            let igp_digest = self.igp_digest();
-            let igp_changed = igp_digest != self.last_igp_digest;
+            let igp_changed = igp_dirty && {
+                let digest = self.igp_digest();
+                let changed = digest != self.last_igp_digest;
+                if changed {
+                    self.last_igp_digest = digest;
+                }
+                changed
+            };
+            if igp_changed || self.cached_resolver.is_none() {
+                self.cached_resolver = Some(self.igp_resolver());
+            }
             let bgp = self.bgp.as_mut().unwrap();
             if igp_changed {
-                self.last_igp_digest = igp_digest;
                 bgp.mark_all_dirty();
             }
             bgp.set_originated(originated);
-            let msgs = bgp.poll(now, &resolver);
+            let msgs = match &self.cached_resolver {
+                Some(resolver) => bgp.poll(now, resolver),
+                None => Vec::new(),
+            };
 
             // 4. FIB maintenance. A full rebuild costs O(table); at
             // production-route scale (E5) most polls change only a handful
@@ -547,6 +593,10 @@ impl VirtualRouter {
                 mfv_routing::SelectionDelta::Prefixes(set) => self.patch_fib(&set),
             }
 
+            // Encode each distinct message once per poll. Fan-out to N
+            // peers (keepalives, iBGP update floods) produces runs of equal
+            // messages; a small ring memo catches them without hashing.
+            let mut memo: Vec<(BgpMsg, Bytes)> = Vec::new();
             for (peer, msg) in msgs {
                 let msg = self.apply_emit_bug(msg);
                 let src = self.session_local_addr_for(peer);
@@ -555,15 +605,29 @@ impl VirtualRouter {
                 if !self.can_reach(peer) {
                     continue;
                 }
+                let payload = match memo.iter().find(|(m, _)| *m == msg) {
+                    Some((_, bytes)) => bytes.clone(),
+                    None => {
+                        let bytes = msg.encode();
+                        if memo.len() >= 8 {
+                            memo.remove(0);
+                        }
+                        memo.push((msg, bytes.clone()));
+                        bytes
+                    }
+                };
                 events.push(RouterEvent::BgpSegment {
                     src,
                     dst: peer,
-                    payload: msg.encode(),
+                    payload,
                 });
             }
-        } else if self.igp_digest() != self.last_igp_digest {
-            self.last_igp_digest = self.igp_digest();
-            self.full_fib_refresh();
+        } else if igp_dirty {
+            let digest = self.igp_digest();
+            if digest != self.last_igp_digest {
+                self.last_igp_digest = digest;
+                self.full_fib_refresh();
+            }
         }
 
         events
@@ -613,7 +677,6 @@ impl VirtualRouter {
             let igp_best = self
                 .rib
                 .candidates(prefix)
-                .into_iter()
                 .filter(|r| Self::IGP_PROTOS.contains(&r.proto))
                 .min_by_key(|r| (r.admin_distance, r.metric, r.proto));
 
@@ -767,24 +830,31 @@ impl VirtualRouter {
         self.rib = Rib::new();
         self.fib = Fib::new();
         self.decode_errors = 0;
+        self.mark_rib_sources_dirty();
     }
 
-    /// Earliest instant the router needs a poll for its timers.
-    pub fn next_wakeup(&self, now: SimTime) -> SimTime {
-        let mut next = now + mfv_types::SimDuration::from_secs(30);
+    /// Earliest instant the router needs a poll for its timers, or `None`
+    /// if nothing is pending — an idle router with no protocol engines (or
+    /// a crashed one awaiting its external restart) never needs polling, so
+    /// the emulator's demand-driven scheduler can leave it alone entirely
+    /// instead of waking it on a fixed interval.
+    pub fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
+        if self.pending_crash.is_some() || !self.pending_out.is_empty() {
+            return Some(SimTime(now.0 + 1));
+        }
+        if !self.is_running() {
+            // Restart is driven by the emulator's own timer event.
+            return None;
+        }
+        let mut next: Option<SimTime> = None;
         if let Some(isis) = &self.isis {
-            let t = isis.next_wakeup(now);
-            if t < next {
-                next = t;
-            }
+            next = Some(isis.next_wakeup(now));
         }
         if let Some(bgp) = &self.bgp {
             let t = bgp.next_wakeup(now);
-            if t < next {
-                next = t;
-            }
+            next = Some(next.map_or(t, |n| n.min(t)));
         }
-        next.max(SimTime(now.0 + 1))
+        next.map(|t| t.max(SimTime(now.0 + 1)))
     }
 
     /// Introspection used by the CLI and the management interface.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Engine performance benchmark: builds the bench rig in release mode and
+# runs the emulation-engine scenario suite against the recorded pre-overhaul
+# baseline, writing BENCH_emulator.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh            full suite (60-router grid, 5 iterations)
+#   scripts/bench.sh --smoke    tiny grid, 1 iteration — CI bit-rot guard
+#
+# Extra flags are passed through to engine_bench (e.g. --iters 9).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> building engine_bench (release)"
+cargo build -q --release -p mfv-bench --bin engine_bench
+
+echo "==> running engine scenario suite"
+./target/release/engine_bench \
+  --baseline scripts/bench_baseline.txt \
+  --out BENCH_emulator.json \
+  "$@"
+
+echo "==> BENCH_emulator.json"
+cat BENCH_emulator.json

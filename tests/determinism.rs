@@ -113,6 +113,65 @@ fn double_run_replays_bit_exactly() {
     }
 }
 
+/// Fixture-pinned regression across engine rewrites: the chaos replay run
+/// must keep producing the same *outcome* — converged verdict, dataplane
+/// digest, and byte-identical AFT JSON — as the fixtures recorded from the
+/// engine before the demand-driven scheduler landed.
+///
+/// Schedule-dependent `RunReport` counters (`events_processed`,
+/// `messages_delivered`, `converged_at`) are deliberately not pinned: the
+/// scheduler overhaul exists to change them (fewer events is the point),
+/// and this scenario's converged dataplane is unique regardless of schedule
+/// (proven by `distinct_seeds_still_converge_to_the_same_dataplane`). What
+/// the fixtures pin is everything a verification consumer can observe.
+///
+/// Regenerate with `MFV_UPDATE_FIXTURES=1 cargo test -q --test determinism`
+/// — but only when an intentional behaviour change is being made; the whole
+/// value of the fixtures is that they straddle engine rewrites.
+#[test]
+fn chaos_replay_matches_recorded_fixtures() {
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/line3_chaos_seed5");
+    let (report, digest, afts) = run_once(5);
+    let report_summary = format!(
+        "converged: {}\nverdict: {:?}\ncrashes: {}\nunschedulable: {}\n",
+        report.converged,
+        report.verdict,
+        report.crashes,
+        report.unschedulable.len(),
+    );
+    let digest_text = format!("{digest}\n");
+
+    if std::env::var_os("MFV_UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(&dir).expect("fixture dir");
+        std::fs::write(dir.join("report.txt"), &report_summary).expect("write report fixture");
+        std::fs::write(dir.join("digest.txt"), &digest_text).expect("write digest fixture");
+        for (node, json) in &afts {
+            std::fs::write(dir.join(format!("aft_{node}.json")), json).expect("write AFT fixture");
+        }
+        return;
+    }
+
+    let want_report = std::fs::read_to_string(dir.join("report.txt")).expect("report fixture");
+    assert_eq!(
+        report_summary, want_report,
+        "run outcome diverged from the recorded pre-change fixture"
+    );
+    let want_digest = std::fs::read_to_string(dir.join("digest.txt")).expect("digest fixture");
+    assert_eq!(
+        digest_text, want_digest,
+        "dataplane digest diverged from the recorded pre-change fixture"
+    );
+    for (node, json) in &afts {
+        let want = std::fs::read_to_string(dir.join(format!("aft_{node}.json")))
+            .unwrap_or_else(|_| panic!("AFT fixture for {node}"));
+        assert_eq!(
+            *json, want,
+            "AFT for {node} must serialise byte-identically to the recorded fixture"
+        );
+    }
+}
+
 #[test]
 fn distinct_seeds_still_converge_to_the_same_dataplane() {
     // Ordering non-determinism across seeds is the *sampled* axis (§6); on
