@@ -55,7 +55,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("bgp/encode_2000_nlri", |b| {
         b.iter(|| std::hint::black_box(update.encode()))
     });
-    let encoded = update.encode();
+    let encoded = update.encode().expect("bench update fits the wire format");
     c.bench_function("bgp/decode_2000_nlri", |b| {
         b.iter(|| {
             let mut buf = encoded.clone();

@@ -9,10 +9,14 @@
 //! the EXPERIMENTS.md "Engine performance" table tracks.
 //!
 //! Flags:
-//!   --smoke            tiny grid + 1 iteration (CI bit-rot guard)
-//!   --iters <n>        iterations per scenario (default 5; median reported)
-//!   --out <path>       output JSON path (default BENCH_emulator.json)
-//!   --baseline <path>  recorded pre-change numbers (plain `key value` lines)
+//!   --smoke             tiny grid + 1 iteration (CI bit-rot guard)
+//!   --iters <n>         iterations per scenario (default 5; median reported)
+//!   --out <path>        output JSON path (default BENCH_emulator.json)
+//!   --baseline <path>   recorded pre-change numbers (plain `key value` lines)
+//!   --obs-json <path>   dump the merged mfv-obs snapshot of the last
+//!                       iteration of every scenario
+//!   --obs-exclude-wall  omit the wall section from the obs dump, making it
+//!                       byte-identical across same-seed runs
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -25,6 +29,8 @@ struct Args {
     iters: usize,
     out: String,
     baseline: Option<String>,
+    obs_json: Option<String>,
+    obs_wall: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +39,8 @@ fn parse_args() -> Result<Args, String> {
         iters: 0,
         out: "BENCH_emulator.json".to_string(),
         baseline: None,
+        obs_json: None,
+        obs_wall: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -44,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = it.next().ok_or("--out needs a value")?,
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a value")?),
+            "--obs-json" => args.obs_json = Some(it.next().ok_or("--obs-json needs a value")?),
+            "--obs-exclude-wall" => args.obs_wall = false,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -112,6 +122,7 @@ fn main() -> ExitCode {
 
     let suite = engine_scenarios(args.smoke);
     let mut rows: Vec<String> = Vec::new();
+    let mut obs = mfv_obs::Obs::new();
     let mut total_events = 0u64;
     let mut total_scheduled = 0u64;
     let mut baseline_total_events = 0.0f64;
@@ -126,6 +137,7 @@ fn main() -> ExitCode {
             stats = Some(s);
         }
         let stats = stats.expect("at least one iteration");
+        obs.merge(stats.obs.clone());
         let wall_ms = median_ms(&mut walls);
         total_events += stats.events_processed;
         total_scheduled += stats.events_scheduled;
@@ -196,5 +208,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("engine_bench: wrote {}", args.out);
+
+    if let Some(path) = &args.obs_json {
+        let json = obs.to_json(args.obs_wall);
+        if let Err(e) = fs::write(path, &json) {
+            eprintln!("engine_bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("engine_bench: wrote obs dump to {path}");
+    }
     ExitCode::SUCCESS
 }

@@ -439,6 +439,9 @@ pub struct EngineRunStats {
     /// never enter the heap).
     pub events_scheduled: u64,
     pub messages_delivered: u64,
+    /// Full observability snapshot of the run (metrics, phases, journal,
+    /// wall) — the `--obs-json` payload of `engine_bench`.
+    pub obs: mfv_obs::Obs,
 }
 
 /// The engine-bench scenario suite: a micro fan-out workload (a line where
@@ -477,6 +480,7 @@ pub fn run_engine_scenario(snapshot: &Snapshot, seed: u64) -> EngineRunStats {
         events_processed: report.events_processed,
         events_scheduled: report.events_scheduled,
         messages_delivered: report.messages_delivered,
+        obs: emu.export_obs(),
     }
 }
 

@@ -18,7 +18,7 @@ use mfv_model::CoverageReport;
 use mfv_types::{ExtractionStatus, NodeId, SimDuration};
 use mfv_vrouter::VendorProfile;
 
-use crate::extract::extract_snapshot;
+use crate::extract::extract_snapshot_observed;
 use crate::snapshot::Snapshot;
 
 /// Why a backend could not produce a dataplane.
@@ -166,11 +166,25 @@ impl Backend for EmulationBackend {
     }
 
     fn compute(&self, snapshot: &Snapshot) -> Result<BackendResult, BackendError> {
+        self.compute_observed(snapshot, &mut mfv_obs::Obs::new())
+    }
+}
+
+impl EmulationBackend {
+    /// Like [`Backend::compute`], but folds the run's observability into
+    /// `obs`: the engine's metrics/phases/journal ([`Emulation::export_obs`])
+    /// plus the extraction sweep's `mgmt.*` tallies and `extract` span.
+    pub fn compute_observed(
+        &self,
+        snapshot: &Snapshot,
+        obs: &mut mfv_obs::Obs,
+    ) -> Result<BackendResult, BackendError> {
         let (emu, mut meta) = self.run(snapshot)?;
+        obs.merge(emu.export_obs());
         // The extraction step of §4.1: dump per-device AFTs through the
         // management plane and rebuild the network dataplane from them —
         // we deliberately do NOT shortcut via the emulator's internal state.
-        let extracted = extract_snapshot(&emu, &self.collector);
+        let extracted = extract_snapshot_observed(&emu, &self.collector, obs);
         if self.collector.failures.is_noop() && extracted.is_complete() {
             debug_assert_eq!(
                 extracted.dataplane.digest(),

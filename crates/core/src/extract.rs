@@ -41,6 +41,18 @@ impl ExtractedSnapshot {
 /// path fails past the collector's retry budget report `Missing` with the
 /// exhaustion reason. Never panics, never aborts the sweep.
 pub fn extract_snapshot(emu: &Emulation, collector: &Collector) -> ExtractedSnapshot {
+    extract_snapshot_observed(emu, collector, &mut mfv_obs::Obs::new())
+}
+
+/// Like [`extract_snapshot`], but flushes collector tallies (`mgmt.*`
+/// metrics) and the `extract` phase span — sim time from the emulation's
+/// current clock, wall time from a local stopwatch — into `obs`.
+pub fn extract_snapshot_observed(
+    emu: &Emulation,
+    collector: &Collector,
+    obs: &mut mfv_obs::Obs,
+) -> ExtractedSnapshot {
+    let wall = mfv_obs::WallTimer::start();
     let nodes: Vec<_> = emu
         .topology
         .nodes
@@ -51,6 +63,11 @@ pub fn extract_snapshot(emu: &Emulation, collector: &Collector) -> ExtractedSnap
     let afts = collect_afts(&report.telemetry);
     let reference = emu.dataplane();
     let dataplane = dataplane_from_afts(&afts, &reference);
+    report.observe_into(obs);
+    let start = emu.now();
+    obs.phases
+        .record("extract", start, start + report.sim_elapsed);
+    obs.wall.add_phase("extract", wall.elapsed_micros());
     ExtractedSnapshot {
         dataplane,
         coverage: report.coverage(),

@@ -35,14 +35,18 @@ pub mod whatif;
 pub use backend::{
     Backend, BackendError, BackendMeta, BackendResult, EmulationBackend, ModelBackend,
 };
-pub use extract::{extract_snapshot, ExtractedSnapshot};
+pub use extract::{extract_snapshot, extract_snapshot_observed, ExtractedSnapshot};
 pub use snapshot::Snapshot;
 pub use whatif::{
     link_cut_context_count, link_cut_contexts, verify_link_cuts, verify_link_cuts_detailed,
     CutVerdict, SweepError, SweepReport,
 };
 
+// Re-export the observability sink so pipeline callers need only `mfv-core`.
+pub use mfv_obs as obs;
+
 // Re-export the query surface so downstream users need only `mfv-core`.
+pub use mfv_verify::observed_query;
 pub use mfv_verify::{
     deliverability_changes, detect_blackholes, detect_loops, detect_multipath_inconsistency,
     differential_reachability, differential_reachability_with, disposition_summary,

@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use mfv_dataplane::Dataplane;
+use mfv_obs::{Hist, Journal, Obs, SimPhases, WallSection, WallTimer};
 use mfv_types::{IfaceRef, Interner, LinkId, NodeId, NodeRef, Prefix, SimDuration, SimTime};
 use mfv_vrouter::{RouterEvent, VendorProfile, VirtualRouter};
 
@@ -105,6 +106,10 @@ pub struct RunReport {
     pub events_scheduled: u64,
     /// Pods that could not be scheduled.
     pub unschedulable: Vec<Unschedulable>,
+    /// Sim-time span per run phase (`boot`/`flood`/`converge`). Derived
+    /// from sim state only, so replays compare equal; wall-clock twins live
+    /// in the engine's [`Obs`] export, never here.
+    pub phases: SimPhases,
 }
 
 #[derive(Debug)]
@@ -190,6 +195,26 @@ struct ImpairWindow {
     spec: ImpairSpec,
 }
 
+/// Plain-field execution counters, one per [`EventKind`] plus the
+/// impairment and poll tallies — bumped on the hot path, flushed into the
+/// metrics registry only at [`Emulation::export_obs`].
+#[derive(Clone, Copy, Default, Debug)]
+struct EventTally {
+    pod_ready: u64,
+    deliver_isis: u64,
+    deliver_bgp: u64,
+    deliver_external: u64,
+    restart_router: u64,
+    chaos_link: u64,
+    chaos_kill: u64,
+    chaos_fail_machine: u64,
+    router_polls: u64,
+    ext_polls: u64,
+    impair_dropped: u64,
+    impair_duplicated: u64,
+    encode_errors: u64,
+}
+
 /// The running emulation.
 pub struct Emulation {
     pub topology: Topology,
@@ -258,6 +283,19 @@ pub struct Emulation {
     /// `NodeRef`); every later consumer (boot wiring, pod bring-up,
     /// crash-restart) reads from here instead of re-parsing.
     parsed_configs: Vec<mfv_config::Parsed>,
+    /// Per-event-kind execution counters (observability).
+    tally: EventTally,
+    /// Wake-set depth sampled once per main-loop iteration.
+    wake_depth: Hist,
+    /// Low-frequency structured events: chaos injections, crashes,
+    /// restarts, phase boundaries — never per-message.
+    journal: Journal,
+    /// When all external feeds finished injecting (flood-phase end).
+    feeds_done_at: Option<SimTime>,
+    /// Sim-time phase spans, rebuilt at the end of each run.
+    phases: SimPhases,
+    /// Wall-clock phase splits (quarantined from the deterministic dump).
+    wall: WallSection,
 }
 
 /// Most prefixes tracked by the churn watchdog; arrivals past the cap are
@@ -380,6 +418,12 @@ impl Emulation {
             pair_impair: BTreeMap::new(),
             churn: BTreeMap::new(),
             parsed_configs,
+            tally: EventTally::default(),
+            wake_depth: Hist::new(),
+            journal: Journal::new(),
+            feeds_done_at: None,
+            phases: SimPhases::new(),
+            wall: WallSection::new(),
         })
     }
 
@@ -635,9 +679,11 @@ impl Emulation {
     fn impaired_copies(&mut self, spec: Option<ImpairSpec>) -> u32 {
         let Some(spec) = spec else { return 1 };
         if spec.drop_pct > 0 && self.rng.gen_range(0..100u32) < spec.drop_pct as u32 {
+            self.tally.impair_dropped += 1;
             return 0;
         }
         if spec.duplicate_pct > 0 && self.rng.gen_range(0..100u32) < spec.duplicate_pct as u32 {
+            self.tally.impair_duplicated += 1;
             return 2;
         }
         1
@@ -720,7 +766,11 @@ impl Emulation {
                 RouterEvent::Crashed { reason } => {
                     self.crashes += 1;
                     self.last_activity = self.now;
-                    let _ = reason;
+                    let detail = match self.interner.node(node) {
+                        Some(name) => format!("{name}: {reason}"),
+                        None => reason,
+                    };
+                    self.journal.push(self.now, "engine.crash", detail);
                     if self.cfg.auto_restart_crashed {
                         let delay = self
                             .routers
@@ -738,6 +788,7 @@ impl Emulation {
 
     fn poll_router(&mut self, node: NodeRef) {
         let now = self.now;
+        self.tally.router_polls += 1;
         let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) else {
             return;
         };
@@ -763,6 +814,7 @@ impl Emulation {
             return;
         }
         let now = self.now;
+        self.tally.ext_polls += 1;
         let Some(peer) = self.externals.get_mut(idx) else {
             return;
         };
@@ -770,7 +822,15 @@ impl Emulation {
         let wakeup = peer.next_wakeup(now);
         let src = peer.addr;
         for (dst, msg) in msgs {
-            let payload = msg.encode();
+            // A message that exceeds a wire length field is dropped (and
+            // counted) instead of truncated into a corrupt frame.
+            let payload = match msg.encode() {
+                Ok(p) => p,
+                Err(_) => {
+                    self.tally.encode_errors += 1;
+                    continue;
+                }
+            };
             if let Some(&Owner::Node(node)) = self.ip_owner.get(&dst) {
                 let jitter = self.rng.gen_range(0..3);
                 let mut at = now + SimDuration::from_millis(2 + jitter);
@@ -852,6 +912,7 @@ impl Emulation {
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::PodReady(node) => {
+                self.tally.pod_ready += 1;
                 // All lookups were populated at `new()` from the validated
                 // topology; a miss means the event named an unknown node,
                 // which is dropped rather than panicking mid-run.
@@ -870,6 +931,8 @@ impl Emulation {
                     .get(&name)
                     .cloned()
                     .unwrap_or_else(|| VendorProfile::for_vendor(vendor));
+                self.journal
+                    .push(self.now, "engine.pod_ready", name.to_string());
                 let router = VirtualRouter::new(name, profile, parsed.config);
                 if let Some(slot) = self.routers.get_mut(node.index()) {
                     *slot = Some(router);
@@ -884,6 +947,11 @@ impl Emulation {
                 if self.ready_count == self.topology.nodes.len() && self.boot_complete_at.is_none()
                 {
                     self.boot_complete_at = Some(self.now);
+                    self.journal.push(
+                        self.now,
+                        "engine.boot_complete",
+                        format!("{} pods ready", self.ready_count),
+                    );
                     if self.cfg.inject_after_boot {
                         self.feeds_active = true;
                         for idx in 0..self.externals.len() {
@@ -898,6 +966,7 @@ impl Emulation {
                 iface,
                 payload,
             } => {
+                self.tally.deliver_isis += 1;
                 if !self.link_is_up(node, iface) {
                     return;
                 }
@@ -917,6 +986,7 @@ impl Emulation {
                 dst,
                 payload,
             } => {
+                self.tally.deliver_bgp += 1;
                 let now = self.now;
                 if let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) {
                     router.push_bgp(now, src, dst, payload);
@@ -925,6 +995,7 @@ impl Emulation {
                 }
             }
             EventKind::DeliverToExternal { idx, payload } => {
+                self.tally.deliver_external += 1;
                 // An inactive feed is an unplugged device: segments vanish.
                 if !self.feeds_active {
                     return;
@@ -940,6 +1011,7 @@ impl Emulation {
                 }
             }
             EventKind::RestartRouter(node) => {
+                self.tally.restart_router += 1;
                 let now = self.now;
                 self.pending_restarts = self.pending_restarts.saturating_sub(1);
                 if let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) {
@@ -947,20 +1019,40 @@ impl Emulation {
                         router.restart(now);
                         self.last_activity = now;
                         self.schedule_poll(node, SimTime(now.0 + 1));
+                        if let Some(name) = self.interner.node(node) {
+                            self.journal.push(now, "engine.restart", name.to_string());
+                        }
                     }
                 }
             }
             EventKind::ChaosLink { slot, up } => {
+                self.tally.chaos_link += 1;
                 self.chaos_pending = self.chaos_pending.saturating_sub(1);
                 // Unknown links (slot None) are inert.
                 if let Some(slot) = slot {
+                    let kind = if up {
+                        "chaos.link_up"
+                    } else {
+                        "chaos.link_down"
+                    };
+                    let detail = self
+                        .links
+                        .get(slot)
+                        .map(|r| r.id.to_string())
+                        .unwrap_or_default();
+                    self.journal.push(self.now, kind, detail);
                     self.set_link_slot(slot, up);
                 }
             }
             EventKind::ChaosKillRouter(node) => {
+                self.tally.chaos_kill += 1;
                 self.chaos_pending = self.chaos_pending.saturating_sub(1);
                 let now = self.now;
                 let Some(node) = node else { return };
+                if let Some(name) = self.interner.node(node) {
+                    self.journal
+                        .push(now, "chaos.kill_routing", name.to_string());
+                }
                 if let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) {
                     router.inject_crash("chaos: routing process killed");
                     self.last_activity = now;
@@ -968,9 +1060,15 @@ impl Emulation {
                 }
             }
             EventKind::ChaosFailMachine(name) => {
+                self.tally.chaos_fail_machine += 1;
                 self.chaos_pending = self.chaos_pending.saturating_sub(1);
                 let now = self.now;
                 let evicted = self.cluster.fail_machine(&name);
+                self.journal.push(
+                    now,
+                    "chaos.fail_machine",
+                    format!("{name}: {} pods evicted", evicted.len()),
+                );
                 for req in evicted {
                     // The pod (and its router) is gone; the scheduler
                     // resubmits it onto surviving machines, and the usual
@@ -1042,6 +1140,14 @@ impl Emulation {
     /// router wakes, external-peer wakes — is due first (heap wins ties, so
     /// a delivery lands before the poll it provoked).
     pub fn run_until_converged(&mut self) -> RunReport {
+        // Wall-clock phase splits. The sim-time twins are derived from
+        // `boot_complete_at`/`feeds_done_at` below; only these wall marks
+        // touch the real clock, and they land in the quarantined wall
+        // section of the obs export.
+        let wall = WallTimer::start();
+        let mut wall_mark = 0u64;
+        let mut boot_wall_done = self.boot_complete_at.is_some();
+        let mut flood_wall_done = self.feeds_done_at.is_some();
         self.boot();
         let deadline = SimTime(self.cfg.max_sim_time.as_millis());
         let mut converged = false;
@@ -1088,17 +1194,62 @@ impl Emulation {
                 self.poll_external(idx);
             }
             self.events_processed += 1;
+            self.wake_depth
+                .record((self.wake.len() + self.ext_wake.len()) as u64);
+
+            // Phase boundaries. Boot end is set by the PodReady handler;
+            // flood ends when every external feed has drained.
+            if !boot_wall_done && self.boot_complete_at.is_some() {
+                boot_wall_done = true;
+                let us = wall.elapsed_micros();
+                self.wall.add_phase("boot", us.saturating_sub(wall_mark));
+                wall_mark = us;
+            }
+            if boot_wall_done
+                && self.feeds_done_at.is_none()
+                && !self.externals.is_empty()
+                && self.injection_done()
+            {
+                self.feeds_done_at = Some(self.now);
+                self.journal
+                    .push(self.now, "engine.flood_complete", "external feeds drained");
+            }
+            if boot_wall_done && !flood_wall_done && self.feeds_done_at.is_some() {
+                flood_wall_done = true;
+                let us = wall.elapsed_micros();
+                self.wall.add_phase("flood", us.saturating_sub(wall_mark));
+                wall_mark = us;
+            }
 
             if self.quiescent() && self.now.since(self.last_activity) >= self.cfg.quiet_period {
                 converged = true;
                 break;
             }
         }
+        self.wall
+            .add_phase("converge", wall.elapsed_micros().saturating_sub(wall_mark));
         let verdict = if converged {
             ConvergenceVerdict::Converged
         } else {
             self.oscillation_verdict()
         };
+        // Sim-time spans mirror the wall splits, derived purely from sim
+        // state so replays produce identical reports.
+        if let Some(boot_at) = self.boot_complete_at {
+            self.phases.record("boot", SimTime::ZERO, boot_at);
+            let converge_from = match self.feeds_done_at {
+                Some(flood_at) => {
+                    self.phases.record("flood", boot_at, flood_at);
+                    flood_at
+                }
+                None => boot_at,
+            };
+            self.phases.record(
+                "converge",
+                converge_from,
+                self.last_activity.max(converge_from),
+            );
+        }
         RunReport {
             converged,
             verdict,
@@ -1109,6 +1260,7 @@ impl Emulation {
             events_processed: self.events_processed,
             events_scheduled: self.events_scheduled,
             unschedulable: self.unschedulable.clone(),
+            phases: self.phases.clone(),
         }
     }
 
@@ -1215,5 +1367,78 @@ impl Emulation {
     /// Current cluster packing (pods per machine).
     pub fn cluster_packing(&self) -> Vec<(String, usize)> {
         self.cluster.packing()
+    }
+
+    /// Flushes the engine's plain-field counters — plus per-router
+    /// aggregates from every live [`VirtualRouter`] — into an [`Obs`]
+    /// snapshot. Everything except the `wall` section is derived from sim
+    /// state only, so two same-seed runs export byte-identical
+    /// `to_json(false)` dumps.
+    pub fn export_obs(&self) -> Obs {
+        let mut obs = Obs::new();
+        let m = &mut obs.metrics;
+        m.inc("engine.events.pod_ready", self.tally.pod_ready);
+        m.inc("engine.events.deliver_isis", self.tally.deliver_isis);
+        m.inc("engine.events.deliver_bgp", self.tally.deliver_bgp);
+        m.inc(
+            "engine.events.deliver_external",
+            self.tally.deliver_external,
+        );
+        m.inc("engine.events.restart_router", self.tally.restart_router);
+        m.inc("engine.events.chaos_link", self.tally.chaos_link);
+        m.inc("engine.events.chaos_kill", self.tally.chaos_kill);
+        m.inc(
+            "engine.events.chaos_fail_machine",
+            self.tally.chaos_fail_machine,
+        );
+        m.inc("engine.events.scheduled", self.events_scheduled);
+        m.inc("engine.events.processed", self.events_processed);
+        m.inc("engine.messages.delivered", self.messages_delivered);
+        m.inc("engine.crashes", self.crashes);
+        m.inc("engine.polls.router", self.tally.router_polls);
+        m.inc("engine.polls.external", self.tally.ext_polls);
+        m.inc("engine.impair.dropped", self.tally.impair_dropped);
+        m.inc("engine.impair.duplicated", self.tally.impair_duplicated);
+        m.inc("engine.encode_errors", self.tally.encode_errors);
+        m.gauge("engine.nodes", self.topology.nodes.len() as i64);
+        m.gauge("engine.links", self.links.len() as i64);
+        m.gauge("engine.unschedulable", self.unschedulable.len() as i64);
+        m.merge_hist("engine.wake_depth", &self.wake_depth);
+
+        // Per-router aggregates (routers evicted by machine failures or
+        // not yet booted contribute nothing).
+        let mut decode_errors = 0u64;
+        let mut encode_errors = 0u64;
+        let mut rib_resyncs = 0u64;
+        let mut full_refreshes = 0u64;
+        let mut fib_patches = 0u64;
+        let mut bgp_transitions = 0u64;
+        let mut isis_transitions = 0u64;
+        let mut running = 0i64;
+        for router in self.routers.iter().flatten() {
+            decode_errors += router.decode_errors;
+            encode_errors += router.encode_errors;
+            rib_resyncs += router.rib_resyncs;
+            full_refreshes += router.full_fib_refreshes;
+            fib_patches += router.fib_patches;
+            bgp_transitions += router.bgp_session_transitions();
+            isis_transitions += router.isis_adjacency_transitions();
+            if router.is_running() {
+                running += 1;
+            }
+        }
+        m.inc("vrouter.decode_errors", decode_errors);
+        m.inc("vrouter.encode_errors", encode_errors);
+        m.inc("vrouter.rib.resyncs", rib_resyncs);
+        m.inc("vrouter.fib.full_refreshes", full_refreshes);
+        m.inc("vrouter.fib.patches", fib_patches);
+        m.inc("vrouter.bgp.session_transitions", bgp_transitions);
+        m.inc("vrouter.isis.adjacency_transitions", isis_transitions);
+        m.gauge("vrouter.running", running);
+
+        obs.phases = self.phases.clone();
+        obs.journal = self.journal.clone();
+        obs.wall = self.wall.clone();
+        obs
     }
 }

@@ -277,6 +277,29 @@ mod tests {
     }
 
     #[test]
+    fn obs_is_in_d1_and_p1_scope() {
+        // The observability crate's dump paths must iterate in stable
+        // order and never panic mid-flush.
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(violations("obs", src).len(), 1);
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(violations("obs", src).len(), 1);
+        let src = "let b = buckets[i];\n";
+        assert_eq!(violations("obs", src).len(), 1);
+    }
+
+    #[test]
+    fn obs_wall_clock_needs_the_marked_section() {
+        // A bare Instant::now in obs is a D2 violation; only the
+        // allow-file-marked wall module may read the clock.
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(violations("obs", src).len(), 1);
+        let src = "// mfv-lint: allow-file(D2, the marked wall-time section)\n\
+                   let t = std::time::Instant::now();\n";
+        assert_eq!(violations("obs", src).len(), 0);
+    }
+
+    #[test]
     fn test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
         assert_eq!(violations("verify", src).len(), 0);

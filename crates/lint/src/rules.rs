@@ -49,15 +49,23 @@ impl RuleId {
     pub fn applies_to(&self, crate_name: &str) -> bool {
         match self {
             // Crates where map iteration order can leak into event
-            // schedules or verification verdicts.
-            RuleId::D1 => matches!(crate_name, "emulator" | "routing" | "vrouter" | "verify"),
+            // schedules or verification verdicts — including obs, whose
+            // dump paths must iterate in stable (BTreeMap) order for the
+            // byte-identical-metrics contract.
+            RuleId::D1 => matches!(
+                crate_name,
+                "emulator" | "routing" | "vrouter" | "verify" | "obs"
+            ),
             // The emulator is discrete-event: wall clock and ambient
             // entropy break seeded replay everywhere except the bench
-            // harness, which measures real time on purpose.
+            // harness, which measures real time on purpose. In `obs` only
+            // the explicitly-marked wall-time section (src/wall.rs, via a
+            // reasoned allow-file) may read the clock.
             RuleId::D2 => crate_name != "bench",
             // Extraction and verification paths must degrade via Result,
-            // not abort a sweep.
-            RuleId::P1 => matches!(crate_name, "mgmt" | "verify" | "core"),
+            // not abort a sweep; obs is flushed from those same paths, so
+            // a panicking dump would take the sweep down with it.
+            RuleId::P1 => matches!(crate_name, "mgmt" | "verify" | "core" | "obs"),
             // Wire decoders must reject malformed input through
             // `DecodeError`, never a panic.
             RuleId::W1 => crate_name == "wire",

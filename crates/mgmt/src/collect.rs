@@ -109,9 +109,15 @@ impl Collector {
         let mut telemetry = BTreeMap::new();
         let mut status = BTreeMap::new();
         let mut attempts_total = 0u64;
+        let mut retries_total = 0u64;
+        let mut backoff_total = SimDuration::ZERO;
+        let mut sim_elapsed = SimDuration::ZERO;
         for (node, router) in nodes {
-            let (st, t, attempts) = self.collect_node(&node, router);
+            let (st, t, attempts, backoff, elapsed) = self.collect_node(&node, router);
             attempts_total += attempts as u64;
+            retries_total += attempts.saturating_sub(1) as u64;
+            backoff_total = backoff_total + backoff;
+            sim_elapsed = sim_elapsed + elapsed;
             if let Some(t) = t {
                 telemetry.insert(node.clone(), t);
             }
@@ -121,6 +127,9 @@ impl Collector {
             telemetry,
             status,
             attempts: attempts_total,
+            retries: retries_total,
+            backoff_total,
+            sim_elapsed,
         }
     }
 
@@ -128,20 +137,35 @@ impl Collector {
         &self,
         node: &NodeId,
         router: Option<&VirtualRouter>,
-    ) -> (ExtractionStatus, Option<Telemetry>, u32) {
+    ) -> (
+        ExtractionStatus,
+        Option<Telemetry>,
+        u32,
+        SimDuration,
+        SimDuration,
+    ) {
         let Some(router) = router else {
             return (
                 ExtractionStatus::Missing("no router instance".into()),
                 None,
                 0,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
             );
         };
         if self.failures.down_is_missing && !router.is_running() {
-            return (ExtractionStatus::Missing("device down".into()), None, 0);
+            return (
+                ExtractionStatus::Missing("device down".into()),
+                None,
+                0,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+            );
         }
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.failures.seed ^ node_key(node));
         let mut elapsed = SimDuration::ZERO;
+        let mut backoff_waited = SimDuration::ZERO;
         let forced = self.failures.force_fail.contains(node);
         let mut attempts = 0u32;
         let mut last_error;
@@ -157,9 +181,15 @@ impl Collector {
                                 Some(age) => ExtractionStatus::Stale(*age),
                                 None => ExtractionStatus::Fresh,
                             };
-                            (st, Some(t), attempts)
+                            (st, Some(t), attempts, backoff_waited, elapsed)
                         }
-                        Err(e) => (ExtractionStatus::Missing(e.0), None, attempts),
+                        Err(e) => (
+                            ExtractionStatus::Missing(e.0),
+                            None,
+                            attempts,
+                            backoff_waited,
+                            elapsed,
+                        ),
                     };
                 }
                 Err((cost, err)) => {
@@ -174,9 +204,13 @@ impl Collector {
                     )),
                     None,
                     attempts,
+                    backoff_waited,
+                    elapsed,
                 );
             }
-            elapsed = elapsed + self.backoff_delay(attempts, &mut rng);
+            let wait = self.backoff_delay(attempts, &mut rng);
+            backoff_waited = backoff_waited + wait;
+            elapsed = elapsed + wait;
             if elapsed >= self.config.per_node_deadline {
                 return (
                     ExtractionStatus::Missing(format!(
@@ -185,6 +219,8 @@ impl Collector {
                     )),
                     None,
                     attempts,
+                    backoff_waited,
+                    elapsed,
                 );
             }
         }
@@ -236,6 +272,13 @@ pub struct CollectionReport {
     pub status: BTreeMap<NodeId, ExtractionStatus>,
     /// Total RPC attempts across all nodes (retries included).
     pub attempts: u64,
+    /// Attempts beyond the first, per node, summed (the retry tally).
+    pub retries: u64,
+    /// Total virtual time spent in backoff waits across all nodes.
+    pub backoff_total: SimDuration,
+    /// Total virtual time the sweep consumed (failed-RPC costs + backoff
+    /// waits, summed over nodes; a clean sweep is `ZERO`).
+    pub sim_elapsed: SimDuration,
 }
 
 impl CollectionReport {
@@ -256,6 +299,27 @@ impl CollectionReport {
             .filter(|(_, s)| !s.is_covered())
             .map(|(n, _)| n)
             .collect()
+    }
+
+    /// Flushes the sweep's tallies into an observability snapshot under
+    /// `mgmt.*` names. Everything recorded here is seed-deterministic.
+    pub fn observe_into(&self, obs: &mut mfv_obs::Obs) {
+        let m = &mut obs.metrics;
+        m.inc("mgmt.rpc.attempts", self.attempts);
+        m.inc("mgmt.rpc.retries", self.retries);
+        m.inc("mgmt.rpc.backoff_ms", self.backoff_total.as_millis());
+        m.inc("mgmt.rpc.elapsed_ms", self.sim_elapsed.as_millis());
+        let (mut fresh, mut stale, mut missing) = (0u64, 0u64, 0u64);
+        for s in self.status.values() {
+            match s {
+                ExtractionStatus::Fresh => fresh += 1,
+                ExtractionStatus::Stale(_) => stale += 1,
+                ExtractionStatus::Missing(_) => missing += 1,
+            }
+        }
+        m.inc("mgmt.nodes.fresh", fresh);
+        m.inc("mgmt.nodes.stale", stale);
+        m.inc("mgmt.nodes.missing", missing);
     }
 }
 

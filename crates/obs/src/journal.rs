@@ -1,0 +1,146 @@
+//! Ring-buffered structured event journal.
+//!
+//! Captures the *story* of a run — chaos injections, crashes, restarts,
+//! extraction degradations — at low frequency (never per-message). Events
+//! are stamped with sim-time only, so a seeded replay reproduces the
+//! journal byte-for-byte. The ring cap bounds memory on pathological runs;
+//! evictions are counted, never silent.
+
+use std::collections::VecDeque;
+
+use mfv_types::SimTime;
+
+use crate::json;
+
+/// One journal entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Sim-time the event happened (never wall time).
+    pub at: SimTime,
+    /// Static event kind, dot-namespaced like metric names
+    /// (`chaos.link_down`, `engine.crash`, `mgmt.node_stale`).
+    pub kind: &'static str,
+    /// Free-form detail (node/link names, counts). Must itself be
+    /// deterministic — derived from topology and sim state only.
+    pub detail: String,
+}
+
+/// The ring buffer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Journal {
+    cap: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Journal {
+    pub const DEFAULT_CAP: usize = 1024;
+
+    pub fn new() -> Journal {
+        Journal::with_capacity(Self::DEFAULT_CAP)
+    }
+
+    pub fn with_capacity(cap: usize) -> Journal {
+        Journal {
+            cap: cap.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest once the ring is full.
+    pub fn push(&mut self, at: SimTime, kind: &'static str, detail: impl Into<String>) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            at,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn events(&self) -> impl Iterator<Item = &Event> + '_ {
+        self.events.iter()
+    }
+
+    /// Appends another journal's events (in their order), respecting this
+    /// ring's capacity.
+    pub fn merge(&mut self, other: Journal) {
+        self.dropped += other.dropped;
+        for e in other.events {
+            if self.events.len() == self.cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+            self.events.push_back(e);
+        }
+    }
+
+    pub(crate) fn write_json(&self, out: &mut String, indent: usize) {
+        json::key_into(out, indent, "journal");
+        out.push_str(&format!("{{\"dropped\": {}, \"events\": [", self.dropped));
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n" } else { "\n" });
+            json::indent_into(out, indent + 1);
+            out.push_str(&format!("{{\"t_ms\": {}, \"kind\": \"", e.at.as_millis()));
+            json::escape_into(out, e.kind);
+            out.push_str("\", \"detail\": \"");
+            json::escape_into(out, &e.detail);
+            out.push_str("\"}");
+        }
+        if !self.events.is_empty() {
+            out.push('\n');
+            json::indent_into(out, indent);
+        }
+        out.push_str("]}");
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut j = Journal::with_capacity(2);
+        j.push(SimTime(1), "a", "");
+        j.push(SimTime(2), "b", "");
+        j.push(SimTime(3), "c", "");
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 1);
+        let kinds: Vec<_> = j.events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn merge_appends_in_order() {
+        let mut a = Journal::with_capacity(8);
+        a.push(SimTime(1), "x", "");
+        let mut b = Journal::with_capacity(8);
+        b.push(SimTime(2), "y", "");
+        a.merge(b);
+        let kinds: Vec<_> = a.events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["x", "y"]);
+    }
+}

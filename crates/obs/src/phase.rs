@@ -1,0 +1,112 @@
+//! Sim-time phase spans: where the *virtual* clock went, per pipeline
+//! stage. The wall-clock twin lives in [`crate::wall`]; keeping the two in
+//! separate types (and separate JSON sections) is what makes the
+//! determinism contract checkable.
+
+use std::collections::BTreeMap;
+
+use mfv_types::{SimDuration, SimTime};
+
+use crate::json;
+
+/// Canonical pipeline phase names, in pipeline order. `SimPhases` accepts
+/// any static name, but instrumented code sticks to these so dumps line up
+/// across stages.
+pub const PHASES: [&str; 5] = ["boot", "flood", "converge", "extract", "verify"];
+
+/// One phase's sim-time span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimSpan {
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl SimSpan {
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Phase name → sim span. Ordered iteration (BTreeMap) keeps dumps stable;
+/// `PartialEq` lets `RunReport` carry one and stay replay-comparable.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct SimPhases {
+    spans: BTreeMap<&'static str, SimSpan>,
+}
+
+impl SimPhases {
+    pub fn new() -> SimPhases {
+        SimPhases::default()
+    }
+
+    /// Records (or overwrites) a phase span.
+    pub fn record(&mut self, phase: &'static str, start: SimTime, end: SimTime) {
+        self.spans.insert(phase, SimSpan { start, end });
+    }
+
+    pub fn get(&self, phase: &str) -> Option<SimSpan> {
+        self.spans.get(phase).copied()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, SimSpan)> + '_ {
+        self.spans.iter().map(|(k, v)| (*k, *v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Takes the other's spans where present (later pipeline stages write
+    /// later phases).
+    pub fn merge(&mut self, other: &SimPhases) {
+        for (phase, span) in &other.spans {
+            self.spans.insert(phase, *span);
+        }
+    }
+
+    pub(crate) fn write_json(&self, out: &mut String, indent: usize) {
+        json::key_into(out, indent, "phases_sim_ms");
+        out.push('{');
+        for (i, (phase, span)) in self.spans.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n" } else { "\n" });
+            json::key_into(out, indent + 1, phase);
+            out.push_str(&format!(
+                "{{\"start\": {}, \"end\": {}, \"duration\": {}}}",
+                span.start.as_millis(),
+                span.end.as_millis(),
+                span.duration().as_millis()
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push('\n');
+            json::indent_into(out, indent);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_duration() {
+        let mut p = SimPhases::new();
+        p.record("boot", SimTime(0), SimTime(430_000));
+        let span = p.get("boot").expect("recorded");
+        assert_eq!(span.duration(), SimDuration::from_millis(430_000));
+        assert!(p.get("verify").is_none());
+    }
+
+    #[test]
+    fn merge_prefers_latest_writer() {
+        let mut a = SimPhases::new();
+        a.record("boot", SimTime(0), SimTime(1));
+        let mut b = SimPhases::new();
+        b.record("boot", SimTime(0), SimTime(2));
+        b.record("extract", SimTime(2), SimTime(3));
+        a.merge(&b);
+        assert_eq!(a.get("boot").map(|s| s.end), Some(SimTime(2)));
+        assert_eq!(a.iter().count(), 2);
+    }
+}

@@ -112,6 +112,9 @@ struct Session {
     retry_at: SimTime,
     rib_in: BTreeMap<Prefix, RibInEntry>,
     rib_out: BTreeMap<Prefix, BgpAttrs>,
+    /// FSM state changes since the engine was built — the per-session churn
+    /// signal the observability layer aggregates.
+    transitions: u64,
 }
 
 impl Session {
@@ -125,11 +128,20 @@ impl Session {
             retry_at: SimTime::ZERO,
             rib_in: BTreeMap::new(),
             rib_out: BTreeMap::new(),
+            transitions: 0,
         }
     }
 
+    /// Moves the FSM, counting only real state changes.
+    fn set_state(&mut self, new: SessionState) {
+        if self.state != new {
+            self.transitions += 1;
+        }
+        self.state = new;
+    }
+
     fn reset(&mut self, now: SimTime, retry_after: SimDuration) {
-        self.state = SessionState::Idle;
+        self.set_state(SessionState::Idle);
         self.rib_in.clear();
         self.rib_out.clear();
         self.retry_at = now + retry_after;
@@ -351,11 +363,11 @@ impl BgpEngine {
                         );
                         self.out.push_back((from, BgpMsg::Open(our_open)));
                         self.out.push_back((from, BgpMsg::Keepalive));
-                        session.state = SessionState::OpenConfirm;
+                        session.set_state(SessionState::OpenConfirm);
                     }
                     SessionState::OpenSent => {
                         self.out.push_back((from, BgpMsg::Keepalive));
-                        session.state = SessionState::OpenConfirm;
+                        session.set_state(SessionState::OpenConfirm);
                     }
                     SessionState::OpenConfirm => {
                         // Duplicate OPEN mid-handshake (our earlier reply may
@@ -379,14 +391,14 @@ impl BgpEngine {
                         );
                         self.out.push_back((from, BgpMsg::Open(our_open)));
                         self.out.push_back((from, BgpMsg::Keepalive));
-                        session.state = SessionState::OpenConfirm;
+                        session.set_state(SessionState::OpenConfirm);
                     }
                 }
             }
             BgpMsg::Keepalive => {
                 match session.state {
                     SessionState::OpenConfirm => {
-                        session.state = SessionState::Established;
+                        session.set_state(SessionState::Established);
                         self.full_advert_peers.insert(from);
                     }
                     SessionState::OpenSent => {
@@ -394,7 +406,7 @@ impl BgpEngine {
                         // OPEN even though its own OPEN reply was lost;
                         // confirm and come up (lossy-transport robustness).
                         self.out.push_back((from, BgpMsg::Keepalive));
-                        session.state = SessionState::Established;
+                        session.set_state(SessionState::Established);
                         self.full_advert_peers.insert(from);
                     }
                     _ => {}
@@ -535,7 +547,7 @@ impl BgpEngine {
                         (self.hold_time.as_millis() / 1000) as u16,
                         self.router_id.0,
                     );
-                    s.state = SessionState::OpenSent;
+                    s.set_state(SessionState::OpenSent);
                     s.last_rx = now; // arm hold timer from the attempt
                     s.retry_at = now + self.retry;
                     self.out.push_back((*peer, BgpMsg::Open(our_open)));
@@ -601,6 +613,12 @@ impl BgpEngine {
             }
         }
         next
+    }
+
+    /// Total FSM state changes across all sessions since the engine was
+    /// built (session churn, for the observability layer).
+    pub fn session_transitions(&self) -> u64 {
+        self.sessions.values().map(|s| s.transitions).sum()
     }
 
     /// The currently selected BGP routes, as RIB candidates.

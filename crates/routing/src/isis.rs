@@ -66,6 +66,9 @@ struct Adjacency {
     last_hello_tx: Option<SimTime>,
     /// Interface administratively/physically up.
     link_up: bool,
+    /// State changes since the engine was built — the per-adjacency churn
+    /// signal the observability layer aggregates.
+    transitions: u64,
 }
 
 impl Adjacency {
@@ -77,6 +80,7 @@ impl Adjacency {
             expires: SimTime::ZERO,
             last_hello_tx: None,
             link_up: true,
+            transitions: 0,
         }
     }
 }
@@ -152,6 +156,7 @@ impl IsisEngine {
             adj.link_up = up;
             if !up && !matches!(adj.state, AdjState::Down) {
                 adj.state = AdjState::Down;
+                adj.transitions += 1;
                 adj.neighbor = None;
                 adj.neighbor_addr = None;
                 self.regenerate_own_lsp();
@@ -277,6 +282,9 @@ impl IsisEngine {
             AdjState::Initializing
         };
         let new_state = adj.state;
+        if old_state != new_state {
+            adj.transitions += 1;
+        }
         let _ = my_id;
 
         if old_state != new_state {
@@ -458,6 +466,7 @@ impl IsisEngine {
         for adj in self.adjacencies.values_mut() {
             if !matches!(adj.state, AdjState::Down) && now >= adj.expires {
                 adj.state = AdjState::Down;
+                adj.transitions += 1;
                 adj.neighbor = None;
                 adj.neighbor_addr = None;
                 lost = true;
@@ -489,6 +498,12 @@ impl IsisEngine {
             }
         }
         next
+    }
+
+    /// Total adjacency state changes since the engine was built (adjacency
+    /// churn, for the observability layer).
+    pub fn adjacency_transitions(&self) -> u64 {
+        self.adjacencies.values().map(|a| a.transitions).sum()
     }
 
     /// Current adjacency table.

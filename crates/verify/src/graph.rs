@@ -176,6 +176,10 @@ pub struct ForwardingAnalysis {
     /// per variant; computing it once amortises the whole sweep.
     // mfv-lint: allow(D1, probed by (node, scope) key only; iteration order never observed)
     memo: Mutex<HashMap<(NodeId, IpSet), Arc<DispositionRows>>>,
+    memo_hits: AtomicUsize,
+    memo_misses: AtomicUsize,
+    /// Classes computed locally (not served by a [`ClassCache`]).
+    classes_built: usize,
 }
 
 fn effective_classes(fib: &Fib) -> NodeClasses {
@@ -215,10 +219,14 @@ impl ForwardingAnalysis {
 
     fn build(dp: &Dataplane, cache: Option<&ClassCache>) -> ForwardingAnalysis {
         let mut nodes = BTreeMap::new();
+        let mut classes_built = 0usize;
         for (name, node) in &dp.nodes {
             let classes = match cache {
                 Some(c) => c.classes_for(node),
-                None => Arc::new(effective_classes(&node.fib())),
+                None => {
+                    classes_built += 1;
+                    Arc::new(effective_classes(&node.fib()))
+                }
             };
             let mut addresses = IpSet::empty();
             for a in &node.addresses {
@@ -239,6 +247,32 @@ impl ForwardingAnalysis {
             dp: dp.clone(),
             // mfv-lint: allow(D1, memo is probed by key only; iteration order never observed)
             memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicUsize::new(0),
+            memo_misses: AtomicUsize::new(0),
+            classes_built,
+        }
+    }
+
+    /// `(hits, misses)` of the per-(entry, scope) disposition memo.
+    pub fn memo_stats(&self) -> (usize, usize) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Flushes this analysis' counters into `obs`. Pass the [`ClassCache`]
+    /// backing the sweep (if any) to fold its hit/miss totals in too.
+    pub fn observe_into(&self, obs: &mut mfv_obs::Obs, cache: Option<&ClassCache>) {
+        let m = &mut obs.metrics;
+        m.inc("verify.classes.built", self.classes_built as u64);
+        let (mh, mm) = self.memo_stats();
+        m.inc("verify.memo.hits", mh as u64);
+        m.inc("verify.memo.misses", mm as u64);
+        if let Some(c) = cache {
+            let (ch, cm) = c.stats();
+            m.inc("verify.classes.cache_hits", ch as u64);
+            m.inc("verify.classes.cache_misses", cm as u64);
         }
     }
 
@@ -268,8 +302,10 @@ impl ForwardingAnalysis {
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
         let mut visited = Vec::new();
         let mut out = self.explore(from, dst.clone(), &mut visited);
         // Canonical order for stable comparison.

@@ -17,6 +17,18 @@ pub mod coverage;
 pub mod graph;
 pub mod queries;
 
+/// Runs a verification query under observation: bumps the deterministic
+/// counter `name` and records the query's wall latency (µs) into the
+/// wall-quarantined histogram of the same name. Use a
+/// `verify.query.<kind>` name so dumps group by query type.
+pub fn observed_query<T>(obs: &mut mfv_obs::Obs, name: &'static str, f: impl FnOnce() -> T) -> T {
+    obs.metrics.inc(name, 1);
+    let timer = mfv_obs::WallTimer::start();
+    let out = f();
+    obs.wall.metrics.record(name, timer.elapsed_micros());
+    out
+}
+
 pub use coverage::{qualified_reachability, qualified_unreachable_pairs, Coverage, Qualified};
 pub use graph::{ClassCache, Disposition, ForwardingAnalysis, NodeClasses, Trace, TraceHop};
 pub use queries::{

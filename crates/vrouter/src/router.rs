@@ -81,6 +81,16 @@ pub struct VirtualRouter {
     cached_resolver: Option<IgpResolver>,
     /// Count of messages that failed vendor decoding (dropped).
     pub decode_errors: u64,
+    /// Count of outbound messages that failed encoding (dropped rather
+    /// than silently truncated — see `mfv_wire::EncodeError`).
+    pub encode_errors: u64,
+    /// RIB resyncs from the connected/static/IS-IS sources (the `igp_dirty`
+    /// path in `poll`).
+    pub rib_resyncs: u64,
+    /// Full O(table) FIB rebuilds.
+    pub full_fib_refreshes: u64,
+    /// Incremental FIB patches (changed-prefix path).
+    pub fib_patches: u64,
 }
 
 /// IGP view for BGP next-hop resolution: winners of connected/static/IS-IS.
@@ -123,6 +133,10 @@ impl VirtualRouter {
             last_isis_version: None,
             cached_resolver: None,
             decode_errors: 0,
+            encode_errors: 0,
+            rib_resyncs: 0,
+            full_fib_refreshes: 0,
+            fib_patches: 0,
         };
         for iface in &router.config.interfaces {
             router.link_up.insert(iface.name.clone(), true);
@@ -194,6 +208,7 @@ impl VirtualRouter {
         // Tear down existing BGP sessions gracefully (Cease/administrative
         // reset) — a real config replace restarts the speaker, and peers see
         // the TCP connection close rather than waiting out their hold timer.
+        let mut teardowns = Vec::new();
         if let Some(bgp) = &self.bgp {
             for s in bgp.summaries() {
                 if s.state == mfv_routing::SessionState::Idle {
@@ -205,11 +220,19 @@ impl VirtualRouter {
                     subcode: 4, // administrative reset
                     data: Bytes::new(),
                 });
-                self.pending_out.push(RouterEvent::BgpSegment {
+                teardowns.push((src, s.peer, msg));
+            }
+        }
+        for (src, peer, msg) in teardowns {
+            match msg.encode() {
+                Ok(payload) => self.pending_out.push(RouterEvent::BgpSegment {
                     src,
-                    dst: s.peer,
-                    payload: msg.encode(),
-                });
+                    dst: peer,
+                    payload,
+                }),
+                // An unencodable teardown is dropped; the peer's hold
+                // timer tears the session down instead.
+                Err(_) => self.encode_errors += 1,
             }
         }
         self.config = config;
@@ -546,6 +569,7 @@ impl VirtualRouter {
         let isis_version = self.isis.as_ref().map(|i| i.routes_version());
         let igp_dirty = self.rib_sources_dirty || isis_version != self.last_isis_version;
         if igp_dirty {
+            self.rib_resyncs += 1;
             self.rib
                 .set_protocol_routes(RouteProtocol::Connected, self.connected_routes());
             self.rib
@@ -607,14 +631,22 @@ impl VirtualRouter {
                 }
                 let payload = match memo.iter().find(|(m, _)| *m == msg) {
                     Some((_, bytes)) => bytes.clone(),
-                    None => {
-                        let bytes = msg.encode();
-                        if memo.len() >= 8 {
-                            memo.remove(0);
+                    None => match msg.encode() {
+                        Ok(bytes) => {
+                            if memo.len() >= 8 {
+                                memo.remove(0);
+                            }
+                            memo.push((msg, bytes.clone()));
+                            bytes
                         }
-                        memo.push((msg, bytes.clone()));
-                        bytes
-                    }
+                        // A message that exceeds a wire length field is
+                        // dropped (and counted) instead of truncated into
+                        // a corrupt frame the peer would choke on.
+                        Err(_) => {
+                            self.encode_errors += 1;
+                            continue;
+                        }
+                    },
                 };
                 events.push(RouterEvent::BgpSegment {
                     src,
@@ -635,6 +667,7 @@ impl VirtualRouter {
 
     /// Full FIB rebuild: sync BGP routes into the RIB and resolve.
     fn full_fib_refresh(&mut self) {
+        self.full_fib_refreshes += 1;
         let bgp_routes = self
             .bgp
             .as_ref()
@@ -656,6 +689,7 @@ impl VirtualRouter {
     /// (IGP changes force a full rebuild above).
     fn patch_fib(&mut self, prefixes: &std::collections::BTreeSet<Prefix>) {
         use mfv_routing::rib::{resolve_next_hops, FibEntry};
+        self.fib_patches += 1;
         // IGP-only winner trie for resolution (small; walked per patch).
         let mut winners: PrefixTrie<&RibRoute> = PrefixTrie::new();
         for proto in Self::IGP_PROTOS {
@@ -855,6 +889,18 @@ impl VirtualRouter {
             next = Some(next.map_or(t, |n| n.min(t)));
         }
         next.map(|t| t.max(SimTime(now.0 + 1)))
+    }
+
+    /// BGP session FSM transitions since the current routing process
+    /// booted (zero while crashed or with no BGP configured).
+    pub fn bgp_session_transitions(&self) -> u64 {
+        self.bgp.as_ref().map_or(0, |b| b.session_transitions())
+    }
+
+    /// IS-IS adjacency state transitions since the current routing process
+    /// booted.
+    pub fn isis_adjacency_transitions(&self) -> u64 {
+        self.isis.as_ref().map_or(0, |i| i.adjacency_transitions())
     }
 
     /// Introspection used by the CLI and the management interface.

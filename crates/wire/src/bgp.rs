@@ -12,7 +12,7 @@ use std::net::Ipv4Addr;
 
 use mfv_types::{AsNum, AsPath, AsPathSegment, Community, Origin, Prefix};
 
-use crate::DecodeError;
+use crate::{DecodeError, EncodeError};
 
 /// BGP message type codes.
 pub const TYPE_OPEN: u8 = 1;
@@ -185,9 +185,26 @@ pub enum BgpMsg {
     Keepalive,
 }
 
+/// Maximum BGP message body (RFC 4271: 4096-byte messages are the protocol
+/// limit, but both emulated vendors accept "jumbo" frames up to the framing
+/// limit — the u16 length field minus the 19-byte header).
+pub const MAX_BODY_LEN: usize = u16::MAX as usize - 19;
+
+/// Maximum capability bytes in one OPEN optional parameter: the parameter
+/// length is a u8 and the capabilities TLV costs 2 bytes of it.
+pub const MAX_CAPS_LEN: usize = u8::MAX as usize - 2;
+
 impl BgpMsg {
     /// Encodes the message with full RFC 4271 framing.
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// Fails with [`EncodeError`] when any length field would overflow its
+    /// wire width (message body > [`MAX_BODY_LEN`], capabilities >
+    /// [`MAX_CAPS_LEN`], withdrawn/attribute blocks > 65535 bytes, AS_PATH
+    /// segments > 255 ASNs). Truncating instead — which an earlier version
+    /// did via `as u16`/`as u8` casts — emits a frame whose length field
+    /// disagrees with its contents, and the *peer's* decoder misparses it.
+    pub fn encode(&self) -> Result<Bytes, EncodeError> {
+        let err = |r: String| EncodeError::new("bgp", r);
         let mut body = BytesMut::new();
         let msg_type = match self {
             BgpMsg::Open(open) => {
@@ -212,6 +229,12 @@ impl BgpMsg {
                         caps.put_u8(0);
                     }
                 }
+                if caps.len() > MAX_CAPS_LEN {
+                    return Err(err(format!(
+                        "OPEN capabilities {} bytes exceed the {MAX_CAPS_LEN}-byte parameter",
+                        caps.len()
+                    )));
+                }
                 if caps.is_empty() {
                     body.put_u8(0);
                 } else {
@@ -227,12 +250,24 @@ impl BgpMsg {
                 for p in &update.withdrawn {
                     encode_nlri(&mut wd, p);
                 }
+                if wd.len() > u16::MAX as usize {
+                    return Err(err(format!(
+                        "withdrawn routes {} bytes exceed the u16 length field",
+                        wd.len()
+                    )));
+                }
                 body.put_u16(wd.len() as u16);
                 body.extend_from_slice(&wd);
 
                 let mut attrs = BytesMut::new();
                 for a in &update.attrs {
-                    encode_attr(&mut attrs, a);
+                    encode_attr(&mut attrs, a)?;
+                }
+                if attrs.len() > u16::MAX as usize {
+                    return Err(err(format!(
+                        "path attributes {} bytes exceed the u16 length field",
+                        attrs.len()
+                    )));
                 }
                 body.put_u16(attrs.len() as u16);
                 body.extend_from_slice(&attrs);
@@ -251,12 +286,18 @@ impl BgpMsg {
             BgpMsg::Keepalive => TYPE_KEEPALIVE,
         };
 
+        if body.len() > MAX_BODY_LEN {
+            return Err(err(format!(
+                "body {} bytes exceeds the {MAX_BODY_LEN}-byte frame limit",
+                body.len()
+            )));
+        }
         let mut out = BytesMut::with_capacity(19 + body.len());
         out.put_bytes(0xff, 16);
         out.put_u16(19 + body.len() as u16);
         out.put_u8(msg_type);
         out.extend_from_slice(&body);
-        out.freeze()
+        Ok(out.freeze())
     }
 
     /// Decodes one framed message.
@@ -292,6 +333,11 @@ impl BgpMsg {
                 }
                 let mut params = body.split_to(opt_len);
                 let mut capabilities = Vec::new();
+                // The 2-byte field is authoritative only for 2-byte speakers.
+                // A capability-65 value below overrides it; if the peer sent
+                // AS_TRANS (23456) *without* the 4-octet-AS capability we keep
+                // AS_TRANS verbatim, as real routers do — inventing any other
+                // ASN here would change best-path tie-breaks cross-vendor.
                 let mut asn = AsNum(as16 as u32);
                 while params.len() >= 2 {
                     let ptype = params.get_u8();
@@ -403,7 +449,8 @@ fn decode_nlri(buf: &mut Bytes) -> Result<Prefix, DecodeError> {
     Ok(Prefix::from_bits(u32::from_be_bytes(bits), len))
 }
 
-fn encode_attr(out: &mut BytesMut, attr: &PathAttr) {
+fn encode_attr(out: &mut BytesMut, attr: &PathAttr) -> Result<(), EncodeError> {
+    let err = |r: String| EncodeError::new("bgp", r);
     let mut value = BytesMut::new();
     let flags;
     match attr {
@@ -418,6 +465,12 @@ fn encode_attr(out: &mut BytesMut, attr: &PathAttr) {
                     AsPathSegment::Set(a) => (1u8, a),
                     AsPathSegment::Sequence(a) => (2u8, a),
                 };
+                if asns.len() > u8::MAX as usize {
+                    return Err(err(format!(
+                        "AS_PATH segment with {} ASNs exceeds the u8 count field",
+                        asns.len()
+                    )));
+                }
                 value.put_u8(seg_type);
                 value.put_u8(asns.len() as u8);
                 for a in asns {
@@ -450,6 +503,13 @@ fn encode_attr(out: &mut BytesMut, attr: &PathAttr) {
             value.extend_from_slice(v);
         }
     }
+    if value.len() > u16::MAX as usize {
+        return Err(err(format!(
+            "attribute {} value {} bytes exceeds the extended u16 length field",
+            attr.type_code(),
+            value.len()
+        )));
+    }
     let extended = value.len() > 255;
     out.put_u8(flags | if extended { FLAG_EXTENDED_LEN } else { 0 });
     out.put_u8(attr.type_code());
@@ -459,6 +519,7 @@ fn encode_attr(out: &mut BytesMut, attr: &PathAttr) {
         out.put_u8(value.len() as u8);
     }
     out.extend_from_slice(&value);
+    Ok(())
 }
 
 fn decode_attr(buf: &mut Bytes) -> Result<PathAttr, DecodeError> {
@@ -557,7 +618,7 @@ mod tests {
     }
 
     fn roundtrip(msg: BgpMsg) -> BgpMsg {
-        let mut bytes = msg.encode();
+        let mut bytes = msg.encode().unwrap();
         let decoded = BgpMsg::decode(&mut bytes).unwrap();
         assert!(bytes.is_empty(), "decoder must consume the whole frame");
         decoded
@@ -580,7 +641,7 @@ mod tests {
     #[test]
     fn open_roundtrip_4byte_as_uses_as_trans() {
         let open = OpenMsg::new(AsNum(400_000), 180, Ipv4Addr::new(1, 1, 1, 1));
-        let encoded = BgpMsg::Open(open.clone()).encode();
+        let encoded = BgpMsg::Open(open.clone()).encode().unwrap();
         // The 2-byte field (offset 19+1) must hold AS_TRANS.
         assert_eq!(u16::from_be_bytes([encoded[20], encoded[21]]), 23456);
         let mut b = encoded;
@@ -693,7 +754,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_marker() {
-        let mut bytes = BgpMsg::Keepalive.encode().to_vec();
+        let mut bytes = BgpMsg::Keepalive.encode().unwrap().to_vec();
         bytes[3] = 0x00;
         let mut b = Bytes::from(bytes);
         assert!(BgpMsg::decode(&mut b).is_err());
@@ -706,7 +767,8 @@ mod tests {
             attrs: vec![PathAttr::Origin(Origin::Igp)],
             nlri: vec![p("10.0.0.0/8")],
         })
-        .encode();
+        .encode()
+        .unwrap();
         for cut in [1, 10, 18, bytes.len() - 1] {
             let mut b = bytes.slice(..cut);
             assert!(BgpMsg::decode(&mut b).is_err(), "cut at {cut}");
@@ -739,9 +801,108 @@ mod tests {
             attrs: vec![],
             nlri: vec![p("10.0.0.0/8")],
         };
-        let encoded = BgpMsg::Update(update).encode();
+        let encoded = BgpMsg::Update(update).encode().unwrap();
         // header 19 + wd_len 2 + attr_len 2 + nlri (1 + 1)
         assert_eq!(encoded.len(), 19 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn oversize_body_is_an_encode_error_not_a_truncation() {
+        // ~65 KiB of attribute value pushes the body past MAX_BODY_LEN. The
+        // old encoder wrapped `19 + body.len() as u16` and emitted a frame
+        // whose length field lied; now it must refuse.
+        let update = UpdateMsg {
+            withdrawn: vec![],
+            attrs: vec![PathAttr::Unknown {
+                flags: FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                type_code: 99,
+                value: Bytes::from(vec![0u8; MAX_BODY_LEN]),
+            }],
+            nlri: vec![],
+        };
+        let e = BgpMsg::Update(update).encode().unwrap_err();
+        assert_eq!(e.proto, "bgp");
+        assert!(e.reason.contains("exceed"), "{e}");
+    }
+
+    #[test]
+    fn oversize_attr_block_is_an_encode_error() {
+        // Two ~40 KiB attributes fit the frame check individually but blow
+        // the u16 "total path attribute length" field.
+        let big = |code: u8| PathAttr::Unknown {
+            flags: FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code: code,
+            value: Bytes::from(vec![0u8; 40_000]),
+        };
+        let update = UpdateMsg {
+            withdrawn: vec![],
+            attrs: vec![big(98), big(99)],
+            nlri: vec![],
+        };
+        let e = BgpMsg::Update(update).encode().unwrap_err();
+        assert!(e.reason.contains("path attributes"), "{e}");
+    }
+
+    #[test]
+    fn oversize_capabilities_are_an_encode_error() {
+        // >253 bytes of capabilities overflow the u8 optional-parameter
+        // length; the old encoder wrapped `(caps.len() + 2) as u8`.
+        let mut open = OpenMsg::new(AsNum(65001), 90, Ipv4Addr::new(1, 1, 1, 1));
+        open.capabilities = (0..200).map(|i| if i == 0 { 65 } else { 200 }).collect();
+        let e = BgpMsg::Open(open).encode().unwrap_err();
+        assert!(e.reason.contains("capabilities"), "{e}");
+    }
+
+    #[test]
+    fn oversize_as_path_segment_is_an_encode_error() {
+        let update = UpdateMsg {
+            withdrawn: vec![],
+            attrs: vec![PathAttr::AsPath(AsPath::sequence(
+                (0..300).map(|i| AsNum(65000 + i)),
+            ))],
+            nlri: vec![],
+        };
+        let e = BgpMsg::Update(update).encode().unwrap_err();
+        assert!(e.reason.contains("AS_PATH"), "{e}");
+    }
+
+    #[test]
+    fn asn_70000_roundtrips_via_as_trans() {
+        let open = OpenMsg::new(AsNum(70_000), 90, Ipv4Addr::new(3, 3, 3, 3));
+        let encoded = BgpMsg::Open(open).encode().unwrap();
+        // 70_000 & 0xffff == 4464: the old truncation emitted a *different
+        // valid ASN*. The field must hold AS_TRANS instead.
+        assert_eq!(u16::from_be_bytes([encoded[20], encoded[21]]), 23456);
+        let mut b = encoded;
+        match BgpMsg::decode(&mut b).unwrap() {
+            BgpMsg::Open(got) => assert_eq!(got.asn, AsNum(70_000)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn as_trans_without_capability_decodes_verbatim() {
+        // A 2-byte-only speaker sending AS_TRANS with no capability 65: we
+        // must keep 23456 rather than invent an ASN.
+        let mut body = BytesMut::new();
+        body.put_u8(4); // version
+        body.put_u16(23456);
+        body.put_u16(90);
+        body.put_u32(u32::from(Ipv4Addr::new(5, 5, 5, 5)));
+        body.put_u8(0); // no optional parameters
+        let mut frame = BytesMut::new();
+        frame.put_bytes(0xff, 16);
+        frame.put_u16(19 + body.len() as u16);
+        frame.put_u8(TYPE_OPEN);
+        frame.extend_from_slice(&body);
+        let mut b = frame.freeze();
+        match BgpMsg::decode(&mut b).unwrap() {
+            BgpMsg::Open(got) => {
+                assert_eq!(got.asn, AsNum(23456));
+                assert!(got.capabilities.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

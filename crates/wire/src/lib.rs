@@ -42,3 +42,31 @@ impl fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Error produced when a message cannot be represented on the wire — a body
+/// or sub-field larger than its length field can carry. Encoders must return
+/// this instead of silently truncating the length (an earlier version wrapped
+/// `body.len() as u16`, emitting a corrupt frame the peer misparsed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EncodeError {
+    /// Which codec failed ("bgp", "isis").
+    pub proto: &'static str,
+    pub reason: String,
+}
+
+impl EncodeError {
+    pub fn new(proto: &'static str, reason: impl Into<String>) -> EncodeError {
+        EncodeError {
+            proto,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} encode error: {}", self.proto, self.reason)
+    }
+}
+
+impl std::error::Error for EncodeError {}

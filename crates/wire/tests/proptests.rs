@@ -143,7 +143,7 @@ fn arb_lsp() -> impl Strategy<Value = Lsp> {
 proptest! {
     #[test]
     fn bgp_update_roundtrip(update in arb_update()) {
-        let mut bytes = BgpMsg::Update(update.clone()).encode();
+        let mut bytes = BgpMsg::Update(update.clone()).encode().unwrap();
         let decoded = BgpMsg::decode(&mut bytes).unwrap();
         prop_assert!(bytes.is_empty());
         match decoded {
@@ -174,7 +174,7 @@ proptest! {
     #[test]
     fn bgp_open_roundtrip(asn in any::<u32>(), hold in any::<u16>(), id in any::<u32>()) {
         let open = OpenMsg::new(AsNum(asn), hold, Ipv4Addr::from(id));
-        let mut bytes = BgpMsg::Open(open.clone()).encode();
+        let mut bytes = BgpMsg::Open(open.clone()).encode().unwrap();
         match BgpMsg::decode(&mut bytes).unwrap() {
             BgpMsg::Open(got) => prop_assert_eq!(got, open),
             other => prop_assert!(false, "wrong type {:?}", other),
@@ -184,7 +184,7 @@ proptest! {
     #[test]
     fn bgp_notification_roundtrip(code in any::<u8>(), sub in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
         let n = NotificationMsg { code, subcode: sub, data: Bytes::from(data) };
-        let mut bytes = BgpMsg::Notification(n.clone()).encode();
+        let mut bytes = BgpMsg::Notification(n.clone()).encode().unwrap();
         match BgpMsg::decode(&mut bytes).unwrap() {
             BgpMsg::Notification(got) => prop_assert_eq!(got, n),
             other => prop_assert!(false, "wrong type {:?}", other),
@@ -199,11 +199,44 @@ proptest! {
 
     #[test]
     fn bgp_decoder_rejects_truncations(update in arb_update(), frac in 0.0f64..1.0) {
-        let bytes = BgpMsg::Update(update).encode();
+        let bytes = BgpMsg::Update(update).encode().unwrap();
         let cut = ((bytes.len() as f64) * frac) as usize;
         if cut < bytes.len() {
             let mut b = bytes.slice(..cut);
             prop_assert!(BgpMsg::decode(&mut b).is_err());
+        }
+    }
+
+    #[test]
+    fn bgp_encode_length_field_is_honest(update in arb_update()) {
+        // Encode must either fail loudly (EncodeError) or emit a frame whose
+        // length field matches the actual byte count — never a wrapped
+        // header. Every frame it emits must also decode.
+        if let Ok(bytes) = BgpMsg::Update(update).encode() {
+            let framed = u16::from_be_bytes([bytes[16], bytes[17]]) as usize;
+            prop_assert_eq!(framed, bytes.len());
+            let mut b = bytes;
+            prop_assert!(BgpMsg::decode(&mut b).is_ok());
+        }
+    }
+
+    #[test]
+    fn bgp_open_never_silently_alters_asn(asn in any::<u32>()) {
+        let open = OpenMsg::new(AsNum(asn), 90, Ipv4Addr::new(1, 1, 1, 1));
+        let bytes = BgpMsg::Open(open).encode().unwrap();
+        // The 2-byte "My AS" field is either the real ASN or AS_TRANS —
+        // never a low-16-bits truncation (a different valid ASN).
+        let as16 = u32::from(u16::from_be_bytes([bytes[20], bytes[21]]));
+        if asn > u16::MAX as u32 {
+            prop_assert_eq!(as16, 23456);
+        } else {
+            prop_assert_eq!(as16, asn);
+        }
+        // And the capability path recovers the full 4-byte ASN exactly.
+        let mut b = bytes;
+        match BgpMsg::decode(&mut b).unwrap() {
+            BgpMsg::Open(got) => prop_assert_eq!(got.asn, AsNum(asn)),
+            other => prop_assert!(false, "wrong type {:?}", other),
         }
     }
 

@@ -17,4 +17,19 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> obs-smoke: same-seed double run must dump byte-identical obs JSON"
+cargo build --release -q -p mfv-bench
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+for run in a b; do
+  target/release/engine_bench --smoke \
+    --out "$obs_tmp/bench_$run.json" \
+    --obs-json "$obs_tmp/obs_$run.json" --obs-exclude-wall 2>/dev/null
+done
+cmp "$obs_tmp/obs_a.json" "$obs_tmp/obs_b.json" || {
+  echo "obs-smoke FAILED: deterministic obs dumps differ between same-seed runs" >&2
+  diff "$obs_tmp/obs_a.json" "$obs_tmp/obs_b.json" >&2 || true
+  exit 1
+}
+
 echo "==> all checks passed"

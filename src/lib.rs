@@ -9,6 +9,7 @@ pub use mfv_dataplane as dataplane;
 pub use mfv_emulator as emulator;
 pub use mfv_mgmt as mgmt;
 pub use mfv_model as model;
+pub use mfv_obs as obs;
 pub use mfv_routing as routing;
 pub use mfv_types as types;
 pub use mfv_verify as verify;
