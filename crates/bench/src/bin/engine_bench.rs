@@ -22,7 +22,10 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::process::ExitCode;
 
-use mfv_bench::{engine_scenarios, run_engine_scenario, EngineRunStats};
+use mfv_bench::{
+    engine_scenarios, percentile_ms, run_engine_scenario, run_watch_scenario, watch_scenario,
+    EngineRunStats, WatchRunStats,
+};
 
 struct Args {
     smoke: bool,
@@ -179,6 +182,38 @@ fn main() -> ExitCode {
         eprintln!(
             "engine_bench: {name}: {wall_ms:.1} ms median, {} processed / {} scheduled, {} messages, converged={}",
             stats.events_processed, stats.events_scheduled, stats.messages_delivered, stats.converged
+        );
+        if !stats.converged {
+            eprintln!("engine_bench: FAIL — scenario {name} did not converge");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Continuous verification under chaos. One iteration only: a watch
+    // window re-runs dozens of full forwarding analyses, so repeating it
+    // per --iters would dominate the suite, and every reported counter is
+    // seed-deterministic anyway (only wall time would vary).
+    {
+        let (name, snapshot) = watch_scenario(args.smoke);
+        let stats: WatchRunStats = run_watch_scenario(&snapshot, 1, args.smoke);
+        let mut walls = vec![stats.wall.as_secs_f64() * 1_000.0];
+        obs.merge(stats.obs.clone());
+        let wall_ms = median_ms(&mut walls);
+        let p50 = percentile_ms(&stats.latencies_ms, 50.0);
+        let p99 = percentile_ms(&stats.latencies_ms, 99.0);
+        rows.push(format!(
+            "    \"{name}\": {{\"wall_ms_median\": {}, \"verdict_updates\": {}, \"verdict_latency_p50_ms\": {p50}, \"verdict_latency_p99_ms\": {p99}, \"gaps\": {}, \"resyncs\": {}, \"session_losses\": {}, \"recovered\": {}, \"converged\": {}}}",
+            json_f64(wall_ms),
+            stats.verdict_updates,
+            stats.gaps,
+            stats.resyncs,
+            stats.session_losses,
+            stats.recovered,
+            stats.converged,
+        ));
+        eprintln!(
+            "engine_bench: {name}: {wall_ms:.1} ms median, {} verdict updates, latency p50/p99 {p50}/{p99} ms, {} gaps, {} resyncs, recovered={}",
+            stats.verdict_updates, stats.gaps, stats.resyncs, stats.recovered
         );
         if !stats.converged {
             eprintln!("engine_bench: FAIL — scenario {name} did not converge");

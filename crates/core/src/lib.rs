@@ -24,12 +24,16 @@
 //! - [`backend`] — [`EmulationBackend`] (model-free) and [`ModelBackend`]
 //! - [`extract`] — AFT extraction with per-node status and coverage
 //! - [`scenarios`] — every topology in the paper's evaluation
+//! - [`watch`] — continuous verification: a live emulation streamed through
+//!   the fault-tolerant watcher into incrementally re-evaluated standing
+//!   queries
 //! - [`whatif`] — link-cut context enumeration and parallel sweeps
 
 pub mod backend;
 pub mod extract;
 pub mod scenarios;
 pub mod snapshot;
+pub mod watch;
 pub mod whatif;
 
 pub use backend::{
@@ -37,6 +41,7 @@ pub use backend::{
 };
 pub use extract::{extract_snapshot, extract_snapshot_observed, ExtractedSnapshot};
 pub use snapshot::Snapshot;
+pub use watch::{run_watch, WatchReport, WatchRunConfig};
 pub use whatif::{
     link_cut_context_count, link_cut_contexts, verify_link_cuts, verify_link_cuts_detailed,
     CutVerdict, SweepError, SweepReport,
@@ -52,5 +57,5 @@ pub use mfv_verify::{
     differential_reachability, differential_reachability_with, disposition_summary,
     qualified_reachability, qualified_unreachable_pairs, reachability, traceroute,
     unreachable_pairs, ClassCache, Coverage, DiffFinding, Disposition, ForwardingAnalysis,
-    Qualified,
+    Qualified, StandingQueries, Verdict, VerdictUpdate,
 };

@@ -162,6 +162,53 @@ impl ChaosPlan {
         self.events.is_empty()
     }
 
+    /// The same plan with every scheduled instant pushed `by` later.
+    ///
+    /// Plans are usually authored relative to t=0; a continuous-verification
+    /// loop that injects faults *after* initial convergence shifts the plan
+    /// by the convergence instant so "flap at 30s" means 30s into the
+    /// steady-state window.
+    pub fn shifted(&self, by: SimDuration) -> ChaosPlan {
+        let events = self
+            .events
+            .iter()
+            .map(|ev| match ev.clone() {
+                ChaosEvent::LinkFlap {
+                    link,
+                    at,
+                    down_for,
+                    repeats,
+                    every,
+                } => ChaosEvent::LinkFlap {
+                    link,
+                    at: at + by,
+                    down_for,
+                    repeats,
+                    every,
+                },
+                ChaosEvent::KillRouting { node, at } => {
+                    ChaosEvent::KillRouting { node, at: at + by }
+                }
+                ChaosEvent::FailMachine { machine, at } => ChaosEvent::FailMachine {
+                    machine,
+                    at: at + by,
+                },
+                ChaosEvent::Impair {
+                    link,
+                    from,
+                    until,
+                    spec,
+                } => ChaosEvent::Impair {
+                    link,
+                    from: from + by,
+                    until: until + by,
+                    spec,
+                },
+            })
+            .collect();
+        ChaosPlan { events }
+    }
+
     /// Latest horizon across all scheduled events ([`SimTime::ZERO`] for an
     /// empty plan).
     pub fn horizon(&self) -> SimTime {

@@ -164,6 +164,16 @@ impl Ord for Ev {
     }
 }
 
+/// What a single scheduler step did.
+enum StepOutcome {
+    /// One work item was processed; the clock sits on its instant.
+    Stepped,
+    /// All three queues are empty — nothing will ever happen again.
+    Idle,
+    /// The earliest pending item is past the deadline; nothing was done.
+    Deferred,
+}
+
 /// Who owns a BGP endpoint address.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Owner {
@@ -571,8 +581,26 @@ impl Emulation {
         }
         // Chaos schedule: expand the plan into engine events up front so the
         // whole fault timeline is part of the deterministic event order.
-        // Link/node targets resolve to slots/refs here, once.
         let plan = self.cfg.chaos.clone();
+        self.expand_chaos(plan);
+    }
+
+    /// Injects a chaos schedule into a running emulation. Before boot the
+    /// plan is folded into the configured one; after boot it expands into
+    /// engine events immediately (instants already in the past fire at
+    /// `now`). Used by the continuous-verification loop to start faulting
+    /// only once the initial convergence is done.
+    pub fn schedule_chaos(&mut self, plan: &ChaosPlan) {
+        if !self.booted {
+            self.cfg.chaos.events.extend(plan.events.iter().cloned());
+            return;
+        }
+        self.expand_chaos(plan.clone());
+    }
+
+    /// Expands a [`ChaosPlan`] into heap events and impairment windows.
+    /// Link/node targets resolve to slots/refs here, once.
+    fn expand_chaos(&mut self, plan: ChaosPlan) {
         for ev in plan.events {
             match ev {
                 ChaosEvent::LinkFlap {
@@ -584,7 +612,11 @@ impl Emulation {
                 } => {
                     let slot = self.link_index.get(&link).copied();
                     for k in 0..repeats as u64 {
-                        let down_at = at + every.saturating_mul(k);
+                        // `.max(self.now)` keeps late-scheduled plans legal:
+                        // an instant already in the past fires immediately
+                        // instead of rewinding the clock. At boot `now` is
+                        // zero, so pre-run plans expand exactly as authored.
+                        let down_at = (at + every.saturating_mul(k)).max(self.now);
                         self.chaos_pending += 2;
                         self.push_event(down_at, EventKind::ChaosLink { slot, up: false });
                         self.push_event(
@@ -596,11 +628,11 @@ impl Emulation {
                 ChaosEvent::KillRouting { node, at } => {
                     self.chaos_pending += 1;
                     let target = self.interner.resolve_node(&node);
-                    self.push_event(at, EventKind::ChaosKillRouter(target));
+                    self.push_event(at.max(self.now), EventKind::ChaosKillRouter(target));
                 }
                 ChaosEvent::FailMachine { machine, at } => {
                     self.chaos_pending += 1;
-                    self.push_event(at, EventKind::ChaosFailMachine(machine));
+                    self.push_event(at.max(self.now), EventKind::ChaosFailMachine(machine));
                 }
                 ChaosEvent::Impair {
                     link,
@@ -1131,14 +1163,67 @@ impl Emulation {
             && self.chaos_pending == 0
     }
 
+    /// Processes the single earliest due work item across the three queues
+    /// — heap events, router wakes, external-peer wakes — if its instant is
+    /// `<= deadline`. The heap wins ties, so a delivery lands before the
+    /// poll it provoked. Both run loops (`run_until_converged`,
+    /// `run_until`) are thin drivers over this.
+    fn step_due(&mut self, deadline: SimTime) -> StepOutcome {
+        let heap_t = self.events.peek().map(|Reverse(ev)| ev.time);
+        let wake_t = self.wake.iter().next().map(|&(t, _)| t);
+        let ext_t = self.ext_wake.iter().next().map(|&(t, _)| t);
+        let Some(t) = [heap_t, wake_t, ext_t].into_iter().flatten().min() else {
+            return StepOutcome::Idle;
+        };
+        if t > deadline {
+            return StepOutcome::Deferred;
+        }
+        self.now = t;
+        if heap_t == Some(t) {
+            if let Some(Reverse(ev)) = self.events.pop() {
+                self.handle(ev.kind);
+            }
+        } else if wake_t == Some(t) {
+            if let Some(&(wt, node)) = self.wake.iter().next() {
+                self.wake.remove(&(wt, node));
+                if let Some(slot) = self.next_poll.get_mut(node.index()) {
+                    *slot = None;
+                }
+                self.poll_router(node);
+            }
+        } else if let Some(&(wt, idx)) = self.ext_wake.iter().next() {
+            self.ext_wake.remove(&(wt, idx));
+            if let Some(slot) = self.ext_next.get_mut(idx) {
+                *slot = None;
+            }
+            self.poll_external(idx);
+        }
+        self.events_processed += 1;
+        self.wake_depth
+            .record((self.wake.len() + self.ext_wake.len()) as u64);
+        StepOutcome::Stepped
+    }
+
+    /// Advances virtual time to exactly `deadline`, processing every work
+    /// item due on the way, with none of the convergence machinery: no
+    /// quiet-period fast-forward, no watchdog, no phase bookkeeping. The
+    /// continuous-verification tick loop drives the steady-state emulation
+    /// with this — chaos events fire, routers reconverge, and the clock
+    /// lands on `deadline` even when the network is idle (so telemetry
+    /// stamps and backoff timers keep moving). Returns the number of work
+    /// items processed during this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.boot();
+        let before = self.events_processed;
+        while matches!(self.step_due(deadline), StepOutcome::Stepped) {}
+        self.now = self.now.max(deadline);
+        self.events_processed - before
+    }
+
     /// Runs the emulation until the dataplane is quiet (or the time cap),
     /// and renders the watchdog's [`ConvergenceVerdict`]: a quiet spell
     /// only counts once every scheduled fault has fired, and a run that
     /// exhausts its budget is post-mortemed for oscillation.
-    ///
-    /// Each iteration drains whichever of the three queues — heap events,
-    /// router wakes, external-peer wakes — is due first (heap wins ties, so
-    /// a delivery lands before the poll it provoked).
     pub fn run_until_converged(&mut self) -> RunReport {
         // Wall-clock phase splits. The sim-time twins are derived from
         // `boot_complete_at`/`feeds_done_at` below; only these wall marks
@@ -1152,50 +1237,25 @@ impl Emulation {
         let deadline = SimTime(self.cfg.max_sim_time.as_millis());
         let mut converged = false;
         loop {
-            let heap_t = self.events.peek().map(|Reverse(ev)| ev.time);
-            let wake_t = self.wake.iter().next().map(|&(t, _)| t);
-            let ext_t = self.ext_wake.iter().next().map(|&(t, _)| t);
-            let Some(t) = [heap_t, wake_t, ext_t].into_iter().flatten().min() else {
-                // Every queue is empty: nothing will ever happen again. If
-                // the run is otherwise quiescent, fast-forward through the
-                // quiet period and declare convergence — this is where an
-                // idle network costs zero events instead of a poll per node
-                // per interval.
-                if self.quiescent() {
-                    let quiet_at = self.last_activity + self.cfg.quiet_period;
-                    if quiet_at <= deadline {
-                        self.now = quiet_at;
-                        converged = true;
+            match self.step_due(deadline) {
+                StepOutcome::Stepped => {}
+                StepOutcome::Idle => {
+                    // Every queue is empty: nothing will ever happen again.
+                    // If the run is otherwise quiescent, fast-forward
+                    // through the quiet period and declare convergence —
+                    // this is where an idle network costs zero events
+                    // instead of a poll per node per interval.
+                    if self.quiescent() {
+                        let quiet_at = self.last_activity + self.cfg.quiet_period;
+                        if quiet_at <= deadline {
+                            self.now = quiet_at;
+                            converged = true;
+                        }
                     }
+                    break;
                 }
-                break;
-            };
-            if t > deadline {
-                break;
+                StepOutcome::Deferred => break,
             }
-            self.now = t;
-            if heap_t == Some(t) {
-                if let Some(Reverse(ev)) = self.events.pop() {
-                    self.handle(ev.kind);
-                }
-            } else if wake_t == Some(t) {
-                if let Some(&(wt, node)) = self.wake.iter().next() {
-                    self.wake.remove(&(wt, node));
-                    if let Some(slot) = self.next_poll.get_mut(node.index()) {
-                        *slot = None;
-                    }
-                    self.poll_router(node);
-                }
-            } else if let Some(&(wt, idx)) = self.ext_wake.iter().next() {
-                self.ext_wake.remove(&(wt, idx));
-                if let Some(slot) = self.ext_next.get_mut(idx) {
-                    *slot = None;
-                }
-                self.poll_external(idx);
-            }
-            self.events_processed += 1;
-            self.wake_depth
-                .record((self.wake.len() + self.ext_wake.len()) as u64);
 
             // Phase boundaries. Boot end is set by the PodReady handler;
             // flood ends when every external feed has drained.

@@ -270,7 +270,8 @@ mod tests {
     fn rules_scope_to_crates() {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(violations("emulator", src).len(), 1);
-        assert_eq!(violations("mgmt", src).len(), 0); // D1 not in scope
+        assert_eq!(violations("mgmt", src).len(), 1); // D1: journal order
+        assert_eq!(violations("model", src).len(), 0); // D1 not in scope
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(violations("mgmt", src).len(), 1);
         assert_eq!(violations("emulator", src).len(), 0); // P1 not in scope

@@ -51,10 +51,11 @@ impl RuleId {
             // Crates where map iteration order can leak into event
             // schedules or verification verdicts — including obs, whose
             // dump paths must iterate in stable (BTreeMap) order for the
-            // byte-identical-metrics contract.
+            // byte-identical-metrics contract, and mgmt, whose watcher
+            // tick/status order feeds the byte-identical verdict journal.
             RuleId::D1 => matches!(
                 crate_name,
-                "emulator" | "routing" | "vrouter" | "verify" | "obs"
+                "emulator" | "routing" | "vrouter" | "verify" | "obs" | "mgmt"
             ),
             // The emulator is discrete-event: wall clock and ambient
             // entropy break seeded replay everywhere except the bench

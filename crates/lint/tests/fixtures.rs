@@ -62,8 +62,20 @@ fn w1_fixture_positive_negative_suppressed() {
 }
 
 #[test]
+fn watch_fixture_covers_mgmt_scope() {
+    // mgmt is in scope for D1 (watcher iteration order feeds the verdict
+    // journal), D2 (seeded stream faults), and P1 (no panics mid-stream):
+    // one positive each; the suppressed and clean cases stay quiet.
+    let report = scan_fixture("watch");
+    assert_eq!(lines_for(&report, RuleId::D1), vec![5]);
+    assert_eq!(lines_for(&report, RuleId::D2), vec![14]);
+    assert_eq!(lines_for(&report, RuleId::P1), vec![25]);
+    assert_eq!(report.violations.len(), 3, "{:#?}", report.violations);
+}
+
+#[test]
 fn fixture_reports_are_deterministic() {
-    for name in ["d1", "d2", "p1", "w1"] {
+    for name in ["d1", "d2", "p1", "w1", "watch"] {
         let a = scan_fixture(name);
         let b = scan_fixture(name);
         let key = |r: &Report| -> Vec<(String, usize, usize)> {

@@ -1,0 +1,29 @@
+//! Watch fixture: the mgmt crate is order-sensitive (D1), replay-seeded
+//! (D2), and panic-free (P1) — one positive, one suppressed, and one clean
+//! case per rule.
+
+use std::collections::HashMap; // positive: D1 now fires in mgmt
+
+pub struct Streams {
+    pub mirrors: std::collections::BTreeMap<u64, u64>, // negative: ordered
+    // mfv-lint: allow(D1, fixture: keyed lookup only, never iterated)
+    pub lookup: HashMap<u64, u64>,
+}
+
+pub fn stamp() -> u64 {
+    let _wall = std::time::Instant::now(); // positive: D2 fires
+    0
+}
+
+pub fn seeded() -> u64 {
+    // mfv-lint: allow(D2, fixture: wall probe quarantined from sim state)
+    let _t = std::time::SystemTime::now();
+    7 // negative path: constant, no entropy
+}
+
+pub fn apply_batch(batches: &[u64]) -> u64 {
+    let first = batches.first().copied().unwrap(); // positive: P1 fires
+    // mfv-lint: allow(P1, fixture: length checked by caller)
+    let second = batches[1];
+    first + second + batches.iter().sum::<u64>() // negative: no panic path
+}

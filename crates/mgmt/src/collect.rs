@@ -84,6 +84,28 @@ impl Default for CollectorConfig {
     }
 }
 
+impl CollectorConfig {
+    /// Capped exponential backoff with seeded jitter: after attempt `k`
+    /// (1-based), wait `min(base << (k-1), max)` plus up to 25% jitter.
+    ///
+    /// Lives on the config (not the [`Collector`]) so the Subscribe watcher
+    /// can reuse the exact same delay schedule for resubscribe attempts.
+    pub fn backoff_delay(&self, attempt: u32, rng: &mut ChaCha8Rng) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self
+            .base_backoff
+            .as_millis()
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff.as_millis());
+        let jitter = if base > 0 {
+            rng.gen_range(0..=base / 4)
+        } else {
+            0
+        };
+        SimDuration::from_millis(base + jitter)
+    }
+}
+
 /// Retrying, degrading AFT collector.
 #[derive(Clone, Debug, Default)]
 pub struct Collector {
@@ -112,12 +134,16 @@ impl Collector {
         let mut retries_total = 0u64;
         let mut backoff_total = SimDuration::ZERO;
         let mut sim_elapsed = SimDuration::ZERO;
+        let mut backoff_by_node = BTreeMap::new();
+        let mut attempts_by_node = BTreeMap::new();
         for (node, router) in nodes {
             let (st, t, attempts, backoff, elapsed) = self.collect_node(&node, router);
             attempts_total += attempts as u64;
             retries_total += attempts.saturating_sub(1) as u64;
             backoff_total = backoff_total + backoff;
             sim_elapsed = sim_elapsed + elapsed;
+            backoff_by_node.insert(node.clone(), backoff);
+            attempts_by_node.insert(node.clone(), attempts);
             if let Some(t) = t {
                 telemetry.insert(node.clone(), t);
             }
@@ -130,6 +156,8 @@ impl Collector {
             retries: retries_total,
             backoff_total,
             sim_elapsed,
+            backoff_by_node,
+            attempts_by_node,
         }
     }
 
@@ -244,22 +272,10 @@ impl Collector {
         Ok(())
     }
 
-    /// Capped exponential backoff with seeded jitter: after attempt `k`
-    /// (1-based), wait `min(base << (k-1), max)` plus up to 25% jitter.
+    /// Capped exponential backoff, delegated to the shared policy on
+    /// [`CollectorConfig::backoff_delay`].
     fn backoff_delay(&self, attempt: u32, rng: &mut ChaCha8Rng) -> SimDuration {
-        let exp = attempt.saturating_sub(1).min(16);
-        let base = self
-            .config
-            .base_backoff
-            .as_millis()
-            .saturating_mul(1u64 << exp)
-            .min(self.config.max_backoff.as_millis());
-        let jitter = if base > 0 {
-            rng.gen_range(0..=base / 4)
-        } else {
-            0
-        };
-        SimDuration::from_millis(base + jitter)
+        self.config.backoff_delay(attempt, rng)
     }
 }
 
@@ -279,6 +295,11 @@ pub struct CollectionReport {
     /// Total virtual time the sweep consumed (failed-RPC costs + backoff
     /// waits, summed over nodes; a clean sweep is `ZERO`).
     pub sim_elapsed: SimDuration,
+    /// Per-node share of `backoff_total` — the audit trail for deadline
+    /// exhaustion: a node's waits must sum to exactly this.
+    pub backoff_by_node: BTreeMap<NodeId, SimDuration>,
+    /// Per-node attempt counts (retries included).
+    pub attempts_by_node: BTreeMap<NodeId, u32>,
 }
 
 impl CollectionReport {
@@ -324,8 +345,9 @@ impl CollectionReport {
 }
 
 /// Stable per-node key for seeding: FNV-1a over the node name, so failure
-/// schedules don't depend on iteration order.
-fn node_key(node: &NodeId) -> u64 {
+/// schedules don't depend on iteration order. Shared with the Subscribe
+/// watcher so per-node fault streams stay decorrelated there too.
+pub(crate) fn node_key(node: &NodeId) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in node.0.as_bytes() {
         h ^= *b as u64;
@@ -465,6 +487,81 @@ mod tests {
         // And grows monotonically in expectation early on: attempt 1 < cap.
         let d1 = c.backoff_delay(1, &mut rng);
         assert!(d1.as_millis() < cap);
+    }
+
+    #[test]
+    fn deadline_exhaustion_saturates_backoff_with_exact_accounting() {
+        let r1 = router("r1");
+        let node = NodeId::from("r1");
+        let mut failures = RpcFailureModel {
+            seed: 11,
+            ..Default::default()
+        };
+        failures.force_fail.insert(node.clone());
+        // Retry budget effectively unbounded: the only way out is the
+        // per-node deadline, long after backoff has hit its ceiling.
+        let config = CollectorConfig {
+            max_attempts: 100,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_millis(400),
+            per_node_deadline: SimDuration::from_secs(20),
+        };
+        let c = Collector {
+            config: config.clone(),
+            failures,
+        };
+        let report = c.collect(vec![(node.clone(), Some(&r1))]);
+
+        // Exit was the deadline, not the attempt budget.
+        match &report.status[&node] {
+            ExtractionStatus::Missing(reason) => {
+                assert!(reason.contains("per-node deadline"), "{reason}");
+            }
+            other => panic!("expected Missing, got {other:?}"),
+        }
+        let attempts = report.attempts_by_node[&node];
+        assert!(
+            attempts >= 5,
+            "expected saturation, got {attempts} attempts"
+        );
+        assert!(attempts < config.max_attempts);
+
+        // Reconstruct the exact wait sequence the collector drew: one
+        // failure roll then one backoff per attempt, same seeded stream.
+        let mut rng = ChaCha8Rng::seed_from_u64(c.failures.seed ^ node_key(&node));
+        let mut waits = Vec::new();
+        for k in 1..=attempts {
+            let _roll = rng.gen_range(0..100u32);
+            waits.push(config.backoff_delay(k, &mut rng));
+        }
+        let cap = config.max_backoff.as_millis();
+        for (i, w) in waits.iter().enumerate() {
+            assert!(w.as_millis() <= cap + cap / 4, "wait {i}: {w}");
+        }
+        // From the third attempt on the exponential base exceeds the cap,
+        // so every subsequent wait sits in the saturated band [max, 1.25*max].
+        for w in waits.iter().skip(2) {
+            assert!(w.as_millis() >= cap, "unsaturated late wait {w}");
+        }
+
+        // Accounting is exact: backoff per node sums the drawn waits, and
+        // elapsed is attempts * RPC_TIMEOUT (every forced failure is a
+        // timeout) plus all backoff waited.
+        let backoff: SimDuration = waits.iter().fold(SimDuration::ZERO, |acc, w| acc + *w);
+        assert_eq!(report.backoff_by_node[&node], backoff);
+        assert_eq!(report.backoff_total, backoff);
+        assert_eq!(
+            report.sim_elapsed,
+            RPC_TIMEOUT.saturating_mul(attempts as u64) + backoff
+        );
+        assert!(report.sim_elapsed >= config.per_node_deadline);
+
+        // And the whole exhaustion replays bit-for-bit.
+        let replay = c.collect(vec![(node.clone(), Some(&r1))]);
+        assert_eq!(replay.status, report.status);
+        assert_eq!(replay.attempts_by_node, report.attempts_by_node);
+        assert_eq!(replay.backoff_by_node, report.backoff_by_node);
+        assert_eq!(replay.sim_elapsed, report.sim_elapsed);
     }
 
     #[test]

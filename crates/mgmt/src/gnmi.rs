@@ -98,6 +98,10 @@ impl Telemetry {
                     "name": i.name.to_string(),
                     "enabled": !i.shutdown,
                     "ipv4-address": i.addr.map(|a| a.to_string()),
+                    // L3-ness as the device resolves it (routed port or
+                    // loopback) — lets a Subscribe consumer rebuild the
+                    // node's address set from telemetry alone.
+                    "routed": i.routed || i.name.is_loopback(),
                 })
             })
             .collect();
@@ -142,6 +146,54 @@ impl Telemetry {
     /// The whole tree, for debugging / archiving snapshots.
     pub fn root(&self) -> &Value {
         &self.root
+    }
+
+    /// Builds a snapshot directly from a state-tree value — the
+    /// consumer-side constructor for Subscribe mirrors (and for property
+    /// tests over arbitrary trees).
+    pub fn from_root(root: Value) -> Telemetry {
+        Telemetry { root }
+    }
+
+    /// The `/system/state/up` leaf: process liveness as the management
+    /// plane reports it. Absent leaf reads as down.
+    pub fn is_up(&self) -> bool {
+        self.get("/system/state/up")
+            .and_then(Value::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// The device's L3 interface addresses, reconstructed from the
+    /// `/interfaces/interface` list (enabled + routed + addressed). Matches
+    /// `VirtualRouter::addresses()`, so a consumer can rebuild dataplane
+    /// node state from telemetry alone.
+    pub fn addresses(&self) -> std::collections::BTreeSet<std::net::Ipv4Addr> {
+        let mut out = std::collections::BTreeSet::new();
+        let Some(list) = self.get("/interfaces/interface").and_then(Value::as_array) else {
+            return out;
+        };
+        for entry in list {
+            let enabled = entry
+                .get("enabled")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            let routed = entry
+                .get("routed")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            if !enabled || !routed {
+                continue;
+            }
+            let Some(addr) = entry.get("ipv4-address").and_then(Value::as_str) else {
+                continue;
+            };
+            // Addresses are streamed in `a.b.c.d/len` form.
+            let host = addr.split('/').next().unwrap_or(addr);
+            if let Ok(ip) = host.parse::<std::net::Ipv4Addr>() {
+                out.insert(ip);
+            }
+        }
+        out
     }
 }
 
@@ -223,10 +275,153 @@ pub struct Update {
 /// the minimal set of subtree replacements turning `old` into `new`.
 /// Leaves are compared exactly; arrays are treated as leaves (replaced
 /// whole, as ON_CHANGE subscriptions to list containers behave).
+///
+/// The batch is [`canonicalize`]d: sorted in path order with one update per
+/// path, so the stream's byte layout is independent of how either tree was
+/// built up.
 pub fn diff(old: &Telemetry, new: &Telemetry) -> Vec<Update> {
     let mut out = Vec::new();
     diff_value(&old.root, &new.root, String::new(), &mut out);
-    out
+    canonicalize(out)
+}
+
+/// Canonicalizes an update batch: exactly one update per path, sorted in
+/// deterministic path order, with updates made redundant by a replaced (or
+/// deleted) ancestor subtree folded into that ancestor instead of riding
+/// alongside it.
+///
+/// Applying the canonical batch via [`apply`] is equivalent to applying
+/// the original batch in order, provided the batch's deletions address
+/// paths whose parents are containers in the tree being updated. Every
+/// diff-produced batch satisfies this (deletes only name keys present in
+/// the old tree); the caveat exists because a hand-built
+/// set-then-delete pair like `[/a/b = 1, delete /a/b]` materialises `/a`
+/// as a side effect, which no single-update-per-path batch can express.
+///
+/// [`diff`] output is near-canonical by construction (objects are
+/// `BTreeMap`-backed and replacements subsume their subtrees); this pins
+/// the ordering contract and does real work for hand-built or merged
+/// batches.
+pub fn canonicalize(updates: Vec<Update>) -> Vec<Update> {
+    use std::collections::BTreeMap;
+    // Path → pending value (`None` = delete). Invariant: no recorded path
+    // is an ancestor of another — ancestors absorb their descendants.
+    let mut canon: BTreeMap<String, Option<Value>> = BTreeMap::new();
+    for u in updates {
+        // Strict ancestors of this path, shallowest first.
+        let segs: Vec<&str> = u.path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut ancestors = Vec::new();
+        let mut prefix = String::new();
+        for seg in segs.iter().take(segs.len().saturating_sub(1)) {
+            prefix.push('/');
+            prefix.push_str(seg);
+            ancestors.push(prefix.clone());
+        }
+        // A recorded ancestor absorbs this update: the batch already
+        // replaces (or deletes) the whole subtree, so the child edit lands
+        // inside that pending value rather than as a separate entry.
+        let mut folded = false;
+        for anc in &ancestors {
+            let Some(entry) = canon.get_mut(anc) else {
+                continue;
+            };
+            let rel = u.path.strip_prefix(anc.as_str()).unwrap_or("");
+            match entry {
+                Some(base) => apply_one(base, rel, &u.value),
+                // The whole subtree is pending deletion. A child deletion
+                // inside it stays a no-op; a child update revives the
+                // subtree as a fresh container holding just that child —
+                // the same net tree as applying the two updates in order.
+                None => {
+                    if u.value.is_some() {
+                        let mut base = Value::Object(std::collections::BTreeMap::new());
+                        apply_one(&mut base, rel, &u.value);
+                        *entry = Some(base);
+                    }
+                }
+            }
+            folded = true;
+            break;
+        }
+        if folded {
+            continue;
+        }
+        // This update supersedes anything previously recorded beneath it.
+        let subtree = format!("{}/", u.path);
+        let stale: Vec<String> = canon
+            .range(subtree.clone()..)
+            .map(|(k, _)| k.clone())
+            .take_while(|k| k.starts_with(&subtree))
+            .collect();
+        for k in stale {
+            canon.remove(&k);
+        }
+        canon.insert(u.path, u.value);
+    }
+    canon
+        .into_iter()
+        .map(|(path, value)| Update { path, value })
+        .collect()
+}
+
+/// Applies a Subscribe update batch to a snapshot, producing the updated
+/// tree — the consumer-side inverse of [`diff`]: `apply(old, &diff(old,
+/// new))` reproduces `new` byte for byte. This is what lets a watcher keep
+/// a mirror of each device's state tree without re-pulling full snapshots.
+pub fn apply(base: &Telemetry, updates: &[Update]) -> Telemetry {
+    let mut root = base.root.clone();
+    for u in updates {
+        apply_one(&mut root, &u.path, &u.value);
+    }
+    Telemetry { root }
+}
+
+/// Applies one update in place. Replacements create missing intermediate
+/// containers (gNMI update semantics: setting a path under a leaf turns
+/// the leaf into a container); deletions of absent paths are no-ops and
+/// never materialise their parents.
+fn apply_one(root: &mut Value, path: &str, value: &Option<Value>) {
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let Some((last, parents)) = segs.split_last() else {
+        // The empty path addresses the whole tree.
+        *root = match value {
+            Some(v) => v.clone(),
+            None => Value::Object(std::collections::BTreeMap::new()),
+        };
+        return;
+    };
+    let mut cur = root;
+    for seg in parents {
+        if value.is_some() && !matches!(cur, Value::Object(_)) {
+            *cur = Value::Object(std::collections::BTreeMap::new());
+        }
+        let Value::Object(m) = cur else {
+            return;
+        };
+        cur = match value {
+            Some(_) => m
+                .entry((*seg).to_string())
+                .or_insert_with(|| Value::Object(std::collections::BTreeMap::new())),
+            None => match m.get_mut(*seg) {
+                Some(next) => next,
+                None => return,
+            },
+        };
+    }
+    if value.is_some() && !matches!(cur, Value::Object(_)) {
+        *cur = Value::Object(std::collections::BTreeMap::new());
+    }
+    let Value::Object(m) = cur else {
+        return;
+    };
+    match value {
+        Some(v) => {
+            m.insert((*last).to_string(), v.clone());
+        }
+        None => {
+            m.remove(*last);
+        }
+    }
 }
 
 fn diff_value(old: &Value, new: &Value, path: String, out: &mut Vec<Update>) {
@@ -298,6 +493,123 @@ mod subscribe_tests {
             updates.iter().any(|u| u.path.contains("/afts")),
             "{updates:#?}"
         );
+    }
+
+    #[test]
+    fn apply_inverts_diff_on_router_snapshots() {
+        let mut r = router();
+        let t1 = Telemetry::from_router(&r).unwrap();
+        r.set_link(&"Ethernet1".into(), false);
+        let _ = r.poll(SimTime(200));
+        let t2 = Telemetry::from_router(&r).unwrap();
+        let updates = diff(&t1, &t2);
+        assert!(!updates.is_empty());
+        let rebuilt = apply(&t1, &updates);
+        assert_eq!(rebuilt.root(), t2.root());
+        // Byte-identical, not just structurally equal.
+        assert_eq!(
+            serde_json::to_string(rebuilt.root()).unwrap(),
+            serde_json::to_string(t2.root()).unwrap()
+        );
+    }
+
+    #[test]
+    fn diff_output_is_path_sorted_and_unique() {
+        let old = Telemetry::from_root(json!({"b": {"y": 1, "x": 2}, "a": 1, "c": 3}));
+        let new = Telemetry::from_root(json!({"b": {"y": 9, "z": 7}, "c": 3, "d": 4}));
+        let updates = diff(&old, &new);
+        let paths: Vec<&str> = updates.iter().map(|u| u.path.as_str()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(paths, sorted, "diff must emit sorted, unique paths");
+        assert_eq!(
+            paths,
+            vec!["/a", "/b/x", "/b/y", "/b/z", "/d"],
+            "{updates:#?}"
+        );
+    }
+
+    #[test]
+    fn canonicalize_folds_children_under_replaced_subtree() {
+        // Replace /a wholesale, then touch /a/b: one canonical update with
+        // the child folded in.
+        let updates = vec![
+            Update {
+                path: "/a".into(),
+                value: Some(json!({"b": 1, "c": 2})),
+            },
+            Update {
+                path: "/a/b".into(),
+                value: Some(json!(9)),
+            },
+        ];
+        let canon = canonicalize(updates.clone());
+        assert_eq!(canon.len(), 1);
+        assert_eq!(canon[0].path, "/a");
+        assert_eq!(canon[0].value, Some(json!({"b": 9, "c": 2})));
+        // Equivalent under apply.
+        let base = Telemetry::from_root(json!({"a": {"z": 0}}));
+        assert_eq!(apply(&base, &updates).root(), apply(&base, &canon).root());
+    }
+
+    #[test]
+    fn canonicalize_drops_descendants_superseded_by_later_ancestor() {
+        // Touch /a/b, then replace /a wholesale: the child edit is stale.
+        let updates = vec![
+            Update {
+                path: "/a/b".into(),
+                value: Some(json!(1)),
+            },
+            Update {
+                path: "/a".into(),
+                value: Some(json!({"c": 2})),
+            },
+        ];
+        let canon = canonicalize(updates);
+        assert_eq!(canon.len(), 1);
+        assert_eq!(canon[0].path, "/a");
+        assert_eq!(canon[0].value, Some(json!({"c": 2})));
+    }
+
+    #[test]
+    fn canonicalize_handles_delete_then_child_update() {
+        let updates = vec![
+            Update {
+                path: "/a".into(),
+                value: None,
+            },
+            Update {
+                path: "/a/b".into(),
+                value: Some(json!(5)),
+            },
+        ];
+        let canon = canonicalize(updates.clone());
+        assert_eq!(canon.len(), 1);
+        assert_eq!(canon[0].value, Some(json!({"b": 5})));
+        let base = Telemetry::from_root(json!({"a": {"b": 1, "c": 2}}));
+        assert_eq!(apply(&base, &updates).root(), apply(&base, &canon).root());
+    }
+
+    #[test]
+    fn apply_deletion_does_not_materialise_parents() {
+        let base = Telemetry::from_root(json!({"x": 1}));
+        let out = apply(
+            &base,
+            &[Update {
+                path: "/a/b/c".into(),
+                value: None,
+            }],
+        );
+        assert_eq!(out.root(), base.root());
+    }
+
+    #[test]
+    fn telemetry_consumer_helpers_match_router_state() {
+        let r = router();
+        let t = Telemetry::from_router(&r).unwrap();
+        assert!(t.is_up());
+        assert_eq!(t.addresses(), r.addresses());
     }
 
     #[test]

@@ -6,14 +6,19 @@
 //! - [`gnmi`] — a gNMI-flavoured Get interface over a device state tree
 //! - [`collect`] — a retrying collector over a simulated lossy RPC path,
 //!   degrading gracefully to partial coverage instead of aborting
+//! - [`watch`] — a fault-tolerant gNMI Subscribe watcher: per-node update
+//!   streams with gap detection, backoff resubscription, and snapshot
+//!   resync, for continuous verification
 
 pub mod aft;
 pub mod collect;
 pub mod gnmi;
+pub mod watch;
 
 pub use aft::{Aft, AftIpv4Entry, AftNextHop, AftNextHopGroup};
 pub use collect::{CollectionReport, Collector, CollectorConfig, RpcFailureModel};
-pub use gnmi::{diff, ExtractError, Telemetry, Update};
+pub use gnmi::{apply, canonicalize, diff, ExtractError, Telemetry, Update};
+pub use watch::{StreamFaultModel, TickReport, WatchConfig, WatchEvent, WatchStats, Watcher};
 
 use mfv_dataplane::Dataplane;
 use mfv_types::NodeId;

@@ -1,0 +1,112 @@
+//! Property test pinning the Subscribe stream's lossless contract:
+//! `apply(old, diff(old, new)) == new`, byte for byte, over arbitrary
+//! state trees. The watcher's mirror correctness rests entirely on this —
+//! a single lossy diff/apply pair would silently corrupt every standing
+//! verdict downstream.
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+use mfv_mgmt::gnmi::{apply, canonicalize, diff, Telemetry, Update};
+use serde_json::Value;
+
+/// Arbitrary JSON state trees of bounded depth.
+///
+/// Numbers are integers or floats with a fractional part: the vendored
+/// `Number` compares `F(2.0) == U(2)` (JSON semantics), so integral floats
+/// would let `diff` legitimately skip a change whose *rendering* differs —
+/// structural equality would hold but the byte-identity assertion would
+/// not. Real telemetry never streams integral floats.
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<u32>().prop_map(|n| Value::from(n as u64)),
+        (any::<i32>(), 1u32..1000)
+            .prop_map(|(n, frac)| Value::from(n as f64 + frac as f64 / 1024.0)),
+        "[a-z]{0,8}".prop_map(Value::from),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        leaf,
+        proptest::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::Array),
+        proptest::collection::vec(("[a-z]{1,6}", arb_value(depth - 1)), 0..5)
+            .prop_map(|kvs| { Value::Object(kvs.into_iter().collect()) }),
+    ]
+    .boxed()
+}
+
+fn bytes(v: &Value) -> String {
+    serde_json::to_string(v).expect("value serialises")
+}
+
+proptest! {
+    // The tentpole invariant: a Subscribe stream reconstructs the new
+    // snapshot exactly, starting from any old snapshot.
+    #[test]
+    fn apply_inverts_diff(old in arb_value(3), new in arb_value(3)) {
+        let t_old = Telemetry::from_root(old);
+        let t_new = Telemetry::from_root(new);
+        let updates = diff(&t_old, &t_new);
+        let rebuilt = apply(&t_old, &updates);
+        prop_assert_eq!(bytes(rebuilt.root()), bytes(t_new.root()));
+    }
+
+    // Identical trees diff to nothing, whatever their shape.
+    #[test]
+    fn self_diff_is_empty(v in arb_value(3)) {
+        let t = Telemetry::from_root(v);
+        prop_assert!(diff(&t, &t).is_empty());
+    }
+
+    // diff output is already canonical: canonicalize is a fixpoint.
+    #[test]
+    fn diff_is_canonical(old in arb_value(3), new in arb_value(3)) {
+        let t_old = Telemetry::from_root(old);
+        let t_new = Telemetry::from_root(new);
+        let updates = diff(&t_old, &t_new);
+        let canon = canonicalize(updates.clone());
+        prop_assert_eq!(updates, canon);
+    }
+
+    // Canonicalizing an arbitrary (possibly redundant, unordered) batch
+    // preserves apply semantics — on trees where the touched paths' parent
+    // chains exist as containers, the scope canonicalize documents (diff
+    // output always qualifies; the saturation step below makes arbitrary
+    // batches qualify too).
+    #[test]
+    fn canonicalize_preserves_apply(
+        base in arb_value(3),
+        batch in proptest::collection::vec(
+            (
+                // 1–3 short segments drawn from a tiny alphabet, so batches
+                // actually collide on ancestors/descendants.
+                proptest::collection::vec("[a-c]{1,2}", 1..4),
+                proptest::option::of(arb_value(2)),
+            ),
+            0..6,
+        ),
+    ) {
+        let updates: Vec<Update> = batch
+            .into_iter()
+            .map(|(segs, value)| Update {
+                path: segs.iter().map(|s| format!("/{s}")).collect::<String>(),
+                value,
+            })
+            .collect();
+        // Saturate the base: pre-create every touched path (ancestors
+        // first), so each parent chain exists as a container.
+        let mut t = Telemetry::from_root(base);
+        let mut paths: Vec<String> = updates.iter().map(|u| u.path.clone()).collect();
+        paths.sort();
+        for path in paths {
+            t = apply(&t, &[Update { path, value: Some(Value::from(0u64)) }]);
+        }
+        let direct = apply(&t, &updates);
+        let canon = canonicalize(updates);
+        let via_canon = apply(&t, &canon);
+        prop_assert_eq!(bytes(direct.root()), bytes(via_canon.root()));
+    }
+}

@@ -12,10 +12,14 @@
 //!   reachability, loops, black holes, multipath consistency, traceroute)
 //! - [`coverage`] — coverage-qualified answers over partially-extracted
 //!   snapshots (which devices a verdict does and does not speak for)
+//! - [`standing`] — standing queries for continuous verification:
+//!   incremental re-evaluation through a shared class cache, emitting
+//!   verdict transitions instead of full reports
 
 pub mod coverage;
 pub mod graph;
 pub mod queries;
+pub mod standing;
 
 /// Runs a verification query under observation: bumps the deterministic
 /// counter `name` and records the query's wall latency (µs) into the
@@ -32,7 +36,10 @@ pub fn observed_query<T>(obs: &mut mfv_obs::Obs, name: &'static str, f: impl FnO
 pub use coverage::{qualified_reachability, qualified_unreachable_pairs, Coverage, Qualified};
 pub use graph::{ClassCache, Disposition, ForwardingAnalysis, NodeClasses, Trace, TraceHop};
 pub use queries::{
-    deliverability_changes, detect_blackholes, detect_loops, detect_multipath_inconsistency,
-    differential_reachability, differential_reachability_with, disposition_summary, reachability,
-    traceroute, unreachable_pairs, BlackHoleFinding, DiffFinding, LoopFinding, ReachabilityReport,
+    deliverability_changes, detect_blackholes, detect_blackholes_with, detect_loops,
+    detect_loops_with, detect_multipath_inconsistency, differential_reachability,
+    differential_reachability_with, disposition_summary, reachability, traceroute,
+    unreachable_pairs, unreachable_pairs_with, BlackHoleFinding, DiffFinding, LoopFinding,
+    ReachabilityReport,
 };
+pub use standing::{StandingQueries, Verdict, VerdictUpdate};

@@ -154,7 +154,13 @@ pub fn reachability(
 /// All-pairs reachability over node loopback/owned addresses. Returns the
 /// pairs that are NOT fully reachable (empty = full mesh reachability).
 pub fn unreachable_pairs(dp: &Dataplane) -> Vec<ReachabilityReport> {
-    let fa = ForwardingAnalysis::new(dp);
+    unreachable_pairs_with(&ForwardingAnalysis::new(dp))
+}
+
+/// [`unreachable_pairs`] over a prebuilt analysis — the standing-query
+/// path, where the analysis is rebuilt per re-evaluation with a shared
+/// [`crate::ClassCache`] so only changed nodes pay class computation.
+pub fn unreachable_pairs_with(fa: &ForwardingAnalysis) -> Vec<ReachabilityReport> {
     let nodes = fa.node_names();
     let mut out = Vec::new();
     for src in &nodes {
@@ -162,7 +168,7 @@ pub fn unreachable_pairs(dp: &Dataplane) -> Vec<ReachabilityReport> {
             if src == dst {
                 continue;
             }
-            let report = reachability(&fa, src, dst);
+            let report = reachability(fa, src, dst);
             if !report.fully_reachable() {
                 out.push(report);
             }
@@ -181,7 +187,11 @@ pub struct LoopFinding {
 
 /// Exhaustively searches for destinations that loop, from any entry node.
 pub fn detect_loops(dp: &Dataplane) -> Vec<LoopFinding> {
-    let fa = ForwardingAnalysis::new(dp);
+    detect_loops_with(&ForwardingAnalysis::new(dp))
+}
+
+/// [`detect_loops`] over a prebuilt analysis (standing-query path).
+pub fn detect_loops_with(fa: &ForwardingAnalysis) -> Vec<LoopFinding> {
     let mut out = Vec::new();
     for src in fa.node_names() {
         for (set, disp) in fa.dispositions_from(&src, &IpSet::full()) {
@@ -208,10 +218,14 @@ pub struct BlackHoleFinding {
 
 /// Searches for black holes toward owned addresses.
 pub fn detect_blackholes(dp: &Dataplane) -> Vec<BlackHoleFinding> {
-    let fa = ForwardingAnalysis::new(dp);
+    detect_blackholes_with(&ForwardingAnalysis::new(dp))
+}
+
+/// [`detect_blackholes`] over a prebuilt analysis (standing-query path).
+pub fn detect_blackholes_with(fa: &ForwardingAnalysis) -> Vec<BlackHoleFinding> {
     // The "should be reachable" space: every address owned by an up node.
     let mut owned = IpSet::empty();
-    for node in dp.nodes.values() {
+    for node in fa.dataplane().nodes.values() {
         if !node.up {
             continue;
         }

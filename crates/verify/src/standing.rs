@@ -1,0 +1,338 @@
+//! Standing queries: invariants verified continuously, re-evaluated
+//! incrementally.
+//!
+//! A one-shot query answers once and forgets; continuous verification
+//! keeps a set of invariants *standing* against a stream of dataplane
+//! snapshots and reports only when a verdict changes. Re-evaluation is
+//! incremental at the class level: every evaluation rebuilds its
+//! [`ForwardingAnalysis`] through one shared [`ClassCache`], so a node
+//! whose FIB digest is unchanged reuses its effective classes and only
+//! nodes whose AFTs actually changed pay class computation. The cache's
+//! hit/miss counters are exposed ([`StandingQueries::cache_stats`])
+//! precisely so a test can prove that a single-node resync invalidates
+//! that node alone.
+//!
+//! Verdicts carry the coverage caveats of the snapshot they were computed
+//! from: while a telemetry stream is degraded, the verdict does not
+//! silently claim authority over nodes it cannot see.
+
+use std::collections::BTreeMap;
+
+use mfv_dataplane::Dataplane;
+use mfv_types::SimTime;
+
+use crate::coverage::Coverage;
+use crate::graph::{ClassCache, ForwardingAnalysis};
+use crate::queries::{detect_blackholes_with, detect_loops_with, unreachable_pairs_with};
+
+/// The state of one standing invariant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Verdict {
+    /// Does the invariant hold over the covered part of the network?
+    pub holds: bool,
+    /// Deterministic one-line summary of the findings.
+    pub detail: String,
+    /// Coverage qualifications: non-empty means the verdict does not
+    /// speak for the whole network.
+    pub caveats: Vec<String>,
+}
+
+/// A verdict transition: emitted only when `(holds, detail, caveats)`
+/// changed since the previous evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerdictUpdate {
+    pub at: SimTime,
+    pub query: &'static str,
+    pub verdict: Verdict,
+}
+
+impl std::fmt::Display for VerdictUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t={}ms {} holds={} caveats={} — {}",
+            self.at.0,
+            self.query,
+            self.verdict.holds,
+            self.verdict.caveats.len(),
+            self.verdict.detail,
+        )
+    }
+}
+
+/// The standing invariants of the continuous-verification loop:
+/// full-mesh reachability, loop freedom, and black-hole freedom.
+#[derive(Default)]
+pub struct StandingQueries {
+    cache: ClassCache,
+    verdicts: BTreeMap<&'static str, Verdict>,
+    evaluations: u64,
+    updates: u64,
+}
+
+impl StandingQueries {
+    pub fn new() -> StandingQueries {
+        StandingQueries::default()
+    }
+
+    /// `(hits, misses)` of the shared class cache — the proof surface for
+    /// single-node invalidation: after a content-preserving resync, hits
+    /// grow and misses do not.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        self.cache.stats()
+    }
+
+    /// Evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Current verdict per query, if evaluated at least once.
+    pub fn verdicts(&self) -> &BTreeMap<&'static str, Verdict> {
+        &self.verdicts
+    }
+
+    /// Re-evaluates every standing query against `dp` and returns the
+    /// verdicts that changed. Classes for unchanged nodes come from the
+    /// shared cache; a changed node's digest misses and is rebuilt —
+    /// re-analysis cost is proportional to what changed.
+    pub fn evaluate(
+        &mut self,
+        at: SimTime,
+        dp: &Dataplane,
+        coverage: &Coverage,
+    ) -> Vec<VerdictUpdate> {
+        self.evaluations += 1;
+        let fa = ForwardingAnalysis::with_cache(dp, &self.cache);
+        let caveats = coverage.caveats();
+        let mut out = Vec::new();
+
+        let pairs = unreachable_pairs_with(&fa);
+        let detail = match pairs.first() {
+            None => format!("all {} covered node pairs reachable", {
+                let n = dp.nodes.len();
+                n * n.saturating_sub(1)
+            }),
+            Some(first) => format!(
+                "{} unreachable pair(s) (first: {} -> {})",
+                pairs.len(),
+                first.src,
+                first.dst_node
+            ),
+        };
+        self.consider(
+            at,
+            "reachability",
+            Verdict {
+                holds: pairs.is_empty(),
+                detail,
+                caveats: caveats.clone(),
+            },
+            &mut out,
+        );
+
+        let loops = detect_loops_with(&fa);
+        let detail = match loops.first() {
+            None => "no forwarding loops".to_string(),
+            Some(first) => format!(
+                "{} looping class(es) (first: from {} at {})",
+                loops.len(),
+                first.src,
+                first.at
+            ),
+        };
+        self.consider(
+            at,
+            "loop_freedom",
+            Verdict {
+                holds: loops.is_empty(),
+                detail,
+                caveats: caveats.clone(),
+            },
+            &mut out,
+        );
+
+        let holes = detect_blackholes_with(&fa);
+        let detail = match holes.first() {
+            None => "no black holes toward owned addresses".to_string(),
+            Some(first) => format!(
+                "{} black-hole class(es) (first: from {} dropped at {})",
+                holes.len(),
+                first.src,
+                first.dropped_at
+            ),
+        };
+        self.consider(
+            at,
+            "blackhole_freedom",
+            Verdict {
+                holds: holes.is_empty(),
+                detail,
+                caveats,
+            },
+            &mut out,
+        );
+
+        out
+    }
+
+    fn consider(
+        &mut self,
+        at: SimTime,
+        query: &'static str,
+        verdict: Verdict,
+        out: &mut Vec<VerdictUpdate>,
+    ) {
+        if self.verdicts.get(query) == Some(&verdict) {
+            return;
+        }
+        self.verdicts.insert(query, verdict.clone());
+        self.updates += 1;
+        out.push(VerdictUpdate { at, query, verdict });
+    }
+
+    /// Flushes counters into `obs` under `verify.standing.*`. Everything
+    /// here is derived from dataplane state only, so it is byte-stable
+    /// across same-seed runs.
+    pub fn observe_into(&self, obs: &mut mfv_obs::Obs) {
+        let m = &mut obs.metrics;
+        m.inc("verify.standing.evaluations", self.evaluations);
+        m.inc("verify.standing.updates", self.updates);
+        let (hits, misses) = self.cache.stats();
+        m.inc("verify.standing.class_cache_hits", hits as u64);
+        m.inc("verify.standing.class_cache_misses", misses as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfv_routing::rib::{Fib, FibEntry, FibNextHop};
+    use mfv_types::{ExtractionStatus, LinkId, NodeId, RouteProtocol};
+    use std::collections::BTreeSet;
+    use std::net::Ipv4Addr;
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn entry(prefix: &str, iface: &str) -> FibEntry {
+        FibEntry {
+            prefix: prefix.parse().unwrap(),
+            proto: RouteProtocol::Isis,
+            next_hops: vec![FibNextHop {
+                iface: iface.into(),
+                via: None,
+            }],
+        }
+    }
+
+    fn pair_dp() -> Dataplane {
+        let mut dp = Dataplane::new();
+        let mut f1 = Fib::new();
+        f1.insert(entry("2.2.2.2/32", "e0"));
+        let mut f2 = Fib::new();
+        f2.insert(entry("2.2.2.1/32", "e0"));
+        dp.add_node("r1".into(), &f1, BTreeSet::from([addr("2.2.2.1")]), true);
+        dp.add_node("r2".into(), &f2, BTreeSet::from([addr("2.2.2.2")]), true);
+        dp.add_link(LinkId::new(
+            ("r1".into(), "e0".into()),
+            ("r2".into(), "e0".into()),
+        ));
+        dp
+    }
+
+    fn full_cov() -> Coverage {
+        Coverage::from_status(
+            &[
+                ("r1", ExtractionStatus::Fresh),
+                ("r2", ExtractionStatus::Fresh),
+            ]
+            .into_iter()
+            .map(|(n, s)| (NodeId::from(n), s))
+            .collect(),
+        )
+    }
+
+    #[test]
+    fn first_evaluation_emits_then_settles() {
+        let mut sq = StandingQueries::new();
+        let dp = pair_dp();
+        let cov = full_cov();
+        let updates = sq.evaluate(SimTime(1_000), &dp, &cov);
+        assert_eq!(updates.len(), 3, "{updates:?}");
+        assert!(updates.iter().all(|u| u.verdict.holds));
+        // Unchanged snapshot: no transitions, classes all cache-hit.
+        let (h0, m0) = sq.cache_stats();
+        assert_eq!(m0, 2);
+        let updates = sq.evaluate(SimTime(2_000), &dp, &cov);
+        assert!(updates.is_empty());
+        let (h1, m1) = sq.cache_stats();
+        assert_eq!(m1, m0, "no new class builds for an unchanged snapshot");
+        assert_eq!(h1, h0 + 2);
+    }
+
+    #[test]
+    fn single_node_change_invalidates_one_class_entry() {
+        let mut sq = StandingQueries::new();
+        let cov = full_cov();
+        let dp = pair_dp();
+        sq.evaluate(SimTime(1_000), &dp, &cov);
+        let (_, m0) = sq.cache_stats();
+
+        // r1 loses its route: r1's digest changes, r2's does not.
+        let mut broken = pair_dp();
+        if let Some(n) = broken.nodes.get_mut(&NodeId::from("r1")) {
+            n.entries.clear();
+        }
+        let updates = sq.evaluate(SimTime(2_000), &broken, &cov);
+        let (_, m1) = sq.cache_stats();
+        assert_eq!(m1, m0 + 1, "exactly the changed node rebuilt its classes");
+        // Reachability and blackhole-freedom flip; loop freedom holds.
+        let reach = updates.iter().find(|u| u.query == "reachability").unwrap();
+        assert!(!reach.verdict.holds);
+        assert!(reach.verdict.detail.contains("r1 -> r2"), "{reach:?}");
+        assert!(updates.iter().all(|u| u.query != "loop_freedom"));
+    }
+
+    #[test]
+    fn coverage_caveats_flip_verdicts() {
+        let mut sq = StandingQueries::new();
+        let dp = pair_dp();
+        sq.evaluate(SimTime(1_000), &dp, &full_cov());
+        // Same dataplane, degraded coverage: the caveat change alone is a
+        // verdict transition.
+        let degraded = Coverage::from_status(
+            &[
+                ("r1", ExtractionStatus::Fresh),
+                ("r2", ExtractionStatus::Missing("stream down".into())),
+            ]
+            .into_iter()
+            .map(|(n, s)| (NodeId::from(n), s))
+            .collect(),
+        );
+        let updates = sq.evaluate(SimTime(2_000), &dp, &degraded);
+        assert_eq!(updates.len(), 3);
+        assert!(updates.iter().all(|u| !u.verdict.caveats.is_empty()));
+        // Recovery: caveats clear, another transition.
+        let updates = sq.evaluate(SimTime(3_000), &dp, &full_cov());
+        assert_eq!(updates.len(), 3);
+        assert!(updates.iter().all(|u| u.verdict.caveats.is_empty()));
+    }
+
+    #[test]
+    fn update_lines_render_deterministically() {
+        let mut sq = StandingQueries::new();
+        let updates = sq.evaluate(SimTime(1_000), &pair_dp(), &full_cov());
+        let lines: Vec<String> = updates.iter().map(|u| u.to_string()).collect();
+        assert_eq!(
+            lines[0],
+            "t=1000ms reachability holds=true caveats=0 — \
+             all 2 covered node pairs reachable"
+        );
+        assert!(
+            lines[2].contains("blackhole_freedom holds=true"),
+            "{lines:?}"
+        );
+    }
+}

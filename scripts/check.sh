@@ -32,4 +32,23 @@ cmp "$obs_tmp/obs_a.json" "$obs_tmp/obs_b.json" || {
   exit 1
 }
 
+echo "==> watch-smoke: same-seed chaos watch must replay byte-identically"
+cargo build --release -q --example watch_run
+for run in a b; do
+  target/release/examples/watch_run \
+    --seed 7 --grid 4x3 --duration-secs 45 --drop-pct 20 \
+    --journal "$obs_tmp/verdicts_$run.txt" \
+    --obs-json "$obs_tmp/watch_obs_$run.json" --obs-exclude-wall >/dev/null
+done
+cmp "$obs_tmp/verdicts_a.txt" "$obs_tmp/verdicts_b.txt" || {
+  echo "watch-smoke FAILED: verdict journals differ between same-seed runs" >&2
+  diff "$obs_tmp/verdicts_a.txt" "$obs_tmp/verdicts_b.txt" >&2 || true
+  exit 1
+}
+cmp "$obs_tmp/watch_obs_a.json" "$obs_tmp/watch_obs_b.json" || {
+  echo "watch-smoke FAILED: watch obs dumps differ between same-seed runs" >&2
+  diff "$obs_tmp/watch_obs_a.json" "$obs_tmp/watch_obs_b.json" >&2 || true
+  exit 1
+}
+
 echo "==> all checks passed"
