@@ -580,6 +580,61 @@ pub fn percentile_ms(samples: &[u64], p: f64) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// E7 — static analysis cross-validated against emulation (mfv-conflint)
+// ---------------------------------------------------------------------------
+
+/// One misconfiguration family's two-tier verdict: what the injector
+/// planted, what the static pass flagged, what the emulator observed.
+pub struct E7Row {
+    /// Injector family (`Debug` name, e.g. `EbgpAsnMismatch`).
+    pub family: String,
+    /// Conflint rule the family maps to (C1–C8).
+    pub rule: String,
+    /// Device the fault was planted on.
+    pub device: String,
+    /// Human description of the planted fault.
+    pub detail: String,
+    /// The static pass flagged the right rule on the right device.
+    pub flagged: bool,
+    /// Total findings conflint raised on the corrupted network.
+    pub findings: usize,
+    /// Observed state of the watched BGP session, if the family watches one.
+    pub session_state: Option<String>,
+    /// Session behaved as the injection predicted.
+    pub session_ok: bool,
+    /// Every FIB absence/presence expectation held.
+    pub fib_ok: bool,
+    /// Per-prefix evidence lines.
+    pub evidence: Vec<String>,
+    /// Static finding and runtime symptom agree.
+    pub validated: bool,
+}
+
+/// Runs the full E7 sweep: one seeded injection per misconfiguration
+/// family, each statically analysed and then emulated.
+pub fn run_e7(seed: u64) -> Vec<E7Row> {
+    mfv_config::SeededMisconfig::ALL
+        .into_iter()
+        .map(|kind| {
+            let o = mfv_core::xval::cross_validate(kind, seed).expect("viable injection site");
+            E7Row {
+                family: format!("{kind:?}"),
+                rule: o.report.rule.to_string(),
+                device: o.report.device.clone(),
+                detail: o.report.detail.clone(),
+                flagged: o.flagged,
+                findings: o.finding_count,
+                session_state: o.session_state.clone(),
+                session_ok: o.session_ok,
+                fib_ok: o.fib_ok,
+                evidence: o.fib_evidence.clone(),
+                validated: o.validated(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // Shared helpers
 // ---------------------------------------------------------------------------
 

@@ -545,16 +545,27 @@ impl<'a> Parser<'a> {
                     bgp.networks.push(p);
                     self.recognized += 1;
                 }
-                ["redistribute", "connected"] => {
-                    bgp.redistribute.push(Redistribute::Connected);
-                    self.recognized += 1;
-                }
-                ["redistribute", "static"] => {
-                    bgp.redistribute.push(Redistribute::Static);
-                    self.recognized += 1;
-                }
-                ["redistribute", "isis", ..] => {
-                    bgp.redistribute.push(Redistribute::Isis);
+                ["redistribute", proto, rest @ ..] => {
+                    let proto = match *proto {
+                        "connected" => Redistribute::Connected,
+                        "static" => Redistribute::Static,
+                        "isis" => Redistribute::Isis,
+                        _ => {
+                            self.warn(number, &raw, "unrecognized redistribute source");
+                            continue;
+                        }
+                    };
+                    let route_map = match rest {
+                        [] => None,
+                        ["route-map", rm] => Some(rm.to_string()),
+                        // `redistribute isis level-2 ...` style qualifiers.
+                        _ if proto == Redistribute::Isis && !rest.contains(&"route-map") => None,
+                        _ => {
+                            self.warn(number, &raw, "unrecognized redistribute options");
+                            continue;
+                        }
+                    };
+                    bgp.redistribute.push(BgpRedistribute { proto, route_map });
                     self.recognized += 1;
                 }
                 ["neighbor", peer, rest @ ..] => {
@@ -1021,10 +1032,14 @@ pub fn render(cfg: &DeviceConfig) -> String {
             push(&format!("   network {net}"));
         }
         for r in &bgp.redistribute {
-            match r {
-                Redistribute::Connected => push("   redistribute connected"),
-                Redistribute::Static => push("   redistribute static"),
-                Redistribute::Isis => push("   redistribute isis"),
+            let proto = match r.proto {
+                Redistribute::Connected => "connected",
+                Redistribute::Static => "static",
+                Redistribute::Isis => "isis",
+            };
+            match &r.route_map {
+                Some(rm) => push(&format!("   redistribute {proto} route-map {rm}")),
+                None => push(&format!("   redistribute {proto}")),
             }
         }
         push("!");
@@ -1141,7 +1156,35 @@ router bgp 65001
         assert_eq!(int.update_source, Some(IfaceId::from("Loopback0")));
         assert!(int.next_hop_self);
         assert_eq!(bgp.networks, vec!["2.2.2.1/32".parse().unwrap()]);
-        assert_eq!(bgp.redistribute, vec![Redistribute::Connected]);
+        assert_eq!(
+            bgp.redistribute,
+            vec![BgpRedistribute::unfiltered(Redistribute::Connected)]
+        );
+    }
+
+    #[test]
+    fn redistribute_route_map_round_trips() {
+        let text = "\
+router bgp 65001
+   neighbor 10.0.0.1 remote-as 65002
+   redistribute connected route-map INFRA-OUT
+   redistribute static
+!
+";
+        let parsed = parse(text).unwrap();
+        assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+        let bgp = parsed.config.bgp.as_ref().unwrap();
+        assert_eq!(
+            bgp.redistribute,
+            vec![
+                BgpRedistribute::policed(Redistribute::Connected, "INFRA-OUT"),
+                BgpRedistribute::unfiltered(Redistribute::Static),
+            ]
+        );
+        let text2 = render(&parsed.config);
+        assert!(text2.contains("redistribute connected route-map INFRA-OUT"));
+        let reparsed = parse(&text2).unwrap();
+        assert_eq!(reparsed.config.bgp.unwrap().redistribute, bgp.redistribute);
     }
 
     #[test]

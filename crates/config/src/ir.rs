@@ -133,6 +133,16 @@ impl IsisConfig {
         }
         Some(parts[parts.len() - 4..parts.len() - 1].join("."))
     }
+
+    /// The area portion of the NET (everything before the system-id).
+    pub fn area(&self) -> Option<String> {
+        let parts: Vec<&str> = self.net.split('.').collect();
+        let n = parts.len().checked_sub(4)?;
+        if n == 0 {
+            return None;
+        }
+        Some(parts.get(..n)?.join("."))
+    }
 }
 
 /// A BGP neighbor statement.
@@ -182,6 +192,31 @@ pub enum Redistribute {
     Isis,
 }
 
+/// One `redistribute <proto> [route-map <name>]` statement under
+/// `router bgp`. Redistribution without an attached route-map injects the
+/// whole source table unfiltered (conflint rule C7 flags that).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BgpRedistribute {
+    pub proto: Redistribute,
+    pub route_map: Option<String>,
+}
+
+impl BgpRedistribute {
+    pub fn unfiltered(proto: Redistribute) -> BgpRedistribute {
+        BgpRedistribute {
+            proto,
+            route_map: None,
+        }
+    }
+
+    pub fn policed(proto: Redistribute, route_map: &str) -> BgpRedistribute {
+        BgpRedistribute {
+            proto,
+            route_map: Some(route_map.to_string()),
+        }
+    }
+}
+
 /// `router bgp <asn>` stanza.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct BgpConfig {
@@ -190,7 +225,7 @@ pub struct BgpConfig {
     pub neighbors: Vec<BgpNeighborConfig>,
     /// `network` statements: prefixes originated by this router.
     pub networks: Vec<Prefix>,
-    pub redistribute: Vec<Redistribute>,
+    pub redistribute: Vec<BgpRedistribute>,
     /// ECMP width (`maximum-paths`).
     pub max_paths: u8,
 }

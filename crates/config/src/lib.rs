@@ -17,7 +17,10 @@ pub mod ir;
 pub mod vjunos;
 
 pub use ceos::{ParseError, ParseWarning, Parsed};
-pub use gen::{add_production_boilerplate, classify_line, FeatureClass, IfaceSpec, RouterSpec};
+pub use gen::{
+    add_production_boilerplate, classify_line, inject_misconfig, FeatureClass, IfaceSpec,
+    InjectError, InjectionReport, RouterSpec, SeededMisconfig,
+};
 pub use ir::*;
 
 /// Parses `text` in the given vendor's dialect.

@@ -1,0 +1,169 @@
+//! Golden-file tests for the two vendor emitters. The emitted text is an
+//! *interface*: the vrouter boots from it, E6's CLI shows it, and the
+//! feature-coverage experiment (E2) classifies its lines — so a formatting
+//! drift is a behavior change and must show up in review as a fixture
+//! diff, not as a silent downstream surprise.
+//!
+//! Regenerate after an intentional emitter change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p mfv-config --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use mfv_config::{
+    add_production_boilerplate, parse, IfaceSpec, MatchClause, PolicyAction, PrefixList,
+    PrefixListEntry, RouteMap, RouteMapEntry, RouterSpec, SetClause, Vendor,
+};
+use mfv_types::AsNum;
+
+/// A config that exercises every emitter feature at once: IS-IS + eBGP +
+/// iBGP, in/out policy, prefix-lists, policed and unfiltered
+/// redistribution, network statements, and the production management
+/// boilerplate.
+fn representative(vendor: Vendor) -> RouterSpec {
+    let import = RouteMap {
+        entries: vec![
+            RouteMapEntry {
+                seq: 10,
+                action: PolicyAction::Permit,
+                matches: vec![MatchClause::PrefixList("CUSTOMER-IN".into())],
+                sets: vec![SetClause::LocalPref(200)],
+            },
+            RouteMapEntry {
+                seq: 20,
+                action: PolicyAction::Deny,
+                matches: vec![],
+                sets: vec![],
+            },
+        ],
+    };
+    let export = RouteMap {
+        entries: vec![RouteMapEntry {
+            seq: 10,
+            action: PolicyAction::Permit,
+            matches: vec![],
+            sets: vec![SetClause::Med(50)],
+        }],
+    };
+    let customers = PrefixList {
+        entries: vec![
+            PrefixListEntry {
+                seq: 5,
+                action: PolicyAction::Permit,
+                prefix: "198.51.100.0/24".parse().unwrap(),
+                le: Some(28),
+                ge: None,
+            },
+            PrefixListEntry {
+                seq: 10,
+                action: PolicyAction::Deny,
+                prefix: "0.0.0.0/0".parse().unwrap(),
+                le: Some(32),
+                ge: None,
+            },
+        ],
+    };
+    RouterSpec::new("edge1", AsNum(65010), "2.2.2.10".parse().unwrap())
+        .vendor(vendor)
+        .iface(
+            IfaceSpec::new("Ethernet1", "10.0.0.0/31".parse().unwrap())
+                .with_isis()
+                .with_metric(20)
+                .described("core uplink"),
+        )
+        .iface(IfaceSpec::new("Ethernet2", "192.0.2.1/30".parse().unwrap()).described("customer"))
+        .ebgp("192.0.2.2".parse().unwrap(), AsNum(65020))
+        .ibgp("2.2.2.11".parse().unwrap())
+        .network("2.2.2.10/32".parse().unwrap())
+        .network("198.51.100.0/24".parse().unwrap())
+        .redistribute_connected_policed("EXPORT-MED")
+        .route_map("IMPORT-CUST", import)
+        .route_map("EXPORT-MED", export)
+        .prefix_list("CUSTOMER-IN", customers)
+}
+
+fn rendered(vendor: Vendor) -> String {
+    let spec = representative(vendor);
+    let mut cfg = spec.build();
+    // Attach policy to the eBGP neighbor so neighbor-level policy lines
+    // are exercised in both emitters.
+    if let Some(bgp) = cfg.bgp.as_mut() {
+        if let Some(n) = bgp.neighbors.first_mut() {
+            n.route_map_in = Some("IMPORT-CUST".into());
+            n.route_map_out = Some("EXPORT-MED".into());
+            n.description = Some("customer peer".into());
+        }
+    }
+    add_production_boilerplate(&mut cfg);
+    match vendor {
+        Vendor::Ceos => mfv_config::ceos::render(&cfg),
+        Vendor::Vjunos => mfv_config::vjunos::render(&cfg),
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run UPDATE_GOLDEN=1 cargo test -p mfv-config --test golden",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // A unified-ish diff beats two 100-line blobs in CI logs.
+        let mut diff = String::new();
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                diff.push_str(&format!("line {}:\n  -{e}\n  +{a}\n", i + 1));
+            }
+        }
+        let (el, al) = (expected.lines().count(), actual.lines().count());
+        if el != al {
+            diff.push_str(&format!("line counts differ: golden {el}, actual {al}\n"));
+        }
+        panic!(
+            "{name} drifted from golden file {}:\n{diff}\
+             intentional? regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn ceos_emitter_matches_golden() {
+    check_golden("ceos.cfg", &rendered(Vendor::Ceos));
+}
+
+#[test]
+fn vjunos_emitter_matches_golden() {
+    check_golden("vjunos.cfg", &rendered(Vendor::Vjunos));
+}
+
+/// The emitters and parsers agree: emitted text parses back and re-emits
+/// byte-identically (the fixpoint the emulation pipeline relies on when it
+/// round-trips configs through files).
+#[test]
+fn golden_configs_reach_emit_parse_emit_fixpoint() {
+    for vendor in [Vendor::Ceos, Vendor::Vjunos] {
+        let first = rendered(vendor);
+        let reparsed = parse(vendor, &first).expect("emitted config must parse");
+        let second = match vendor {
+            Vendor::Ceos => mfv_config::ceos::render(&reparsed.config),
+            Vendor::Vjunos => mfv_config::vjunos::render(&reparsed.config),
+        };
+        assert_eq!(first, second, "{vendor}: emit→parse→emit is not a fixpoint");
+    }
+}

@@ -35,9 +35,11 @@ pub mod scenarios;
 pub mod snapshot;
 pub mod watch;
 pub mod whatif;
+pub mod xval;
 
 pub use backend::{
-    Backend, BackendError, BackendMeta, BackendResult, EmulationBackend, ModelBackend,
+    Backend, BackendError, BackendMeta, BackendResult, ConflintGate, ConflintSummary,
+    EmulationBackend, ModelBackend,
 };
 pub use extract::{extract_snapshot, extract_snapshot_observed, ExtractedSnapshot};
 pub use snapshot::Snapshot;

@@ -12,7 +12,7 @@
 
 use std::net::Ipv4Addr;
 
-use mfv_config::{IfaceSpec, RouterSpec, Vendor};
+use mfv_config::{DeviceConfig, IfaceSpec, RouterSpec, Vendor};
 use mfv_emulator::{ExternalPeerSpec, NodeSpec, Topology};
 use mfv_types::{AsNum, NodeId};
 
@@ -87,7 +87,8 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
         .ibgp(lo(2))
         .ebgp(host(r6r1_a), as3)
         .network("2.2.2.1/32".parse().unwrap())
-        .redistribute_connected()
+        .redistribute_connected_policed("CONN-OUT")
+        .route_map("CONN-OUT", RouterSpec::permit_all_route_map())
         .production();
     let r2 = RouterSpec::new("r2", as1, lo(2))
         .iface(
@@ -99,7 +100,8 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
         .ibgp(lo(1))
         .ebgp(host(r2r3_b), as2)
         .network("2.2.2.2/32".parse().unwrap())
-        .redistribute_connected()
+        .redistribute_connected_policed("CONN-OUT")
+        .route_map("CONN-OUT", RouterSpec::permit_all_route_map())
         .production();
 
     // AS2: r3 (border), r4.
@@ -113,7 +115,8 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
         .ibgp(lo(4))
         .ebgp(host(r2r3_a), as1)
         .network("2.2.2.3/32".parse().unwrap())
-        .redistribute_connected()
+        .redistribute_connected_policed("CONN-OUT")
+        .route_map("CONN-OUT", RouterSpec::permit_all_route_map())
         .production();
     let r4 = RouterSpec::new("r4", as2, lo(4))
         .iface(
@@ -145,7 +148,8 @@ fn six_node_inner(break_r2_r3: bool) -> Snapshot {
         .ibgp(lo(5))
         .ebgp(host(r6r1_b), as1)
         .network("2.2.2.6/32".parse().unwrap())
-        .redistribute_connected()
+        .redistribute_connected_policed("CONN-OUT")
+        .route_map("CONN-OUT", RouterSpec::permit_all_route_map())
         .production();
 
     let mut t = Topology::new(if break_r2_r3 {
@@ -184,6 +188,88 @@ pub fn six_node_as_members() -> Vec<(AsNum, Vec<NodeId>)> {
         (AsNum(65002), vec!["r3".into(), "r4".into()]),
         (AsNum(65003), vec!["r5".into(), "r6".into()]),
     ]
+}
+
+// ---------------------------------------------------------------------------
+// conflint cross-validation base (E7)
+// ---------------------------------------------------------------------------
+
+/// The E7 cross-validation network: two two-router ASes (IS-IS + iBGP
+/// inside each, eBGP r2 <-> r3 between them), conflint-clean by
+/// construction. The seeded-misconfig injector
+/// (`mfv_config::inject_misconfig`) perturbs these configs one family at a
+/// time; every family has at least one viable injection site here.
+pub fn conflint_base_configs() -> Vec<DeviceConfig> {
+    let as1 = AsNum(65101);
+    let as2 = AsNum(65102);
+    let lo = |i: usize| Ipv4Addr::new(3, 3, 3, i as u8);
+
+    let r1 = RouterSpec::new("r1", as1, lo(1))
+        .iface(
+            IfaceSpec::new("Ethernet1", "100.66.0.0/31".parse().unwrap())
+                .with_isis()
+                .described("to r2"),
+        )
+        .ibgp(lo(2))
+        .network("3.3.3.1/32".parse().unwrap());
+    let r2 = RouterSpec::new("r2", as1, lo(2))
+        .iface(
+            IfaceSpec::new("Ethernet1", "100.66.0.1/31".parse().unwrap())
+                .with_isis()
+                .described("to r1"),
+        )
+        .iface(
+            IfaceSpec::new("Ethernet2", "100.66.1.0/31".parse().unwrap())
+                .described("to r3 (AS65102)"),
+        )
+        .ibgp(lo(1))
+        .ebgp(host("100.66.1.1/31"), as2)
+        .network("3.3.3.2/32".parse().unwrap());
+    let r3 = RouterSpec::new("r3", as2, lo(3))
+        .iface(
+            IfaceSpec::new("Ethernet1", "100.66.0.2/31".parse().unwrap())
+                .with_isis()
+                .described("to r4"),
+        )
+        .iface(
+            IfaceSpec::new("Ethernet2", "100.66.1.1/31".parse().unwrap())
+                .described("to r2 (AS65101)"),
+        )
+        .ibgp(lo(4))
+        .ebgp(host("100.66.1.0/31"), as1)
+        .network("3.3.3.3/32".parse().unwrap());
+    let r4 = RouterSpec::new("r4", as2, lo(4))
+        .iface(
+            IfaceSpec::new("Ethernet1", "100.66.0.3/31".parse().unwrap())
+                .with_isis()
+                .described("to r3"),
+        )
+        .ibgp(lo(3))
+        .network("3.3.3.4/32".parse().unwrap());
+
+    vec![r1.build(), r2.build(), r3.build(), r4.build()]
+}
+
+/// Wires [`conflint_base_configs`] — verbatim or after injection — into a
+/// topology. The cabling is fixed; only the configs vary across E7 runs.
+pub fn conflint_base_topology(name: &str, configs: &[DeviceConfig]) -> Topology {
+    let mut t = Topology::new(name);
+    for cfg in configs {
+        t.add_node(NodeSpec::from_config(cfg.hostname.clone(), cfg));
+    }
+    t.add_link(("r1", "Ethernet1"), ("r2", "Ethernet1"));
+    t.add_link(("r3", "Ethernet1"), ("r4", "Ethernet1"));
+    t.add_link(("r2", "Ethernet2"), ("r3", "Ethernet2"));
+    t
+}
+
+/// The unperturbed E7 network as a snapshot (conflint-clean).
+pub fn conflint_base() -> Snapshot {
+    let configs = conflint_base_configs();
+    Snapshot::new(
+        "conflint-base".to_string(),
+        conflint_base_topology("conflint-base", &configs),
+    )
 }
 
 // ---------------------------------------------------------------------------

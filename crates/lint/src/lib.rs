@@ -10,9 +10,9 @@
 //!
 //! | rule | scope                                 | invariant |
 //! |------|---------------------------------------|-----------|
-//! | D1   | `emulator`, `routing`, `vrouter`, `verify` | no `HashMap`/`HashSet` — iteration order leaks into schedules/verdicts |
+//! | D1   | `emulator`, `routing`, `vrouter`, `verify`, `obs`, `mgmt`, `conflint` | no `HashMap`/`HashSet` — iteration order leaks into schedules/verdicts |
 //! | D2   | all crates except `bench`             | no wall clock / unseeded RNG — discrete-event time only |
-//! | P1   | `mgmt`, `verify`, `core`              | no `unwrap`/`expect`/`panic!`/indexing — degrade via `Result` |
+//! | P1   | `mgmt`, `verify`, `core`, `obs`, `conflint` | no `unwrap`/`expect`/`panic!`/indexing — degrade via `Result` |
 //! | W1   | `wire`                                | decoders reject input via `DecodeError`, never panic |
 //!
 //! Analysis is a self-contained lexer + line/scope heuristic (no `syn`,
@@ -47,10 +47,27 @@ pub struct Violation {
     pub help: String,
 }
 
+/// One reasoned suppression (`allow` / `allow-file`) found in non-test
+/// code. The inventory keeps the rule debt visible: every allow is a spot
+/// where an invariant holds by argument rather than by construction.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    pub rule: RuleId,
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number of the allow marker.
+    pub line: usize,
+    /// `allow-file` (whole file) vs `allow` (one line).
+    pub file_wide: bool,
+    pub reason: String,
+}
+
 /// Outcome of scanning a workspace.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
     pub violations: Vec<Violation>,
+    /// Every reasoned allow in non-test code, ordered by (file, line).
+    pub suppressions: Vec<Suppression>,
     pub files_scanned: usize,
     pub crates_scanned: Vec<String>,
 }
@@ -58,6 +75,15 @@ pub struct Report {
 impl Report {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Per-rule allow counts, ordered by rule id.
+    pub fn suppression_inventory(&self) -> Vec<(RuleId, usize)> {
+        RuleId::ALL
+            .into_iter()
+            .map(|r| (r, self.suppressions.iter().filter(|s| s.rule == r).count()))
+            .filter(|(_, n)| *n > 0)
+            .collect()
     }
 }
 
@@ -101,7 +127,13 @@ pub fn scan_workspace(root: &Path) -> Result<Report, ScanError> {
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
             let source = fs::read_to_string(&file)
                 .map_err(|e| ScanError(format!("cannot read {}: {e}", file.display())))?;
-            check_file(name, &rel, &source, &mut report.violations);
+            check_file(
+                name,
+                &rel,
+                &source,
+                &mut report.violations,
+                &mut report.suppressions,
+            );
             report.files_scanned += 1;
         }
     }
@@ -127,8 +159,15 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), ScanError>
     Ok(())
 }
 
-/// Checks one file's source against every rule that applies to its crate.
-pub fn check_file(crate_name: &str, rel_path: &Path, source: &str, out: &mut Vec<Violation>) {
+/// Checks one file's source against every rule that applies to its crate,
+/// recording violations in `out` and reasoned allows in `suppressions`.
+pub fn check_file(
+    crate_name: &str,
+    rel_path: &Path,
+    source: &str,
+    out: &mut Vec<Violation>,
+    suppressions: &mut Vec<Suppression>,
+) {
     let active: Vec<RuleId> = RuleId::ALL
         .into_iter()
         .filter(|r| r.applies_to(crate_name))
@@ -140,10 +179,15 @@ pub fn check_file(crate_name: &str, rel_path: &Path, source: &str, out: &mut Vec
 
     // Collect suppressions. Line allows attach to their own line and the
     // one below (an allow comment usually sits above the offending line).
+    // Only a plain `//` comment counts: markers quoted in doc comments or
+    // string literals are documentation, not suppressions.
     let mut file_allows: Vec<RuleId> = Vec::new();
     let mut line_allows: Vec<(usize, RuleId)> = Vec::new(); // 0-based line
     for (idx, line) in scanned.lines.iter().enumerate() {
-        for (rule, file_wide, reason) in rules::parse_allows(&line.raw) {
+        let Some(comment) = plain_comment(line) else {
+            continue;
+        };
+        for (rule, file_wide, reason) in rules::parse_allows(&comment) {
             if reason.is_empty() {
                 // Bare allows in test code (e.g. fixture strings in the
                 // linter's own tests) are not policing anything real.
@@ -164,6 +208,15 @@ pub fn check_file(crate_name: &str, rel_path: &Path, source: &str, out: &mut Vec
                     help: "state why the invariant holds here despite the pattern".to_string(),
                 });
                 continue;
+            }
+            if !line.in_test {
+                suppressions.push(Suppression {
+                    rule,
+                    file: rel_path.to_path_buf(),
+                    line: idx + 1,
+                    file_wide,
+                    reason: reason.clone(),
+                });
             }
             if file_wide {
                 file_allows.push(rule);
@@ -202,6 +255,33 @@ pub fn check_file(crate_name: &str, rel_path: &Path, source: &str, out: &mut Vec
     }
 }
 
+/// The body of the line's real trailing comment, if it is a plain `//`
+/// comment rather than `///` / `//!` documentation. The comment start is
+/// the first `//` in the raw line whose remainder is fully blanked in the
+/// sanitized line — a `//` inside a string literal leaves real code (at
+/// least the closing delimiter's neighbors) after it.
+fn plain_comment(line: &scan::Line) -> Option<String> {
+    if !line.starts_clean {
+        return None;
+    }
+    let raw: Vec<char> = line.raw.chars().collect();
+    let code: Vec<char> = line.code.chars().collect();
+    for p in 0..raw.len().saturating_sub(1) {
+        if raw[p] == '/'
+            && raw[p + 1] == '/'
+            && code
+                .get(p..)
+                .is_some_and(|rest| rest.iter().all(|c| *c == ' '))
+        {
+            return match raw.get(p + 2) {
+                Some('/') | Some('!') => None,
+                _ => Some(raw[p..].iter().collect()),
+            };
+        }
+    }
+    None
+}
+
 /// Renders a violation rustc-style.
 pub fn render(v: &Violation) -> String {
     format!(
@@ -216,16 +296,18 @@ pub fn render(v: &Violation) -> String {
     )
 }
 
-/// Renders the whole report as a JSON array (hand-rolled: the linter stays
-/// dependency-free so it can never be broken by the crates it checks).
+/// Renders the whole report as a JSON object — `violations`, the reasoned
+/// `suppressions`, and a per-rule `suppression_inventory` — hand-rolled:
+/// the linter stays dependency-free so it can never be broken by the
+/// crates it checks.
 pub fn render_json(report: &Report) -> String {
-    let mut s = String::from("[");
+    let mut s = String::from("{\n  \"violations\": [");
     for (i, v) in report.violations.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
         s.push_str(&format!(
-            "\n  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"help\":\"{}\"}}",
+            "\n    {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"help\":\"{}\"}}",
             v.rule.as_str(),
             json_escape(&v.file.display().to_string()),
             v.line,
@@ -235,9 +317,33 @@ pub fn render_json(report: &Report) -> String {
         ));
     }
     if !report.violations.is_empty() {
-        s.push('\n');
+        s.push_str("\n  ");
     }
-    s.push(']');
+    s.push_str("],\n  \"suppressions\": [");
+    for (i, a) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"scope\":\"{}\",\"reason\":\"{}\"}}",
+            a.rule.as_str(),
+            json_escape(&a.file.display().to_string()),
+            a.line,
+            if a.file_wide { "file" } else { "line" },
+            json_escape(&a.reason),
+        ));
+    }
+    if !report.suppressions.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"suppression_inventory\": {");
+    for (i, (rule, n)) in report.suppression_inventory().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{}\": {n}", rule.as_str()));
+    }
+    s.push_str("}\n}");
     s
 }
 
@@ -262,8 +368,16 @@ mod tests {
 
     fn violations(crate_name: &str, src: &str) -> Vec<Violation> {
         let mut out = Vec::new();
-        check_file(crate_name, Path::new("test.rs"), src, &mut out);
+        let mut allows = Vec::new();
+        check_file(crate_name, Path::new("test.rs"), src, &mut out, &mut allows);
         out
+    }
+
+    fn suppressions(crate_name: &str, src: &str) -> Vec<Suppression> {
+        let mut out = Vec::new();
+        let mut allows = Vec::new();
+        check_file(crate_name, Path::new("test.rs"), src, &mut out, &mut allows);
+        allows
     }
 
     #[test]
@@ -340,5 +454,53 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn suppressions_are_inventoried() {
+        let src = "let x = xs[0]; // mfv-lint: allow(P1, bounded by construction)\n\
+                   // mfv-lint: allow-file(D2, calibration constants)\n";
+        let allows = suppressions("core", src);
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, RuleId::P1);
+        assert!(!allows[0].file_wide);
+        assert_eq!(allows[0].reason, "bounded by construction");
+        assert_eq!(allows[1].rule, RuleId::D2);
+        assert!(allows[1].file_wide);
+
+        // Allows inside test code police nothing and are not inventoried.
+        let src = "#[cfg(test)]\nmod tests {\n    // mfv-lint: allow(P1, x)\n    fn f() {}\n}\n";
+        assert!(suppressions("core", src).is_empty());
+    }
+
+    #[test]
+    fn json_report_carries_inventory() {
+        let mut report = Report::default();
+        let mut allows = Vec::new();
+        check_file(
+            "core",
+            Path::new("a.rs"),
+            "let x = xs[0]; // mfv-lint: allow(P1, bounded)\n",
+            &mut report.violations,
+            &mut allows,
+        );
+        report.suppressions = allows;
+        let json = render_json(&report);
+        assert!(
+            json.contains("\"suppression_inventory\": {\"P1\": 1}"),
+            "{json}"
+        );
+        assert!(json.contains("\"scope\":\"line\""), "{json}");
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn conflint_is_in_d1_and_p1_scope() {
+        // The pre-boot gate must neither panic on a weird config nor
+        // order findings by hash iteration.
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(violations("conflint", src).len(), 1);
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(violations("conflint", src).len(), 1);
     }
 }

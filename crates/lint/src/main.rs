@@ -77,6 +77,23 @@ fn main() -> ExitCode {
                 report.files_scanned,
             );
         }
+        // The rule debt, kept visible: every reasoned allow is a spot where
+        // an invariant holds by argument rather than by construction.
+        let inventory = report.suppression_inventory();
+        if inventory.is_empty() {
+            println!("suppressions: none");
+        } else {
+            let total: usize = inventory.iter().map(|(_, n)| n).sum();
+            let parts: Vec<String> = inventory
+                .iter()
+                .map(|(r, n)| format!("{}\u{00d7}{n}", r.as_str()))
+                .collect();
+            println!(
+                "suppressions: {total} reasoned allow{} ({})",
+                if total == 1 { "" } else { "s" },
+                parts.join(", "),
+            );
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS

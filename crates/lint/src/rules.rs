@@ -55,7 +55,7 @@ impl RuleId {
             // tick/status order feeds the byte-identical verdict journal.
             RuleId::D1 => matches!(
                 crate_name,
-                "emulator" | "routing" | "vrouter" | "verify" | "obs" | "mgmt"
+                "emulator" | "routing" | "vrouter" | "verify" | "obs" | "mgmt" | "conflint"
             ),
             // The emulator is discrete-event: wall clock and ambient
             // entropy break seeded replay everywhere except the bench
@@ -66,7 +66,9 @@ impl RuleId {
             // Extraction and verification paths must degrade via Result,
             // not abort a sweep; obs is flushed from those same paths, so
             // a panicking dump would take the sweep down with it.
-            RuleId::P1 => matches!(crate_name, "mgmt" | "verify" | "core" | "obs"),
+            // conflint is a gate: an analyzer that panics on a weird config
+            // is worse than one that reports nothing.
+            RuleId::P1 => matches!(crate_name, "mgmt" | "verify" | "core" | "obs" | "conflint"),
             // Wire decoders must reject malformed input through
             // `DecodeError`, never a panic.
             RuleId::W1 => crate_name == "wire",

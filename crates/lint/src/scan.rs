@@ -20,6 +20,11 @@ pub struct Line {
     /// True when every brace scope containing this line is test-only code
     /// (`#[cfg(test)]` or `#[test]`-attributed blocks).
     pub in_test: bool,
+    /// True when the line begins in plain code — not mid string literal or
+    /// block comment. Suppression comments are only recognized on such
+    /// lines (a `// mfv-lint:` inside a multiline string is an example,
+    /// not an annotation).
+    pub starts_clean: bool,
 }
 
 /// A whole scanned file.
@@ -61,6 +66,7 @@ pub fn scan(source: &str) -> ScannedFile {
         if mode == Mode::LineComment {
             mode = Mode::Code;
         }
+        let starts_clean = mode == Mode::Code;
         while i < chars.len() {
             let c = chars[i];
             let next = chars.get(i + 1).copied();
@@ -215,6 +221,7 @@ pub fn scan(source: &str) -> ScannedFile {
             code,
             raw: raw_line.to_string(),
             in_test: in_test_at_start || scopes.iter().any(|&t| t),
+            starts_clean,
         });
     }
     ScannedFile { lines }

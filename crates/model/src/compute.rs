@@ -241,7 +241,13 @@ pub fn compute(configs: Vec<(NodeId, DeviceConfig)>) -> ModelResult {
                 origins.push(*p);
             }
         }
-        if bgp.redistribute.contains(&Redistribute::Connected) {
+        // The model ignores any route-map attached to redistribution — it
+        // approximates policy as permit-all (Batfish-style abstraction).
+        if bgp
+            .redistribute
+            .iter()
+            .any(|r| r.proto == Redistribute::Connected)
+        {
             for (iface, a) in n.l3_ifaces() {
                 let _ = iface;
                 origins.push(a.subnet());

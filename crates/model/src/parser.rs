@@ -308,8 +308,13 @@ pub fn parse(text: &str) -> Result<(DeviceConfig, CoverageReport), ModelParseErr
                             }
                             report.recognized_lines += 1;
                         }
+                        // Only the bare form; `redistribute connected
+                        // route-map NAME` is unrecognized (the model has no
+                        // policy engine to honor it — a fidelity gap E7's
+                        // static tier catches).
                         ["redistribute", "connected"] => {
-                            bgp.redistribute.push(Redistribute::Connected);
+                            bgp.redistribute
+                                .push(BgpRedistribute::unfiltered(Redistribute::Connected));
                             report.recognized_lines += 1;
                         }
                         ["maximum-paths", ..] => {

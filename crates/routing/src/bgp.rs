@@ -115,6 +115,17 @@ struct Session {
     /// FSM state changes since the engine was built — the per-session churn
     /// signal the observability layer aggregates.
     transitions: u64,
+    /// A valid OPEN from this peer has been processed at least once since
+    /// the engine was built. Gates the lossy-transport shortcut below: a
+    /// bare KEEPALIVE may stand in for a *lost* OPEN, but it must never
+    /// stand in for one we rejected (e.g. bad peer AS) — otherwise a
+    /// misconfigured session could establish without ever being validated.
+    open_seen: bool,
+    /// A KEEPALIVE arrived in OpenSent before any OPEN was validated
+    /// (reordered delivery). Latched until the peer's OPEN shows up: if it
+    /// validates, the handshake completes immediately; if it is rejected,
+    /// the latch dies with the reset.
+    early_keepalive: bool,
 }
 
 impl Session {
@@ -129,6 +140,8 @@ impl Session {
             rib_in: BTreeMap::new(),
             rib_out: BTreeMap::new(),
             transitions: 0,
+            open_seen: false,
+            early_keepalive: false,
         }
     }
 
@@ -144,6 +157,7 @@ impl Session {
         self.set_state(SessionState::Idle);
         self.rib_in.clear();
         self.rib_out.clear();
+        self.early_keepalive = false;
         self.retry_at = now + retry_after;
     }
 }
@@ -351,6 +365,7 @@ impl BgpEngine {
                     self.dirty.extend(lost);
                     return;
                 }
+                session.open_seen = true;
                 session.hold_time =
                     SimDuration::from_secs(u64::from(open.hold_time_secs.min(90)).max(3));
                 match session.state {
@@ -366,8 +381,26 @@ impl BgpEngine {
                         session.set_state(SessionState::OpenConfirm);
                     }
                     SessionState::OpenSent => {
+                        // Collision or lossy boot: our own OPEN may never
+                        // have reached the peer (dropped pre-transport), so
+                        // resend it with the confirm. A duplicate is
+                        // absorbed harmlessly in OpenConfirm on their side.
+                        let our_open = OpenMsg::new(
+                            self.local_as,
+                            (self.hold_time.as_millis() / 1000) as u16,
+                            self.router_id.0,
+                        );
+                        self.out.push_back((from, BgpMsg::Open(our_open)));
                         self.out.push_back((from, BgpMsg::Keepalive));
-                        session.set_state(SessionState::OpenConfirm);
+                        if session.early_keepalive {
+                            // The peer's confirm overtook its OPEN; now that
+                            // the OPEN validated, both halves are in hand.
+                            session.early_keepalive = false;
+                            session.set_state(SessionState::Established);
+                            self.full_advert_peers.insert(from);
+                        } else {
+                            session.set_state(SessionState::OpenConfirm);
+                        }
                     }
                     SessionState::OpenConfirm => {
                         // Duplicate OPEN mid-handshake (our earlier reply may
@@ -405,9 +438,19 @@ impl BgpEngine {
                         // A KEEPALIVE implies the peer has processed our
                         // OPEN even though its own OPEN reply was lost;
                         // confirm and come up (lossy-transport robustness).
-                        self.out.push_back((from, BgpMsg::Keepalive));
-                        session.set_state(SessionState::Established);
-                        self.full_advert_peers.insert(from);
+                        // Only once we have validated an OPEN from this
+                        // peer, though — a crossing KEEPALIVE must not let
+                        // a rejected session (bad peer AS) sneak up.
+                        if session.open_seen {
+                            self.out.push_back((from, BgpMsg::Keepalive));
+                            session.set_state(SessionState::Established);
+                            self.full_advert_peers.insert(from);
+                        } else {
+                            // No OPEN validated yet: hold the confirm until
+                            // one arrives (delivery may have reordered the
+                            // peer's OPEN behind its KEEPALIVE).
+                            session.early_keepalive = true;
+                        }
                     }
                     _ => {}
                 }

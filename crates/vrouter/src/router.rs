@@ -13,6 +13,7 @@ use bytes::Bytes;
 use mfv_config::{DeviceConfig, Redistribute};
 use mfv_routing::bgp::{BgpEngine, NextHopResolver};
 use mfv_routing::isis::{IsisEngine, IsisEngineConfig, IsisIfaceConfig};
+use mfv_routing::policy::{eval_route_map, BgpAttrs, PolicyResult};
 use mfv_routing::rib::{Fib, NextHop, Rib, RibRoute};
 use mfv_types::{IfaceId, NodeId, Prefix, PrefixTrie, RouteProtocol, RouterId, SimTime};
 use mfv_wire::bgp::{BgpMsg, PathAttr};
@@ -500,22 +501,41 @@ impl VirtualRouter {
             }
         }
         for r in &bgp_cfg.redistribute {
-            match r {
+            let mut candidates = Vec::new();
+            match r.proto {
                 Redistribute::Connected => {
                     for route in self.connected_routes() {
-                        out.push(route.prefix);
+                        candidates.push(route.prefix);
                     }
                 }
                 Redistribute::Static => {
                     for route in self.static_routes() {
-                        out.push(route.prefix);
+                        candidates.push(route.prefix);
                     }
                 }
                 Redistribute::Isis => {
                     for (prefix, route) in self.rib.winners() {
                         if route.proto == RouteProtocol::Isis {
-                            out.push(*prefix);
+                            candidates.push(*prefix);
                         }
+                    }
+                }
+            }
+            match &r.route_map {
+                None => out.extend(candidates),
+                // A redistribution route-map acts as an origination
+                // filter; set-clauses on origination are not modelled.
+                // Referencing a missing route-map denies everything
+                // (matching the import-path EOS behaviour).
+                Some(rm_name) => {
+                    if let Some(rm) = self.config.route_maps.get(rm_name) {
+                        let attrs = BgpAttrs::originated(Ipv4Addr::UNSPECIFIED);
+                        out.extend(candidates.into_iter().filter(|p| {
+                            matches!(
+                                eval_route_map(rm, &self.config.prefix_lists, p, &attrs),
+                                PolicyResult::Permit(_)
+                            )
+                        }));
                     }
                 }
             }

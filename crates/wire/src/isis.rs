@@ -69,16 +69,18 @@ impl FromStr for SystemId {
     /// Parses `xxxx.xxxx.xxxx` hex groups.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let hex: String = s.chars().filter(|c| *c != '.').collect();
-        // ASCII check up front: byte-slicing below must never split a
-        // multi-byte character.
-        if hex.len() != 12 || !hex.is_ascii() {
+        if hex.len() != 12 {
             return Err(DecodeError::new("isis", format!("bad system-id {s}")));
         }
+        // Nibble-wise parse: a non-hex (or multi-byte) character fails
+        // `hex_val` rather than tripping a slice boundary.
+        let mut nibbles = hex.bytes().map(hex_val);
         let mut out = [0u8; 6];
-        for (i, chunk) in out.iter_mut().enumerate() {
-            // mfv-lint: allow(W1, hex is 12 ASCII bytes per the check above, so i*2+2 <= 12 on char boundaries)
-            *chunk = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16)
-                .map_err(|_| DecodeError::new("isis", format!("bad system-id {s}")))?;
+        for chunk in out.iter_mut() {
+            match (nibbles.next().flatten(), nibbles.next().flatten()) {
+                (Some(hi), Some(lo)) => *chunk = (hi << 4) | lo,
+                _ => return Err(DecodeError::new("isis", format!("bad system-id {s}"))),
+            }
         }
         Ok(SystemId(out))
     }
@@ -282,8 +284,9 @@ fn encode_tlvs(out: &mut BytesMut, tlvs: &[Tlv]) {
                     v.put_u8(control);
                     let nbytes = (r.prefix.len() as usize).div_ceil(8);
                     let bits = r.prefix.network_bits().to_be_bytes();
-                    // mfv-lint: allow(W1, Prefix guarantees len <= 32, so nbytes <= 4 == bits.len())
-                    v.extend_from_slice(&bits[..nbytes]);
+                    for b in bits.iter().take(nbytes) {
+                        v.put_u8(*b);
+                    }
                 }
             }
             Tlv::LspEntries(entries) => {
@@ -398,9 +401,11 @@ fn decode_tlvs(buf: &mut Bytes) -> Result<Vec<Tlv>, DecodeError> {
                     if v.len() < nbytes {
                         return Err(err("truncated IP reach prefix"));
                     }
+                    let chunk = v.split_to(nbytes);
                     let mut bits = [0u8; 4];
-                    // mfv-lint: allow(W1, plen > 32 rejected above with DecodeError, so nbytes <= 4)
-                    bits[..nbytes].copy_from_slice(&v.split_to(nbytes));
+                    for (slot, b) in bits.iter_mut().zip(chunk.iter()) {
+                        *slot = *b;
+                    }
                     reaches.push(IpReach {
                         metric,
                         prefix: Prefix::from_bits(u32::from_be_bytes(bits), plen),
@@ -739,21 +744,30 @@ pub fn net_area_bytes(net: &str) -> Option<Bytes> {
     if parts.len() < 5 {
         return None;
     }
-    // mfv-lint: allow(W1, parts.len() >= 5 is checked above, so len - 4 cannot underflow)
-    let area_parts = &parts[..parts.len() - 4];
+    let area_parts = parts.get(..parts.len().checked_sub(4)?)?;
     let mut out = Vec::new();
     for p in area_parts {
-        // ASCII check: byte-slicing below must never split a multi-byte
-        // character.
-        if p.len() % 2 != 0 || !p.is_ascii() {
+        if p.len() % 2 != 0 {
             return None;
         }
-        for i in (0..p.len()).step_by(2) {
-            // mfv-lint: allow(W1, p is even-length ASCII per the check above, so i+2 <= p.len() on char boundaries)
-            out.push(u8::from_str_radix(&p[i..i + 2], 16).ok()?);
+        // Nibble-wise parse: a non-hex (or multi-byte) character fails
+        // `hex_val` rather than tripping a slice boundary.
+        let mut nibbles = p.bytes().map(hex_val);
+        while let Some(hi) = nibbles.next() {
+            out.push((hi? << 4) | nibbles.next().flatten()?);
         }
     }
     Some(Bytes::from(out))
+}
+
+/// Value of one ASCII hex digit.
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
 }
 
 /// Parses the system-id out of an ISO NET string.
@@ -762,8 +776,8 @@ pub fn net_system_id(net: &str) -> Option<SystemId> {
     if parts.len() < 5 {
         return None;
     }
-    // mfv-lint: allow(W1, parts.len() >= 5 is checked above, so the range is in bounds)
-    let sys = parts[parts.len() - 4..parts.len() - 1].join(".");
+    let start = parts.len().checked_sub(4)?;
+    let sys = parts.get(start..start + 3)?.join(".");
     sys.parse().ok()
 }
 

@@ -10,8 +10,11 @@ cargo fmt --check
 echo "==> cargo clippy (default members, deny warnings)"
 cargo clippy -- -D warnings
 
-echo "==> mfv-lint (determinism & panic-safety rules)"
+echo "==> mfv-lint (determinism & panic-safety rules + suppression inventory)"
 cargo run -q -p mfv-lint
+
+echo "==> mfv-conflint (cross-device config analysis on tracked topologies)"
+cargo run -q -p mfv-conflint -- --deny-warnings examples/topologies/*.json
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release

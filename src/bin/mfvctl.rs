@@ -55,7 +55,8 @@ mfvctl — model-free network verification
 USAGE:
   mfvctl example [NAME]                       print a scenario topology file
                                               (six-node, six-node-broken,
-                                               fig3-line, rr-cluster, clos)
+                                               fig3-line, rr-cluster, clos,
+                                               interplay, conflint-base)
   mfvctl run TOPOLOGY [--seed N] [--machines N]
                                               emulate, converge, verify
   mfvctl diff BEFORE AFTER [--scope CIDR]     differential reachability
@@ -72,6 +73,7 @@ fn example(name: &str) -> Result<(), String> {
         "rr-cluster" => scenarios::rr_cluster(4),
         "clos" => scenarios::clos(2, 4),
         "interplay" => scenarios::interplay_chain(),
+        "conflint-base" => scenarios::conflint_base(),
         other => return Err(format!("unknown example '{other}'")),
     };
     println!("{}", snapshot.topology.to_json());

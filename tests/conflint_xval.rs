@@ -1,0 +1,64 @@
+//! E7 tier-1 guarantee: for every misconfiguration family the seeded
+//! injector can plant, the static pass (`mfv-conflint`) and the emulator
+//! agree — conflint flags the planted fault on the right device with the
+//! right rule, and the booted network exhibits the predicted runtime
+//! symptom (session state + FIB absence/presence).
+
+use mfv_config::SeededMisconfig;
+use mfv_core::scenarios;
+use mfv_core::xval::cross_validate;
+
+#[test]
+fn base_network_is_conflint_clean() {
+    let snap = scenarios::conflint_base();
+    let report = mfv_conflint::analyze(&snap.topology).expect("analyzable");
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn every_family_cross_validates() {
+    let mut failures = Vec::new();
+    for kind in SeededMisconfig::ALL {
+        let outcome = match cross_validate(kind, 0) {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("{kind:?}: injection failed: {e}"));
+                continue;
+            }
+        };
+        if !outcome.validated() {
+            failures.push(format!(
+                "{kind:?} ({} on {}): flagged={} session_ok={} (state {:?}) fib_ok={}\n  {}\n  evidence:\n    {}",
+                outcome.report.rule,
+                outcome.report.device,
+                outcome.flagged,
+                outcome.session_ok,
+                outcome.session_state,
+                outcome.fib_ok,
+                outcome.report.detail,
+                outcome.fib_evidence.join("\n    "),
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn cross_validation_is_seed_stable() {
+    // A second seed shifts victim selection but the agreement must hold.
+    for kind in [
+        SeededMisconfig::EbgpAsnMismatch,
+        SeededMisconfig::IsisAreaMismatch,
+        SeededMisconfig::UnpolicedRedistribution,
+    ] {
+        let outcome = cross_validate(kind, 1).expect("viable site");
+        assert!(
+            outcome.validated(),
+            "{kind:?} seed 1: flagged={} session_ok={} fib_ok={}\n  evidence:\n    {}",
+            outcome.flagged,
+            outcome.session_ok,
+            outcome.fib_ok,
+            outcome.fib_evidence.join("\n    "),
+        );
+    }
+}
