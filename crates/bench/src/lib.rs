@@ -9,7 +9,9 @@ use mfv_core::{
     BackendMeta, DiffFinding, EmulationBackend, ModelBackend, Snapshot,
 };
 use mfv_dataplane::Dataplane;
-use mfv_emulator::{outcome_distribution, run_seeds, Cluster, Emulation, EmulationConfig};
+use mfv_emulator::{
+    outcome_distribution, run_seeds, Cluster, Emulation, EmulationConfig, ShardMode,
+};
 use mfv_model::UnrecognizedKind;
 use mfv_types::{IpSet, NodeId, SimDuration};
 use mfv_vrouter::{VendorBugs, VendorProfile};
@@ -481,6 +483,95 @@ pub fn run_engine_scenario(snapshot: &Snapshot, seed: u64) -> EngineRunStats {
         events_scheduled: report.events_scheduled,
         messages_delivered: report.messages_delivered,
         obs: emu.export_obs(),
+    }
+}
+
+/// One sharded-engine run: the usual stats plus the converged dataplane
+/// digest (for cross-thread-count byte-identity checks) and the shard
+/// count the partitioner actually produced.
+pub struct ShardedRunStats {
+    pub stats: EngineRunStats,
+    pub digest: u64,
+    pub shards: usize,
+}
+
+/// The sharded-engine scaling suite, each entry `(name, snapshot,
+/// machines)`. `cluster1000` is the paper's 1,000-router deployment,
+/// modelled as a 20-region WAN (50 routers per region: IS-IS + route
+/// reflection inside each region, an eBGP ring between them) packed onto a
+/// 17-machine cluster; `grid60_sharded` is the §5 grid cut across four
+/// machines so the thread matrix has a mid-size point. Smoke mode swaps in
+/// a 12-router three-region slice on two machines so CI boots the same
+/// code path — region partitioning, cross-shard eBGP, policed
+/// redistribution — in seconds.
+pub fn sharded_scenarios(smoke: bool) -> Vec<(&'static str, Snapshot, usize, ShardMode)> {
+    // A machine packs 64 router pods, so the small scenarios would collapse
+    // to one placement-derived shard; they pin a Fixed cut instead so the
+    // matrix exercises the barrier pool. `cluster1000` overflows 16
+    // machines and uses the honest placement partition.
+    if smoke {
+        vec![(
+            "cluster12",
+            scenarios::regional_wan(3, 4),
+            2,
+            ShardMode::Fixed(2),
+        )]
+    } else {
+        vec![
+            (
+                "grid60_sharded",
+                scenarios::isis_grid(10, 6),
+                4,
+                ShardMode::Fixed(4),
+            ),
+            (
+                "cluster1000",
+                scenarios::regional_wan(20, 50),
+                17,
+                ShardMode::Auto,
+            ),
+        ]
+    }
+}
+
+/// Like [`run_engine_scenario`], but on an `machines`-machine cluster with
+/// the engine's worker pool sized to `threads` (shards follow the cluster
+/// placement). Thread count is an execution knob, never a behaviour knob,
+/// so callers assert the returned digest is identical across the matrix.
+pub fn run_engine_scenario_sharded(
+    snapshot: &Snapshot,
+    seed: u64,
+    machines: usize,
+    threads: usize,
+    shards: ShardMode,
+) -> ShardedRunStats {
+    let cfg = EmulationConfig {
+        seed,
+        threads,
+        shards,
+        ..Default::default()
+    };
+    let cluster = if machines <= 1 {
+        Cluster::single_node()
+    } else {
+        Cluster::of_size(machines)
+    };
+    let mut emu =
+        Emulation::new(snapshot.topology.clone(), cluster, cfg).expect("bench scenario validates");
+    let t = std::time::Instant::now();
+    let report = emu.run_until_converged();
+    let stats = EngineRunStats {
+        wall: t.elapsed(),
+        converged: report.converged,
+        events_processed: report.events_processed,
+        events_scheduled: report.events_scheduled,
+        messages_delivered: report.messages_delivered,
+        obs: emu.export_obs(),
+    };
+    ShardedRunStats {
+        stats,
+        digest: emu.dataplane().digest(),
+        shards: emu.shard_count(),
     }
 }
 

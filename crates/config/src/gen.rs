@@ -76,6 +76,9 @@ pub struct RouterSpec {
     pub redistribute_connected: bool,
     /// Route-map attached to connected redistribution (None = unfiltered).
     pub redistribute_policy: Option<String>,
+    /// Route-map attached to IS-IS → BGP redistribution (the regional-WAN
+    /// border pattern: interior reachability exported into eBGP, policed).
+    pub redistribute_isis: Option<String>,
     /// Named route-maps to define on the device.
     pub route_maps: Vec<(String, RouteMap)>,
     /// Named prefix-lists to define on the device.
@@ -100,6 +103,7 @@ impl RouterSpec {
             networks: Vec::new(),
             redistribute_connected: false,
             redistribute_policy: None,
+            redistribute_isis: None,
             route_maps: Vec::new(),
             prefix_lists: Vec::new(),
             isis_area: "49.0001".to_string(),
@@ -150,6 +154,15 @@ impl RouterSpec {
     pub fn redistribute_connected_policed(mut self, route_map: impl Into<String>) -> RouterSpec {
         self.redistribute_connected = true;
         self.redistribute_policy = Some(route_map.into());
+        self
+    }
+
+    /// Redistribute IS-IS into BGP through a named route-map — how a
+    /// regional border exports interior reachability to its eBGP peer
+    /// without leaking the world back in. The map must be supplied via
+    /// [`RouterSpec::route_map`] (conflint C5 flags a dangling reference).
+    pub fn redistribute_isis_policed(mut self, route_map: impl Into<String>) -> RouterSpec {
+        self.redistribute_isis = Some(route_map.into());
         self
     }
 
@@ -232,6 +245,7 @@ impl RouterSpec {
             || !self.ibgp.is_empty()
             || !self.ibgp_rr_clients.is_empty()
             || !self.networks.is_empty()
+            || self.redistribute_isis.is_some()
         {
             let mut bgp = BgpConfig::new(self.asn);
             bgp.router_id = Some(mfv_types::RouterId(self.loopback));
@@ -257,6 +271,10 @@ impl RouterSpec {
                     proto: Redistribute::Connected,
                     route_map: self.redistribute_policy.clone(),
                 });
+            }
+            if let Some(map) = &self.redistribute_isis {
+                bgp.redistribute
+                    .push(BgpRedistribute::policed(Redistribute::Isis, map));
             }
             cfg.bgp = Some(bgp);
         }

@@ -117,6 +117,9 @@ pub struct EmulationBackend {
     pub collector: Collector,
     /// Pre-boot static-analysis gate (tiered verification).
     pub conflint: ConflintGate,
+    /// Worker threads for the sharded engine (`0` = host parallelism,
+    /// `1` = sequential). Never affects results, only wall time.
+    pub threads: usize,
 }
 
 impl Default for EmulationBackend {
@@ -131,6 +134,7 @@ impl Default for EmulationBackend {
             chaos: ChaosPlan::default(),
             collector: Collector::default(),
             conflint: ConflintGate::default(),
+            threads: 1,
         }
     }
 }
@@ -176,6 +180,8 @@ impl EmulationBackend {
             profile_overrides: self.profiles.clone(),
             inject_after_boot: true,
             chaos: self.chaos.clone(),
+            threads: self.threads,
+            ..Default::default()
         };
         let mut emu = Emulation::new(
             snapshot.topology.clone(),

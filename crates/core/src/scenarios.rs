@@ -809,6 +809,131 @@ pub fn clos(spines: usize, leaves: usize) -> Snapshot {
     Snapshot::new(t.name.clone(), t)
 }
 
+/// The 1,000-router scale scenario (the paper's §5 deployment target):
+/// `regions` regional networks of `per_region` routers each. Inside a
+/// region: an IS-IS line, a route reflector at `x00` with every other
+/// router as its client (iBGP over loopbacks), and one customer prefix
+/// (`198.18.<region>.0/24`) originated at the reflector. Between regions:
+/// an eBGP ring — each region's last router (`x49`-style exit border)
+/// peers with the next region's reflector over a dedicated non-IGP /31,
+/// one private AS per region, and the exit border exports its region's
+/// loopbacks by redistributing IS-IS into BGP through a prefix-list-policed
+/// route-map. Every prefix therefore crosses reflection, redistribution,
+/// policy, and eBGP propagation on its way around the ring.
+///
+/// `regional_wan(20, 50)` is the `cluster1000` bench topology: 1,000
+/// routers, 1,000 links, ~1,000 globally-propagated prefixes.
+pub fn regional_wan(regions: usize, per_region: usize) -> Snapshot {
+    assert!(regions >= 2, "the eBGP ring needs at least two regions");
+    assert!(per_region >= 3, "a region needs entry, middle, and exit");
+    assert!(regions <= 200 && per_region <= 256, "address plan bounds");
+    let region_as = |r: usize| AsNum(64512 + r as u32);
+    let lo = |r: usize, i: usize| loopback(r * per_region + i + 1);
+    let name = |r: usize, i: usize| format!("r{r:02}x{i:02}");
+    let mut t = Topology::new(format!("regional-wan-{regions}x{per_region}"));
+    let mut links: PortLinks = Vec::new();
+    let mut p2p_ctr = 0usize;
+
+    for r in 0..regions {
+        let asn = region_as(r);
+        let rr_lo = lo(r, 0);
+        for i in 0..per_region {
+            let mut spec = RouterSpec::new(name(r, i), asn, lo(r, i));
+            // IS-IS line: Ethernet1 toward the lower neighbour, Ethernet2
+            // toward the higher one.
+            if i > 0 {
+                let (_, b) = p2p(p2p_ctr - 1);
+                spec = spec.iface(
+                    IfaceSpec::new(ifname(Vendor::Ceos, 0), mfv_types::IfaceAddr::new(b, 31))
+                        .with_isis(),
+                );
+            }
+            if i + 1 < per_region {
+                let (a, _) = p2p(p2p_ctr);
+                p2p_ctr += 1;
+                spec = spec.iface(
+                    IfaceSpec::new(ifname(Vendor::Ceos, 1), mfv_types::IfaceAddr::new(a, 31))
+                        .with_isis(),
+                );
+                links.push((
+                    (name(r, i), ifname(Vendor::Ceos, 1)),
+                    (name(r, i + 1), ifname(Vendor::Ceos, 0)),
+                ));
+            }
+            if i == 0 {
+                // Route reflector + regional customer prefix + ring entry.
+                for c in 1..per_region {
+                    spec = spec.ibgp_rr_client(lo(r, c));
+                }
+                let customer: mfv_types::Prefix = format!("198.18.{r}.0/24").parse().unwrap();
+                spec = spec
+                    .iface(IfaceSpec::new(
+                        "Ethernet9",
+                        format!("198.18.{r}.1/24").parse().unwrap(),
+                    ))
+                    .network(customer);
+                let prev = (r + regions - 1) % regions;
+                spec = spec
+                    .iface(IfaceSpec::new(
+                        "Ethernet8",
+                        format!("172.16.{prev}.1/31").parse().unwrap(),
+                    ))
+                    .ebgp(format!("172.16.{prev}.0").parse().unwrap(), region_as(prev));
+            } else {
+                spec = spec.ibgp(rr_lo);
+            }
+            if i + 1 == per_region {
+                // Exit border: eBGP to the next region's reflector, and the
+                // region's loopbacks exported via policed redistribution.
+                spec = spec
+                    .iface(IfaceSpec::new(
+                        "Ethernet8",
+                        format!("172.16.{r}.0/31").parse().unwrap(),
+                    ))
+                    .ebgp(
+                        format!("172.16.{r}.1").parse().unwrap(),
+                        region_as((r + 1) % regions),
+                    )
+                    .redistribute_isis_policed("EXPORT-LOOPBACKS")
+                    .route_map(
+                        "EXPORT-LOOPBACKS",
+                        mfv_config::RouteMap {
+                            entries: vec![mfv_config::RouteMapEntry {
+                                seq: 10,
+                                action: mfv_config::PolicyAction::Permit,
+                                matches: vec![mfv_config::MatchClause::PrefixList(
+                                    "LOOPBACKS".into(),
+                                )],
+                                sets: Vec::new(),
+                            }],
+                        },
+                    )
+                    .prefix_list(
+                        "LOOPBACKS",
+                        mfv_config::PrefixList {
+                            entries: vec![mfv_config::PrefixListEntry {
+                                seq: 10,
+                                action: mfv_config::PolicyAction::Permit,
+                                prefix: "10.255.0.0/16".parse().unwrap(),
+                                ge: None,
+                                le: Some(32),
+                            }],
+                        },
+                    );
+            }
+            t.add_node(NodeSpec::from_config(spec.name.clone(), &spec.build()));
+        }
+        links.push((
+            (name(r, per_region - 1), "Ethernet8".to_string()),
+            (name((r + 1) % regions, 0), "Ethernet8".to_string()),
+        ));
+    }
+    for ((an, ai), (bn, bi)) in links {
+        t.add_link((an, ai), (bn, bi));
+    }
+    Snapshot::new(t.name.clone(), t)
+}
+
 #[cfg(test)]
 mod extension_tests {
     use super::*;
@@ -834,5 +959,40 @@ mod extension_tests {
         assert_eq!(s.topology.nodes.len(), 6);
         assert_eq!(s.topology.links.len(), 8);
         assert_eq!(s.topology.validate(), Ok(()));
+    }
+
+    #[test]
+    fn regional_wan_validates_and_converges_at_small_scale() {
+        use mfv_emulator::{Cluster, Emulation, EmulationConfig};
+
+        let s = regional_wan(3, 4);
+        assert_eq!(s.topology.nodes.len(), 12);
+        // Per region: 3 IS-IS line links; plus one ring link per region.
+        assert_eq!(s.topology.links.len(), 12);
+        assert_eq!(s.topology.validate(), Ok(()));
+
+        let mut emu = Emulation::new(
+            s.topology,
+            Cluster::of_size(2),
+            EmulationConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = emu.run_until_converged();
+        assert!(report.converged, "{report:?}");
+        // Cross-region: a mid-region client reaches another region's
+        // customer prefix (via reflection → redistribution → the eBGP
+        // ring) and a foreign loopback (via the policed IS-IS export).
+        let r = emu.router(&"r00x01".into()).unwrap();
+        assert!(
+            r.fib().lookup("198.18.2.9".parse().unwrap()).is_some(),
+            "customer prefix of region 2 must be reachable from region 0"
+        );
+        assert!(
+            r.fib().lookup(super::loopback(1 * 4 + 2 + 1)).is_some(),
+            "region 1 loopbacks must be exported around the ring"
+        );
     }
 }

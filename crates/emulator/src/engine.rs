@@ -6,36 +6,65 @@
 //! replays identically, and different seeds reorder message arrivals — which
 //! is exactly the non-determinism surface §6 of the paper discusses.
 //!
-//! # Hot-path layout
+//! # Sharded conservative-lookahead execution
 //!
-//! All per-message state is keyed on interned `Copy` handles
-//! ([`NodeRef`]/[`IfaceRef`], built once from the topology at
-//! [`Emulation::new`]) rather than string `NodeId`/`IfaceId` pairs, so
-//! dispatching an event clones no strings. Polling is *demand-driven*:
-//! routers are woken only when a delivery lands, a protocol timer expires,
-//! or an operator/chaos action touches them. Wake requests live in ordered
-//! sets (`wake`/`ext_wake`) with one canonical entry per entity — never on
-//! the event heap — so the heap carries only real work (deliveries, boot
-//! completions, chaos) and total scheduled events drop from
-//! O(nodes × sim-time) to O(messages + timers).
+//! The topology is partitioned into [`Shard`]s (by default one per
+//! simulated cluster machine — the paper's §5 deployment cut), each owning
+//! its own event heap and wake sets. The coordinator advances the fleet in
+//! conservative time windows: with `T_i` the earliest pending work in shard
+//! `i` and `W` the minimum cross-shard link latency (capped by the 2 ms
+//! BGP segment floor), shard `i` may safely process every event strictly
+//! before `min_{j≠i}(T_j) + W`, because nothing another shard has yet to
+//! do can produce an arrival earlier than that. Within a window shards run
+//! independently — on one thread or many (`EmulationConfig::threads`) —
+//! and cross-shard messages ride per-shard outboxes that the coordinator
+//! drains at the window barrier.
+//!
+//! Determinism does not depend on the thread count: events carry
+//! content-derived keys `(time, origin, origin_seq)` that are globally
+//! unique, so draining outboxes in any order produces the same heap order;
+//! RNG streams are per-entity, not per-thread; and everything cross-cutting
+//! (chaos timeline, boot completion, feed activation, churn gating,
+//! convergence) is applied by the coordinator at window boundaries cut to
+//! exact sim instants. Same `(topology, seed, plan, shard layout)` ⇒
+//! byte-identical dataplanes, AFT dumps, and obs exports at any thread
+//! count, including 1.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::Ipv4Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Barrier, Mutex};
 
-use bytes::Bytes;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use mfv_dataplane::Dataplane;
-use mfv_obs::{Hist, Journal, Obs, SimPhases, WallSection, WallTimer};
-use mfv_types::{IfaceRef, Interner, LinkId, NodeId, NodeRef, Prefix, SimDuration, SimTime};
-use mfv_vrouter::{RouterEvent, VendorProfile, VirtualRouter};
+use mfv_obs::{Journal, Obs, SimPhases, WallSection, WallTimer};
+use mfv_types::{LinkId, NodeId, NodeRef, Prefix, SimDuration, SimTime};
+use mfv_vrouter::{VendorProfile, VirtualRouter};
 
-use crate::chaos::{ChaosEvent, ChaosPlan, ConvergenceVerdict, ImpairSpec};
+use crate::chaos::{ChaosEvent, ChaosPlan, ConvergenceVerdict};
 use crate::cluster::{Cluster, PodRequest, Unschedulable};
 use crate::inject::{synthetic_prefixes, ExternalPeer};
+use crate::pool::{effective_threads, lock_or_recover, panic_message, with_workers};
+use crate::shard::{
+    stream_seed, Ev, EvKey, EventKind, EventTally, ImpairWindow, Net, Owner, Shard, GLOBAL_ORIGIN,
+};
 use crate::topology::Topology;
+
+/// How the topology is partitioned into shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShardMode {
+    /// One shard per simulated cluster machine that hosts at least one pod
+    /// — the placement the paper's §5 deployment would give each k8s node.
+    /// A single-machine cluster therefore runs exactly like the classic
+    /// single-heap engine.
+    Auto,
+    /// Exactly `n` shards of contiguous, equally-sized node ranges (in
+    /// interned name order). Used by benches to scale the thread matrix
+    /// independently of the cluster model.
+    Fixed(usize),
+}
 
 /// Emulation tuning knobs.
 #[derive(Clone, Debug)]
@@ -60,6 +89,12 @@ pub struct EmulationConfig {
     /// run; see [`ChaosPlan`] for what can be scheduled. Events referencing
     /// unknown links/nodes/machines are inert.
     pub chaos: ChaosPlan,
+    /// Worker threads for window execution. `1` (the default) runs shards
+    /// sequentially with zero synchronization; `0` means "host
+    /// parallelism". The thread count never affects results.
+    pub threads: usize,
+    /// Shard partitioning rule. The default reuses the cluster placement.
+    pub shards: ShardMode,
 }
 
 impl Default for EmulationConfig {
@@ -72,6 +107,8 @@ impl Default for EmulationConfig {
             profile_overrides: BTreeMap::new(),
             inject_after_boot: true,
             chaos: ChaosPlan::default(),
+            threads: 1,
+            shards: ShardMode::Auto,
         }
     }
 }
@@ -98,9 +135,12 @@ pub struct RunReport {
     /// Routing-process crashes observed.
     pub crashes: u64,
     /// Work items processed: heap events plus demand-driven wake polls.
+    /// Link-flap notifications are replicated into both endpoint shards,
+    /// so chaos-heavy runs count slightly more items than the single-heap
+    /// engine did — identically so at every thread count.
     pub events_processed: u64,
-    /// Events pushed onto the priority queue. Under demand-driven polling
-    /// wake requests never enter the heap, so this counts only real work
+    /// Events pushed onto the priority queues. Under demand-driven polling
+    /// wake requests never enter a heap, so this counts only real work
     /// (deliveries, boot completions, restarts, chaos) — the engine's
     /// scheduling-cost metric tracked by the bench rig.
     pub events_scheduled: u64,
@@ -112,200 +152,20 @@ pub struct RunReport {
     pub phases: SimPhases,
 }
 
-#[derive(Debug)]
-enum EventKind {
-    PodReady(NodeRef),
-    DeliverIsis {
-        node: NodeRef,
-        iface: IfaceRef,
-        payload: Bytes,
-    },
-    DeliverBgp {
-        node: NodeRef,
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        payload: Bytes,
-    },
-    DeliverToExternal {
-        idx: usize,
-        payload: Bytes,
-    },
-    RestartRouter(NodeRef),
-    /// `slot` is the pre-resolved link index; `None` (unknown link) is
-    /// inert but still consumes its `chaos_pending` slot.
-    ChaosLink {
-        slot: Option<usize>,
-        up: bool,
-    },
-    ChaosKillRouter(Option<NodeRef>),
-    ChaosFailMachine(String),
-}
-
-struct Ev {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-/// What a single scheduler step did.
-enum StepOutcome {
-    /// One work item was processed; the clock sits on its instant.
-    Stepped,
-    /// All three queues are empty — nothing will ever happen again.
-    Idle,
-    /// The earliest pending item is past the deadline; nothing was done.
-    Deferred,
-}
-
-/// Who owns a BGP endpoint address.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Owner {
-    Node(NodeRef),
-    External(usize),
-}
-
-/// One directed end of a link: everything delivery needs, resolved once.
-#[derive(Clone, Copy, Debug)]
-struct EndInfo {
-    peer: NodeRef,
-    peer_iface: IfaceRef,
-    latency_ms: u64,
-    link_slot: usize,
-}
-
-/// Per-link state plus the interned endpoints (for router notification).
+/// Per-link canonical state plus the interned endpoints.
 struct LinkRecord {
     id: LinkId,
-    a: (NodeRef, IfaceRef),
-    b: (NodeRef, IfaceRef),
+    a: (NodeRef, mfv_types::IfaceRef),
+    b: (NodeRef, mfv_types::IfaceRef),
     up: bool,
 }
 
-/// One chaos message-impairment window.
-struct ImpairWindow {
-    from: SimTime,
-    until: SimTime,
-    spec: ImpairSpec,
-}
-
-/// Plain-field execution counters, one per [`EventKind`] plus the
-/// impairment and poll tallies — bumped on the hot path, flushed into the
-/// metrics registry only at [`Emulation::export_obs`].
-#[derive(Clone, Copy, Default, Debug)]
-struct EventTally {
-    pod_ready: u64,
-    deliver_isis: u64,
-    deliver_bgp: u64,
-    deliver_external: u64,
-    restart_router: u64,
-    chaos_link: u64,
-    chaos_kill: u64,
-    chaos_fail_machine: u64,
-    router_polls: u64,
-    ext_polls: u64,
-    impair_dropped: u64,
-    impair_duplicated: u64,
-    encode_errors: u64,
-}
-
-/// The running emulation.
-pub struct Emulation {
-    pub topology: Topology,
-    cfg: EmulationConfig,
-    cluster: Cluster,
-    /// Topology names → dense `Copy` refs. Nodes are interned in sorted
-    /// order, so iterating `NodeRef`s visits nodes in name order — public
-    /// snapshots stay byte-identical to the string-keyed engine.
-    interner: Interner,
-    /// Indexed by `NodeRef`; `None` until the pod boots (or after its
-    /// machine fails).
-    routers: Vec<Option<VirtualRouter>>,
-    ready_at: Vec<Option<SimTime>>,
-    ready_count: usize,
-    externals: Vec<ExternalPeer>,
-    events: BinaryHeap<Reverse<Ev>>,
-    /// Demand-driven router wake requests: at most one `(time, node)` entry
-    /// per node, mirrored in `next_poll`. Never on the heap.
-    wake: BTreeSet<(SimTime, NodeRef)>,
-    next_poll: Vec<Option<SimTime>>,
-    /// Same scheme for external peers.
-    ext_wake: BTreeSet<(SimTime, usize)>,
-    ext_next: Vec<Option<SimTime>>,
-    now: SimTime,
-    seq: u64,
-    rng: ChaCha8Rng,
-    /// addr → owning entity, for BGP segment delivery.
-    ip_owner: BTreeMap<Ipv4Addr, Owner>,
-    /// Directed link ends, pre-resolved at `new()`.
-    ends: BTreeMap<(NodeRef, IfaceRef), EndInfo>,
-    links: Vec<LinkRecord>,
-    link_index: BTreeMap<LinkId, usize>,
-    last_activity: SimTime,
-    boot_complete_at: Option<SimTime>,
-    messages_delivered: u64,
-    crashes: u64,
-    events_processed: u64,
-    events_scheduled: u64,
-    unschedulable: Vec<Unschedulable>,
-    booted: bool,
-    pending_restarts: usize,
-    /// External feeds are inert until activated (at boot completion when
-    /// `inject_after_boot`, else immediately).
-    feeds_active: bool,
-    /// FIFO clocks: jitter may delay but never reorder messages between the
-    /// same endpoints (BGP runs over TCP; IS-IS links preserve order).
-    /// Cross-flow ordering still varies by seed — the non-determinism §6
-    /// actually has.
-    bgp_flow_clock: BTreeMap<(Ipv4Addr, Ipv4Addr), SimTime>,
-    isis_link_clock: BTreeMap<(NodeRef, IfaceRef), SimTime>,
-    /// Chaos events scheduled but not yet handled; convergence must wait
-    /// for zero, or a quiet spell before a scheduled fault would be
-    /// declared final.
-    chaos_pending: usize,
-    /// Active message-impairment windows from the chaos plan, with indexes
-    /// by link slot and by (normalized) node pair so the per-message lookup
-    /// scans only the windows that can possibly apply.
-    impairments: Vec<ImpairWindow>,
-    link_impair: Vec<Vec<usize>>,
-    pair_impair: BTreeMap<(NodeRef, NodeRef), Vec<usize>>,
-    /// Recent per-prefix dataplane-change timestamps (recorded once boot
-    /// and injection are done), bounded in both axes. The watchdog reads
-    /// this at the deadline to distinguish oscillation from slow progress.
-    churn: BTreeMap<Prefix, VecDeque<SimTime>>,
-    /// Per-node configs parsed once at [`Emulation::new`] (indexed by
-    /// `NodeRef`); every later consumer (boot wiring, pod bring-up,
-    /// crash-restart) reads from here instead of re-parsing.
-    parsed_configs: Vec<mfv_config::Parsed>,
-    /// Per-event-kind execution counters (observability).
-    tally: EventTally,
-    /// Wake-set depth sampled once per main-loop iteration.
-    wake_depth: Hist,
-    /// Low-frequency structured events: chaos injections, crashes,
-    /// restarts, phase boundaries — never per-message.
-    journal: Journal,
-    /// When all external feeds finished injecting (flood-phase end).
-    feeds_done_at: Option<SimTime>,
-    /// Sim-time phase spans, rebuilt at the end of each run.
-    phases: SimPhases,
-    /// Wall-clock phase splits (quarantined from the deterministic dump).
-    wall: WallSection,
+/// A coordinator-timeline entry: chaos that must fire at an exact global
+/// instant, applied at a window boundary cut to that instant.
+enum GlobalAction {
+    Link { slot: Option<usize>, up: bool },
+    Kill(Option<NodeRef>),
+    FailMachine(String),
 }
 
 /// Most prefixes tracked by the churn watchdog; arrivals past the cap are
@@ -315,6 +175,90 @@ const CHURN_PREFIX_CAP: usize = 4096;
 const CHURN_HISTORY: usize = 8;
 /// Changes a prefix needs within the recent window to count as oscillating.
 const OSCILLATION_MIN_CHANGES: usize = 4;
+
+/// Coordinator-owned mutable state: everything the barrier logic touches
+/// that is not inside a [`Shard`] or the read-only [`Net`].
+struct Global {
+    cfg: EmulationConfig,
+    cluster: Cluster,
+    /// Dedicated stream for boot/reschedule jitter, independent of shard
+    /// message jitter so placement is a pure function of `(seed, topology)`.
+    cluster_rng: ChaCha8Rng,
+    node_total: usize,
+    ext_total: usize,
+    links: Vec<LinkRecord>,
+    link_index: BTreeMap<LinkId, usize>,
+    /// Chaos instants, keyed `(time, insertion order)` so same-instant
+    /// entries apply in plan order.
+    timeline: BTreeMap<(SimTime, u64), GlobalAction>,
+    timeline_ord: u64,
+    /// Sequence counter for coordinator-originated events (origin 0).
+    oseq: u64,
+    chaos_pending: usize,
+    /// Chaos replicas injected into shards; quiescence requires every one
+    /// processed (`Σ shard.chaos_processed` catches up) — a fault applied
+    /// to the canonical state but not yet felt by its shard is in flight.
+    chaos_injected: u64,
+    /// Scheduled-but-unfired PodReady instants per node (the coordinator
+    /// schedules every one itself, so boot completion is detected at exact
+    /// sim instants regardless of shard layout). A node evicted by a
+    /// machine failure keeps any already-scheduled future instant — the
+    /// stale event still boots a fresh router, as it did on one heap.
+    pending_ready: BTreeMap<NodeRef, BTreeSet<SimTime>>,
+    /// Mirror of the shards' ready marks.
+    ready: BTreeSet<NodeRef>,
+    now: SimTime,
+    /// Latest processed event instant across all shards (the "how far did
+    /// the run actually get" clock used by the oscillation post-mortem).
+    t_max: SimTime,
+    booted: bool,
+    boot_complete_at: Option<SimTime>,
+    feeds_done_at: Option<SimTime>,
+    ext_done_count: usize,
+    /// Instant the most recent external feed finished draining.
+    last_ext_done: SimTime,
+    /// Recent per-prefix dataplane-change timestamps (steady-state only),
+    /// bounded in both axes. The watchdog reads this at the deadline to
+    /// distinguish oscillation from slow progress.
+    churn: BTreeMap<Prefix, VecDeque<SimTime>>,
+    unschedulable: Vec<Unschedulable>,
+    tally: EventTally,
+    events_scheduled: u64,
+    events_processed: u64,
+    last_activity: SimTime,
+    journal: Journal,
+    phases: SimPhases,
+    wall: WallSection,
+    /// Conservative lookahead `W` in ms: min cross-shard link latency,
+    /// capped at the 2 ms BGP floor. Latencies are clamped ≥ 1 at build.
+    lookahead_ms: u64,
+}
+
+/// The running emulation.
+pub struct Emulation {
+    pub topology: Topology,
+    net: Net,
+    shards: Vec<Shard>,
+    glob: Global,
+}
+
+/// What the coordinator decided at a barrier.
+enum Plan {
+    /// Run one window: per-shard exclusive end instants.
+    Run(Vec<SimTime>),
+    /// Quiescent for a full quiet period before anything else is due.
+    Converged(SimTime),
+    /// No work within the deadline (and not provably converged).
+    Done,
+}
+
+/// Wall-clock phase-split tracking for `run_until_converged`.
+struct WallProgress {
+    timer: WallTimer,
+    mark: u64,
+    boot_done: bool,
+    flood_done: bool,
+}
 
 impl Emulation {
     /// Prepares an emulation: validates the topology, parses every config
@@ -326,7 +270,7 @@ impl Emulation {
         cfg: EmulationConfig,
     ) -> Result<Emulation, String> {
         topology.validate()?;
-        let mut interner = Interner::new();
+        let mut interner = mfv_types::Interner::new();
         // Sorted interning: NodeRef order == name order, which keeps
         // ref-ordered iteration identical to the old BTreeMap<NodeId> walk.
         let mut names: Vec<&NodeId> = topology.nodes.iter().map(|n| &n.name).collect();
@@ -359,21 +303,25 @@ impl Emulation {
             let bn = interner.intern_node(&l.b_node);
             let bi = interner.intern_iface(&l.b_iface);
             let slot = links.len();
+            // Latency clamp ≥ 1 ms: a zero-latency link would let one
+            // shard's output land in another shard's current instant,
+            // collapsing the conservative lookahead to zero.
+            let latency_ms = l.latency_ms.max(1);
             ends.insert(
                 (an, ai),
-                EndInfo {
+                crate::shard::EndInfo {
                     peer: bn,
                     peer_iface: bi,
-                    latency_ms: l.latency_ms,
+                    latency_ms,
                     link_slot: slot,
                 },
             );
             ends.insert(
                 (bn, bi),
-                EndInfo {
+                crate::shard::EndInfo {
                     peer: an,
                     peer_iface: ai,
-                    latency_ms: l.latency_ms,
+                    latency_ms,
                     link_slot: slot,
                 },
             );
@@ -385,65 +333,104 @@ impl Emulation {
                 up: true,
             });
         }
-        let node_count = interner.node_count();
-        let link_count = links.len();
-        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let feeds_active = !cfg.inject_after_boot;
-        Ok(Emulation {
-            topology,
+        // Vendor profiles with overrides pre-applied, and the static BGP
+        // endpoint-address table. Addresses come from parsed configs (what
+        // `VirtualRouter::addresses` reports after boot), so ownership
+        // never depends on boot order; segments to a not-yet-booted node
+        // are dropped at delivery instead of at send.
+        let mut profiles = Vec::with_capacity(interner.node_count());
+        let mut ip_owner: BTreeMap<Ipv4Addr, Owner> = BTreeMap::new();
+        for r in interner.node_refs() {
+            let name = interner.node(r).cloned();
+            let vendor = name
+                .as_ref()
+                .and_then(|n| topology.node(n))
+                .map(|s| s.vendor);
+            let profile = name
+                .as_ref()
+                .and_then(|n| cfg.profile_overrides.get(n).cloned())
+                .or_else(|| vendor.map(VendorProfile::for_vendor))
+                .unwrap_or_else(|| VendorProfile::for_vendor(mfv_config::Vendor::Ceos));
+            profiles.push(profile);
+            if let Some(parsed) = parsed_configs.get(r.index()) {
+                for iface in parsed.config.interfaces.iter().filter(|i| i.is_l3()) {
+                    if let Some(a) = iface.addr {
+                        ip_owner.insert(a.addr, Owner::Node(r));
+                    }
+                }
+            }
+        }
+        let node_total = topology.nodes.len();
+        let seed = cfg.seed;
+        let cluster_rng = ChaCha8Rng::seed_from_u64(stream_seed(seed, 0x3000_0000));
+        let net = Net {
+            interner,
+            profiles,
+            parsed_configs,
+            ends,
+            link_ends: links.iter().map(|l| (l.a, l.b)).collect(),
+            ip_owner,
+            node_shard: Vec::new(),
+            ext_shard: Vec::new(),
+            seed,
+            auto_restart: cfg.auto_restart_crashed,
+            impairments: Vec::new(),
+            link_impair: vec![Vec::new(); links.len()],
+            pair_impair: BTreeMap::new(),
+        };
+        let glob = Global {
             cfg,
             cluster,
-            interner,
-            routers: (0..node_count).map(|_| None).collect(),
-            ready_at: vec![None; node_count],
-            ready_count: 0,
-            externals: Vec::new(),
-            events: BinaryHeap::new(),
-            wake: BTreeSet::new(),
-            next_poll: vec![None; node_count],
-            ext_wake: BTreeSet::new(),
-            ext_next: Vec::new(),
-            now: SimTime::ZERO,
-            seq: 0,
-            rng,
-            ip_owner: BTreeMap::new(),
-            ends,
+            cluster_rng,
+            node_total,
+            ext_total: 0,
             links,
             link_index,
-            last_activity: SimTime::ZERO,
-            boot_complete_at: None,
-            messages_delivered: 0,
-            crashes: 0,
-            events_processed: 0,
-            events_scheduled: 0,
-            unschedulable: Vec::new(),
-            booted: false,
-            pending_restarts: 0,
-            feeds_active,
-            bgp_flow_clock: BTreeMap::new(),
-            isis_link_clock: BTreeMap::new(),
+            timeline: BTreeMap::new(),
+            timeline_ord: 0,
+            oseq: 0,
             chaos_pending: 0,
-            impairments: Vec::new(),
-            link_impair: vec![Vec::new(); link_count],
-            pair_impair: BTreeMap::new(),
-            churn: BTreeMap::new(),
-            parsed_configs,
-            tally: EventTally::default(),
-            wake_depth: Hist::new(),
-            journal: Journal::new(),
+            chaos_injected: 0,
+            pending_ready: BTreeMap::new(),
+            ready: BTreeSet::new(),
+            now: SimTime::ZERO,
+            t_max: SimTime::ZERO,
+            booted: false,
+            boot_complete_at: None,
             feeds_done_at: None,
+            ext_done_count: 0,
+            last_ext_done: SimTime::ZERO,
+            churn: BTreeMap::new(),
+            unschedulable: Vec::new(),
+            tally: EventTally::default(),
+            events_scheduled: 0,
+            events_processed: 0,
+            last_activity: SimTime::ZERO,
+            journal: Journal::new(),
             phases: SimPhases::new(),
             wall: WallSection::new(),
+            lookahead_ms: 2,
+        };
+        Ok(Emulation {
+            topology,
+            net,
+            shards: Vec::new(),
+            glob,
         })
     }
 
     pub fn now(&self) -> SimTime {
-        self.now
+        self.glob.now
+    }
+
+    fn shard_of(&self, node: NodeRef) -> Option<usize> {
+        self.net.node_shard.get(node.index()).copied()
     }
 
     pub fn router(&self, node: &NodeId) -> Option<&VirtualRouter> {
-        let r = self.interner.resolve_node(node)?;
-        self.routers.get(r.index())?.as_ref()
+        let r = self.net.interner.resolve_node(node)?;
+        let sid = self.shard_of(r)?;
+        self.shards.get(sid)?.routers.get(r.index())?.as_ref()
     }
 
     /// Runs an operator CLI command on a node (SSH-to-the-emulated-router).
@@ -452,95 +439,122 @@ impl Emulation {
             .map(|r| mfv_vrouter::cli::exec(r, command))
     }
 
-    fn push_event(&mut self, time: SimTime, kind: EventKind) {
-        self.seq += 1;
-        self.events_scheduled += 1;
-        self.events.push(Reverse(Ev {
-            time,
-            seq: self.seq,
-            kind,
-        }));
-    }
-
-    /// Requests a router wake at `at` (or keeps an earlier pending one).
-    /// The wake set holds exactly one entry per node, so there are no stale
-    /// poll events to suppress and nothing enters the heap.
-    fn schedule_poll(&mut self, node: NodeRef, at: SimTime) {
-        let at = at.max(self.now);
-        match self.next_poll.get(node.index()).copied().flatten() {
-            Some(t) if t <= at => return,
-            Some(t) => {
-                self.wake.remove(&(t, node));
-            }
-            None => {}
-        }
-        if let Some(slot) = self.next_poll.get_mut(node.index()) {
-            *slot = Some(at);
-            self.wake.insert((at, node));
-        }
-    }
-
-    /// Drops any pending wake for `node` (eviction).
-    fn clear_poll(&mut self, node: NodeRef) {
-        if let Some(t) = self.next_poll.get_mut(node.index()).and_then(|s| s.take()) {
-            self.wake.remove(&(t, node));
-        }
-    }
-
-    /// Like `schedule_poll`, for external peers.
-    fn schedule_ext_poll(&mut self, idx: usize, at: SimTime) {
-        let at = at.max(self.now);
-        match self.ext_next.get(idx).copied().flatten() {
-            Some(t) if t <= at => return,
-            Some(t) => {
-                self.ext_wake.remove(&(t, idx));
-            }
-            None => {}
-        }
-        if let Some(slot) = self.ext_next.get_mut(idx) {
-            *slot = Some(at);
-            self.ext_wake.insert((at, idx));
-        }
-    }
-
-    /// Submits all pods to the cluster and wires external peers. Called
-    /// implicitly by `run_until_converged`.
+    /// Submits all pods to the cluster, cuts the shard partition from the
+    /// resulting placement, builds the shards, and wires external peers.
+    /// Called implicitly by the run entry points.
     fn boot(&mut self) {
-        if self.booted {
+        if self.glob.booted {
             return;
         }
-        self.booted = true;
+        self.glob.booted = true;
+        let node_count = self.net.interner.node_count();
+        // Schedule every pod; remember which machine each landed on.
+        let mut machine_of: Vec<Option<String>> = vec![None; node_count];
         for i in 0..self.topology.nodes.len() {
-            let (name, vendor) = {
-                let node = &self.topology.nodes[i];
-                (node.name.clone(), node.vendor)
-            };
-            let Some(node_ref) = self.interner.resolve_node(&name) else {
+            let name = self.topology.nodes[i].name.clone();
+            let Some(node_ref) = self.net.interner.resolve_node(&name) else {
                 continue;
             };
-            let profile = self
-                .cfg
-                .profile_overrides
-                .get(&name)
-                .cloned()
-                .unwrap_or_else(|| VendorProfile::for_vendor(vendor));
+            let Some(profile) = self.net.profiles.get(node_ref.index()).cloned() else {
+                continue;
+            };
             let req = PodRequest {
                 pod: name,
                 cpu_millis: profile.cpu_millis,
                 mem_mib: profile.mem_mib,
             };
-            match self
-                .cluster
-                .schedule(&req, self.now, profile.boot_time, &mut self.rng)
-            {
+            match self.glob.cluster.schedule(
+                &req,
+                self.glob.now,
+                profile.boot_time,
+                &mut self.glob.cluster_rng,
+            ) {
                 Ok(placement) => {
-                    self.push_event(placement.ready_at, EventKind::PodReady(node_ref));
+                    machine_of[node_ref.index()] = Some(placement.machine.clone());
+                    self.glob
+                        .pending_ready
+                        .entry(node_ref)
+                        .or_default()
+                        .insert(placement.ready_at);
                 }
                 Err(e) => {
-                    self.unschedulable.push(e);
+                    self.glob.unschedulable.push(e);
                 }
             }
         }
+        // Cut the partition.
+        let node_shard: Vec<usize> = match self.glob.cfg.shards {
+            ShardMode::Fixed(n) => {
+                let n = n.clamp(1, node_count.max(1));
+                let per = node_count.div_ceil(n).max(1);
+                (0..node_count).map(|i| (i / per).min(n - 1)).collect()
+            }
+            ShardMode::Auto => {
+                let mut shard_of_machine: BTreeMap<String, usize> = BTreeMap::new();
+                for (name, pods) in self.glob.cluster.packing() {
+                    if pods > 0 {
+                        let next = shard_of_machine.len();
+                        shard_of_machine.entry(name).or_insert(next);
+                    }
+                }
+                (0..node_count)
+                    .map(|i| {
+                        machine_of[i]
+                            .as_ref()
+                            .and_then(|m| shard_of_machine.get(m))
+                            .copied()
+                            .unwrap_or(0)
+                    })
+                    .collect()
+            }
+        };
+        let shard_count = node_shard.iter().copied().max().map(|m| m + 1).unwrap_or(1);
+        self.net.node_shard = node_shard;
+        // Lookahead: min latency over links whose endpoints live in
+        // different shards, capped by the 2 ms BGP segment floor (iBGP
+        // sessions may connect any two routers regardless of links).
+        let mut lookahead = 2u64;
+        for rec in &self.glob.links {
+            let sa = self.net.node_shard.get(rec.a.0.index()).copied();
+            let sb = self.net.node_shard.get(rec.b.0.index()).copied();
+            if sa != sb {
+                if let Some(end) = self.net.ends.get(&rec.a) {
+                    lookahead = lookahead.min(end.latency_ms);
+                }
+            }
+        }
+        self.glob.lookahead_ms = lookahead.max(1);
+        self.glob.ext_total = self.topology.external_peers.len();
+        self.net.ext_shard = self
+            .topology
+            .external_peers
+            .iter()
+            .map(|spec| {
+                self.net
+                    .interner
+                    .resolve_node(&spec.attach_to)
+                    .and_then(|r| self.net.node_shard.get(r.index()))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .collect();
+        // Build shards (each copies the canonical link state — operator
+        // `set_link` calls may precede boot).
+        let link_state: Vec<bool> = self.glob.links.iter().map(|l| l.up).collect();
+        self.shards = (0..shard_count)
+            .map(|id| Shard::new(id, &self.net, link_state.clone()))
+            .collect();
+        // Inject boot events.
+        let pending: Vec<(NodeRef, SimTime)> = self
+            .glob
+            .pending_ready
+            .iter()
+            .flat_map(|(&n, etas)| etas.iter().map(move |&e| (n, e)))
+            .collect();
+        for (node, eta) in pending {
+            self.inject_global(node, eta, EventKind::PodReady(node));
+        }
+        // External peers.
         for idx in 0..self.topology.external_peers.len() {
             let (addr, asn, attach_to, base_octet, route_count) = {
                 let spec = &self.topology.external_peers[idx];
@@ -555,9 +569,10 @@ impl Emulation {
             // The router-side address: the attach node's interface on the
             // peer's subnet. Resolved from the config parsed at `new()`.
             let router_addr = self
+                .net
                 .interner
                 .resolve_node(&attach_to)
-                .and_then(|r| self.parsed_configs.get(r.index()))
+                .and_then(|r| self.net.parsed_configs.get(r.index()))
                 .and_then(|parsed| {
                     parsed
                         .config
@@ -572,636 +587,71 @@ impl Emulation {
             let base = base_octet.unwrap_or(20 + idx as u8);
             let routes = synthetic_prefixes(base, route_count);
             let peer = ExternalPeer::new(addr, asn, router_addr, routes);
-            self.ip_owner.insert(addr, Owner::External(idx));
-            self.externals.push(peer);
-            self.ext_next.push(None);
-            if !self.cfg.inject_after_boot {
-                self.schedule_ext_poll(idx, SimTime(self.now.0 + 1_000));
+            // Router addresses win collisions, as they did when routers
+            // re-registered over external entries at boot.
+            self.net
+                .ip_owner
+                .entry(addr)
+                .or_insert(Owner::External(idx));
+            let sid = self.net.ext_shard.get(idx).copied().unwrap_or(0);
+            if let Some(shard) = self.shards.get_mut(sid) {
+                shard.install_external(idx, peer);
             }
         }
-        // Chaos schedule: expand the plan into engine events up front so the
-        // whole fault timeline is part of the deterministic event order.
-        let plan = self.cfg.chaos.clone();
-        self.expand_chaos(plan);
+        // Feeds that were born drained count as done immediately.
+        for shard in &mut self.shards {
+            for (_idx, t) in shard.take_ext_done_transitions() {
+                self.glob.ext_done_count += 1;
+                self.glob.last_ext_done = self.glob.last_ext_done.max(t);
+            }
+        }
+        if !self.glob.cfg.inject_after_boot {
+            for shard in &mut self.shards {
+                shard.activate_feeds(SimTime(1_000));
+            }
+        }
+        // Chaos schedule: expand the plan into the coordinator timeline up
+        // front so the whole fault timeline is part of the deterministic
+        // window structure.
+        let plan = self.glob.cfg.chaos.clone();
+        expand_chaos(&mut self.glob, &mut self.net, plan);
+    }
+
+    /// Schedules a coordinator-originated event into a node's shard.
+    fn inject_global(&mut self, node: NodeRef, at: SimTime, kind: EventKind) {
+        let Some(sid) = self.net.node_shard.get(node.index()).copied() else {
+            return;
+        };
+        self.glob.oseq += 1;
+        self.glob.events_scheduled += 1;
+        let ev = Ev {
+            key: EvKey {
+                time: at,
+                origin: GLOBAL_ORIGIN,
+                oseq: self.glob.oseq,
+            },
+            kind,
+        };
+        if let Some(shard) = self.shards.get_mut(sid) {
+            shard.inject(ev);
+        }
     }
 
     /// Injects a chaos schedule into a running emulation. Before boot the
     /// plan is folded into the configured one; after boot it expands into
-    /// engine events immediately (instants already in the past fire at
+    /// timeline entries immediately (instants already in the past fire at
     /// `now`). Used by the continuous-verification loop to start faulting
     /// only once the initial convergence is done.
     pub fn schedule_chaos(&mut self, plan: &ChaosPlan) {
-        if !self.booted {
-            self.cfg.chaos.events.extend(plan.events.iter().cloned());
+        if !self.glob.booted {
+            self.glob
+                .cfg
+                .chaos
+                .events
+                .extend(plan.events.iter().cloned());
             return;
         }
-        self.expand_chaos(plan.clone());
-    }
-
-    /// Expands a [`ChaosPlan`] into heap events and impairment windows.
-    /// Link/node targets resolve to slots/refs here, once.
-    fn expand_chaos(&mut self, plan: ChaosPlan) {
-        for ev in plan.events {
-            match ev {
-                ChaosEvent::LinkFlap {
-                    link,
-                    at,
-                    down_for,
-                    repeats,
-                    every,
-                } => {
-                    let slot = self.link_index.get(&link).copied();
-                    for k in 0..repeats as u64 {
-                        // `.max(self.now)` keeps late-scheduled plans legal:
-                        // an instant already in the past fires immediately
-                        // instead of rewinding the clock. At boot `now` is
-                        // zero, so pre-run plans expand exactly as authored.
-                        let down_at = (at + every.saturating_mul(k)).max(self.now);
-                        self.chaos_pending += 2;
-                        self.push_event(down_at, EventKind::ChaosLink { slot, up: false });
-                        self.push_event(
-                            down_at + down_for,
-                            EventKind::ChaosLink { slot, up: true },
-                        );
-                    }
-                }
-                ChaosEvent::KillRouting { node, at } => {
-                    self.chaos_pending += 1;
-                    let target = self.interner.resolve_node(&node);
-                    self.push_event(at.max(self.now), EventKind::ChaosKillRouter(target));
-                }
-                ChaosEvent::FailMachine { machine, at } => {
-                    self.chaos_pending += 1;
-                    self.push_event(at.max(self.now), EventKind::ChaosFailMachine(machine));
-                }
-                ChaosEvent::Impair {
-                    link,
-                    from,
-                    until,
-                    spec,
-                } => {
-                    let w = self.impairments.len();
-                    if let Some(&slot) = self.link_index.get(&link) {
-                        if let Some(v) = self.link_impair.get_mut(slot) {
-                            v.push(w);
-                        }
-                    }
-                    // BGP impairment matches by node pair even when the
-                    // LinkId's interfaces don't name a physical link.
-                    if let (Some(a), Some(b)) = (
-                        self.interner.resolve_node(&link.a.0),
-                        self.interner.resolve_node(&link.b.0),
-                    ) {
-                        let key = if a <= b { (a, b) } else { (b, a) };
-                        self.pair_impair.entry(key).or_default().push(w);
-                    }
-                    self.impairments.push(ImpairWindow { from, until, spec });
-                }
-            }
-        }
-    }
-
-    fn register_addresses(&mut self, node: NodeRef) {
-        if let Some(router) = self.routers.get(node.index()).and_then(|s| s.as_ref()) {
-            for addr in router.addresses() {
-                self.ip_owner.insert(addr, Owner::Node(node));
-            }
-        }
-    }
-
-    fn link_is_up(&self, node: NodeRef, iface: IfaceRef) -> bool {
-        self.ends
-            .get(&(node, iface))
-            .and_then(|e| self.links.get(e.link_slot))
-            .map(|l| l.up)
-            .unwrap_or(false)
-    }
-
-    /// The active impairment window covering link `slot` right now, if any.
-    /// Consults only the windows indexed to that link.
-    fn impairment_for(&self, slot: usize) -> Option<ImpairSpec> {
-        let now = self.now;
-        self.link_impair
-            .get(slot)?
-            .iter()
-            .filter_map(|&i| self.impairments.get(i))
-            .find(|w| now >= w.from && now < w.until)
-            .map(|w| w.spec)
-    }
-
-    /// Impairment for BGP traffic between two nodes: matched when an
-    /// impaired link directly connects them (eBGP single-hop, or iBGP
-    /// between adjacent routers). Multi-hop sessions crossing an impaired
-    /// transit link are not modelled — impairment targets links, and we
-    /// route no per-message paths here.
-    fn bgp_impairment_for(&self, a: NodeRef, b: NodeRef) -> Option<ImpairSpec> {
-        let now = self.now;
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.pair_impair
-            .get(&key)?
-            .iter()
-            .filter_map(|&i| self.impairments.get(i))
-            .find(|w| now >= w.from && now < w.until)
-            .map(|w| w.spec)
-    }
-
-    /// Applies an impairment's drop/duplicate draws; returns how many
-    /// copies to deliver (0 = dropped). Draws come from the engine RNG, so
-    /// impairment outcomes are part of the seed-deterministic replay.
-    fn impaired_copies(&mut self, spec: Option<ImpairSpec>) -> u32 {
-        let Some(spec) = spec else { return 1 };
-        if spec.drop_pct > 0 && self.rng.gen_range(0..100u32) < spec.drop_pct as u32 {
-            self.tally.impair_dropped += 1;
-            return 0;
-        }
-        if spec.duplicate_pct > 0 && self.rng.gen_range(0..100u32) < spec.duplicate_pct as u32 {
-            self.tally.impair_duplicated += 1;
-            return 2;
-        }
-        1
-    }
-
-    /// Handles one router's output events.
-    fn dispatch_router_events(&mut self, node: NodeRef, events: Vec<RouterEvent>) {
-        for ev in events {
-            match ev {
-                RouterEvent::IsisFrame { iface, payload } => {
-                    let Some(iface_ref) = self.interner.resolve_iface(&iface) else {
-                        continue;
-                    };
-                    let key = (node, iface_ref);
-                    let Some(end) = self.ends.get(&key).copied() else {
-                        continue;
-                    };
-                    if !self.links.get(end.link_slot).map(|l| l.up).unwrap_or(false) {
-                        continue;
-                    }
-                    let impair = self.impairment_for(end.link_slot);
-                    let copies = self.impaired_copies(impair);
-                    let extra = impair.map(|s| s.extra_delay_ms).unwrap_or(0);
-                    for _ in 0..copies {
-                        let jitter = self.rng.gen_range(0..3);
-                        let mut at =
-                            self.now + SimDuration::from_millis(end.latency_ms + jitter + extra);
-                        let clock = self.isis_link_clock.entry(key).or_insert(SimTime::ZERO);
-                        at = at.max(SimTime(clock.0 + 1));
-                        *clock = at;
-                        self.push_event(
-                            at,
-                            EventKind::DeliverIsis {
-                                node: end.peer,
-                                iface: end.peer_iface,
-                                payload: payload.clone(),
-                            },
-                        );
-                    }
-                }
-                RouterEvent::BgpSegment { src, dst, payload } => {
-                    let Some(&owner) = self.ip_owner.get(&dst) else {
-                        continue; // addressed to nobody we know
-                    };
-                    let impair = match owner {
-                        Owner::Node(peer) => self.bgp_impairment_for(node, peer),
-                        Owner::External(_) => None,
-                    };
-                    let copies = self.impaired_copies(impair);
-                    let extra = impair.map(|s| s.extra_delay_ms).unwrap_or(0);
-                    for _ in 0..copies {
-                        let jitter = self.rng.gen_range(0..3);
-                        let mut at = self.now + SimDuration::from_millis(2 + jitter + extra);
-                        let clock = self
-                            .bgp_flow_clock
-                            .entry((src, dst))
-                            .or_insert(SimTime::ZERO);
-                        at = at.max(SimTime(clock.0 + 1));
-                        *clock = at;
-                        match owner {
-                            Owner::Node(peer) => self.push_event(
-                                at,
-                                EventKind::DeliverBgp {
-                                    node: peer,
-                                    src,
-                                    dst,
-                                    payload: payload.clone(),
-                                },
-                            ),
-                            Owner::External(idx) => self.push_event(
-                                at,
-                                EventKind::DeliverToExternal {
-                                    idx,
-                                    payload: payload.clone(),
-                                },
-                            ),
-                        }
-                    }
-                }
-                RouterEvent::Crashed { reason } => {
-                    self.crashes += 1;
-                    self.last_activity = self.now;
-                    let detail = match self.interner.node(node) {
-                        Some(name) => format!("{name}: {reason}"),
-                        None => reason,
-                    };
-                    self.journal.push(self.now, "engine.crash", detail);
-                    if self.cfg.auto_restart_crashed {
-                        let delay = self
-                            .routers
-                            .get(node.index())
-                            .and_then(|s| s.as_ref())
-                            .map(|r| r.profile().restart_delay)
-                            .unwrap_or(SimDuration::from_secs(60));
-                        self.pending_restarts += 1;
-                        self.push_event(self.now + delay, EventKind::RestartRouter(node));
-                    }
-                }
-            }
-        }
-    }
-
-    fn poll_router(&mut self, node: NodeRef) {
-        let now = self.now;
-        self.tally.router_polls += 1;
-        let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) else {
-            return;
-        };
-        let v_before = router.fib_version();
-        let events = router.poll(now);
-        let v_after = router.fib_version();
-        let wakeup = router.next_wakeup(now);
-        let changed = router.take_changed_prefixes();
-        if v_after != v_before {
-            self.last_activity = now;
-        }
-        self.dispatch_router_events(node, events);
-        if let Some(at) = wakeup {
-            self.schedule_poll(node, at);
-        }
-        if !changed.is_empty() {
-            self.record_churn(now, changed);
-        }
-    }
-
-    fn poll_external(&mut self, idx: usize) {
-        if !self.feeds_active {
-            return;
-        }
-        let now = self.now;
-        self.tally.ext_polls += 1;
-        let Some(peer) = self.externals.get_mut(idx) else {
-            return;
-        };
-        let msgs = peer.poll(now);
-        let wakeup = peer.next_wakeup(now);
-        let src = peer.addr;
-        for (dst, msg) in msgs {
-            // A message that exceeds a wire length field is dropped (and
-            // counted) instead of truncated into a corrupt frame.
-            let payload = match msg.encode() {
-                Ok(p) => p,
-                Err(_) => {
-                    self.tally.encode_errors += 1;
-                    continue;
-                }
-            };
-            if let Some(&Owner::Node(node)) = self.ip_owner.get(&dst) {
-                let jitter = self.rng.gen_range(0..3);
-                let mut at = now + SimDuration::from_millis(2 + jitter);
-                let clock = self
-                    .bgp_flow_clock
-                    .entry((src, dst))
-                    .or_insert(SimTime::ZERO);
-                at = at.max(SimTime(clock.0 + 1));
-                *clock = at;
-                self.push_event(
-                    at,
-                    EventKind::DeliverBgp {
-                        node,
-                        src,
-                        dst,
-                        payload,
-                    },
-                );
-            }
-        }
-        self.schedule_ext_poll(idx, wakeup);
-    }
-
-    /// Records per-prefix change timestamps for the oscillation watchdog.
-    /// Only steady-state churn matters (boot and feed injection legitimately
-    /// touch every prefix), and both axes are capped so production-scale
-    /// tables cannot blow up the tracker.
-    fn record_churn(&mut self, now: SimTime, prefixes: BTreeSet<Prefix>) {
-        if self.boot_complete_at.is_none() || !self.injection_done() {
-            return;
-        }
-        for p in prefixes {
-            if !self.churn.contains_key(&p) && self.churn.len() >= CHURN_PREFIX_CAP {
-                continue;
-            }
-            let q = self.churn.entry(p).or_default();
-            q.push_back(now);
-            if q.len() > CHURN_HISTORY {
-                q.pop_front();
-            }
-        }
-    }
-
-    /// The watchdog's post-mortem when the time budget expires: prefixes
-    /// that kept changing right up to the end mean the network is
-    /// *oscillating*, not converging slowly.
-    fn oscillation_verdict(&self) -> ConvergenceVerdict {
-        let window = self.cfg.quiet_period.saturating_mul(4);
-        let now = self.now;
-        let mut churning: Vec<(&Prefix, &VecDeque<SimTime>)> = self
-            .churn
-            .iter()
-            .filter(|(_, q)| {
-                q.len() >= OSCILLATION_MIN_CHANGES
-                    && q.back().map(|t| now.since(*t) <= window).unwrap_or(false)
-            })
-            .collect();
-        if churning.is_empty() {
-            return ConvergenceVerdict::TimedOut;
-        }
-        // Flap period: mean inter-change interval of the most-churning
-        // prefix (ties broken by prefix order — deterministic).
-        churning.sort_by_key(|(p, q)| (std::cmp::Reverse(q.len()), **p));
-        let period = match churning.first() {
-            Some((_, q)) => match (q.front(), q.back()) {
-                (Some(first), Some(last)) => SimDuration::from_millis(
-                    last.since(*first).as_millis() / (q.len() as u64 - 1).max(1),
-                ),
-                _ => SimDuration::ZERO,
-            },
-            None => SimDuration::ZERO,
-        };
-        let mut prefixes: Vec<Prefix> = churning.iter().map(|(p, _)| **p).collect();
-        prefixes.sort();
-        prefixes.truncate(ConvergenceVerdict::MAX_REPORTED_PREFIXES);
-        ConvergenceVerdict::Oscillating { period, prefixes }
-    }
-
-    fn handle(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::PodReady(node) => {
-                self.tally.pod_ready += 1;
-                // All lookups were populated at `new()` from the validated
-                // topology; a miss means the event named an unknown node,
-                // which is dropped rather than panicking mid-run.
-                let Some(name) = self.interner.node(node).cloned() else {
-                    return;
-                };
-                let Some(vendor) = self.topology.node(&name).map(|s| s.vendor) else {
-                    return;
-                };
-                let Some(parsed) = self.parsed_configs.get(node.index()).cloned() else {
-                    return;
-                };
-                let profile = self
-                    .cfg
-                    .profile_overrides
-                    .get(&name)
-                    .cloned()
-                    .unwrap_or_else(|| VendorProfile::for_vendor(vendor));
-                self.journal
-                    .push(self.now, "engine.pod_ready", name.to_string());
-                let router = VirtualRouter::new(name, profile, parsed.config);
-                if let Some(slot) = self.routers.get_mut(node.index()) {
-                    *slot = Some(router);
-                }
-                if let Some(slot) = self.ready_at.get_mut(node.index()) {
-                    if slot.replace(self.now).is_none() {
-                        self.ready_count += 1;
-                    }
-                }
-                self.register_addresses(node);
-                self.last_activity = self.now;
-                if self.ready_count == self.topology.nodes.len() && self.boot_complete_at.is_none()
-                {
-                    self.boot_complete_at = Some(self.now);
-                    self.journal.push(
-                        self.now,
-                        "engine.boot_complete",
-                        format!("{} pods ready", self.ready_count),
-                    );
-                    if self.cfg.inject_after_boot {
-                        self.feeds_active = true;
-                        for idx in 0..self.externals.len() {
-                            self.schedule_ext_poll(idx, SimTime(self.now.0 + 1_000));
-                        }
-                    }
-                }
-                self.schedule_poll(node, self.now);
-            }
-            EventKind::DeliverIsis {
-                node,
-                iface,
-                payload,
-            } => {
-                self.tally.deliver_isis += 1;
-                if !self.link_is_up(node, iface) {
-                    return;
-                }
-                let now = self.now;
-                let Some(iface_name) = self.interner.iface(iface) else {
-                    return;
-                };
-                if let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) {
-                    router.push_isis(now, iface_name, payload);
-                    self.messages_delivered += 1;
-                    self.schedule_poll(node, SimTime(now.0 + 1));
-                }
-            }
-            EventKind::DeliverBgp {
-                node,
-                src,
-                dst,
-                payload,
-            } => {
-                self.tally.deliver_bgp += 1;
-                let now = self.now;
-                if let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) {
-                    router.push_bgp(now, src, dst, payload);
-                    self.messages_delivered += 1;
-                    self.schedule_poll(node, SimTime(now.0 + 1));
-                }
-            }
-            EventKind::DeliverToExternal { idx, payload } => {
-                self.tally.deliver_external += 1;
-                // An inactive feed is an unplugged device: segments vanish.
-                if !self.feeds_active {
-                    return;
-                }
-                let now = self.now;
-                if let Some(peer) = self.externals.get_mut(idx) {
-                    let mut buf = payload;
-                    if let Ok(msg) = mfv_wire::bgp::BgpMsg::decode(&mut buf) {
-                        peer.push_msg(now, msg);
-                        self.messages_delivered += 1;
-                    }
-                    self.schedule_ext_poll(idx, SimTime(now.0 + 1));
-                }
-            }
-            EventKind::RestartRouter(node) => {
-                self.tally.restart_router += 1;
-                let now = self.now;
-                self.pending_restarts = self.pending_restarts.saturating_sub(1);
-                if let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) {
-                    if !router.is_running() {
-                        router.restart(now);
-                        self.last_activity = now;
-                        self.schedule_poll(node, SimTime(now.0 + 1));
-                        if let Some(name) = self.interner.node(node) {
-                            self.journal.push(now, "engine.restart", name.to_string());
-                        }
-                    }
-                }
-            }
-            EventKind::ChaosLink { slot, up } => {
-                self.tally.chaos_link += 1;
-                self.chaos_pending = self.chaos_pending.saturating_sub(1);
-                // Unknown links (slot None) are inert.
-                if let Some(slot) = slot {
-                    let kind = if up {
-                        "chaos.link_up"
-                    } else {
-                        "chaos.link_down"
-                    };
-                    let detail = self
-                        .links
-                        .get(slot)
-                        .map(|r| r.id.to_string())
-                        .unwrap_or_default();
-                    self.journal.push(self.now, kind, detail);
-                    self.set_link_slot(slot, up);
-                }
-            }
-            EventKind::ChaosKillRouter(node) => {
-                self.tally.chaos_kill += 1;
-                self.chaos_pending = self.chaos_pending.saturating_sub(1);
-                let now = self.now;
-                let Some(node) = node else { return };
-                if let Some(name) = self.interner.node(node) {
-                    self.journal
-                        .push(now, "chaos.kill_routing", name.to_string());
-                }
-                if let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) {
-                    router.inject_crash("chaos: routing process killed");
-                    self.last_activity = now;
-                    self.schedule_poll(node, SimTime(now.0 + 1));
-                }
-            }
-            EventKind::ChaosFailMachine(name) => {
-                self.tally.chaos_fail_machine += 1;
-                self.chaos_pending = self.chaos_pending.saturating_sub(1);
-                let now = self.now;
-                let evicted = self.cluster.fail_machine(&name);
-                self.journal.push(
-                    now,
-                    "chaos.fail_machine",
-                    format!("{name}: {} pods evicted", evicted.len()),
-                );
-                for req in evicted {
-                    // The pod (and its router) is gone; the scheduler
-                    // resubmits it onto surviving machines, and the usual
-                    // PodReady path boots a fresh instance.
-                    let Some(node) = self.interner.resolve_node(&req.pod) else {
-                        continue;
-                    };
-                    if let Some(slot) = self.routers.get_mut(node.index()) {
-                        *slot = None;
-                    }
-                    if let Some(slot) = self.ready_at.get_mut(node.index()) {
-                        if slot.take().is_some() {
-                            self.ready_count = self.ready_count.saturating_sub(1);
-                        }
-                    }
-                    self.clear_poll(node);
-                    self.last_activity = now;
-                    let Some(vendor) = self.topology.node(&req.pod).map(|s| s.vendor) else {
-                        continue;
-                    };
-                    let profile = self
-                        .cfg
-                        .profile_overrides
-                        .get(&req.pod)
-                        .cloned()
-                        .unwrap_or_else(|| VendorProfile::for_vendor(vendor));
-                    match self
-                        .cluster
-                        .schedule(&req, now, profile.boot_time, &mut self.rng)
-                    {
-                        Ok(placement) => {
-                            self.push_event(placement.ready_at, EventKind::PodReady(node));
-                        }
-                        Err(e) => {
-                            self.unschedulable.push(e);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn injection_done(&self) -> bool {
-        self.externals.iter().all(|p| p.done())
-    }
-
-    fn all_ready(&self) -> bool {
-        self.ready_count
-            == self
-                .topology
-                .nodes
-                .len()
-                .saturating_sub(self.unschedulable.len())
-    }
-
-    fn quiescent(&self) -> bool {
-        self.all_ready()
-            && self.injection_done()
-            && self.pending_restarts == 0
-            && self.chaos_pending == 0
-    }
-
-    /// Processes the single earliest due work item across the three queues
-    /// — heap events, router wakes, external-peer wakes — if its instant is
-    /// `<= deadline`. The heap wins ties, so a delivery lands before the
-    /// poll it provoked. Both run loops (`run_until_converged`,
-    /// `run_until`) are thin drivers over this.
-    fn step_due(&mut self, deadline: SimTime) -> StepOutcome {
-        let heap_t = self.events.peek().map(|Reverse(ev)| ev.time);
-        let wake_t = self.wake.iter().next().map(|&(t, _)| t);
-        let ext_t = self.ext_wake.iter().next().map(|&(t, _)| t);
-        let Some(t) = [heap_t, wake_t, ext_t].into_iter().flatten().min() else {
-            return StepOutcome::Idle;
-        };
-        if t > deadline {
-            return StepOutcome::Deferred;
-        }
-        self.now = t;
-        if heap_t == Some(t) {
-            if let Some(Reverse(ev)) = self.events.pop() {
-                self.handle(ev.kind);
-            }
-        } else if wake_t == Some(t) {
-            if let Some(&(wt, node)) = self.wake.iter().next() {
-                self.wake.remove(&(wt, node));
-                if let Some(slot) = self.next_poll.get_mut(node.index()) {
-                    *slot = None;
-                }
-                self.poll_router(node);
-            }
-        } else if let Some(&(wt, idx)) = self.ext_wake.iter().next() {
-            self.ext_wake.remove(&(wt, idx));
-            if let Some(slot) = self.ext_next.get_mut(idx) {
-                *slot = None;
-            }
-            self.poll_external(idx);
-        }
-        self.events_processed += 1;
-        self.wake_depth
-            .record((self.wake.len() + self.ext_wake.len()) as u64);
-        StepOutcome::Stepped
+        expand_chaos(&mut self.glob, &mut self.net, plan.clone());
     }
 
     /// Advances virtual time to exactly `deadline`, processing every work
@@ -1214,10 +664,25 @@ impl Emulation {
     /// items processed during this call.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.boot();
-        let before = self.events_processed;
-        while matches!(self.step_due(deadline), StepOutcome::Stepped) {}
-        self.now = self.now.max(deadline);
-        self.events_processed - before
+        let before = self.total_processed();
+        {
+            let Emulation {
+                ref net,
+                ref mut shards,
+                ref mut glob,
+                ..
+            } = *self;
+            drive(glob, net, shards, deadline, false, None);
+        }
+        for shard in &mut self.shards {
+            shard.advance_clock(deadline);
+        }
+        self.glob.now = self.glob.now.max(deadline);
+        self.total_processed() - before
+    }
+
+    fn total_processed(&self) -> u64 {
+        self.glob.events_processed + self.shards.iter().map(|s| s.events_processed).sum::<u64>()
     }
 
     /// Runs the emulation until the dataplane is quiet (or the time cap),
@@ -1229,99 +694,69 @@ impl Emulation {
         // `boot_complete_at`/`feeds_done_at` below; only these wall marks
         // touch the real clock, and they land in the quarantined wall
         // section of the obs export.
-        let wall = WallTimer::start();
-        let mut wall_mark = 0u64;
-        let mut boot_wall_done = self.boot_complete_at.is_some();
-        let mut flood_wall_done = self.feeds_done_at.is_some();
+        let mut wp = WallProgress {
+            timer: WallTimer::start(),
+            mark: 0,
+            boot_done: self.glob.boot_complete_at.is_some(),
+            flood_done: self.glob.feeds_done_at.is_some(),
+        };
         self.boot();
-        let deadline = SimTime(self.cfg.max_sim_time.as_millis());
-        let mut converged = false;
-        loop {
-            match self.step_due(deadline) {
-                StepOutcome::Stepped => {}
-                StepOutcome::Idle => {
-                    // Every queue is empty: nothing will ever happen again.
-                    // If the run is otherwise quiescent, fast-forward
-                    // through the quiet period and declare convergence —
-                    // this is where an idle network costs zero events
-                    // instead of a poll per node per interval.
-                    if self.quiescent() {
-                        let quiet_at = self.last_activity + self.cfg.quiet_period;
-                        if quiet_at <= deadline {
-                            self.now = quiet_at;
-                            converged = true;
-                        }
-                    }
-                    break;
-                }
-                StepOutcome::Deferred => break,
-            }
-
-            // Phase boundaries. Boot end is set by the PodReady handler;
-            // flood ends when every external feed has drained.
-            if !boot_wall_done && self.boot_complete_at.is_some() {
-                boot_wall_done = true;
-                let us = wall.elapsed_micros();
-                self.wall.add_phase("boot", us.saturating_sub(wall_mark));
-                wall_mark = us;
-            }
-            if boot_wall_done
-                && self.feeds_done_at.is_none()
-                && !self.externals.is_empty()
-                && self.injection_done()
-            {
-                self.feeds_done_at = Some(self.now);
-                self.journal
-                    .push(self.now, "engine.flood_complete", "external feeds drained");
-            }
-            if boot_wall_done && !flood_wall_done && self.feeds_done_at.is_some() {
-                flood_wall_done = true;
-                let us = wall.elapsed_micros();
-                self.wall.add_phase("flood", us.saturating_sub(wall_mark));
-                wall_mark = us;
-            }
-
-            if self.quiescent() && self.now.since(self.last_activity) >= self.cfg.quiet_period {
-                converged = true;
-                break;
-            }
-        }
-        self.wall
-            .add_phase("converge", wall.elapsed_micros().saturating_sub(wall_mark));
+        let deadline = SimTime(self.glob.cfg.max_sim_time.as_millis());
+        let converged = {
+            let Emulation {
+                ref net,
+                ref mut shards,
+                ref mut glob,
+                ..
+            } = *self;
+            drive(glob, net, shards, deadline, true, Some(&mut wp))
+        };
+        self.glob.now = self.glob.now.max(self.glob.t_max);
+        self.glob.wall.add_phase(
+            "converge",
+            wp.timer.elapsed_micros().saturating_sub(wp.mark),
+        );
+        let last_activity = self.fold_last_activity();
         let verdict = if converged {
             ConvergenceVerdict::Converged
         } else {
-            self.oscillation_verdict()
+            oscillation_verdict(&self.glob)
         };
         // Sim-time spans mirror the wall splits, derived purely from sim
         // state so replays produce identical reports.
-        if let Some(boot_at) = self.boot_complete_at {
-            self.phases.record("boot", SimTime::ZERO, boot_at);
-            let converge_from = match self.feeds_done_at {
+        if let Some(boot_at) = self.glob.boot_complete_at {
+            self.glob.phases.record("boot", SimTime::ZERO, boot_at);
+            let converge_from = match self.glob.feeds_done_at {
                 Some(flood_at) => {
-                    self.phases.record("flood", boot_at, flood_at);
+                    self.glob.phases.record("flood", boot_at, flood_at);
                     flood_at
                 }
                 None => boot_at,
             };
-            self.phases.record(
-                "converge",
-                converge_from,
-                self.last_activity.max(converge_from),
-            );
+            self.glob
+                .phases
+                .record("converge", converge_from, last_activity.max(converge_from));
         }
         RunReport {
             converged,
             verdict,
-            boot_complete_at: self.boot_complete_at,
-            converged_at: self.last_activity,
-            messages_delivered: self.messages_delivered,
-            crashes: self.crashes,
-            events_processed: self.events_processed,
-            events_scheduled: self.events_scheduled,
-            unschedulable: self.unschedulable.clone(),
-            phases: self.phases.clone(),
+            boot_complete_at: self.glob.boot_complete_at,
+            converged_at: last_activity,
+            messages_delivered: self.shards.iter().map(|s| s.messages_delivered).sum(),
+            crashes: self.shards.iter().map(|s| s.crashes).sum(),
+            events_processed: self.total_processed(),
+            events_scheduled: self.glob.events_scheduled
+                + self.shards.iter().map(|s| s.events_scheduled).sum::<u64>(),
+            unschedulable: self.glob.unschedulable.clone(),
+            phases: self.glob.phases.clone(),
         }
+    }
+
+    fn fold_last_activity(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.last_activity)
+            .fold(self.glob.last_activity, |a, b| a.max(b))
     }
 
     /// Applies a configuration change to a running node (config push) and
@@ -1336,19 +771,29 @@ impl Emulation {
         let vendor = spec.vendor;
         let parsed = mfv_config::parse(vendor, text).map_err(|e| e.to_string())?;
         spec.config_text = text.to_string();
-        let Some(node_ref) = self.interner.resolve_node(node) else {
+        let Some(node_ref) = self.net.interner.resolve_node(node) else {
             return Ok(());
         };
-        let now = self.now;
-        if let Some(router) = self
+        let now = self.glob.now;
+        let Some(sid) = self.net.node_shard.get(node_ref.index()).copied() else {
+            return Ok(());
+        };
+        let Some(shard) = self.shards.get_mut(sid) else {
+            return Ok(());
+        };
+        shard.advance_clock(now);
+        if let Some(router) = shard
             .routers
             .get_mut(node_ref.index())
             .and_then(|s| s.as_mut())
         {
             router.apply_config(parsed.config);
-            self.register_addresses(node_ref);
-            self.last_activity = now;
-            self.schedule_poll(node_ref, SimTime(now.0 + 1));
+            for addr in router.addresses() {
+                self.net.ip_owner.insert(addr, Owner::Node(node_ref));
+            }
+            shard.last_activity = shard.last_activity.max(now);
+            shard.schedule_poll(node_ref, SimTime(now.0 + 1));
+            self.glob.last_activity = self.glob.last_activity.max(now);
         }
         Ok(())
     }
@@ -1356,57 +801,70 @@ impl Emulation {
     /// Brings a link up or down (failure injection). Unknown links are
     /// ignored.
     pub fn set_link(&mut self, link: &LinkId, up: bool) {
-        if let Some(&slot) = self.link_index.get(link) {
-            self.set_link_slot(slot, up);
-        }
-    }
-
-    fn set_link_slot(&mut self, slot: usize, up: bool) {
-        let Some(rec) = self.links.get_mut(slot) else {
+        let Some(&slot) = self.glob.link_index.get(link) else {
             return;
         };
-        rec.up = up;
-        let endpoints = [rec.a, rec.b];
-        let now = self.now;
-        for (node, iface) in endpoints {
-            let Some(iface_name) = self.interner.iface(iface) else {
-                continue;
-            };
-            if let Some(router) = self.routers.get_mut(node.index()).and_then(|s| s.as_mut()) {
-                router.set_link(iface_name, up);
-                self.schedule_poll(node, SimTime(now.0 + 1));
+        let now = self.glob.now;
+        let mut sids: Vec<usize> = Vec::new();
+        if let Some(rec) = self.glob.links.get_mut(slot) {
+            rec.up = up;
+            for (node, _) in [rec.a, rec.b] {
+                if let Some(&sid) = self.net.node_shard.get(node.index()) {
+                    if !sids.contains(&sid) {
+                        sids.push(sid);
+                    }
+                }
             }
         }
-        self.last_activity = now;
+        for sid in sids {
+            if let Some(shard) = self.shards.get_mut(sid) {
+                shard.advance_clock(now);
+                shard.apply_link(&self.net, slot, up);
+            }
+        }
+        self.glob.last_activity = self.glob.last_activity.max(now);
     }
 
     /// Administratively shuts a BGP session on a node.
     pub fn shutdown_bgp(&mut self, node: &NodeId, peer: Ipv4Addr) {
-        let Some(node_ref) = self.interner.resolve_node(node) else {
+        let Some(node_ref) = self.net.interner.resolve_node(node) else {
             return;
         };
-        let now = self.now;
-        if let Some(router) = self
+        let Some(sid) = self.net.node_shard.get(node_ref.index()).copied() else {
+            return;
+        };
+        let now = self.glob.now;
+        let Some(shard) = self.shards.get_mut(sid) else {
+            return;
+        };
+        shard.advance_clock(now);
+        if let Some(router) = shard
             .routers
             .get_mut(node_ref.index())
             .and_then(|s| s.as_mut())
         {
             router.shutdown_bgp_session(peer, now);
-            self.last_activity = now;
-            self.schedule_poll(node_ref, SimTime(now.0 + 1));
+            shard.last_activity = shard.last_activity.max(now);
+            shard.schedule_poll(node_ref, SimTime(now.0 + 1));
+            self.glob.last_activity = self.glob.last_activity.max(now);
         }
     }
 
     /// Extracts the current dataplane snapshot (the AFT dump step).
     /// `NodeRef` order is name order, so the walk matches the old
-    /// string-keyed map's iteration byte for byte.
+    /// string-keyed map's iteration byte for byte — at any shard layout.
     pub fn dataplane(&self) -> Dataplane {
         let mut dp = Dataplane::new();
-        for r in self.interner.node_refs() {
-            let Some(router) = self.routers.get(r.index()).and_then(|s| s.as_ref()) else {
+        for r in self.net.interner.node_refs() {
+            let Some(router) = self
+                .shard_of(r)
+                .and_then(|sid| self.shards.get(sid))
+                .and_then(|s| s.routers.get(r.index()))
+                .and_then(|slot| slot.as_ref())
+            else {
                 continue;
             };
-            let Some(name) = self.interner.node(r) else {
+            let Some(name) = self.net.interner.node(r) else {
                 continue;
             };
             dp.add_node(
@@ -1416,7 +874,7 @@ impl Emulation {
                 router.is_running(),
             );
         }
-        for rec in &self.links {
+        for rec in &self.glob.links {
             if rec.up {
                 dp.add_link(rec.id.clone());
             }
@@ -1426,47 +884,64 @@ impl Emulation {
 
     /// Current cluster packing (pods per machine).
     pub fn cluster_packing(&self) -> Vec<(String, usize)> {
-        self.cluster.packing()
+        self.glob.cluster.packing()
+    }
+
+    /// The number of shards the partition produced (0 before boot).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Flushes the engine's plain-field counters — plus per-router
     /// aggregates from every live [`VirtualRouter`] — into an [`Obs`]
-    /// snapshot. Everything except the `wall` section is derived from sim
-    /// state only, so two same-seed runs export byte-identical
-    /// `to_json(false)` dumps.
+    /// snapshot. Per-shard state merges in shard-index order (journals by
+    /// `(time, shard, local order)`), so everything except the `wall`
+    /// section is derived from sim state only and two same-seed runs export
+    /// byte-identical `to_json(false)` dumps at any thread count.
     pub fn export_obs(&self) -> Obs {
         let mut obs = Obs::new();
+        let mut tally = self.glob.tally;
+        for s in &self.shards {
+            tally.absorb(&s.tally);
+        }
         let m = &mut obs.metrics;
-        m.inc("engine.events.pod_ready", self.tally.pod_ready);
-        m.inc("engine.events.deliver_isis", self.tally.deliver_isis);
-        m.inc("engine.events.deliver_bgp", self.tally.deliver_bgp);
+        m.inc("engine.events.pod_ready", tally.pod_ready);
+        m.inc("engine.events.deliver_isis", tally.deliver_isis);
+        m.inc("engine.events.deliver_bgp", tally.deliver_bgp);
+        m.inc("engine.events.deliver_external", tally.deliver_external);
+        m.inc("engine.events.restart_router", tally.restart_router);
+        m.inc("engine.events.chaos_link", tally.chaos_link);
+        m.inc("engine.events.chaos_kill", tally.chaos_kill);
+        m.inc("engine.events.chaos_fail_machine", tally.chaos_fail_machine);
         m.inc(
-            "engine.events.deliver_external",
-            self.tally.deliver_external,
+            "engine.events.scheduled",
+            self.glob.events_scheduled
+                + self.shards.iter().map(|s| s.events_scheduled).sum::<u64>(),
         );
-        m.inc("engine.events.restart_router", self.tally.restart_router);
-        m.inc("engine.events.chaos_link", self.tally.chaos_link);
-        m.inc("engine.events.chaos_kill", self.tally.chaos_kill);
+        m.inc("engine.events.processed", self.total_processed());
         m.inc(
-            "engine.events.chaos_fail_machine",
-            self.tally.chaos_fail_machine,
+            "engine.messages.delivered",
+            self.shards.iter().map(|s| s.messages_delivered).sum(),
         );
-        m.inc("engine.events.scheduled", self.events_scheduled);
-        m.inc("engine.events.processed", self.events_processed);
-        m.inc("engine.messages.delivered", self.messages_delivered);
-        m.inc("engine.crashes", self.crashes);
-        m.inc("engine.polls.router", self.tally.router_polls);
-        m.inc("engine.polls.external", self.tally.ext_polls);
-        m.inc("engine.impair.dropped", self.tally.impair_dropped);
-        m.inc("engine.impair.duplicated", self.tally.impair_duplicated);
-        m.inc("engine.encode_errors", self.tally.encode_errors);
+        m.inc(
+            "engine.crashes",
+            self.shards.iter().map(|s| s.crashes).sum(),
+        );
+        m.inc("engine.polls.router", tally.router_polls);
+        m.inc("engine.polls.external", tally.ext_polls);
+        m.inc("engine.impair.dropped", tally.impair_dropped);
+        m.inc("engine.impair.duplicated", tally.impair_duplicated);
+        m.inc("engine.encode_errors", tally.encode_errors);
         m.gauge("engine.nodes", self.topology.nodes.len() as i64);
-        m.gauge("engine.links", self.links.len() as i64);
-        m.gauge("engine.unschedulable", self.unschedulable.len() as i64);
-        m.merge_hist("engine.wake_depth", &self.wake_depth);
+        m.gauge("engine.links", self.glob.links.len() as i64);
+        m.gauge("engine.unschedulable", self.glob.unschedulable.len() as i64);
+        m.gauge("engine.shards", self.shards.len() as i64);
+        for s in &self.shards {
+            m.merge_hist("engine.wake_depth", &s.wake_depth);
+        }
 
         // Per-router aggregates (routers evicted by machine failures or
-        // not yet booted contribute nothing).
+        // not yet booted contribute nothing). Walk in NodeRef order.
         let mut decode_errors = 0u64;
         let mut encode_errors = 0u64;
         let mut rib_resyncs = 0u64;
@@ -1475,7 +950,15 @@ impl Emulation {
         let mut bgp_transitions = 0u64;
         let mut isis_transitions = 0u64;
         let mut running = 0i64;
-        for router in self.routers.iter().flatten() {
+        for r in self.net.interner.node_refs() {
+            let Some(router) = self
+                .shard_of(r)
+                .and_then(|sid| self.shards.get(sid))
+                .and_then(|s| s.routers.get(r.index()))
+                .and_then(|slot| slot.as_ref())
+            else {
+                continue;
+            };
             decode_errors += router.decode_errors;
             encode_errors += router.encode_errors;
             rib_resyncs += router.rib_resyncs;
@@ -1496,9 +979,638 @@ impl Emulation {
         m.inc("vrouter.isis.adjacency_transitions", isis_transitions);
         m.gauge("vrouter.running", running);
 
-        obs.phases = self.phases.clone();
-        obs.journal = self.journal.clone();
-        obs.wall = self.wall.clone();
+        obs.phases = self.glob.phases.clone();
+        obs.journal = self.merged_journal();
+        obs.wall = self.glob.wall.clone();
         obs
+    }
+
+    /// Interleaves the coordinator journal and every shard journal into
+    /// one ring, ordered by `(time, source rank, local order)` — the
+    /// coordinator (chaos, boot milestones) ranks before shards at the
+    /// same instant, matching heap order where coordinator-origin events
+    /// sort first.
+    fn merged_journal(&self) -> Journal {
+        let mut entries: Vec<(SimTime, usize, usize, &mfv_obs::journal::Event)> = Vec::new();
+        for (idx, e) in self.glob.journal.events().enumerate() {
+            entries.push((e.at, 0, idx, e));
+        }
+        for (sid, s) in self.shards.iter().enumerate() {
+            for (idx, e) in s.journal.events().enumerate() {
+                entries.push((e.at, sid + 1, idx, e));
+            }
+        }
+        entries.sort_by_key(|(at, rank, idx, _)| (*at, *rank, *idx));
+        let mut out = Journal::new();
+        for (_, _, _, e) in entries {
+            out.push(e.at, e.kind, e.detail.clone());
+        }
+        out
+    }
+}
+
+/// Expands a [`ChaosPlan`] into coordinator timeline entries and
+/// impairment windows. Link/node targets resolve to slots/refs here, once.
+fn expand_chaos(glob: &mut Global, net: &mut Net, plan: ChaosPlan) {
+    let insert = |glob: &mut Global, at: SimTime, action: GlobalAction| {
+        glob.timeline_ord += 1;
+        let ord = glob.timeline_ord;
+        glob.timeline.insert((at, ord), action);
+    };
+    for ev in plan.events {
+        match ev {
+            ChaosEvent::LinkFlap {
+                link,
+                at,
+                down_for,
+                repeats,
+                every,
+            } => {
+                let slot = glob.link_index.get(&link).copied();
+                for k in 0..repeats as u64 {
+                    // `.max(now)` keeps late-scheduled plans legal: an
+                    // instant already in the past fires immediately
+                    // instead of rewinding the clock. At boot `now` is
+                    // zero, so pre-run plans expand exactly as authored.
+                    let down_at = (at + every.saturating_mul(k)).max(glob.now);
+                    glob.chaos_pending += 2;
+                    insert(glob, down_at, GlobalAction::Link { slot, up: false });
+                    insert(
+                        glob,
+                        down_at + down_for,
+                        GlobalAction::Link { slot, up: true },
+                    );
+                }
+            }
+            ChaosEvent::KillRouting { node, at } => {
+                glob.chaos_pending += 1;
+                let target = net.interner.resolve_node(&node);
+                insert(glob, at.max(glob.now), GlobalAction::Kill(target));
+            }
+            ChaosEvent::FailMachine { machine, at } => {
+                glob.chaos_pending += 1;
+                insert(glob, at.max(glob.now), GlobalAction::FailMachine(machine));
+            }
+            ChaosEvent::Impair {
+                link,
+                from,
+                until,
+                spec,
+            } => {
+                let w = net.impairments.len();
+                if let Some(&slot) = glob.link_index.get(&link) {
+                    if let Some(v) = net.link_impair.get_mut(slot) {
+                        v.push(w);
+                    }
+                }
+                // BGP impairment matches by node pair even when the
+                // LinkId's interfaces don't name a physical link.
+                if let (Some(a), Some(b)) = (
+                    net.interner.resolve_node(&link.a.0),
+                    net.interner.resolve_node(&link.b.0),
+                ) {
+                    let key = if a <= b { (a, b) } else { (b, a) };
+                    net.pair_impair.entry(key).or_default().push(w);
+                }
+                net.impairments.push(ImpairWindow { from, until, spec });
+            }
+        }
+    }
+}
+
+/// The watchdog's post-mortem when the time budget expires: prefixes that
+/// kept changing right up to the end mean the network is *oscillating*,
+/// not converging slowly.
+fn oscillation_verdict(glob: &Global) -> ConvergenceVerdict {
+    let window = glob.cfg.quiet_period.saturating_mul(4);
+    let now = glob.now;
+    let mut churning: Vec<(&Prefix, &VecDeque<SimTime>)> = glob
+        .churn
+        .iter()
+        .filter(|(_, q)| {
+            q.len() >= OSCILLATION_MIN_CHANGES
+                && q.back().map(|t| now.since(*t) <= window).unwrap_or(false)
+        })
+        .collect();
+    if churning.is_empty() {
+        return ConvergenceVerdict::TimedOut;
+    }
+    // Flap period: mean inter-change interval of the most-churning prefix
+    // (ties broken by prefix order — deterministic).
+    churning.sort_by_key(|(p, q)| (std::cmp::Reverse(q.len()), **p));
+    let period = match churning.first() {
+        Some((_, q)) => match (q.front(), q.back()) {
+            (Some(first), Some(last)) => SimDuration::from_millis(
+                last.since(*first).as_millis() / (q.len() as u64 - 1).max(1),
+            ),
+            _ => SimDuration::ZERO,
+        },
+        None => SimDuration::ZERO,
+    };
+    let mut prefixes: Vec<Prefix> = churning.iter().map(|(p, _)| **p).collect();
+    prefixes.sort();
+    prefixes.truncate(ConvergenceVerdict::MAX_REPORTED_PREFIXES);
+    ConvergenceVerdict::Oscillating { period, prefixes }
+}
+
+/// Worker commands for the persistent window pool.
+#[derive(Clone, Copy)]
+enum Cmd {
+    Window,
+    Stop,
+}
+
+/// Runs the window loop to `deadline`. Returns whether the run converged
+/// (always `false` when `converge` is off — `run_until` has no watchdog).
+fn drive(
+    glob: &mut Global,
+    net: &Net,
+    shards: &mut [Shard],
+    deadline: SimTime,
+    converge: bool,
+    mut wall: Option<&mut WallProgress>,
+) -> bool {
+    if shards.is_empty() {
+        return false;
+    }
+    let threads = effective_threads(glob.cfg.threads, shards.len());
+    let cells: Vec<Mutex<&mut Shard>> = shards.iter_mut().map(Mutex::new).collect();
+    if threads <= 1 {
+        loop {
+            match plan(glob, net, &cells, deadline, converge) {
+                Plan::Run(ends) => {
+                    for (i, cell) in cells.iter().enumerate() {
+                        let end = ends.get(i).copied().unwrap_or(SimTime::ZERO);
+                        lock_or_recover(cell).run_window(net, end);
+                    }
+                    settle(glob, net, &cells, &ends, deadline);
+                    if let Some(wp) = wall.as_deref_mut() {
+                        mark_wall(glob, wp);
+                    }
+                }
+                Plan::Converged(at) => {
+                    glob.now = glob.now.max(at);
+                    return true;
+                }
+                Plan::Done => return false,
+            }
+        }
+    }
+    // Persistent worker pool: one command + two barriers per dispatched
+    // window. Workers take shards round-robin by index; shard state lives
+    // behind per-shard mutexes that are only ever locked by one side of a
+    // barrier at a time.
+    let cmd: Mutex<Cmd> = Mutex::new(Cmd::Window);
+    let ends_shared: Mutex<Vec<SimTime>> = Mutex::new(Vec::new());
+    let start = Barrier::new(threads + 1);
+    let finish = Barrier::new(threads + 1);
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let cells_ref = &cells;
+    with_workers(
+        threads,
+        |w| loop {
+            start.wait();
+            let c = *lock_or_recover(&cmd);
+            match c {
+                Cmd::Stop => break,
+                Cmd::Window => {
+                    let ends: Vec<SimTime> = lock_or_recover(&ends_shared).clone();
+                    // A panic is confined to this window and reported at
+                    // the barrier — the worker must always reach it, or
+                    // the coordinator would deadlock.
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        for i in (w..cells_ref.len()).step_by(threads) {
+                            let end = ends.get(i).copied().unwrap_or(SimTime::ZERO);
+                            lock_or_recover(&cells_ref[i]).run_window(net, end);
+                        }
+                    }));
+                    if let Err(p) = r {
+                        lock_or_recover(&panics).push((w, panic_message(p)));
+                    }
+                    finish.wait();
+                }
+            }
+        },
+        || {
+            let lead = catch_unwind(AssertUnwindSafe(|| loop {
+                match plan(glob, net, cells_ref, deadline, converge) {
+                    Plan::Run(ends) => {
+                        // Fast path: when only one shard has due work in
+                        // this window, run it inline — no barrier round
+                        // trip for the whole pool.
+                        let mut active = 0usize;
+                        let mut only = 0usize;
+                        for (i, cell) in cells_ref.iter().enumerate() {
+                            let due = lock_or_recover(cell).next_due();
+                            let end = ends.get(i).copied().unwrap_or(SimTime::ZERO);
+                            if due.map(|d| d < end).unwrap_or(false) {
+                                active += 1;
+                                only = i;
+                            }
+                        }
+                        if active <= 1 {
+                            if active == 1 {
+                                let end = ends.get(only).copied().unwrap_or(SimTime::ZERO);
+                                lock_or_recover(&cells_ref[only]).run_window(net, end);
+                            }
+                        } else {
+                            *lock_or_recover(&ends_shared) = ends.clone();
+                            *lock_or_recover(&cmd) = Cmd::Window;
+                            start.wait();
+                            finish.wait();
+                            let mut p = std::mem::take(&mut *lock_or_recover(&panics));
+                            if !p.is_empty() {
+                                p.sort_by_key(|e| e.0);
+                                let msg: Vec<String> =
+                                    p.iter().map(|(w, m)| format!("[worker {w}] {m}")).collect();
+                                panic!("shard window panicked: {}", msg.join("; "));
+                            }
+                        }
+                        settle(glob, net, cells_ref, &ends, deadline);
+                        if let Some(wp) = wall.as_deref_mut() {
+                            mark_wall(glob, wp);
+                        }
+                    }
+                    Plan::Converged(at) => {
+                        glob.now = glob.now.max(at);
+                        break true;
+                    }
+                    Plan::Done => break false,
+                }
+            }));
+            // Release the pool no matter how the loop ended; a lead panic
+            // must not leave workers parked on the start barrier.
+            *lock_or_recover(&cmd) = Cmd::Stop;
+            start.wait();
+            match lead {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        },
+    )
+}
+
+/// One coordinator barrier: fire due timeline actions, decide convergence,
+/// or plan the next window's per-shard end instants.
+fn plan(
+    glob: &mut Global,
+    net: &Net,
+    cells: &[Mutex<&mut Shard>],
+    deadline: SimTime,
+    converge: bool,
+) -> Plan {
+    loop {
+        let mut dues: Vec<Option<SimTime>> = Vec::with_capacity(cells.len());
+        let mut last_act = glob.last_activity;
+        let mut pending_restarts = 0usize;
+        let mut chaos_done = 0u64;
+        for cell in cells {
+            let s = lock_or_recover(cell);
+            dues.push(s.next_due());
+            last_act = last_act.max(s.last_activity);
+            pending_restarts += s.pending_restarts;
+            chaos_done += s.chaos_processed;
+        }
+        let shard_due = dues.iter().flatten().min().copied();
+        let glob_due = glob.timeline.keys().next().map(|&(t, _)| t);
+        let t = [shard_due, glob_due].into_iter().flatten().min();
+        if converge {
+            // The quiet rule is a pure function of processed content
+            // (activity times, readiness, feed/chaos state) and the next
+            // due instant — never of the window structure — so every
+            // layout and thread count reaches the same verdict.
+            let quiescent = glob.ready.len()
+                == glob.node_total.saturating_sub(glob.unschedulable.len())
+                && glob.ext_done_count == glob.ext_total
+                && pending_restarts == 0
+                && glob.chaos_pending == 0
+                && glob.chaos_injected == chaos_done;
+            let quiet_at = last_act + glob.cfg.quiet_period;
+            if quiescent && quiet_at <= deadline && t.map(|t| quiet_at < t).unwrap_or(true) {
+                return Plan::Converged(quiet_at);
+            }
+        }
+        let Some(t) = t else {
+            return Plan::Done;
+        };
+        if t > deadline {
+            return Plan::Done;
+        }
+        if glob_due == Some(t) {
+            // Fire every timeline action at exactly `t` (in plan order)
+            // before any shard event at `t` — coordinator-origin events
+            // sort first within the heaps, so replicas injected here still
+            // precede same-instant traffic.
+            for cell in cells {
+                lock_or_recover(cell).advance_clock(t);
+            }
+            while let Some((&(ti, ord), _)) = glob.timeline.iter().next() {
+                if ti != t {
+                    break;
+                }
+                if let Some(action) = glob.timeline.remove(&(ti, ord)) {
+                    apply_global(glob, net, cells, t, action);
+                }
+            }
+            glob.t_max = glob.t_max.max(t);
+            continue; // injections/evictions changed the due picture
+        }
+        // Window ends. Shard i may run while every event it could receive
+        // is still in the future: arrivals from shard j happen no earlier
+        // than due_j + W.
+        let w = glob.lookahead_ms;
+        let next_glob = glob_due.map(|g| g.0).unwrap_or(u64::MAX);
+        let boot_cut = if glob.boot_complete_at.is_none() {
+            glob.pending_ready
+                .values()
+                .filter_map(|etas| etas.iter().next())
+                .min()
+                .map(|e| e.0.saturating_add(1))
+                .unwrap_or(u64::MAX)
+        } else {
+            u64::MAX
+        };
+        // In converge mode, stop at the earliest possible convergence
+        // instant so a converged run doesn't burn sim-time to the cap.
+        let quiet_cut = if converge {
+            (last_act + glob.cfg.quiet_period).0.saturating_add(1)
+        } else {
+            u64::MAX
+        };
+        let hard = deadline
+            .0
+            .saturating_add(1)
+            .min(next_glob)
+            .min(boot_cut)
+            .min(quiet_cut)
+            .max(t.0.saturating_add(1)); // always admit the due instant
+        let single = cells.len() == 1;
+        let ends: Vec<SimTime> = (0..cells.len())
+            .map(|i| {
+                let others = dues
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .filter_map(|(_, d)| *d)
+                    .min();
+                let e = if single {
+                    u64::MAX
+                } else {
+                    others.map(|o| o.0.saturating_add(w)).unwrap_or(u64::MAX)
+                };
+                SimTime(e.min(hard))
+            })
+            .collect();
+        return Plan::Run(ends);
+    }
+}
+
+/// Applies one timeline action at instant `t` (every shard clock is
+/// already advanced to `t`).
+fn apply_global(
+    glob: &mut Global,
+    net: &Net,
+    cells: &[Mutex<&mut Shard>],
+    t: SimTime,
+    action: GlobalAction,
+) {
+    glob.events_processed += 1;
+    let inject = |glob: &mut Global, sid: usize, at: SimTime, kind: EventKind| {
+        glob.oseq += 1;
+        glob.events_scheduled += 1;
+        let ev = Ev {
+            key: EvKey {
+                time: at,
+                origin: GLOBAL_ORIGIN,
+                oseq: glob.oseq,
+            },
+            kind,
+        };
+        if let Some(cell) = cells.get(sid) {
+            lock_or_recover(cell).inject(ev);
+        }
+    };
+    match action {
+        GlobalAction::Link { slot, up } => {
+            glob.tally.chaos_link += 1;
+            glob.chaos_pending = glob.chaos_pending.saturating_sub(1);
+            // Unknown links (slot None) are inert.
+            let Some(slot) = slot else { return };
+            let kind = if up {
+                "chaos.link_up"
+            } else {
+                "chaos.link_down"
+            };
+            let detail = glob
+                .links
+                .get(slot)
+                .map(|r| r.id.to_string())
+                .unwrap_or_default();
+            glob.journal.push(t, kind, detail);
+            let mut sids: Vec<usize> = Vec::new();
+            if let Some(rec) = glob.links.get_mut(slot) {
+                rec.up = up;
+                for (node, _) in [rec.a, rec.b] {
+                    if let Some(&sid) = net.node_shard.get(node.index()) {
+                        if !sids.contains(&sid) {
+                            sids.push(sid);
+                        }
+                    }
+                }
+            }
+            // Replicate to the endpoint shards: each updates its local
+            // link-state copy and pokes its local endpoint router(s).
+            for sid in sids {
+                glob.chaos_injected += 1;
+                inject(glob, sid, t, EventKind::ChaosLink { slot, up });
+            }
+        }
+        GlobalAction::Kill(node) => {
+            glob.chaos_pending = glob.chaos_pending.saturating_sub(1);
+            match node {
+                // Unknown node: inert, but still tallied as fired.
+                None => glob.tally.chaos_kill += 1,
+                Some(node) => {
+                    if let Some(&sid) = net.node_shard.get(node.index()) {
+                        glob.chaos_injected += 1;
+                        inject(glob, sid, t, EventKind::ChaosKillRouter(node));
+                    } else {
+                        glob.tally.chaos_kill += 1;
+                    }
+                }
+            }
+        }
+        GlobalAction::FailMachine(name) => {
+            glob.tally.chaos_fail_machine += 1;
+            glob.chaos_pending = glob.chaos_pending.saturating_sub(1);
+            let evicted = glob.cluster.fail_machine(&name);
+            glob.journal.push(
+                t,
+                "chaos.fail_machine",
+                format!("{name}: {} pods evicted", evicted.len()),
+            );
+            for req in evicted {
+                // The pod (and its router) is gone; the scheduler
+                // resubmits it onto surviving machines, and the usual
+                // PodReady path boots a fresh instance — in the node's
+                // original shard (the partition is a simulation artifact
+                // cut once at boot).
+                let Some(node) = net.interner.resolve_node(&req.pod) else {
+                    continue;
+                };
+                let Some(&sid) = net.node_shard.get(node.index()) else {
+                    continue;
+                };
+                if let Some(cell) = cells.get(sid) {
+                    lock_or_recover(cell).evict_node(node, t);
+                }
+                glob.ready.remove(&node);
+                glob.last_activity = glob.last_activity.max(t);
+                let Some(profile) = net.profiles.get(node.index()).cloned() else {
+                    continue;
+                };
+                match glob
+                    .cluster
+                    .schedule(&req, t, profile.boot_time, &mut glob.cluster_rng)
+                {
+                    Ok(placement) => {
+                        glob.pending_ready
+                            .entry(node)
+                            .or_default()
+                            .insert(placement.ready_at);
+                        inject(glob, sid, placement.ready_at, EventKind::PodReady(node));
+                    }
+                    Err(e) => {
+                        glob.unschedulable.push(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Post-window barrier work: route cross-shard traffic, fold shard-local
+/// facts (activity, churn, feed completion, boot readiness) into the
+/// coordinator's content-determined global view.
+fn settle(
+    glob: &mut Global,
+    net: &Net,
+    cells: &[Mutex<&mut Shard>],
+    ends: &[SimTime],
+    deadline: SimTime,
+) {
+    let mut inbox: Vec<(usize, Ev)> = Vec::new();
+    let mut churn: Vec<(SimTime, NodeRef, BTreeSet<Prefix>)> = Vec::new();
+    let mut transitions: Vec<(usize, SimTime)> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let mut s = lock_or_recover(cell);
+        glob.t_max = glob.t_max.max(s.now());
+        glob.last_activity = glob.last_activity.max(s.last_activity);
+        inbox.append(&mut s.outbox);
+        churn.append(&mut s.churn_buf);
+        transitions.extend(s.take_ext_done_transitions());
+        let end = ends.get(i).copied().unwrap_or(SimTime::ZERO);
+        s.advance_clock(SimTime(end.0.min(deadline.0)));
+    }
+    // Cross-shard deliveries: injection order is irrelevant — event keys
+    // are globally unique, so each destination heap reaches the same total
+    // order no matter which thread produced what first.
+    for (dest, ev) in inbox {
+        if let Some(cell) = cells.get(dest) {
+            lock_or_recover(cell).inject(ev);
+        }
+    }
+    transitions.sort();
+    for (_idx, done_at) in transitions {
+        glob.ext_done_count += 1;
+        glob.last_ext_done = glob.last_ext_done.max(done_at);
+    }
+    // Boot readiness: every scheduled PodReady instant inside its shard's
+    // processed horizon has fired. Mark in (instant, node) order so boot
+    // completion lands on the exact completing instant.
+    let mut fired: Vec<(SimTime, NodeRef)> = Vec::new();
+    for (&node, etas) in glob.pending_ready.iter_mut() {
+        let sid = net.node_shard.get(node.index()).copied().unwrap_or(0);
+        let end = ends.get(sid).copied().unwrap_or(SimTime::ZERO);
+        let (done, still): (BTreeSet<SimTime>, BTreeSet<SimTime>) =
+            etas.iter().partition(|e| **e < end);
+        for e in done {
+            fired.push((e, node));
+        }
+        *etas = still;
+    }
+    glob.pending_ready.retain(|_, etas| !etas.is_empty());
+    fired.sort();
+    for (eta, node) in fired {
+        glob.ready.insert(node);
+        if glob.ready.len() == glob.node_total && glob.boot_complete_at.is_none() {
+            glob.boot_complete_at = Some(eta);
+            glob.journal.push(
+                eta,
+                "engine.boot_complete",
+                format!("{} pods ready", glob.ready.len()),
+            );
+            if glob.cfg.inject_after_boot {
+                let at = SimTime(eta.0 + 1_000);
+                for cell in cells {
+                    lock_or_recover(cell).activate_feeds(at);
+                }
+            }
+        }
+    }
+    // Flood completion: the exact instant the last feed drained (clamped
+    // to boot completion, which gates activation in the first place).
+    if glob.boot_complete_at.is_some()
+        && glob.feeds_done_at.is_none()
+        && glob.ext_total > 0
+        && glob.ext_done_count == glob.ext_total
+    {
+        if let Some(boot_at) = glob.boot_complete_at {
+            let at = boot_at.max(glob.last_ext_done);
+            glob.feeds_done_at = Some(at);
+            glob.journal
+                .push(at, "engine.flood_complete", "external feeds drained");
+        }
+    }
+    // Steady-state churn, merged across shards in (instant, node) order so
+    // the bounded tracker admits the same prefixes at any layout.
+    if let Some(boot_at) = glob.boot_complete_at {
+        if glob.ext_done_count == glob.ext_total {
+            let steady = boot_at.max(glob.last_ext_done);
+            churn.sort_by_key(|(at, node, _)| (*at, node.index()));
+            for (at, _node, prefixes) in churn {
+                if at < steady {
+                    continue;
+                }
+                for p in prefixes {
+                    if !glob.churn.contains_key(&p) && glob.churn.len() >= CHURN_PREFIX_CAP {
+                        continue;
+                    }
+                    let q = glob.churn.entry(p).or_default();
+                    q.push_back(at);
+                    if q.len() > CHURN_HISTORY {
+                        q.pop_front();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Wall-clock phase splits for `run_until_converged`, checked after each
+/// barrier (the only reader of the real clock; lands in the quarantined
+/// `wall` obs section).
+fn mark_wall(glob: &mut Global, wp: &mut WallProgress) {
+    if !wp.boot_done && glob.boot_complete_at.is_some() {
+        wp.boot_done = true;
+        let us = wp.timer.elapsed_micros();
+        glob.wall.add_phase("boot", us.saturating_sub(wp.mark));
+        wp.mark = us;
+    }
+    if wp.boot_done && !wp.flood_done && glob.feeds_done_at.is_some() {
+        wp.flood_done = true;
+        let us = wp.timer.elapsed_micros();
+        glob.wall.add_phase("flood", us.saturating_sub(wp.mark));
+        wp.mark = us;
     }
 }

@@ -16,11 +16,13 @@ pub mod cluster;
 pub mod engine;
 pub mod inject;
 pub mod parallel;
+mod pool;
+mod shard;
 pub mod topology;
 
 pub use chaos::{ChaosEvent, ChaosPlan, ConvergenceVerdict, ImpairSpec};
 pub use cluster::{Cluster, MachineSpec, PodRequest, Unschedulable};
-pub use engine::{Emulation, EmulationConfig, RunReport};
+pub use engine::{Emulation, EmulationConfig, RunReport, ShardMode};
 pub use inject::{synthetic_prefixes, ExternalPeer};
 pub use parallel::{outcome_distribution, run_seeds, run_seeds_detailed, SeedError, SeedRun};
 pub use topology::{ExternalPeerSpec, NodeSpec, TopoLink, Topology};

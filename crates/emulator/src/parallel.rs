@@ -4,17 +4,17 @@
 //! produce multiple resulting dataplanes" as the answer to non-determinism:
 //! message-arrival order can legitimately change BGP tie-breaking, so one
 //! run yields one sample of the converged-state distribution. This module
-//! fans runs out across OS threads (one emulation per seed) and collects
-//! the dataplanes for differential comparison.
+//! fans runs out across OS threads (one emulation per seed) on the shared
+//! [`crate::pool`] plumbing and collects the dataplanes for differential
+//! comparison.
 
 use std::collections::BTreeMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mfv_dataplane::Dataplane;
 
 use crate::cluster::Cluster;
 use crate::engine::{Emulation, EmulationConfig, RunReport};
+use crate::pool::run_indexed;
 use crate::topology::Topology;
 
 /// Result of one seeded run.
@@ -51,93 +51,31 @@ pub fn run_seeds_detailed(
     base_cfg: &EmulationConfig,
     seeds: &[u64],
 ) -> Vec<Result<SeedRun, SeedError>> {
-    let n = seeds.len();
-    let mut results: Vec<Option<Result<SeedRun, SeedError>>> = Vec::new();
-    results.resize_with(n, || None);
-
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    let next = AtomicUsize::new(0);
-    let make_cluster = &make_cluster;
-
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for _ in 0..threads {
-            handles.push(s.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let Some(&seed) = seeds.get(i) else { break };
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let mut cfg = base_cfg.clone();
-                        cfg.seed = seed;
-                        let mut emu = Emulation::new(topology.clone(), make_cluster(), cfg)
-                            .map_err(|e| e.to_string())?;
-                        let report = emu.run_until_converged();
-                        let dataplane = emu.dataplane();
-                        Ok::<SeedRun, String>(SeedRun {
-                            seed,
-                            report,
-                            dataplane,
-                        })
-                    }));
-                    local.push((
-                        i,
-                        match outcome {
-                            Ok(Ok(run)) => Ok(run),
-                            Ok(Err(message)) => Err(SeedError { seed, message }),
-                            Err(payload) => Err(SeedError {
-                                seed,
-                                message: panic_message(payload),
-                            }),
-                        },
-                    ));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            // Per-run panics are caught above; join only fails on a panic
-            // in the scheduling loop itself. Even then the sweep degrades:
-            // the lost worker's seeds stay `None` and become per-seed
-            // errors below instead of poisoning the whole sweep.
-            if let Ok(local) = h.join() {
-                for (i, run) in local {
-                    if let Some(slot) = results.get_mut(i) {
-                        *slot = Some(run);
-                    }
-                }
-            }
-        }
-    });
-
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| {
-            r.unwrap_or_else(|| {
-                Err(SeedError {
-                    seed: seeds.get(i).copied().unwrap_or(u64::MAX),
-                    message: "worker thread lost before reporting this seed".to_string(),
-                })
-            })
+    run_indexed(0, seeds.len(), |i| {
+        let seed = seeds[i];
+        let mut cfg = base_cfg.clone();
+        cfg.seed = seed;
+        let mut emu =
+            Emulation::new(topology.clone(), make_cluster(), cfg).map_err(|e| e.to_string())?;
+        let report = emu.run_until_converged();
+        let dataplane = emu.dataplane();
+        Ok::<SeedRun, String>(SeedRun {
+            seed,
+            report,
+            dataplane,
         })
-        .collect()
-}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "unknown panic payload".to_string()
-    }
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, outcome)| {
+        let seed = seeds.get(i).copied().unwrap_or(u64::MAX);
+        match outcome {
+            Ok(Ok(run)) => Ok(run),
+            Ok(Err(message)) => Err(SeedError { seed, message }),
+            Err(message) => Err(SeedError { seed, message }),
+        }
+    })
+    .collect()
 }
 
 /// [`run_seeds_detailed`] with the original infallible shape: panics if any

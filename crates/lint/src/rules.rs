@@ -21,6 +21,9 @@ pub enum RuleId {
     P1,
     /// Wire decoders reject input via the typed decode-error path only.
     W1,
+    /// No relaxed atomics or unsorted channel drains in order-sensitive
+    /// crates.
+    D3,
 }
 
 impl RuleId {
@@ -30,6 +33,7 @@ impl RuleId {
             RuleId::D2 => "D2",
             RuleId::P1 => "P1",
             RuleId::W1 => "W1",
+            RuleId::D3 => "D3",
         }
     }
 
@@ -39,11 +43,12 @@ impl RuleId {
             "D2" => Some(RuleId::D2),
             "P1" => Some(RuleId::P1),
             "W1" => Some(RuleId::W1),
+            "D3" => Some(RuleId::D3),
             _ => None,
         }
     }
 
-    pub const ALL: [RuleId; 4] = [RuleId::D1, RuleId::D2, RuleId::P1, RuleId::W1];
+    pub const ALL: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::P1, RuleId::W1, RuleId::D3];
 
     /// Does this rule apply to source in `crate_name`?
     pub fn applies_to(&self, crate_name: &str) -> bool {
@@ -72,6 +77,17 @@ impl RuleId {
             // Wire decoders must reject malformed input through
             // `DecodeError`, never a panic.
             RuleId::W1 => crate_name == "wire",
+            // Same scope as D1: in these crates a relaxed atomic can
+            // reorder cross-thread observations, and draining a channel
+            // with `try_iter` yields arrival order — both let thread
+            // scheduling leak into event schedules or verdicts. The
+            // sharded engine's worker pool is Relaxed-free by design;
+            // cross-shard results travel through mutex-held outboxes and
+            // are merge-sorted by content-derived keys before use.
+            RuleId::D3 => matches!(
+                crate_name,
+                "emulator" | "routing" | "vrouter" | "verify" | "obs" | "mgmt" | "conflint"
+            ),
         }
     }
 
@@ -94,6 +110,10 @@ impl RuleId {
                 "`{pattern}` can panic on malformed input; wire decoders must \
                  reject bytes through the typed `DecodeError` path"
             ),
+            RuleId::D3 => format!(
+                "`{pattern}` lets thread scheduling order leak into results \
+                 in this crate; replayed runs must not depend on it"
+            ),
         }
     }
 
@@ -111,6 +131,11 @@ impl RuleId {
             RuleId::W1 => {
                 "return `Err(DecodeError::new(...))`, or annotate \
                  `// mfv-lint: allow(W1, <reason>)`"
+            }
+            RuleId::D3 => {
+                "use SeqCst (or a mutex) and sort drained items by a \
+                 content-derived key, or annotate \
+                 `// mfv-lint: allow(D3, <reason>)`"
             }
         }
     }
@@ -141,6 +166,7 @@ const PANIC_NEEDLES: [&str; 5] = [
     "unreachable!",
     "unimplemented!",
 ];
+const D3_NEEDLES: [&str; 2] = ["Ordering::Relaxed", ".try_iter("];
 
 /// Runs `rule` against one sanitized line, returning every match.
 pub fn check_line(rule: RuleId, line: &Line) -> Vec<Match> {
@@ -150,6 +176,7 @@ pub fn check_line(rule: RuleId, line: &Line) -> Vec<Match> {
         RuleId::D1 => &D1_NEEDLES,
         RuleId::D2 => &D2_NEEDLES,
         RuleId::P1 | RuleId::W1 => &PANIC_NEEDLES,
+        RuleId::D3 => &D3_NEEDLES,
     };
     for needle in needles {
         for (pos, _) in code.match_indices(needle) {
@@ -323,6 +350,33 @@ mod tests {
         assert_eq!(matches(RuleId::P1, "let b: [u8; 4] = [0u8; 4];").len(), 0);
         assert_eq!(matches(RuleId::P1, "let v = vec![1, 2];").len(), 0);
         assert_eq!(matches(RuleId::P1, "let all = &xs[..];").len(), 0);
+    }
+
+    #[test]
+    fn d3_matches_relaxed_atomics_and_channel_drains() {
+        assert_eq!(
+            matches(RuleId::D3, "counter.fetch_add(1, Ordering::Relaxed);").len(),
+            1
+        );
+        assert_eq!(
+            matches(RuleId::D3, "for msg in rx.try_iter() { out.push(msg); }").len(),
+            1
+        );
+        // The sanctioned idioms stay quiet.
+        assert_eq!(
+            matches(RuleId::D3, "counter.fetch_add(1, Ordering::SeqCst);").len(),
+            0
+        );
+        assert_eq!(
+            matches(RuleId::D3, "let s = \"Ordering::Relaxed\";").len(),
+            0
+        );
+        assert_eq!(
+            matches(RuleId::D3, "outbox.sort_by_key(|m| m.key);").len(),
+            0
+        );
+        // `try_iter` only as a method call, not as an identifier.
+        assert_eq!(matches(RuleId::D3, "fn try_iteration() {}").len(), 0);
     }
 
     #[test]

@@ -62,6 +62,15 @@ fn w1_fixture_positive_negative_suppressed() {
 }
 
 #[test]
+fn d3_fixture_positive_negative_suppressed() {
+    let report = scan_fixture("d3");
+    // The relaxed counter and the `try_iter` drain; the annotated counter,
+    // the SeqCst counter, and the sorted `try_recv` drain stay quiet.
+    assert_eq!(lines_for(&report, RuleId::D3), vec![7, 11]);
+    assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
+}
+
+#[test]
 fn watch_fixture_covers_mgmt_scope() {
     // mgmt is in scope for D1 (watcher iteration order feeds the verdict
     // journal), D2 (seeded stream faults), and P1 (no panics mid-stream):
@@ -75,7 +84,7 @@ fn watch_fixture_covers_mgmt_scope() {
 
 #[test]
 fn fixture_reports_are_deterministic() {
-    for name in ["d1", "d2", "p1", "w1", "watch"] {
+    for name in ["d1", "d2", "d3", "p1", "w1", "watch"] {
         let a = scan_fixture(name);
         let b = scan_fixture(name);
         let key = |r: &Report| -> Vec<(String, usize, usize)> {

@@ -1,0 +1,35 @@
+//! D3 fixture: relaxed atomics and unsorted channel drains in an
+//! order-sensitive crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed); // positive: D3 fires here
+}
+
+pub fn drain(rx: &std::sync::mpsc::Receiver<u64>) -> Vec<u64> {
+    rx.try_iter().collect() // positive: arrival order leaks out
+}
+
+pub struct Suppressed;
+
+impl Suppressed {
+    pub fn hit(counter: &AtomicU64) {
+        // mfv-lint: allow(D3, fixture: diagnostic counter, never read back into the schedule)
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub fn drain_sorted(rx: &std::sync::mpsc::Receiver<(u64, u64)>) -> Vec<(u64, u64)> {
+    // Negative: blocking recv in send order, then a content-keyed sort.
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    while let Ok(item) = rx.try_recv() {
+        out.push(item);
+    }
+    out.sort_unstable();
+    out
+}
+
+pub fn publish(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst); // negative: sequentially consistent
+}

@@ -909,7 +909,11 @@ impl BgpEngine {
             attrs.next_hop = scfg.local_addr;
         } else {
             attrs.local_pref = Some(attrs.local_pref.unwrap_or(100));
-            if scfg.next_hop_self || route.learned_from.is_none() {
+            // `next-hop-self` rewrites eBGP-learned routes advertised into
+            // iBGP (the vendor default); *reflected* iBGP routes keep the
+            // originator's next hop, so a route reflector never inserts
+            // itself into the forwarding path of its clients.
+            if route.learned_from.is_none() || (scfg.next_hop_self && route.ebgp) {
                 attrs.next_hop = scfg.local_addr;
             }
         }

@@ -9,6 +9,7 @@
 //! (§3: "identifying specific routes that do not satisfy a desired invariant
 //! or concluding no such routes exist").
 
+// mfv-lint: allow-file(D3, relaxed atomics here are monotonic hit/miss diagnostics; RMW totals are exact under any ordering and never feed a schedule or verdict)
 // mfv-lint: allow(D1, HashMap here backs digest-keyed caches that are only probed, never iterated)
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;

@@ -35,6 +35,21 @@ cmp "$obs_tmp/obs_a.json" "$obs_tmp/obs_b.json" || {
   exit 1
 }
 
+echo "==> shard-smoke: obs dumps must be byte-identical across worker-thread counts"
+# The smoke suite's sharded scenario (a three-region WAN slice on two
+# shards) runs once per thread count; worker threads are an execution
+# knob, never a behaviour knob, so the full obs dump must not move.
+for t in 1 2; do
+  target/release/engine_bench --smoke --threads "$t" \
+    --out "$obs_tmp/bench_t$t.json" \
+    --obs-json "$obs_tmp/obs_t$t.json" --obs-exclude-wall 2>/dev/null
+done
+cmp "$obs_tmp/obs_t1.json" "$obs_tmp/obs_t2.json" || {
+  echo "shard-smoke FAILED: obs dumps differ between 1- and 2-thread runs" >&2
+  diff "$obs_tmp/obs_t1.json" "$obs_tmp/obs_t2.json" >&2 || true
+  exit 1
+}
+
 echo "==> watch-smoke: same-seed chaos watch must replay byte-identically"
 cargo build --release -q --example watch_run
 for run in a b; do

@@ -1,0 +1,122 @@
+//! The sharded engine's determinism contract: thread count and shard layout
+//! are *execution* knobs, never *behaviour* knobs. The same
+//! `(topology, seed, chaos plan)` must produce byte-identical dataplane
+//! digests, AFT extractions, and `Obs::to_json(false)` dumps whether the
+//! windows run on 1 thread or 7, and the converged dataplane must not even
+//! depend on where the partition cuts (events carry content-derived keys
+//! and per-entity RNG streams, so the window structure is invisible).
+
+use model_free_verification::core::scenarios;
+use model_free_verification::emulator::{
+    ChaosPlan, Cluster, Emulation, EmulationConfig, ShardMode, Topology,
+};
+use model_free_verification::mgmt::Telemetry;
+use model_free_verification::types::{LinkId, NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A multi-vendor WAN with external route feeds — every subsystem the
+/// barrier protocol touches (ISIS floods, iBGP mesh, feed injection,
+/// vendor-specific timing) is live.
+fn wan_topology() -> Topology {
+    scenarios::production_wan(9, 2, true, 40).topology
+}
+
+/// A chaos plan crossing shard boundaries: flap a link, kill a router.
+fn wan_chaos() -> ChaosPlan {
+    ChaosPlan::new()
+        .repeated_link_flap(
+            LinkId::new(
+                ("r2".into(), "Ethernet2".into()),
+                ("r3".into(), "Ethernet1".into()),
+            ),
+            SimTime(500_000),
+            SimDuration::from_secs(8),
+            2,
+            SimDuration::from_secs(20),
+        )
+        .kill_routing("r5", SimTime(560_000))
+}
+
+fn cfg(threads: usize, shards: ShardMode) -> EmulationConfig {
+    EmulationConfig {
+        seed: 5,
+        chaos: wan_chaos(),
+        threads,
+        shards,
+        ..Default::default()
+    }
+}
+
+/// Everything a verification consumer can observe from one run, as bytes.
+fn observable_run(topology: Topology, cfg: EmulationConfig) -> (u64, Vec<String>, String) {
+    let mut emu = Emulation::new(topology, Cluster::single_node(), cfg).expect("topology builds");
+    let report = emu.run_until_converged();
+    assert!(report.converged, "{report:?}");
+    let dataplane = emu.dataplane();
+    let mut afts = Vec::new();
+    for node in dataplane.nodes.keys() {
+        let node = NodeId::from(node.as_str());
+        let router = emu.router(&node).expect("router booted");
+        let telemetry = Telemetry::from_router(router).expect("state tree extracts");
+        let aft = telemetry.aft().expect("telemetry carries an AFT");
+        afts.push(aft.to_json().expect("AFT serialises"));
+    }
+    (dataplane.digest(), afts, emu.export_obs().to_json(false))
+}
+
+#[test]
+fn thread_count_never_changes_observable_bytes() {
+    let reference = observable_run(wan_topology(), cfg(1, ShardMode::Fixed(4)));
+    for threads in [2usize, 4, 7] {
+        let run = observable_run(wan_topology(), cfg(threads, ShardMode::Fixed(4)));
+        assert_eq!(
+            reference.0, run.0,
+            "dataplane digest diverged at {threads} threads"
+        );
+        assert_eq!(reference.1, run.1, "AFT JSON diverged at {threads} threads");
+        assert_eq!(reference.2, run.2, "obs dump diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn auto_partition_matches_fixed_partitions() {
+    // The cluster-placement cut (Auto) and arbitrary Fixed cuts are just
+    // different window structures over the same event content.
+    let auto = observable_run(wan_topology(), cfg(2, ShardMode::Auto));
+    let fixed = observable_run(wan_topology(), cfg(2, ShardMode::Fixed(3)));
+    assert_eq!(auto.0, fixed.0, "digest depends on the partition cut");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Random shard counts on a small IS-IS line: the converged dataplane
+    // digest is partition-invariant (threads fixed at 2 so multi-shard
+    // runs actually exercise the barrier pool).
+    #[test]
+    fn random_shard_counts_converge_identically(shards in 1usize..=7) {
+        let reference = {
+            let topo = scenarios::isis_line(5).topology;
+            let mut emu = Emulation::new(
+                topo,
+                Cluster::single_node(),
+                EmulationConfig { seed: 3, ..Default::default() },
+            ).unwrap();
+            prop_assert!(emu.run_until_converged().converged);
+            emu.dataplane().digest()
+        };
+        let topo = scenarios::isis_line(5).topology;
+        let mut emu = Emulation::new(
+            topo,
+            Cluster::single_node(),
+            EmulationConfig {
+                seed: 3,
+                threads: 2,
+                shards: ShardMode::Fixed(shards),
+                ..Default::default()
+            },
+        ).unwrap();
+        prop_assert!(emu.run_until_converged().converged);
+        prop_assert_eq!(emu.dataplane().digest(), reference);
+    }
+}
