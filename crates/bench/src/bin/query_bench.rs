@@ -1,0 +1,282 @@
+//! Query front-end load generator: converges a snapshot, serves it through
+//! the `mfv-serve` TCP front end, and replays a seeded point-query workload
+//! against it, emitting `BENCH_queries.json` with per-snapshot latency
+//! percentiles (p50/p99) and sustained throughput (qps).
+//!
+//! The workload is the operator-debugging mix: REACH pair checks, FATE
+//! point lookups (three addresses per request, one of them a guaranteed
+//! miss), and TRACE path walks, drawn from a seeded generator so the same
+//! seed replays the same request stream byte for byte. Latency is measured
+//! per request at the client (write request → full reply read), so the
+//! numbers include the wire round trip, not just index lookup time.
+//!
+//! Flags:
+//!   --smoke           six-node + 3×2 grid, 200 queries each (CI guard)
+//!   --queries <n>     requests per snapshot (default 2000; smoke 200)
+//!   --workers <n>     server worker threads (default 4)
+//!   --seed <n>        workload + emulation seed (default 1)
+//!   --out <path>      output JSON path (default BENCH_queries.json)
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{BufReader, BufWriter};
+use std::net::{Ipv4Addr, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mfv_bench::percentile_ms;
+use mfv_core::{scenarios, Backend, EmulationBackend, Snapshot};
+use mfv_serve::{query_once, QueryIndex, Server, ServerConfig};
+use mfv_types::NodeId;
+
+struct Args {
+    smoke: bool,
+    queries: usize,
+    workers: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        queries: 0,
+        workers: 4,
+        seed: 1,
+        out: "BENCH_queries.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--queries" => {
+                let v = it.next().ok_or("--queries needs a value")?;
+                args.queries = v.parse().map_err(|_| format!("bad --queries {v}"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.workers = v.parse().map_err(|_| format!("bad --workers {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.queries == 0 {
+        args.queries = if args.smoke { 200 } else { 2000 };
+    }
+    Ok(args)
+}
+
+/// The two snapshot sizes the acceptance bar tracks: the paper's six-node
+/// verification topology and the §5 grid (shrunk in smoke mode so CI can
+/// converge it in seconds).
+fn query_scenarios(smoke: bool) -> Vec<(&'static str, Snapshot)> {
+    let grid = if smoke {
+        ("grid_3x2", scenarios::isis_grid(3, 2))
+    } else {
+        ("grid60", scenarios::isis_grid(10, 6))
+    };
+    vec![("a2_six_node", scenarios::six_node()), grid]
+}
+
+/// SplitMix64: the workload generator. Seeded, dependency-free, and good
+/// enough to shuffle request parameters.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            return None;
+        }
+        items.get(self.next() as usize % items.len())
+    }
+}
+
+/// Builds the seeded request stream for one snapshot: one third REACH,
+/// one third FATE (with a guaranteed-miss third address), one third TRACE.
+fn build_requests(
+    nodes: &[NodeId],
+    addresses: &[Ipv4Addr],
+    count: usize,
+    seed: u64,
+) -> Vec<String> {
+    let mut mix = Mix(seed ^ 0x71_75_65_72_79); // "query"
+    let mut reqs = Vec::with_capacity(count);
+    for i in 0..count {
+        let (Some(src), Some(dst)) = (mix.pick(nodes), mix.pick(nodes)) else {
+            break;
+        };
+        let (Some(a), Some(b)) = (mix.pick(addresses), mix.pick(addresses)) else {
+            break;
+        };
+        reqs.push(match i % 3 {
+            0 => format!("REACH {src} {dst}"),
+            1 => format!("FATE {src} {a} {b} 203.0.113.77"),
+            _ => format!("TRACE {src} {a}"),
+        });
+    }
+    reqs
+}
+
+struct RunStats {
+    nodes: usize,
+    classes: usize,
+    queries: usize,
+    converge_ms: f64,
+    warm_ms: f64,
+    p50_us: u64,
+    p99_us: u64,
+    qps: f64,
+}
+
+/// Converges the snapshot, serves it, replays the workload over one TCP
+/// connection, and reports client-observed latency and throughput.
+fn run_scenario(snapshot: &Snapshot, args: &Args) -> Result<RunStats, String> {
+    let backend = EmulationBackend {
+        seed: args.seed,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let result = backend.compute(snapshot).map_err(|e| e.to_string())?;
+    let converge_ms = t.elapsed().as_secs_f64() * 1e3;
+    if !result.meta.converged {
+        return Err(format!("{} did not converge", snapshot.name));
+    }
+
+    let index = Arc::new(QueryIndex::new(&result.dataplane));
+    let t = Instant::now();
+    let classes = index.warm();
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let nodes = index.node_names();
+    let addresses: Vec<Ipv4Addr> = result
+        .dataplane
+        .nodes
+        .values()
+        .flat_map(|n| n.addresses.iter().copied())
+        .collect();
+    let reqs = build_requests(&nodes, &addresses, args.queries, args.seed);
+
+    let cfg = ServerConfig {
+        port: 0,
+        workers: args.workers,
+    };
+    let handle = Server::start(Arc::clone(&index), &cfg).map_err(|e| format!("bind: {e}"))?;
+    let conn = TcpStream::connect(handle.addr()).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(conn);
+
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(reqs.len());
+    let wall = Instant::now();
+    for req in &reqs {
+        let t = Instant::now();
+        let (ok, payload) = query_once(&mut reader, &mut writer, req).map_err(|e| e.to_string())?;
+        latencies_us.push(t.elapsed().as_micros() as u64);
+        if !ok {
+            return Err(format!("request '{req}' failed: {payload}"));
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    drop(reader);
+    drop(writer);
+    handle.shutdown();
+
+    Ok(RunStats {
+        nodes: nodes.len(),
+        classes,
+        queries: reqs.len(),
+        converge_ms,
+        warm_ms,
+        p50_us: percentile_ms(&latencies_us, 50.0),
+        p99_us: percentile_ms(&latencies_us, 99.0),
+        qps: if elapsed > 0.0 {
+            reqs.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+    })
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_json(args: &Args, rows: &BTreeMap<&'static str, RunStats>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"mfv-query-bench/v1\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", args.smoke));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"workers\": {},\n", args.workers));
+    out.push_str("  \"scenarios\": {\n");
+    let last = rows.len().saturating_sub(1);
+    for (i, (name, s)) in rows.iter().enumerate() {
+        out.push_str(&format!("    \"{name}\": {{\n"));
+        out.push_str(&format!("      \"nodes\": {},\n", s.nodes));
+        out.push_str(&format!("      \"classes\": {},\n", s.classes));
+        out.push_str(&format!("      \"queries\": {},\n", s.queries));
+        out.push_str(&format!(
+            "      \"converge_ms\": {},\n",
+            json_f64(s.converge_ms)
+        ));
+        out.push_str(&format!("      \"warm_ms\": {},\n", json_f64(s.warm_ms)));
+        out.push_str(&format!("      \"latency_p50_us\": {},\n", s.p50_us));
+        out.push_str(&format!("      \"latency_p99_us\": {},\n", s.p99_us));
+        out.push_str(&format!("      \"qps\": {}\n", json_f64(s.qps)));
+        out.push_str(if i == last { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("query_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut rows: BTreeMap<&'static str, RunStats> = BTreeMap::new();
+    for (name, snapshot) in query_scenarios(args.smoke) {
+        eprintln!("==> {name}: converging + serving {} queries", args.queries);
+        match run_scenario(&snapshot, &args) {
+            Ok(stats) => {
+                eprintln!(
+                    "    {} nodes, {} classes: p50 {} us, p99 {} us, {:.0} qps",
+                    stats.nodes, stats.classes, stats.p50_us, stats.p99_us, stats.qps
+                );
+                rows.insert(name, stats);
+            }
+            Err(e) => {
+                eprintln!("query_bench: {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let json = render_json(&args, &rows);
+    if let Err(e) = fs::write(&args.out, &json) {
+        eprintln!("query_bench: write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("==> wrote {}", args.out);
+    ExitCode::SUCCESS
+}

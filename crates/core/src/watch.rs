@@ -83,6 +83,12 @@ pub struct WatchReport {
     pub verdict_latencies_ms: Vec<u64>,
     /// Standing-query evaluations performed.
     pub evaluations: u64,
+    /// `(evaluated, reused)` pair-level work units of the standing
+    /// queries: a (src, dst) reachability pair or a per-source
+    /// loop/black-hole walk. Re-evaluation work stays proportional to
+    /// changed nodes, so `evaluated` grows sub-quadratically in N after
+    /// the first full pass.
+    pub pair_stats: (u64, u64),
     /// `(hits, misses)` of the standing queries' class cache.
     pub cache_stats: (usize, usize),
     /// Coverage at the end of the window.
@@ -184,6 +190,7 @@ pub fn run_watch(
         stats: watcher.stats().clone(),
         verdict_latencies_ms,
         evaluations: standing.evaluations(),
+        pair_stats: standing.pair_stats(),
         cache_stats: standing.cache_stats(),
         final_coverage: coverage,
     })
@@ -222,6 +229,13 @@ mod tests {
         // (resync stamps land on the tick itself, hence the 0 floor).
         assert!(!report.verdict_latencies_ms.is_empty());
         assert!(report.verdict_latencies_ms.iter().all(|&l| l <= 1_000));
+        // A quiet network pays exactly one full standing pass: N(N-1)
+        // reachability pairs + N loop walks + N black-hole walks, and
+        // never re-evaluates a pair after that.
+        let full = (4 * 3 + 2 * 4) as u64 * report.evaluations;
+        let (evaluated, reused) = report.pair_stats;
+        assert_eq!(evaluated + reused, full);
+        assert_eq!(evaluated, 4 * 3 + 2 * 4, "quiet ticks must reuse pairs");
     }
 
     #[test]
@@ -254,6 +268,20 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.verdict_latencies_ms, b.verdict_latencies_ms);
         assert_eq!(obs_a.to_json(false), obs_b.to_json(false));
+
+        // Sub-quadratic standing work on a chaos run: all 4 nodes stay
+        // covered (link flaps don't drop streams), so every evaluation
+        // considers the same N(N-1)+2N work units — but only the ticks
+        // where routes actually moved re-evaluate any of them.
+        let per_eval = (4 * 3 + 2 * 4) as u64;
+        let (evaluated, reused) = a.pair_stats;
+        assert_eq!(evaluated + reused, a.evaluations * per_eval);
+        assert!(
+            evaluated < a.evaluations * per_eval,
+            "chaos run must still reuse unaffected pairs \
+             (evaluated={evaluated} of {})",
+            a.evaluations * per_eval
+        );
     }
 
     #[test]

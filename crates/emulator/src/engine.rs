@@ -48,7 +48,8 @@ use crate::cluster::{Cluster, PodRequest, Unschedulable};
 use crate::inject::{synthetic_prefixes, ExternalPeer};
 use crate::pool::{effective_threads, lock_or_recover, panic_message, with_workers};
 use crate::shard::{
-    stream_seed, Ev, EvKey, EventKind, EventTally, ImpairWindow, Net, Owner, Shard, GLOBAL_ORIGIN,
+    stream_seed, Ev, EvKey, EventKind, EventTally, ImpairWindow, Net, Owner, Shard, CHURN_HISTORY,
+    CHURN_PREFIX_CAP, GLOBAL_ORIGIN,
 };
 use crate::topology::Topology;
 
@@ -168,11 +169,6 @@ enum GlobalAction {
     FailMachine(String),
 }
 
-/// Most prefixes tracked by the churn watchdog; arrivals past the cap are
-/// ignored (deterministically) to bound memory at production-feed scale.
-const CHURN_PREFIX_CAP: usize = 4096;
-/// Change timestamps retained per prefix.
-const CHURN_HISTORY: usize = 8;
 /// Changes a prefix needs within the recent window to count as oscillating.
 const OSCILLATION_MIN_CHANGES: usize = 4;
 
@@ -217,10 +213,11 @@ struct Global {
     ext_done_count: usize,
     /// Instant the most recent external feed finished draining.
     last_ext_done: SimTime,
-    /// Recent per-prefix dataplane-change timestamps (steady-state only),
-    /// bounded in both axes. The watchdog reads this at the deadline to
-    /// distinguish oscillation from slow progress.
-    churn: BTreeMap<Prefix, VecDeque<SimTime>>,
+    /// Whether the steady-state churn gate has been announced to the
+    /// shards. Once boot and feed flooding are both complete, each shard
+    /// gets `churn_from` and folds its own change records inside its
+    /// windows; the coordinator never gathers churn at a barrier again.
+    churn_gate_set: bool,
     unschedulable: Vec<Unschedulable>,
     tally: EventTally,
     events_scheduled: u64,
@@ -400,7 +397,7 @@ impl Emulation {
             feeds_done_at: None,
             ext_done_count: 0,
             last_ext_done: SimTime::ZERO,
-            churn: BTreeMap::new(),
+            churn_gate_set: false,
             unschedulable: Vec::new(),
             tally: EventTally::default(),
             events_scheduled: 0,
@@ -720,7 +717,7 @@ impl Emulation {
         let verdict = if converged {
             ConvergenceVerdict::Converged
         } else {
-            oscillation_verdict(&self.glob)
+            oscillation_verdict(&self.glob, &self.shards)
         };
         // Sim-time spans mirror the wall splits, derived purely from sim
         // state so replays produce identical reports.
@@ -880,6 +877,17 @@ impl Emulation {
             }
         }
         dp
+    }
+
+    /// The merged steady-state churn tracker: per prefix, the retained
+    /// dataplane-change instants. The merge is order-independent, so this
+    /// dump is byte-identical across thread counts for the same run —
+    /// determinism tests digest it alongside the dataplane.
+    pub fn churn_dump(&self) -> BTreeMap<Prefix, Vec<SimTime>> {
+        merge_churn(self.shards.iter().map(|s| &s.churn))
+            .into_iter()
+            .map(|(p, q)| (p, q.into_iter().collect()))
+            .collect()
     }
 
     /// Current cluster packing (pods per machine).
@@ -1081,11 +1089,11 @@ fn expand_chaos(glob: &mut Global, net: &mut Net, plan: ChaosPlan) {
 /// The watchdog's post-mortem when the time budget expires: prefixes that
 /// kept changing right up to the end mean the network is *oscillating*,
 /// not converging slowly.
-fn oscillation_verdict(glob: &Global) -> ConvergenceVerdict {
+fn oscillation_verdict(glob: &Global, shards: &[Shard]) -> ConvergenceVerdict {
     let window = glob.cfg.quiet_period.saturating_mul(4);
     let now = glob.now;
-    let mut churning: Vec<(&Prefix, &VecDeque<SimTime>)> = glob
-        .churn
+    let churn = merge_churn(shards.iter().map(|s| &s.churn));
+    let mut churning: Vec<(&Prefix, &VecDeque<SimTime>)> = churn
         .iter()
         .filter(|(_, q)| {
             q.len() >= OSCILLATION_MIN_CHANGES
@@ -1500,14 +1508,12 @@ fn settle(
     deadline: SimTime,
 ) {
     let mut inbox: Vec<(usize, Ev)> = Vec::new();
-    let mut churn: Vec<(SimTime, NodeRef, BTreeSet<Prefix>)> = Vec::new();
     let mut transitions: Vec<(usize, SimTime)> = Vec::new();
     for (i, cell) in cells.iter().enumerate() {
         let mut s = lock_or_recover(cell);
         glob.t_max = glob.t_max.max(s.now());
         glob.last_activity = glob.last_activity.max(s.last_activity);
         inbox.append(&mut s.outbox);
-        churn.append(&mut s.churn_buf);
         transitions.extend(s.take_ext_done_transitions());
         let end = ends.get(i).copied().unwrap_or(SimTime::ZERO);
         s.advance_clock(SimTime(end.0.min(deadline.0)));
@@ -1572,29 +1578,60 @@ fn settle(
                 .push(at, "engine.flood_complete", "external feeds drained");
         }
     }
-    // Steady-state churn, merged across shards in (instant, node) order so
-    // the bounded tracker admits the same prefixes at any layout.
-    if let Some(boot_at) = glob.boot_complete_at {
-        if glob.ext_done_count == glob.ext_total {
-            let steady = boot_at.max(glob.last_ext_done);
-            churn.sort_by_key(|(at, node, _)| (*at, node.index()));
-            for (at, _node, prefixes) in churn {
-                if at < steady {
-                    continue;
+    // Steady-state churn gate. Until boot and feed flooding both complete,
+    // buffered change records are pre-convergence noise — dropped here, as
+    // before. The barrier that first knows the steady instant announces it
+    // to every shard and folds the detection window's records (which may
+    // already contain steady-state changes); from then on each shard folds
+    // its own records in parallel at its window end, and this barrier does
+    // no per-window churn work at all.
+    if !glob.churn_gate_set {
+        match glob.boot_complete_at {
+            Some(boot_at) if glob.ext_done_count == glob.ext_total => {
+                let steady = boot_at.max(glob.last_ext_done);
+                glob.churn_gate_set = true;
+                for cell in cells {
+                    let mut s = lock_or_recover(cell);
+                    s.churn_from = Some(steady);
+                    s.fold_churn();
                 }
-                for p in prefixes {
-                    if !glob.churn.contains_key(&p) && glob.churn.len() >= CHURN_PREFIX_CAP {
-                        continue;
-                    }
-                    let q = glob.churn.entry(p).or_default();
-                    q.push_back(at);
-                    if q.len() > CHURN_HISTORY {
-                        q.pop_front();
-                    }
+            }
+            _ => {
+                for cell in cells {
+                    lock_or_recover(cell).churn_buf.clear();
                 }
             }
         }
     }
+}
+
+/// Merges the per-shard bounded churn trackers into one global view at the
+/// post-mortem. Order-independent by construction: every record carries its
+/// `(instant, node)` stamp, all records for a prefix are re-sorted and
+/// re-capped to the last [`CHURN_HISTORY`], and the prefix cap keeps the
+/// first [`CHURN_PREFIX_CAP`] prefixes in address order — so shard
+/// iteration order (and therefore layout and thread count) cannot affect
+/// the result. Per-shard truncation composes exactly: a record a shard
+/// dropped had ≥ `CHURN_HISTORY` newer records in that shard alone, so it
+/// could never survive the merged cap either.
+fn merge_churn<'a>(
+    shards: impl IntoIterator<Item = &'a BTreeMap<Prefix, VecDeque<(SimTime, u32)>>>,
+) -> BTreeMap<Prefix, VecDeque<SimTime>> {
+    let mut gathered: BTreeMap<Prefix, Vec<(SimTime, u32)>> = BTreeMap::new();
+    for churn in shards {
+        for (p, q) in churn {
+            gathered.entry(*p).or_default().extend(q.iter().copied());
+        }
+    }
+    gathered
+        .into_iter()
+        .take(CHURN_PREFIX_CAP)
+        .map(|(p, mut recs)| {
+            recs.sort_unstable();
+            let skip = recs.len().saturating_sub(CHURN_HISTORY);
+            (p, recs.into_iter().skip(skip).map(|(at, _)| at).collect())
+        })
+        .collect()
 }
 
 /// Wall-clock phase splits for `run_until_converged`, checked after each
@@ -1612,5 +1649,53 @@ fn mark_wall(glob: &mut Global, wp: &mut WallProgress) {
         let us = wp.timer.elapsed_micros();
         glob.wall.add_phase("flood", us.saturating_sub(wp.mark));
         wp.mark = us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ms: u64, node: u32) -> (SimTime, u32) {
+        (SimTime(ms), node)
+    }
+
+    /// The post-mortem merge must be a pure function of the per-shard
+    /// tracker *contents*: shard order, record interleaving, and how the
+    /// records were split across shards cannot change the result.
+    #[test]
+    fn churn_merge_is_order_independent() {
+        let p1 = Prefix::from_bits(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 0)), 24);
+        let p2 = Prefix::from_bits(u32::from(std::net::Ipv4Addr::new(10, 0, 1, 0)), 24);
+        let mut a: BTreeMap<Prefix, VecDeque<(SimTime, u32)>> = BTreeMap::new();
+        a.entry(p1).or_default().extend([rec(100, 0), rec(300, 0)]);
+        a.entry(p2).or_default().extend([rec(150, 1)]);
+        let mut b: BTreeMap<Prefix, VecDeque<(SimTime, u32)>> = BTreeMap::new();
+        b.entry(p1).or_default().extend([rec(200, 2), rec(400, 2)]);
+
+        let fwd = merge_churn([&a, &b]);
+        let rev = merge_churn([&b, &a]);
+        assert_eq!(fwd, rev);
+        assert_eq!(
+            fwd.get(&p1).map(|q| q.iter().copied().collect::<Vec<_>>()),
+            Some(vec![SimTime(100), SimTime(200), SimTime(300), SimTime(400)]),
+            "records interleave by instant across shards"
+        );
+
+        // Per-shard history truncation composes with the merged cap: a
+        // record a shard dropped can never reappear in the merged last-N.
+        let mut big: BTreeMap<Prefix, VecDeque<(SimTime, u32)>> = BTreeMap::new();
+        let q = big.entry(p1).or_default();
+        for i in 0..CHURN_HISTORY as u64 {
+            q.push_back(rec(1_000 + i, 3));
+        }
+        let merged = merge_churn([&a, &b, &big]);
+        let kept = merged.get(&p1).map(|q| q.len()).unwrap_or(0);
+        assert_eq!(kept, CHURN_HISTORY);
+        assert_eq!(
+            merged.get(&p1).and_then(|q| q.front().copied()),
+            Some(SimTime(1_000)),
+            "oldest survivors are the globally newest CHURN_HISTORY records"
+        );
     }
 }

@@ -26,7 +26,7 @@
 //!    outbox that the coordinator drains at the window barrier.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
@@ -38,6 +38,14 @@ use mfv_types::{IfaceRef, Interner, NodeRef, Prefix, SimDuration, SimTime};
 use mfv_vrouter::{RouterEvent, VendorProfile, VirtualRouter};
 
 use crate::chaos::ImpairSpec;
+
+/// Most prefixes tracked per shard by the churn watchdog; arrivals past the
+/// cap are ignored (deterministically) to bound memory at production-feed
+/// scale. The post-mortem merge applies the same cap globally, in prefix
+/// order, so the merged view is independent of shard layout and count.
+pub(crate) const CHURN_PREFIX_CAP: usize = 4096;
+/// Change records retained per prefix (per shard, and again after merge).
+pub(crate) const CHURN_HISTORY: usize = 8;
 use crate::inject::ExternalPeer;
 
 /// Event origin rank. The coordinator's rank sorts before every entity, so
@@ -262,11 +270,21 @@ pub(crate) struct Shard {
     isis_link_clock: BTreeMap<(NodeRef, IfaceRef), SimTime>,
     /// Cross-shard sends since the last barrier: `(dest shard, event)`.
     pub outbox: Vec<(usize, Ev)>,
-    /// Dataplane-change records since the last barrier, tagged with the
-    /// node that changed so the coordinator can merge entries from many
-    /// shards in the deterministic `(time, node)` order before applying
-    /// the steady-state gate and cap centrally.
+    /// Raw dataplane-change records since the last fold, tagged with the
+    /// node that changed. Folded into the local `churn` tracker at each
+    /// window end once the coordinator has announced the steady instant;
+    /// discarded by the coordinator before that (pre-convergence noise).
     pub churn_buf: Vec<(SimTime, NodeRef, BTreeSet<Prefix>)>,
+    /// Steady-state gate: records before this instant never count toward
+    /// oscillation. Set exactly once, at the barrier where boot and feed
+    /// completion become known.
+    pub churn_from: Option<SimTime>,
+    /// Shard-local bounded churn tracker: per-prefix `(instant, node)`
+    /// change records, capped in both axes. Shards fold their own records
+    /// in parallel inside their windows — the coordinator never touches a
+    /// shared churn map per window; the per-shard maps are merged exactly
+    /// once, order-independently, by the oscillation post-mortem.
+    pub churn: BTreeMap<Prefix, VecDeque<(SimTime, u32)>>,
     pub tally: EventTally,
     pub journal: Journal,
     pub wake_depth: Hist,
@@ -324,6 +342,8 @@ impl Shard {
             isis_link_clock: BTreeMap::new(),
             outbox: Vec::new(),
             churn_buf: Vec::new(),
+            churn_from: None,
+            churn: BTreeMap::new(),
             tally: EventTally::default(),
             journal: Journal::new(),
             wake_depth: Hist::new(),
@@ -870,9 +890,11 @@ impl Shard {
             let wake_t = self.wake.iter().next().map(|&(t, _)| t);
             let ext_t = self.ext_wake.iter().next().map(|&(t, _)| t);
             let Some(t) = [heap_t, wake_t, ext_t].into_iter().flatten().min() else {
+                self.fold_churn();
                 return;
             };
             if t >= end {
+                self.fold_churn();
                 return;
             }
             self.now = t;
@@ -898,6 +920,34 @@ impl Shard {
             self.events_processed += 1;
             self.wake_depth
                 .record((self.wake.len() + self.ext_wake.len()) as u64);
+        }
+    }
+
+    /// Folds buffered raw change records into the bounded local `churn`
+    /// tracker, inside the shard's own window — no coordinator-side merge
+    /// per barrier. A no-op until the coordinator announces the
+    /// steady-state gate (`churn_from`); records stamped before the gate
+    /// never count toward oscillation. `churn_buf` is drained in processed
+    /// order, which within one shard is the deterministic event order, so
+    /// the fold is a pure function of shard content.
+    pub fn fold_churn(&mut self) {
+        let Some(from) = self.churn_from else {
+            return;
+        };
+        for (at, node, prefixes) in self.churn_buf.drain(..) {
+            if at < from {
+                continue;
+            }
+            for p in prefixes {
+                if !self.churn.contains_key(&p) && self.churn.len() >= CHURN_PREFIX_CAP {
+                    continue;
+                }
+                let q = self.churn.entry(p).or_default();
+                q.push_back((at, node.index() as u32));
+                if q.len() > CHURN_HISTORY {
+                    q.pop_front();
+                }
+            }
         }
     }
 

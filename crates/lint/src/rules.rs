@@ -58,9 +58,19 @@ impl RuleId {
             // dump paths must iterate in stable (BTreeMap) order for the
             // byte-identical-metrics contract, and mgmt, whose watcher
             // tick/status order feeds the byte-identical verdict journal.
+            // serve is included: its query answers must be byte-identical
+            // across worker threads, so map iteration order in any reply
+            // path is behaviour, not implementation detail.
             RuleId::D1 => matches!(
                 crate_name,
-                "emulator" | "routing" | "vrouter" | "verify" | "obs" | "mgmt" | "conflint"
+                "emulator"
+                    | "routing"
+                    | "vrouter"
+                    | "verify"
+                    | "obs"
+                    | "mgmt"
+                    | "conflint"
+                    | "serve"
             ),
             // The emulator is discrete-event: wall clock and ambient
             // entropy break seeded replay everywhere except the bench
@@ -73,7 +83,13 @@ impl RuleId {
             // a panicking dump would take the sweep down with it.
             // conflint is a gate: an analyzer that panics on a weird config
             // is worse than one that reports nothing.
-            RuleId::P1 => matches!(crate_name, "mgmt" | "verify" | "core" | "obs" | "conflint"),
+            // serve is long-running: a panicking worker thread silently
+            // shrinks the accept pool, so malformed requests must degrade
+            // via ERR replies, never aborts.
+            RuleId::P1 => matches!(
+                crate_name,
+                "mgmt" | "verify" | "core" | "obs" | "conflint" | "serve"
+            ),
             // Wire decoders must reject malformed input through
             // `DecodeError`, never a panic.
             RuleId::W1 => crate_name == "wire",

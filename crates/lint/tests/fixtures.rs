@@ -83,8 +83,20 @@ fn watch_fixture_covers_mgmt_scope() {
 }
 
 #[test]
+fn serve_fixture_covers_query_front_end_scope() {
+    // serve is in scope for D1 (byte-identical answers across workers
+    // forbid order-leaking maps in reply paths) and P1 (malformed
+    // requests degrade via ERR replies): one positive each; the
+    // suppressed probe and the Result path stay quiet.
+    let report = scan_fixture("serve");
+    assert_eq!(lines_for(&report, RuleId::D1), vec![5]);
+    assert_eq!(lines_for(&report, RuleId::P1), vec![8]);
+    assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
+}
+
+#[test]
 fn fixture_reports_are_deterministic() {
-    for name in ["d1", "d2", "d3", "p1", "w1", "watch"] {
+    for name in ["d1", "d2", "d3", "p1", "w1", "watch", "serve"] {
         let a = scan_fixture(name);
         let b = scan_fixture(name);
         let key = |r: &Report| -> Vec<(String, usize, usize)> {

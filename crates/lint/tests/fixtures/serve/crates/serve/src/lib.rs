@@ -1,0 +1,19 @@
+//! Serve-scope fixture: the query front end is in scope for D1 (answers
+//! must not depend on map iteration order) and P1 (a malformed request
+//! must yield an ERR reply, never abort a worker).
+
+use std::collections::HashMap; // positive: D1 fires here
+
+pub fn positive_unwrap(req: Option<&str>) -> &str {
+    req.unwrap() // positive: P1 fires here
+}
+
+pub fn suppressed_probe(k: &str) -> u32 {
+    // mfv-lint: allow(D1, fixture: probed by key only, order never observed)
+    let m: HashMap<String, u32> = HashMap::new();
+    m.get(k).copied().unwrap_or(0)
+}
+
+pub fn negative(req: Option<&str>) -> Result<&str, String> {
+    req.ok_or_else(|| "empty request".to_string())
+}

@@ -11,7 +11,7 @@
 
 // mfv-lint: allow-file(D3, relaxed atomics here are monotonic hit/miss diagnostics; RMW totals are exact under any ordering and never feed a schedule or verdict)
 // mfv-lint: allow(D1, HashMap here backs digest-keyed caches that are only probed, never iterated)
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -167,16 +167,28 @@ struct NodeState {
 /// with the fate packets in it meet.
 pub type DispositionRows = Vec<(IpSet, Disposition)>;
 
+/// The nodes an exploration's answer was derived from: every node whose
+/// FIB, liveness, or addresses the verdict depends on. If none of these
+/// change between snapshots (and no adjacent link does), the answer is
+/// still valid — the invariant the standing-query layer's pair-level
+/// incrementality rests on.
+pub type DepSet = BTreeSet<NodeId>;
+
+/// A memoised exploration result: the disposition partition plus the
+/// dependency set its exploration touched.
+type MemoEntry = (Arc<DispositionRows>, Arc<DepSet>);
+
 /// The analysis context: a dataplane with per-node match classes
 /// precomputed.
 pub struct ForwardingAnalysis {
     nodes: BTreeMap<NodeId, NodeState>,
     dp: Dataplane,
-    /// Memoised disposition partitions per (entry node, scope). The
-    /// baseline side of a differential sweep asks the same question once
-    /// per variant; computing it once amortises the whole sweep.
+    /// Memoised disposition partitions per (entry node, scope), each with
+    /// the dependency set its exploration touched. The baseline side of a
+    /// differential sweep asks the same question once per variant;
+    /// computing it once amortises the whole sweep.
     // mfv-lint: allow(D1, probed by (node, scope) key only; iteration order never observed)
-    memo: Mutex<HashMap<(NodeId, IpSet), Arc<DispositionRows>>>,
+    memo: Mutex<HashMap<(NodeId, IpSet), MemoEntry>>,
     memo_hits: AtomicUsize,
     memo_misses: AtomicUsize,
     /// Classes computed locally (not served by a [`ClassCache`]).
@@ -295,20 +307,35 @@ impl ForwardingAnalysis {
     /// returning a shared handle; repeated queries for the same
     /// (entry, scope) pair are computed once per analysis.
     pub fn dispositions_from_shared(&self, from: &NodeId, dst: &IpSet) -> Arc<DispositionRows> {
+        self.dispositions_from_deps(from, dst).0
+    }
+
+    /// Like [`ForwardingAnalysis::dispositions_from_shared`], but also
+    /// returns the dependency set: every node the exploration consulted
+    /// (including the entry node and any down/missing node encountered).
+    /// The standing-query layer keys verdict reuse on this set.
+    pub fn dispositions_from_deps(
+        &self,
+        from: &NodeId,
+        dst: &IpSet,
+    ) -> (Arc<DispositionRows>, Arc<DepSet>) {
         let key = (from.clone(), dst.clone());
         // Same poison-recovery rationale as `ClassCache::classes_for`.
-        if let Some(hit) = self
+        if let Some((rows, deps)) = self
             .memo
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return (Arc::clone(rows), Arc::clone(deps));
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
         let mut visited = Vec::new();
-        let mut out = self.explore(from, dst.clone(), &mut visited);
+        let mut deps = DepSet::new();
+        // The entry node is always a dependency, even for an empty scope.
+        deps.insert(from.clone());
+        let mut out = self.explore(from, dst.clone(), &mut visited, &mut deps);
         // Canonical order for stable comparison.
         out.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.ranges().cmp(b.0.ranges())));
         let rows = Arc::new(coalesce(out));
@@ -316,8 +343,26 @@ impl ForwardingAnalysis {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
-            .or_insert(rows)
+            .or_insert((rows, Arc::new(deps)))
             .clone()
+    }
+
+    /// Point query: the fate of one packet `(from, dst)`, answered by a
+    /// class lookup in the memoised full-space partition for `from`. The
+    /// first query per entry node computes the partition; every subsequent
+    /// point query for that node is a scan over its O(classes) rows rather
+    /// than a fresh graph walk — the batching idiom the serve front end
+    /// relies on.
+    pub fn fate_of(&self, from: &NodeId, dst: Ipv4Addr) -> Disposition {
+        let rows = self.dispositions_from_shared(from, &IpSet::full());
+        for (set, disp) in rows.iter() {
+            if set.contains(dst) {
+                return disp.clone();
+            }
+        }
+        // Unreachable: the partition covers the full space. Conservative
+        // fallback rather than a panic (P1).
+        Disposition::NoRoute(from.clone())
     }
 
     fn explore(
@@ -325,10 +370,12 @@ impl ForwardingAnalysis {
         node: &NodeId,
         dst: IpSet,
         visited: &mut Vec<NodeId>,
+        deps: &mut DepSet,
     ) -> Vec<(IpSet, Disposition)> {
         if dst.is_empty() {
             return Vec::new();
         }
+        deps.insert(node.clone());
         let Some(state) = self.nodes.get(node) else {
             return vec![(dst, Disposition::NodeDown(node.clone()))];
         };
@@ -376,7 +423,7 @@ impl ForwardingAnalysis {
                 match self.dp.peer_of(node, &nh.iface) {
                     Some((peer, _)) => {
                         let peer = peer.clone();
-                        branch_results.push(self.explore(&peer, cls.clone(), visited));
+                        branch_results.push(self.explore(&peer, cls.clone(), visited, deps));
                     }
                     None => {
                         branch_results

@@ -7,11 +7,12 @@
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use mfv_dataplane::Dataplane;
 use mfv_types::{IpSet, NodeId};
 
-use crate::graph::{Disposition, ForwardingAnalysis, Trace};
+use crate::graph::{DepSet, Disposition, ForwardingAnalysis, Trace};
 
 /// One row of a differential-reachability report: a class of packets whose
 /// fate differs between the two snapshots, for traffic entering at `src`.
@@ -126,29 +127,44 @@ pub fn reachability(
     src: &NodeId,
     dst_node: &NodeId,
 ) -> ReachabilityReport {
+    reachability_with_deps(fa, src, dst_node).0
+}
+
+/// [`reachability`] plus the dependency set of the exploration. The
+/// answer is valid until one of the returned nodes (or `dst_node` itself,
+/// whose addresses define the query's scope, or a link adjacent to a
+/// dependency) changes — the reuse contract of the standing-query layer.
+pub fn reachability_with_deps(
+    fa: &ForwardingAnalysis,
+    src: &NodeId,
+    dst_node: &NodeId,
+) -> (ReachabilityReport, Arc<DepSet>) {
     let mut dst_set = IpSet::empty();
     if let Some(node) = fa.dataplane().nodes.get(dst_node) {
         for a in &node.addresses {
             dst_set = dst_set.union(&IpSet::single(*a));
         }
     }
-    let rows = fa.dispositions_from(src, &dst_set);
+    let (rows, deps) = fa.dispositions_from_deps(src, &dst_set);
     let mut delivered = IpSet::empty();
     let mut failed = Vec::new();
-    for (set, disp) in rows {
-        match &disp {
+    for (set, disp) in rows.iter() {
+        match disp {
             Disposition::Accepted(node) if node == dst_node => {
-                delivered = delivered.union(&set);
+                delivered = delivered.union(set);
             }
-            _ => failed.push((set, disp)),
+            _ => failed.push((set.clone(), disp.clone())),
         }
     }
-    ReachabilityReport {
-        src: src.clone(),
-        dst_node: dst_node.clone(),
-        delivered,
-        failed,
-    }
+    (
+        ReachabilityReport {
+            src: src.clone(),
+            dst_node: dst_node.clone(),
+            delivered,
+            failed,
+        },
+        deps,
+    )
 }
 
 /// All-pairs reachability over node loopback/owned addresses. Returns the
@@ -190,21 +206,35 @@ pub fn detect_loops(dp: &Dataplane) -> Vec<LoopFinding> {
     detect_loops_with(&ForwardingAnalysis::new(dp))
 }
 
-/// [`detect_loops`] over a prebuilt analysis (standing-query path).
+/// [`detect_loops`] over a prebuilt analysis (standing-query path). Each
+/// per-source walk goes through the shared class index
+/// ([`ForwardingAnalysis::dispositions_from_deps`]) so repeated and
+/// incremental callers share one partition per source.
 pub fn detect_loops_with(fa: &ForwardingAnalysis) -> Vec<LoopFinding> {
     let mut out = Vec::new();
     for src in fa.node_names() {
-        for (set, disp) in fa.dispositions_from(&src, &IpSet::full()) {
-            if let Disposition::Loop(at) = disp {
-                out.push(LoopFinding {
-                    src: src.clone(),
-                    dsts: set,
-                    at,
-                });
-            }
-        }
+        out.extend(loops_from_with_deps(fa, &src).0);
     }
     out
+}
+
+/// The looping classes for one entry node, with the walk's dependency set.
+pub fn loops_from_with_deps(
+    fa: &ForwardingAnalysis,
+    src: &NodeId,
+) -> (Vec<LoopFinding>, Arc<DepSet>) {
+    let (rows, deps) = fa.dispositions_from_deps(src, &IpSet::full());
+    let mut out = Vec::new();
+    for (set, disp) in rows.iter() {
+        if let Disposition::Loop(at) = disp {
+            out.push(LoopFinding {
+                src: src.clone(),
+                dsts: set.clone(),
+                at: at.clone(),
+            });
+        }
+    }
+    (out, deps)
 }
 
 /// A black hole: traffic toward an address some node *owns* is dropped
@@ -221,9 +251,11 @@ pub fn detect_blackholes(dp: &Dataplane) -> Vec<BlackHoleFinding> {
     detect_blackholes_with(&ForwardingAnalysis::new(dp))
 }
 
-/// [`detect_blackholes`] over a prebuilt analysis (standing-query path).
-pub fn detect_blackholes_with(fa: &ForwardingAnalysis) -> Vec<BlackHoleFinding> {
-    // The "should be reachable" space: every address owned by an up node.
+/// The "should be reachable" space: every address owned by an up node.
+/// This is the scope black-hole detection checks; the standing-query
+/// layer compares it across snapshots because a scope change invalidates
+/// every per-source black-hole answer at once.
+pub fn owned_address_scope(fa: &ForwardingAnalysis) -> IpSet {
     let mut owned = IpSet::empty();
     for node in fa.dataplane().nodes.values() {
         if !node.up {
@@ -233,22 +265,42 @@ pub fn detect_blackholes_with(fa: &ForwardingAnalysis) -> Vec<BlackHoleFinding> 
             owned = owned.union(&IpSet::single(*a));
         }
     }
+    owned
+}
+
+/// [`detect_blackholes`] over a prebuilt analysis (standing-query path),
+/// routed through the shared class index per source.
+pub fn detect_blackholes_with(fa: &ForwardingAnalysis) -> Vec<BlackHoleFinding> {
+    let owned = owned_address_scope(fa);
     let mut out = Vec::new();
     for src in fa.node_names() {
-        for (set, disp) in fa.dispositions_from(&src, &owned) {
-            match disp {
-                Disposition::NoRoute(at) | Disposition::NullRoute(at) => {
-                    out.push(BlackHoleFinding {
-                        src: src.clone(),
-                        dsts: set,
-                        dropped_at: at,
-                    });
-                }
-                _ => {}
-            }
-        }
+        out.extend(blackholes_from_with_deps(fa, &src, &owned).0);
     }
     out
+}
+
+/// The black-hole classes for one entry node over the `owned` scope, with
+/// the walk's dependency set.
+pub fn blackholes_from_with_deps(
+    fa: &ForwardingAnalysis,
+    src: &NodeId,
+    owned: &IpSet,
+) -> (Vec<BlackHoleFinding>, Arc<DepSet>) {
+    let (rows, deps) = fa.dispositions_from_deps(src, owned);
+    let mut out = Vec::new();
+    for (set, disp) in rows.iter() {
+        match disp {
+            Disposition::NoRoute(at) | Disposition::NullRoute(at) => {
+                out.push(BlackHoleFinding {
+                    src: src.clone(),
+                    dsts: set.clone(),
+                    dropped_at: at.clone(),
+                });
+            }
+            _ => {}
+        }
+    }
+    (out, deps)
 }
 
 /// Classes whose fate depends on which ECMP branch a flow hashes to.

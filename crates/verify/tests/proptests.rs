@@ -10,8 +10,11 @@ use proptest::prelude::*;
 
 use mfv_dataplane::Dataplane;
 use mfv_routing::rib::{Fib, FibEntry, FibNextHop};
-use mfv_types::{IpSet, LinkId, NodeId, Prefix, RouteProtocol};
-use mfv_verify::{differential_reachability, ClassCache, Disposition, ForwardingAnalysis};
+use mfv_types::{ExtractionStatus, IpSet, LinkId, NodeId, Prefix, RouteProtocol, SimTime};
+use mfv_verify::{
+    differential_reachability, ClassCache, Coverage, Disposition, ForwardingAnalysis,
+    StandingQueries,
+};
 
 /// A compact generator for random dataplanes: `n` nodes in a ring, each with
 /// a handful of random prefix entries pointing at random neighbors (or
@@ -225,6 +228,89 @@ proptest! {
                 "cached analysis diverged from {}",
                 src
             );
+        }
+    }
+
+    // The pair-level incremental standing layer must be invisible: after
+    // any sequence of deltas (FIB edits, liveness flips, address churn,
+    // link cuts), its verdicts are byte-identical to a from-scratch
+    // evaluation of the same snapshot.
+    #[test]
+    fn incremental_standing_matches_from_scratch(
+        shape in arb_shape(),
+        deltas in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u32>(), 8u8..=28),
+            1..6,
+        ),
+    ) {
+        let mut dp = build_dp(&shape);
+        let coverage_for = |dp: &Dataplane| {
+            Coverage::from_status(
+                &dp.nodes
+                    .keys()
+                    .map(|n| (n.clone(), ExtractionStatus::Fresh))
+                    .collect(),
+            )
+        };
+        let mut incremental = StandingQueries::new();
+        incremental.evaluate(SimTime(0), &dp, &coverage_for(&dp));
+        let mut at = 1_000;
+        for (which, action, bits, len) in &deltas {
+            let names: Vec<NodeId> = dp.nodes.keys().cloned().collect();
+            let name = names[*which as usize % names.len()].clone();
+            match action % 6 {
+                0 => {
+                    if let Some(node) = dp.nodes.get_mut(&name) {
+                        node.entries.clear();
+                    }
+                }
+                1 => {
+                    if let Some(node) = dp.nodes.get_mut(&name) {
+                        node.entries.push(FibEntry {
+                            prefix: Prefix::from_bits(*bits, *len),
+                            proto: RouteProtocol::Static,
+                            next_hops: vec![],
+                        });
+                    }
+                }
+                2 => {
+                    if let Some(node) = dp.nodes.get_mut(&name) {
+                        node.entries.pop();
+                    }
+                }
+                3 => {
+                    if let Some(node) = dp.nodes.get_mut(&name) {
+                        node.up = !node.up;
+                    }
+                }
+                4 => {
+                    if let Some(node) = dp.nodes.get_mut(&name) {
+                        node.addresses.insert(std::net::Ipv4Addr::from(*bits));
+                    }
+                }
+                _ => {
+                    if !dp.links.is_empty() {
+                        let cut = *which as usize % dp.links.len();
+                        let mut i = 0;
+                        dp.links.retain(|_| {
+                            let keep = i != cut;
+                            i += 1;
+                            keep
+                        });
+                    }
+                }
+            }
+            let cov = coverage_for(&dp);
+            incremental.evaluate(SimTime(at), &dp, &cov);
+            let mut fresh = StandingQueries::new();
+            fresh.evaluate(SimTime(at), &dp, &cov);
+            prop_assert_eq!(
+                incremental.verdicts(),
+                fresh.verdicts(),
+                "incremental verdicts diverged after delta {:?}",
+                (which, action, bits, len)
+            );
+            at += 1_000;
         }
     }
 }

@@ -69,4 +69,33 @@ cmp "$obs_tmp/watch_obs_a.json" "$obs_tmp/watch_obs_b.json" || {
   exit 1
 }
 
+echo "==> serve-smoke: scripted query batch against mfvctl serve must match golden answers"
+# Start the query server on an ephemeral port, replay the scripted batch
+# over one connection, and diff against the recorded answers. The batch
+# ends with QUIT, so the client exits cleanly; the server is killed after.
+target/release/mfvctl serve examples/topologies/six-node.json --port 0 \
+  >"$obs_tmp/serve.log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr="$(sed -n 's/^listening on //p' "$obs_tmp/serve.log")"
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -n "$serve_addr" ] || {
+  echo "serve-smoke FAILED: server never reported its address" >&2
+  cat "$obs_tmp/serve.log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+}
+target/release/mfvctl query "$serve_addr" \
+  <tests/fixtures/serve_smoke.batch >"$obs_tmp/serve_answers.txt"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+cmp tests/fixtures/serve_smoke.golden "$obs_tmp/serve_answers.txt" || {
+  echo "serve-smoke FAILED: query answers diverged from the golden batch" >&2
+  diff tests/fixtures/serve_smoke.golden "$obs_tmp/serve_answers.txt" >&2 || true
+  exit 1
+}
+
 echo "==> all checks passed"

@@ -9,6 +9,8 @@
 //! mfvctl trace topo.json <src-node> <dst-ip>
 //! mfvctl show topo.json <node> <show command...>
 //! mfvctl model topo.json                       model-based baseline + coverage
+//! mfvctl serve topo.json [--port N] [--workers N] [--baseline model]
+//! mfvctl query addr:port [REQUEST...]          client for a running server
 //! ```
 
 use std::process::ExitCode;
@@ -18,6 +20,7 @@ use mfv_core::{
     EmulationBackend, ModelBackend, Snapshot,
 };
 use mfv_emulator::Topology;
+use mfv_serve::{query_once, QueryIndex, Server, ServerConfig};
 use mfv_types::{IpSet, NodeId};
 
 fn main() -> ExitCode {
@@ -41,6 +44,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "trace" => cmd_trace(&args[1..]),
         "show" => cmd_show(&args[1..]),
         "model" => cmd_model(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -65,6 +70,13 @@ USAGE:
   mfvctl trace TOPOLOGY SRC-NODE DST-IP       single-packet traceroute
   mfvctl show TOPOLOGY NODE COMMAND...        operator CLI on the converged net
   mfvctl model TOPOLOGY                       model-based baseline + coverage
+  mfvctl serve TOPOLOGY [--port N] [--workers N] [--baseline model]
+                                              converge once, precompute the
+                                              class index, answer queries
+                                              over TCP (REACH, FATE, TRACE,
+                                              DIFF, NODES, STATS, QUIT)
+  mfvctl query ADDR:PORT [REQUEST...]         send one request (or stdin
+                                              lines) to a running server
 ";
 
 fn example(name: &str) -> Result<(), String> {
@@ -204,6 +216,94 @@ fn cmd_show(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         None => Err(format!("no such node '{node}'")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: mfvctl serve TOPOLOGY")?;
+    let snapshot = load(path)?;
+    let backend = backend_from(args)?;
+    let result = backend.compute(&snapshot).map_err(|e| e.to_string())?;
+    if !result.meta.converged {
+        return Err("snapshot did not converge; refusing to serve it".into());
+    }
+    let baseline = match flag(args, "--baseline").as_deref() {
+        Some("model") => Some(
+            ModelBackend
+                .compute(&snapshot)
+                .map_err(|e| e.to_string())?
+                .dataplane,
+        ),
+        Some(other) => return Err(format!("unknown --baseline '{other}' (try 'model')")),
+        None => None,
+    };
+    let index = match &baseline {
+        Some(base) => QueryIndex::with_baseline(&result.dataplane, base),
+        None => QueryIndex::new(&result.dataplane),
+    };
+    let classes = index.warm();
+    let mut cfg = ServerConfig::default();
+    if let Some(p) = flag(args, "--port") {
+        cfg.port = p.parse().map_err(|_| "bad --port".to_string())?;
+    }
+    if let Some(w) = flag(args, "--workers") {
+        cfg.workers = w.parse().map_err(|_| "bad --workers".to_string())?;
+    }
+    let handle =
+        Server::start(std::sync::Arc::new(index), &cfg).map_err(|e| format!("bind: {e}"))?;
+    println!("snapshot:  {}", snapshot.name);
+    println!("nodes:     {}", result.dataplane.nodes.len());
+    println!("classes:   {classes}");
+    println!("workers:   {}", cfg.workers.max(1));
+    println!("listening on {}", handle.addr());
+    handle.wait();
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead as _, BufReader, BufWriter};
+    let addr = args
+        .first()
+        .ok_or("usage: mfvctl query ADDR:PORT [REQUEST...]")?;
+    let conn = std::net::TcpStream::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(conn);
+    let mut send = |req: &str| -> Result<bool, String> {
+        let (ok, payload) = query_once(&mut reader, &mut writer, req).map_err(|e| e.to_string())?;
+        if ok {
+            println!("{payload}");
+        } else {
+            println!("error: {payload}");
+        }
+        Ok(ok)
+    };
+    let rest = args.get(1..).unwrap_or(&[]);
+    if rest.is_empty() {
+        // Scripted mode: one request per stdin line, all on one connection.
+        let mut all_ok = true;
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            all_ok &= send(line)?;
+            if line == "QUIT" {
+                break;
+            }
+        }
+        if all_ok {
+            Ok(())
+        } else {
+            Err("some requests failed".into())
+        }
+    } else {
+        let req = rest.join(" ");
+        if send(&req)? {
+            Ok(())
+        } else {
+            Err("request failed".into())
+        }
     }
 }
 

@@ -11,6 +11,7 @@ pub use mfv_mgmt as mgmt;
 pub use mfv_model as model;
 pub use mfv_obs as obs;
 pub use mfv_routing as routing;
+pub use mfv_serve as serve;
 pub use mfv_types as types;
 pub use mfv_verify as verify;
 pub use mfv_vrouter as vrouter;

@@ -8,7 +8,7 @@
 
 use model_free_verification::core::scenarios;
 use model_free_verification::emulator::{
-    ChaosPlan, Cluster, Emulation, EmulationConfig, ShardMode, Topology,
+    ChaosPlan, Cluster, ConvergenceVerdict, Emulation, EmulationConfig, ShardMode, Topology,
 };
 use model_free_verification::mgmt::Telemetry;
 use model_free_verification::types::{LinkId, NodeId, SimDuration, SimTime};
@@ -75,6 +75,72 @@ fn thread_count_never_changes_observable_bytes() {
         );
         assert_eq!(reference.1, run.1, "AFT JSON diverged at {threads} threads");
         assert_eq!(reference.2, run.2, "obs dump diverged at {threads} threads");
+    }
+}
+
+/// The oscillation watchdog's evidence is accumulated *per shard* during
+/// the windows and merged exactly once at the post-mortem. This digest
+/// check pins the merge as order-independent: an oscillating (never
+/// converging) run must produce the identical verdict and the identical
+/// merged churn dump at any thread count.
+#[test]
+fn oscillating_churn_digest_is_thread_count_invariant() {
+    // Fault-free control run finds the boot instant so the flap train can
+    // be placed entirely in steady state.
+    let boot_ms = {
+        let mut emu = Emulation::new(
+            wan_topology(),
+            Cluster::single_node(),
+            EmulationConfig {
+                seed: 5,
+                shards: ShardMode::Fixed(4),
+                ..Default::default()
+            },
+        )
+        .expect("topology builds");
+        let report = emu.run_until_converged();
+        assert!(report.converged, "{report:?}");
+        report.boot_complete_at.expect("boot completed").0
+    };
+    // Flap a ring link every 20s (8s down) past a shortened budget: the
+    // network can never stay quiet, so the watchdog must post-mortem.
+    let flapped = {
+        let topo = wan_topology();
+        let l = topo.links.first().expect("WAN has links").clone();
+        LinkId::new((l.a_node, l.a_iface), (l.b_node, l.b_iface))
+    };
+    let osc_cfg = |threads: usize| EmulationConfig {
+        seed: 5,
+        chaos: ChaosPlan::new().repeated_link_flap(
+            flapped.clone(),
+            SimTime(boot_ms + 60_000),
+            SimDuration::from_secs(8),
+            40,
+            SimDuration::from_secs(20),
+        ),
+        threads,
+        shards: ShardMode::Fixed(4),
+        max_sim_time: SimDuration::from_millis(boot_ms + 400_000),
+        ..Default::default()
+    };
+    let churn_run = |cfg: EmulationConfig| {
+        let mut emu =
+            Emulation::new(wan_topology(), Cluster::single_node(), cfg).expect("topology builds");
+        let report = emu.run_until_converged();
+        assert!(!report.converged, "flap train must prevent convergence");
+        assert!(
+            matches!(report.verdict, ConvergenceVerdict::Oscillating { .. }),
+            "{:?}",
+            report.verdict
+        );
+        (report.verdict, emu.churn_dump())
+    };
+    let (verdict, churn) = churn_run(osc_cfg(1));
+    assert!(!churn.is_empty(), "oscillation must leave churn evidence");
+    for threads in [2usize, 4] {
+        let (v, c) = churn_run(osc_cfg(threads));
+        assert_eq!(verdict, v, "verdict diverged at {threads} threads");
+        assert_eq!(churn, c, "churn dump diverged at {threads} threads");
     }
 }
 
